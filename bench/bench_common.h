@@ -1,0 +1,135 @@
+// Shared configuration for the figure-reproduction benches.
+//
+// Sizes follow the paper where feasible (latent 128 for MNIST-like, 512 for
+// GTSRB-like, DCSNet fixed at 1024 with 50% data) but dataset counts are
+// scaled to tens of seconds per bench; set ORCO_BENCH_SCALE=<float> to grow
+// or shrink every workload together. EXPERIMENTS.md records the exact
+// settings behind the committed outputs.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/classifier.h"
+#include "baseline/dcsnet.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+#include "core/orcodcs.h"
+#include "data/ascii_art.h"
+#include "data/metrics.h"
+#include "data/synthetic_gtsrb.h"
+#include "data/synthetic_mnist.h"
+
+namespace orco::bench {
+
+inline double bench_scale() {
+  if (const char* env = std::getenv("ORCO_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.0) return s;
+  }
+  return 1.0;
+}
+
+inline std::size_t scaled(std::size_t n) {
+  return static_cast<std::size_t>(static_cast<double>(n) * bench_scale());
+}
+
+// -- datasets ---------------------------------------------------------------
+
+inline data::Dataset mnist_train(std::size_t count = scaled(2000)) {
+  data::MnistConfig cfg;
+  cfg.count = count;
+  cfg.seed = 11;
+  return data::make_synthetic_mnist(cfg);
+}
+
+inline data::Dataset mnist_test(std::size_t count = scaled(400)) {
+  data::MnistConfig cfg;
+  cfg.count = count;
+  cfg.seed = 12;
+  return data::make_synthetic_mnist(cfg);
+}
+
+inline data::Dataset gtsrb_train(std::size_t count = scaled(800)) {
+  data::GtsrbConfig cfg;
+  cfg.count = count;
+  cfg.seed = 21;
+  return data::make_synthetic_gtsrb(cfg);
+}
+
+inline data::Dataset gtsrb_test(std::size_t count = scaled(200)) {
+  data::GtsrbConfig cfg;
+  cfg.count = count;
+  cfg.seed = 22;
+  return data::make_synthetic_gtsrb(cfg);
+}
+
+// Reduced sets for the sensitivity sweeps (figs. 6-8), which train 4+
+// models per dataset: the orderings are stable at these sizes and the whole
+// bench suite stays runnable on one core in tens of minutes.
+inline data::Dataset mnist_sweep_train() { return mnist_train(scaled(1000)); }
+inline data::Dataset gtsrb_sweep_train() { return gtsrb_train(scaled(400)); }
+
+// -- standard system configurations ------------------------------------------
+
+/// Paper setup for MNIST-like sensing: latent 128. `decoder_layers` defaults
+/// to the per-task-tuned depth used for the quality/classifier figures.
+inline core::SystemConfig orco_mnist_config(std::size_t latent = 128,
+                                            std::size_t decoder_layers = 3) {
+  core::SystemConfig cfg;
+  cfg.orco.input_dim = 784;
+  cfg.orco.latent_dim = latent;
+  cfg.orco.decoder_layers = decoder_layers;
+  cfg.orco.batch_size = 64;
+  cfg.orco.noise_variance = 0.01f;
+  cfg.field.device_count = 24;
+  cfg.field.radio_range_m = 45.0;
+  return cfg;
+}
+
+/// Paper setup for GTSRB-like sensing: latent 512.
+inline core::SystemConfig orco_gtsrb_config(std::size_t latent = 512,
+                                            std::size_t decoder_layers = 3) {
+  core::SystemConfig cfg = orco_mnist_config(latent, decoder_layers);
+  cfg.orco.input_dim = 3072;
+  return cfg;
+}
+
+/// DCSNet as the paper evaluates it: fixed latent 1024, data fraction 50%
+/// by default (30/50/70% in Fig. 5).
+inline baseline::DcsNetConfig dcsnet_config(float data_fraction = 0.5f) {
+  baseline::DcsNetConfig cfg;
+  cfg.latent_dim = 1024;
+  cfg.data_fraction = data_fraction;
+  return cfg;
+}
+
+// -- series helpers -----------------------------------------------------------
+
+struct TimedLoss {
+  double time_s = 0.0;
+  float loss = 0.0f;
+};
+
+/// Downsamples per-round records to at most `points` (time, loss) pairs.
+inline std::vector<TimedLoss> downsample(
+    const std::vector<core::RoundRecord>& rounds, std::size_t points = 12) {
+  std::vector<TimedLoss> out;
+  if (rounds.empty()) return out;
+  const std::size_t stride = std::max<std::size_t>(1, rounds.size() / points);
+  for (std::size_t i = 0; i < rounds.size(); i += stride) {
+    out.push_back({rounds[i].sim_time_s, rounds[i].loss});
+  }
+  if (out.empty() || out.back().time_s != rounds.back().sim_time_s) {
+    out.push_back({rounds.back().sim_time_s, rounds.back().loss});
+  }
+  return out;
+}
+
+inline std::string kb(std::size_t bytes) {
+  return common::Table::num(static_cast<double>(bytes) / 1024.0, 1);
+}
+
+}  // namespace orco::bench

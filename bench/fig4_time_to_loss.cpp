@@ -1,0 +1,81 @@
+// Figure 4 — time-to-loss: training loss against (simulated) wall time.
+//
+// OrcoDCS's shallow encoder runs on the IoT-class aggregator and its dense
+// decoder on the edge, so each protocol round is cheap; DCSNet pushes a
+// 1024-wide encoder onto the aggregator and a 4-conv decoder onto the edge.
+// Expected shape: the OrcoDCS curve drops faster and plateaus lower, on
+// both datasets — even though DCSNet sees only 50% of the data (fewer
+// rounds per epoch).
+#include "bench_common.h"
+
+namespace {
+
+using namespace orco;
+using namespace orco::bench;
+
+void print_series(const std::string& name,
+                  const std::vector<TimedLoss>& series) {
+  common::Table table({"series", "time (s)", "loss"});
+  for (const auto& p : series) {
+    table.add_row({name, common::Table::num(p.time_s, 1),
+                   common::Table::num(p.loss, 5)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  using namespace orco;
+  using namespace orco::bench;
+  common::Stopwatch wall;
+
+  for (const bool is_mnist : {true, false}) {
+    common::print_section(
+        std::cout, std::string("Figure 4") + (is_mnist ? "a" : "b") +
+                       ": time-to-loss on synthetic " +
+                       (is_mnist ? "MNIST" : "GTSRB"));
+    const auto train = is_mnist ? mnist_train() : gtsrb_train();
+    const std::size_t epochs = is_mnist ? 12 : 8;
+
+    // Single-dense-layer decoder: the paper's Fig. 4 configuration.
+    auto orco_cfg = is_mnist ? orco_mnist_config(128, 1)
+                             : orco_gtsrb_config(512, 1);
+    core::OrcoDcsSystem orco_sys(orco_cfg);
+    const auto orco_summary = orco_sys.train_online(train, epochs);
+    print_series("OrcoDCS", downsample(orco_summary.rounds));
+
+    baseline::DcsNetSystem dcs_sys(train.geometry(), dcsnet_config(),
+                                   wsn::ChannelConfig{}, core::ComputeModel{});
+    const auto dcs_summary = dcs_sys.train_online(train, epochs);
+    print_series("DCSNet", downsample(dcs_summary.rounds));
+
+    std::cout << "summary: OrcoDCS reached loss "
+              << common::Table::num(orco_summary.final_loss, 5) << " at t="
+              << common::Table::num(orco_summary.sim_seconds, 1)
+              << " s; DCSNet reached "
+              << common::Table::num(dcs_summary.final_loss, 5) << " at t="
+              << common::Table::num(dcs_summary.sim_seconds, 1) << " s\n";
+
+    // Who is lower at the earlier of the two finishing times?
+    const double horizon =
+        std::min(orco_summary.sim_seconds, dcs_summary.sim_seconds);
+    auto loss_at = [&](const std::vector<core::RoundRecord>& rounds) {
+      float loss = rounds.front().loss;
+      for (const auto& r : rounds) {
+        if (r.sim_time_s > horizon) break;
+        loss = r.loss;
+      }
+      return loss;
+    };
+    std::cout << "at t=" << common::Table::num(horizon, 1)
+              << " s: OrcoDCS loss="
+              << common::Table::num(loss_at(orco_summary.rounds), 5)
+              << ", DCSNet loss="
+              << common::Table::num(loss_at(dcs_summary.rounds), 5) << "\n";
+  }
+
+  std::cout << "\n[fig4_time_to_loss done in "
+            << common::Table::num(wall.seconds(), 1) << " s]\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 8 — sensitivity to the number of decoder layers.
+//
+// OrcoDCS-1L/3L/5L vs DCSNet, loss against training epochs. Expected shape:
+// every OrcoDCS depth beats DCSNet, and adding layers shows diminishing
+// returns (3L improves clearly over 1L; 5L adds little or overfits).
+#include "bench_common.h"
+
+namespace {
+
+using namespace orco;
+using namespace orco::bench;
+
+void run_dataset(const std::string& tag, const data::Dataset& train,
+                 const data::Dataset& test, bool is_mnist) {
+  const std::size_t epochs = 10;
+  const std::size_t depths[] = {1, 3, 5};
+
+  common::Table table({"epochs", "DCSNet", "OrcoDCS-1L", "OrcoDCS-3L",
+                       "OrcoDCS-5L"});
+  std::vector<std::vector<float>> losses(4);
+  {
+    baseline::DcsNetSystem dcs(train.geometry(), dcsnet_config(),
+                               wsn::ChannelConfig{}, core::ComputeModel{});
+    for (std::size_t e = 0; e < epochs; ++e) {
+      (void)dcs.train_online(train, 1);
+      losses[0].push_back(dcs.evaluate_loss(test));
+    }
+  }
+  for (std::size_t d = 0; d < 3; ++d) {
+    auto cfg = is_mnist ? orco_mnist_config(128, depths[d])
+                        : orco_gtsrb_config(512, depths[d]);
+    core::OrcoDcsSystem sys(cfg);
+    for (std::size_t e = 0; e < epochs; ++e) {
+      (void)sys.train_online(train, 1);
+      losses[d + 1].push_back(sys.evaluate_loss(test));
+    }
+  }
+
+  for (std::size_t e = 1; e < epochs; e += 2) {
+    table.add_row({std::to_string(e + 1),
+                   common::Table::num(losses[0][e], 5),
+                   common::Table::num(losses[1][e], 5),
+                   common::Table::num(losses[2][e], 5),
+                   common::Table::num(losses[3][e], 5)});
+  }
+  common::print_section(std::cout, "Figure 8: decoder-depth sweep on " + tag);
+  table.print(std::cout);
+
+  const float gain_1_3 = losses[1].back() - losses[2].back();
+  const float gain_3_5 = losses[2].back() - losses[3].back();
+  std::cout << "final-epoch improvement 1L->3L: "
+            << common::Table::num(gain_1_3, 5) << ", 3L->5L: "
+            << common::Table::num(gain_3_5, 5)
+            << (gain_3_5 < gain_1_3 ? "  (diminishing returns hold)\n"
+                                    : "  (diminishing returns NOT observed)\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace orco;
+  using namespace orco::bench;
+  common::Stopwatch wall;
+
+  run_dataset("synthetic MNIST", mnist_sweep_train(), mnist_test(), true);
+  run_dataset("synthetic GTSRB", gtsrb_sweep_train(), gtsrb_test(), false);
+
+  std::cout << "\n[fig8_decoder_layers done in "
+            << common::Table::num(wall.seconds(), 1) << " s]\n";
+  return 0;
+}

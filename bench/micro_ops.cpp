@@ -1,0 +1,157 @@
+// Micro benchmarks (google-benchmark) for the kernels behind every figure:
+// GEMM, conv lowering, losses, protocol round pieces and dataset synthesis.
+#include <benchmark/benchmark.h>
+
+#include "baseline/dcsnet.h"
+#include "core/orcodcs.h"
+#include "data/synthetic_gtsrb.h"
+#include "data/synthetic_mnist.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/loss.h"
+#include "tensor/matmul.h"
+
+namespace {
+
+using namespace orco;
+using tensor::Tensor;
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::Pcg32 rng(1);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_DenseForward(benchmark::State& state) {
+  common::Pcg32 rng(2);
+  nn::Dense dense(784, 128, rng);
+  const Tensor x = Tensor::uniform({64, 784}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dense.forward(x, false));
+  }
+}
+BENCHMARK(BM_DenseForward);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  common::Pcg32 rng(3);
+  nn::Conv2d conv(3, 8, 3, 1, 1, 32, 32, rng);
+  const Tensor x = Tensor::uniform({16, 3 * 32 * 32}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x, false));
+  }
+}
+BENCHMARK(BM_Conv2dForward);
+
+void BM_Conv2dTrainStep(benchmark::State& state) {
+  common::Pcg32 rng(4);
+  nn::Conv2d conv(3, 8, 3, 1, 1, 32, 32, rng);
+  const Tensor x = Tensor::uniform({16, 3 * 32 * 32}, rng);
+  const Tensor g = Tensor::uniform({16, 8 * 32 * 32}, rng);
+  for (auto _ : state) {
+    (void)conv.forward(x, true);
+    benchmark::DoNotOptimize(conv.backward(g));
+    conv.zero_grad();
+  }
+}
+BENCHMARK(BM_Conv2dTrainStep);
+
+void BM_HuberLoss(benchmark::State& state) {
+  common::Pcg32 rng(5);
+  nn::HuberLoss loss(1.0f);
+  const Tensor p = Tensor::uniform({64, 784}, rng);
+  const Tensor t = Tensor::uniform({64, 784}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(loss.value(p, t));
+    benchmark::DoNotOptimize(loss.gradient(p, t));
+  }
+}
+BENCHMARK(BM_HuberLoss);
+
+void BM_OrcoTrainRound(benchmark::State& state) {
+  core::SystemConfig cfg;
+  cfg.orco.input_dim = 784;
+  cfg.orco.latent_dim = 128;
+  cfg.field.device_count = 12;
+  cfg.field.radio_range_m = 60.0;
+  core::OrcoDcsSystem sys(cfg);
+  common::Pcg32 rng(6);
+  const Tensor batch = Tensor::uniform({64, 784}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.orchestrator().train_round(batch));
+  }
+}
+BENCHMARK(BM_OrcoTrainRound);
+
+void BM_DcsnetTrainRound(benchmark::State& state) {
+  baseline::DcsNetConfig cfg;
+  baseline::DcsNetSystem sys(data::kMnistGeometry, cfg, wsn::ChannelConfig{},
+                             core::ComputeModel{});
+  common::Pcg32 rng(7);
+  const Tensor batch = Tensor::uniform({64, 784}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.orchestrator().train_round(batch));
+  }
+}
+BENCHMARK(BM_DcsnetTrainRound);
+
+void BM_MessageRoundTrip(benchmark::State& state) {
+  common::Pcg32 rng(8);
+  const core::LatentBatchMsg msg{0, Tensor::uniform({64, 128}, rng)};
+  for (auto _ : state) {
+    const auto bytes = msg.serialize();
+    benchmark::DoNotOptimize(core::LatentBatchMsg::deserialize(bytes));
+  }
+}
+BENCHMARK(BM_MessageRoundTrip);
+
+void BM_SyntheticMnist(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    data::MnistConfig cfg;
+    cfg.count = 64;
+    cfg.seed = ++seed;
+    benchmark::DoNotOptimize(data::make_synthetic_mnist(cfg));
+  }
+}
+BENCHMARK(BM_SyntheticMnist);
+
+void BM_SyntheticGtsrb(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    data::GtsrbConfig cfg;
+    cfg.count = 64;
+    cfg.seed = ++seed;
+    benchmark::DoNotOptimize(data::make_synthetic_gtsrb(cfg));
+  }
+}
+BENCHMARK(BM_SyntheticGtsrb);
+
+void BM_DistributedEncode(benchmark::State& state) {
+  const auto devices = static_cast<std::size_t>(state.range(0));
+  wsn::FieldConfig field_cfg;
+  field_cfg.device_count = devices;
+  field_cfg.radio_range_m = 50.0;
+  const wsn::Field field(field_cfg);
+  const wsn::AggregationTree tree(field, wsn::RadioModel{});
+  core::OrcoConfig cfg;
+  cfg.input_dim = devices;
+  cfg.latent_dim = 16;
+  common::Pcg32 rng(9);
+  const auto encoder = core::build_encoder(cfg, rng);
+  const core::DistributedEncoder dist(
+      tree, core::make_encoder_shares(*encoder, devices));
+  const Tensor readings = Tensor::uniform({devices}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist.encode(readings));
+  }
+}
+BENCHMARK(BM_DistributedEncode)->Arg(16)->Arg(64)->Arg(128);
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Overhead analysis (paper §III-E) and the §V future-work scalability
+// ablation.
+//
+// Part 1 quantifies the claims of §III-E on a concrete cluster:
+//   * intra-cluster raw aggregation is a one-shot cost;
+//   * the aggregator-side encoder is a single dense layer (few FLOPs /
+//     few parameters) while the edge absorbs the decoder;
+//   * uplink traffic during steady state is tiny next to raw data;
+//   * the encoder broadcast is a single round.
+//
+// Part 2 models the paper's future-work question: many aggregators sharing
+// one edge server. Each training round occupies the edge for its decoder
+// forward+backward time; K concurrent clusters queue FIFO. We report edge
+// utilisation and round latency against K — the knee shows when an
+// IoT-Edge-Cloud tier split becomes necessary.
+#include "bench_common.h"
+
+int main() {
+  using namespace orco;
+  using namespace orco::bench;
+  common::Stopwatch wall;
+
+  // -- Part 1: per-stage ledger breakdown --------------------------------
+  common::print_section(std::cout,
+                        "Overhead analysis (paper sec. III-E): per-stage cost "
+                        "on a 24-device cluster, synthetic MNIST");
+  auto cfg = orco_mnist_config();
+  core::OrcoDcsSystem sys(cfg);
+  const auto train = mnist_train(scaled(512));
+
+  common::Table stages({"stage", "intra-cluster KB", "uplink KB",
+                        "downlink KB", "broadcast KB", "sim time (s)"});
+  auto snapshot = [&](const std::string& name, double seconds) {
+    const auto& lg = sys.ledger();
+    stages.add_row({name, kb(lg.totals(wsn::LinkKind::kIntraCluster).payload_bytes),
+                    kb(lg.totals(wsn::LinkKind::kUplink).payload_bytes),
+                    kb(lg.totals(wsn::LinkKind::kDownlink).payload_bytes),
+                    kb(lg.totals(wsn::LinkKind::kBroadcast).payload_bytes),
+                    common::Table::num(seconds, 2)});
+  };
+
+  double t = sys.raw_aggregation_round(784 * sizeof(float));
+  snapshot("1. raw aggregation (one-shot)", t);
+  const auto summary = sys.train_online(train, 3);
+  snapshot("2. online training (3 epochs)", sys.sim_time());
+  t = sys.distribute_encoder();
+  snapshot("3. encoder broadcast (one round)", sys.sim_time());
+  for (int i = 0; i < 8; ++i) (void)sys.compressed_aggregation_round();
+  snapshot("4. steady state (8 CS rounds)", sys.sim_time());
+  stages.print(std::cout);
+
+  // Device-vs-edge compute split per training round.
+  common::print_section(std::cout, "Per-round compute split (batch 64)");
+  const std::size_t agg_flops = sys.aggregator().train_flops(64);
+  const std::size_t edge_flops = sys.edge().train_flops(64);
+  common::Table split({"side", "model", "parameters", "FLOPs/round",
+                       "modelled time (ms)"});
+  split.add_row({"aggregator (IoT-class)", "1-dense encoder",
+                 std::to_string(sys.aggregator().encoder().parameter_count()),
+                 std::to_string(agg_flops),
+                 common::Table::num(
+                     cfg.compute.aggregator_seconds(agg_flops) * 1e3, 2)});
+  split.add_row({"edge server", std::to_string(cfg.orco.decoder_layers) +
+                                    "-dense decoder",
+                 std::to_string(sys.edge().decoder().parameter_count()),
+                 std::to_string(edge_flops),
+                 common::Table::num(cfg.compute.edge_seconds(edge_flops) * 1e3,
+                                    2)});
+  split.print(std::cout);
+  std::cout << "training rounds completed: " << summary.rounds.size()
+            << "; mean loss trajectory end: "
+            << common::Table::num(summary.final_loss, 5) << "\n";
+
+  // -- Part 2: multi-aggregator edge scalability (paper sec. V) -----------
+  common::print_section(
+      std::cout,
+      "Future-work ablation: K aggregators sharing one edge server");
+  const double edge_busy_per_round = cfg.compute.edge_seconds(edge_flops);
+  const double agg_round_period =
+      cfg.compute.aggregator_seconds(agg_flops) + 0.05;  // + channel time
+  common::Table fleet({"aggregators K", "edge utilisation",
+                       "mean queue wait (ms)", "round latency (ms)",
+                       "throughput (rounds/s)"});
+  for (const std::size_t k : {1, 2, 4, 8, 16, 32, 64}) {
+    // M/D/1-style FIFO: arrival rate k/agg_round_period, service time
+    // edge_busy_per_round.
+    const double lambda = static_cast<double>(k) / agg_round_period;
+    const double rho = lambda * edge_busy_per_round;
+    double wait_s, throughput;
+    if (rho < 1.0) {
+      wait_s = rho * edge_busy_per_round / (2.0 * (1.0 - rho));
+      throughput = lambda;
+    } else {
+      // Saturated: the edge is the bottleneck.
+      wait_s = std::numeric_limits<double>::quiet_NaN();
+      throughput = 1.0 / edge_busy_per_round;
+    }
+    fleet.add_row({std::to_string(k),
+                   common::Table::num(std::min(rho, 1.0), 3),
+                   rho < 1.0 ? common::Table::num(wait_s * 1e3, 2) : "saturated",
+                   rho < 1.0 ? common::Table::num(
+                                   (edge_busy_per_round + wait_s) * 1e3, 2)
+                             : "unbounded",
+                   common::Table::num(throughput, 1)});
+  }
+  fleet.print(std::cout);
+
+  std::cout << "\n[overhead_analysis done in "
+            << common::Table::num(wall.seconds(), 1) << " s]\n";
+  return 0;
+}

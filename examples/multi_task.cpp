@@ -1,0 +1,108 @@
+// Multi-task flexibility (the paper's core pitch against offline DCDA).
+//
+// Two IoT device groups sense very different data: group A sees MNIST-like
+// grayscale telemetry, group B sees GTSRB-like colour imagery. OrcoDCS
+// gives each group its own task-tuned autoencoder (latent 128 + shallow
+// decoder vs latent 512 + deeper decoder) trained online, while an
+// offline framework must ship one fixed model to both. The example prints
+// per-group quality and per-group uplink cost next to the
+// one-size-fits-all baseline.
+//
+// Build & run:  ./build/examples/multi_task
+#include <iostream>
+
+#include "baseline/dcsnet.h"
+#include "core/orcodcs.h"
+#include "data/metrics.h"
+#include "data/synthetic_gtsrb.h"
+#include "data/synthetic_mnist.h"
+
+namespace {
+
+struct GroupReport {
+  std::string name;
+  double psnr = 0.0;
+  double uplink_kb_per_100 = 0.0;  // steady-state uplink KB per 100 samples
+};
+
+template <typename System>
+GroupReport report(const std::string& name, System& sys,
+                   const orco::data::Dataset& test) {
+  using namespace orco;
+  GroupReport out;
+  out.name = name;
+  out.psnr = data::mean_psnr(test.images(), sys.reconstruct(test.images()));
+  const auto before = sys.ledger().totals(wsn::LinkKind::kUplink).payload_bytes;
+  (void)sys.aggregate_images(test.images().slice_rows(0, 100));
+  const auto after = sys.ledger().totals(wsn::LinkKind::kUplink).payload_bytes;
+  out.uplink_kb_per_100 = static_cast<double>(after - before) / 1024.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace orco;
+
+  data::MnistConfig mnist_cfg;
+  mnist_cfg.count = 1200;
+  const auto mnist = data::make_synthetic_mnist(mnist_cfg);
+  data::MnistConfig mnist_test_cfg;
+  mnist_test_cfg.count = 200;
+  mnist_test_cfg.seed = 42;
+  const auto mnist_test = data::make_synthetic_mnist(mnist_test_cfg);
+
+  data::GtsrbConfig gtsrb_cfg;
+  gtsrb_cfg.count = 700;
+  const auto gtsrb = data::make_synthetic_gtsrb(gtsrb_cfg);
+  data::GtsrbConfig gtsrb_test_cfg;
+  gtsrb_test_cfg.count = 150;
+  gtsrb_test_cfg.seed = 43;
+  const auto gtsrb_test = data::make_synthetic_gtsrb(gtsrb_test_cfg);
+
+  // --- Group A: grayscale telemetry, small latent, shallow decoder. ------
+  core::SystemConfig group_a;
+  group_a.orco.input_dim = 784;
+  group_a.orco.latent_dim = 128;
+  group_a.orco.decoder_layers = 3;
+  group_a.field.device_count = 24;
+  group_a.field.radio_range_m = 45.0;
+  core::OrcoDcsSystem sys_a(group_a);
+  std::cout << "training group A (MNIST-like, latent 128)...\n";
+  (void)sys_a.train_online(mnist, 15);
+
+  // --- Group B: colour imagery, larger latent, deeper decoder. -----------
+  core::SystemConfig group_b = group_a;
+  group_b.orco.input_dim = 3072;
+  group_b.orco.latent_dim = 512;
+  group_b.orco.seed = 77;
+  core::OrcoDcsSystem sys_b(group_b);
+  std::cout << "training group B (GTSRB-like, latent 512)...\n";
+  (void)sys_b.train_online(gtsrb, 10);
+
+  // --- Offline baseline: one fixed structure for both groups. ------------
+  std::cout << "training the fixed offline baseline for both groups...\n";
+  baseline::DcsNetConfig fixed;  // latent 1024, 50% data, for every task
+  baseline::DcsNetSystem dcs_a(data::kMnistGeometry, fixed,
+                               wsn::ChannelConfig{}, core::ComputeModel{});
+  (void)dcs_a.train_online(mnist, 6);
+  baseline::DcsNetSystem dcs_b(data::kGtsrbGeometry, fixed,
+                               wsn::ChannelConfig{}, core::ComputeModel{});
+  (void)dcs_b.train_online(gtsrb, 5);
+
+  const GroupReport rows[] = {
+      report("A OrcoDCS (latent 128)", sys_a, mnist_test),
+      report("A DCSNet  (latent 1024)", dcs_a, mnist_test),
+      report("B OrcoDCS (latent 512)", sys_b, gtsrb_test),
+      report("B DCSNet  (latent 1024)", dcs_b, gtsrb_test),
+  };
+  std::cout << "\ngroup | reconstruction PSNR (dB) | uplink KB per 100 samples\n";
+  for (const auto& r : rows) {
+    std::cout << r.name << " | " << r.psnr << " | " << r.uplink_kb_per_100
+              << "\n";
+  }
+  std::cout << "\nOrcoDCS tailors latent size and decoder depth per group; "
+               "the offline baseline pays 1024 floats per sample everywhere "
+               "and still reconstructs worse.\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Scalar telemetry — the paper's problem formulation (sec. II), end to end.
+//
+// A cluster of N IoT devices each senses one scalar (temperature-like)
+// reading; the stacked vector X in R^N is what OrcoDCS compresses. This
+// example runs the complete deployment on spatially-correlated synthetic
+// telemetry:
+//
+//   1. train the asymmetric autoencoder online over the reading stream;
+//   2. broadcast encoder columns to the devices (ClusterPipeline::deploy);
+//   3. run steady-state sensing rounds where the latent is computed
+//      cooperatively hop-by-hop over the aggregation tree (eq. 6) and the
+//      edge decoder reconstructs all N readings from M << N values;
+//   4. compare the per-round intra-cluster traffic and network lifetime of
+//      hybrid-CS aggregation against shipping raw readings.
+//
+// Build & run:  ./build/examples/scalar_telemetry
+#include <iostream>
+
+#include "core/cluster_pipeline.h"
+#include "core/orcodcs.h"
+#include "data/sensor_field.h"
+#include "wsn/lifetime.h"
+
+int main() {
+  using namespace orco;
+
+  // 24 devices, scalar reading each; compress 24 -> 8 latent values.
+  core::SystemConfig cfg;
+  cfg.orco.input_dim = 24;
+  cfg.orco.latent_dim = 8;
+  cfg.orco.batch_size = 32;
+  cfg.orco.noise_variance = 0.001f;
+  cfg.field.device_count = 24;
+  cfg.field.radio_range_m = 45.0;
+  core::OrcoDcsSystem sys(cfg);
+
+  data::SensorFieldConfig telemetry_cfg;
+  telemetry_cfg.steps = 768;
+  const auto telemetry = data::make_sensor_field(sys.field(), telemetry_cfg);
+  std::cout << "telemetry: " << telemetry.size() << " rounds x "
+            << telemetry.geometry().features() << " devices\n";
+
+  const auto summary = sys.train_online(telemetry, 12);
+  std::cout << "online training: " << summary.rounds.size()
+            << " rounds, final loss " << summary.final_loss << "\n";
+
+  core::ClusterPipeline pipeline(sys);
+  (void)pipeline.deploy();
+  std::cout << "encoder columns broadcast; distributed/centralised "
+               "divergence on a sample round: "
+            << pipeline.encode_divergence(telemetry.image(0)) << "\n\n";
+
+  double err = 0.0;
+  for (std::size_t t = 0; t < 10; ++t) {
+    const auto round = pipeline.sense_round(telemetry.image(t));
+    err += round.error;
+  }
+  std::cout << "steady state: mean Huber error over 10 sensing rounds = "
+            << err / 10.0 << " (M/N compression " << cfg.orco.latent_dim
+            << "/" << cfg.orco.input_dim << ")\n";
+
+  // Lifetime ablation: hybrid CS vs raw forwarding, 2 J batteries. A dense
+  // cluster reaches the aggregator in one hop, so run the comparison on a
+  // pipeline-monitoring deployment (a 24-device chain) where relays near
+  // the aggregator forward everyone's readings.
+  std::vector<wsn::Position> chain;
+  for (int i = 0; i <= 24; ++i) {
+    chain.push_back(wsn::Position{12.0 * i, 0.0});
+  }
+  const wsn::Field pipeline_field(std::move(chain), /*aggregator=*/0, 18.0);
+  const wsn::AggregationTree pipeline_tree(pipeline_field, cfg.radio);
+  wsn::TransmissionLedger scratch;
+  const auto raw =
+      pipeline_tree.simulate_raw_round(sizeof(float), scratch);
+  const auto cs = pipeline_tree.simulate_hybrid_cs_round(
+      cfg.orco.latent_dim, sizeof(float), scratch);
+  const auto raw_life =
+      wsn::estimate_lifetime(pipeline_field, raw.node_energy_j, 2.0);
+  const auto cs_life =
+      wsn::estimate_lifetime(pipeline_field, cs.node_energy_j, 2.0);
+  std::cout << "\nnetwork lifetime on a 24-hop pipeline deployment (2 J "
+               "batteries):\n  raw aggregation: "
+            << raw_life.rounds_until_first_death
+            << " rounds (first death: relay node "
+            << raw_life.first_dead_node << ")\n  hybrid CS:       "
+            << cs_life.rounds_until_first_death << " rounds  -> "
+            << cs_life.rounds_until_first_death /
+                   raw_life.rounds_until_first_death
+            << "x longer\n";
+  return 0;
+}

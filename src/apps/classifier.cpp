@@ -1,0 +1,111 @@
+#include "apps/classifier.h"
+
+#include "common/check.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pooling.h"
+#include "tensor/ops.h"
+
+namespace orco::apps {
+
+CnnClassifier::CnnClassifier(const data::ImageGeometry& geometry,
+                             std::size_t num_classes,
+                             const ClassifierConfig& config)
+    : geometry_(geometry),
+      num_classes_(num_classes),
+      config_(config),
+      loader_rng_(config.seed ^ 0xc1a5ULL) {
+  ORCO_CHECK(num_classes >= 2, "classifier needs at least two classes");
+  ORCO_CHECK(geometry.height % 4 == 0 || geometry.height == 28,
+             "classifier supports 28x28 / 32x32-style inputs");
+  common::Pcg32 rng(config.seed, /*stream=*/0x636c6173ULL);  // "clas"
+
+  // Two conv blocks then a linear head.
+  model_ = std::make_unique<nn::Sequential>();
+  model_->emplace<nn::Conv2d>(geometry.channels, 8, 3, 1, 1, geometry.height,
+                              geometry.width, rng);
+  model_->emplace<nn::ReLU>();
+  model_->emplace<nn::MaxPool2d>(8, geometry.height, geometry.width, 2, 2);
+  const std::size_t h1 = geometry.height / 2, w1 = geometry.width / 2;
+  model_->emplace<nn::Conv2d>(8, 16, 3, 1, 1, h1, w1, rng);
+  model_->emplace<nn::ReLU>();
+  model_->emplace<nn::MaxPool2d>(16, h1, w1, 2, 2);
+  const std::size_t h2 = h1 / 2, w2 = w1 / 2;
+  model_->emplace<nn::Dense>(16 * h2 * w2, num_classes, rng);
+  ORCO_ENSURE(model_->output_features(geometry.features()) == num_classes,
+              "classifier head mismatch");
+
+  optimizer_ =
+      std::make_unique<nn::Adam>(model_->params(), config.learning_rate);
+}
+
+float CnnClassifier::train_epoch(const data::Dataset& train) {
+  ORCO_CHECK(train.geometry() == geometry_, "dataset geometry mismatch");
+  data::DataLoader loader(train, config_.batch_size, /*shuffle=*/true,
+                          loader_rng_.split());
+  double loss_acc = 0.0;
+  for (std::size_t b = 0; b < loader.batch_count(); ++b) {
+    const auto batch = loader.batch(b);
+    const auto logits = model_->forward(batch.images, /*training=*/true);
+    loss_acc += loss_.value(logits, batch.labels);
+    optimizer_->zero_grad();
+    (void)model_->backward(loss_.gradient(logits, batch.labels));
+    optimizer_->step();
+  }
+  return static_cast<float>(loss_acc /
+                            static_cast<double>(loader.batch_count()));
+}
+
+CnnClassifier::Eval CnnClassifier::evaluate(const data::Dataset& test) {
+  ORCO_CHECK(test.geometry() == geometry_, "dataset geometry mismatch");
+  double loss_acc = 0.0;
+  std::size_t hits = 0;
+  std::size_t batches = 0;
+  for (std::size_t begin = 0; begin < test.size();
+       begin += config_.batch_size) {
+    const std::size_t end = std::min(begin + config_.batch_size, test.size());
+    const auto images = test.images().slice_rows(begin, end);
+    std::vector<std::size_t> labels(test.labels().begin() + static_cast<std::ptrdiff_t>(begin),
+                                    test.labels().begin() + static_cast<std::ptrdiff_t>(end));
+    const auto logits = model_->forward(images, /*training=*/false);
+    loss_acc += loss_.value(logits, labels);
+    const auto pred = tensor::argmax_rows(logits);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (pred[i] == labels[i]) ++hits;
+    }
+    ++batches;
+  }
+  ORCO_ENSURE(batches > 0, "empty evaluation set");
+  return Eval{static_cast<double>(hits) / static_cast<double>(test.size()),
+              loss_acc / static_cast<double>(batches)};
+}
+
+std::vector<std::size_t> CnnClassifier::predict(const tensor::Tensor& images) {
+  const auto logits = model_->forward(images, /*training=*/false);
+  return tensor::argmax_rows(logits);
+}
+
+data::Dataset reconstruct_dataset(
+    const data::Dataset& source,
+    const std::function<tensor::Tensor(const tensor::Tensor&)>& reconstruct,
+    std::size_t batch_size) {
+  ORCO_CHECK(batch_size > 0, "batch size must be positive");
+  tensor::Tensor images({source.size(), source.geometry().features()});
+  for (std::size_t begin = 0; begin < source.size(); begin += batch_size) {
+    const std::size_t end = std::min(begin + batch_size, source.size());
+    const auto rec = reconstruct(source.images().slice_rows(begin, end));
+    ORCO_CHECK(rec.rank() == 2 && rec.dim(0) == end - begin &&
+                   rec.dim(1) == source.geometry().features(),
+               "reconstruct() returned wrong shape");
+    for (std::size_t i = 0; i < end - begin; ++i) {
+      const auto row = rec.row(i);
+      std::copy(row.begin(), row.end(), images.row(begin + i).begin());
+    }
+  }
+  return data::Dataset(source.name() + "+reconstructed", source.geometry(),
+                       source.num_classes(), std::move(images),
+                       std::vector<std::size_t>(source.labels()));
+}
+
+}  // namespace orco::apps

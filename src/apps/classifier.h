@@ -1,0 +1,63 @@
+// Follow-up DL application (paper §IV-A): "a simple 2-layer convolutional
+// neural network" trained on reconstructed data. Its accuracy/loss measures
+// how useful a CDA framework's reconstructions are for downstream IoT
+// analytics — the paper's secondary objective.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "data/dataloader.h"
+#include "data/dataset.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+
+namespace orco::apps {
+
+struct ClassifierConfig {
+  float learning_rate = 1e-3f;  // Adam
+  std::size_t batch_size = 64;
+  std::uint64_t seed = 99;
+};
+
+class CnnClassifier {
+ public:
+  CnnClassifier(const data::ImageGeometry& geometry, std::size_t num_classes,
+                const ClassifierConfig& config);
+
+  /// One training epoch; returns the mean training loss.
+  float train_epoch(const data::Dataset& train);
+
+  struct Eval {
+    double accuracy = 0.0;
+    double loss = 0.0;
+  };
+
+  /// Accuracy and mean cross-entropy on a held-out set.
+  Eval evaluate(const data::Dataset& test);
+
+  /// Predicted class per row of a (B, features) tensor.
+  std::vector<std::size_t> predict(const tensor::Tensor& images);
+
+  nn::Sequential& model() noexcept { return *model_; }
+
+ private:
+  data::ImageGeometry geometry_;
+  std::size_t num_classes_;
+  ClassifierConfig config_;
+  std::unique_ptr<nn::Sequential> model_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  nn::SoftmaxCrossEntropy loss_;
+  common::Pcg32 loader_rng_;
+};
+
+/// Reconstruction-driven dataset: replaces every image with
+/// `reconstruct(image)` while keeping labels — how the paper trains
+/// classifiers on data reconstructed by OrcoDCS / DCSNet.
+data::Dataset reconstruct_dataset(
+    const data::Dataset& source,
+    const std::function<tensor::Tensor(const tensor::Tensor&)>& reconstruct,
+    std::size_t batch_size = 128);
+
+}  // namespace orco::apps

@@ -1,0 +1,122 @@
+#include "baseline/dcsnet.h"
+
+#include "common/check.h"
+#include "data/dataloader.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/conv_transpose2d.h"
+#include "nn/dense.h"
+
+namespace orco::baseline {
+
+std::unique_ptr<nn::Sequential> build_dcsnet_encoder(
+    const data::ImageGeometry& geometry, std::size_t latent_dim,
+    common::Pcg32& rng) {
+  auto model = std::make_unique<nn::Sequential>();
+  model->emplace<nn::Dense>(geometry.features(), latent_dim, rng);
+  model->emplace<nn::Sigmoid>();
+  return model;
+}
+
+std::unique_ptr<nn::Sequential> build_dcsnet_decoder(
+    const data::ImageGeometry& geometry, std::size_t latent_dim,
+    common::Pcg32& rng) {
+  ORCO_CHECK(geometry.height % 4 == 0 || geometry.height % 4 == 3,
+             "DCSNet decoder supports 28x28 and 32x32-style geometries, got "
+                 << geometry.height << "x" << geometry.width);
+  // Coarse map at 1/4 resolution (7x7 for 28, 8x8 for 32), then
+  // 4 conv layers: ConvT -> ConvT (upsampling) -> Conv -> Conv (refining).
+  const std::size_t h0 = geometry.height / 4;
+  const std::size_t w0 = geometry.width / 4;
+  constexpr std::size_t kBaseChannels = 16;
+
+  auto model = std::make_unique<nn::Sequential>();
+  model->emplace<nn::Dense>(latent_dim, kBaseChannels * h0 * w0, rng);
+  model->emplace<nn::ReLU>();
+  // conv layer 1: 7x7 -> 14x14 (or 8x8 -> 16x16)
+  model->emplace<nn::ConvTranspose2d>(kBaseChannels, kBaseChannels, 4, 2, 1,
+                                      h0, w0, rng);
+  model->emplace<nn::ReLU>();
+  // conv layer 2: -> full resolution
+  model->emplace<nn::ConvTranspose2d>(kBaseChannels, 8, 4, 2, 1, 2 * h0,
+                                      2 * w0, rng);
+  model->emplace<nn::ReLU>();
+  // conv layer 3: refine
+  model->emplace<nn::Conv2d>(8, 8, 3, 1, 1, geometry.height, geometry.width,
+                             rng);
+  model->emplace<nn::ReLU>();
+  // conv layer 4: project to channels
+  model->emplace<nn::Conv2d>(8, geometry.channels, 3, 1, 1, geometry.height,
+                             geometry.width, rng);
+  model->emplace<nn::Sigmoid>();
+  ORCO_ENSURE(model->output_features(latent_dim) == geometry.features(),
+              "DCSNet decoder does not reproduce the input geometry");
+  return model;
+}
+
+DcsNetSystem::DcsNetSystem(const data::ImageGeometry& geometry,
+                           const DcsNetConfig& config,
+                           const wsn::ChannelConfig& channel,
+                           core::ComputeModel compute)
+    : config_(config), channel_(channel) {
+  ORCO_CHECK(config.data_fraction > 0.0f && config.data_fraction <= 1.0f,
+             "data fraction must be in (0, 1]");
+  core_config_.input_dim = geometry.features();
+  core_config_.latent_dim = config.latent_dim;
+  core_config_.loss = core::ReconLoss::kMse;  // classic DCDA objective
+  core_config_.noise_variance = 0.0f;         // DCSNet has no latent noise
+  core_config_.learning_rate = config.learning_rate;
+  core_config_.momentum = config.momentum;
+  core_config_.batch_size = config.batch_size;
+  core_config_.seed = config.seed;
+
+  common::Pcg32 rng(config.seed, /*stream=*/0x64637334ULL);  // "dcs4"
+  common::Pcg32 enc_rng = rng.split();
+  common::Pcg32 dec_rng = rng.split();
+  common::Pcg32 noise_rng = rng.split();
+
+  aggregator_ = std::make_unique<core::DataAggregator>(
+      build_dcsnet_encoder(geometry, config.latent_dim, enc_rng), core_config_,
+      noise_rng);
+  edge_ = std::make_unique<core::EdgeServer>(
+      build_dcsnet_decoder(geometry, config.latent_dim, dec_rng),
+      core_config_);
+  orchestrator_ = std::make_unique<core::Orchestrator>(
+      *aggregator_, *edge_, channel_, ledger_, clock_, compute);
+}
+
+core::TrainSummary DcsNetSystem::train_online(
+    const data::Dataset& train, std::size_t epochs,
+    const std::function<void(const core::RoundRecord&)>& on_round) {
+  // Only a fraction of the training data is accessible to the offline
+  // framework (paper: 50% by default; Fig. 5 sweeps 30/50/70%).
+  const auto accessible_count = static_cast<std::size_t>(
+      static_cast<float>(train.size()) * config_.data_fraction);
+  ORCO_CHECK(accessible_count > 0, "data fraction leaves no samples");
+  const data::Dataset accessible = train.subset(0, accessible_count);
+
+  common::Pcg32 loader_rng(config_.seed ^
+                           (0x10adULL + orchestrator_->rounds_completed()));
+  data::DataLoader loader(accessible, config_.batch_size, /*shuffle=*/true,
+                          loader_rng);
+  core::TrainSummary summary;
+  summary.rounds = orchestrator_->train(loader, epochs, on_round);
+  summary.final_loss =
+      summary.rounds.empty() ? 0.0f : summary.rounds.back().loss;
+  summary.sim_seconds = clock_.now();
+  return summary;
+}
+
+tensor::Tensor DcsNetSystem::reconstruct(const tensor::Tensor& images) {
+  return orchestrator_->reconstruct(images);
+}
+
+float DcsNetSystem::evaluate_loss(const data::Dataset& dataset) {
+  return orchestrator_->evaluate_loss(dataset, config_.batch_size);
+}
+
+double DcsNetSystem::aggregate_images(const tensor::Tensor& batch) {
+  return orchestrator_->aggregate_batch(batch);
+}
+
+}  // namespace orco::baseline

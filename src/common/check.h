@@ -1,0 +1,46 @@
+// Contract-checking helpers (C++ Core Guidelines I.5/I.7, E.2).
+//
+// ORCO_CHECK(cond, msg)      -> std::invalid_argument on precondition failure
+// ORCO_ENSURE(cond, msg)     -> std::logic_error on internal invariant failure
+//
+// Both accept a streamable message expression:
+//   ORCO_CHECK(i < n, "index " << i << " out of range [0," << n << ")");
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace orco::common {
+
+/// Builds the "file:line: message" string used by the check macros.
+inline std::string format_check_message(const char* file, int line,
+                                        const char* expr,
+                                        const std::string& detail) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check `" << expr << "` failed";
+  if (!detail.empty()) os << ": " << detail;
+  return os.str();
+}
+
+}  // namespace orco::common
+
+#define ORCO_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream orco_check_os_;                                   \
+      orco_check_os_ << msg; /* NOLINT */                                  \
+      throw std::invalid_argument(::orco::common::format_check_message(    \
+          __FILE__, __LINE__, #cond, orco_check_os_.str()));               \
+    }                                                                      \
+  } while (false)
+
+#define ORCO_ENSURE(cond, msg)                                             \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream orco_check_os_;                                   \
+      orco_check_os_ << msg; /* NOLINT */                                  \
+      throw std::logic_error(::orco::common::format_check_message(         \
+          __FILE__, __LINE__, #cond, orco_check_os_.str()));               \
+    }                                                                      \
+  } while (false)

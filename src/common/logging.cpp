@@ -1,0 +1,33 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace orco::common {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_log_mu;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO ";
+    case LogLevel::kWarn:  return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& message) {
+  std::lock_guard lock(g_log_mu);
+  std::cerr << "[" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace orco::common

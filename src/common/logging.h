@@ -1,0 +1,34 @@
+// Minimal leveled logger. Defaults to warnings-and-above so tests stay quiet;
+// benches and examples raise the level to info for progress output.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace orco::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one formatted line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+}  // namespace orco::common
+
+#define ORCO_LOG(level, msg)                                     \
+  do {                                                           \
+    if (static_cast<int>(level) >=                               \
+        static_cast<int>(::orco::common::log_level())) {         \
+      std::ostringstream orco_log_os_;                           \
+      orco_log_os_ << msg; /* NOLINT */                          \
+      ::orco::common::log_line(level, orco_log_os_.str());       \
+    }                                                            \
+  } while (false)
+
+#define ORCO_LOG_DEBUG(msg) ORCO_LOG(::orco::common::LogLevel::kDebug, msg)
+#define ORCO_LOG_INFO(msg) ORCO_LOG(::orco::common::LogLevel::kInfo, msg)
+#define ORCO_LOG_WARN(msg) ORCO_LOG(::orco::common::LogLevel::kWarn, msg)
+#define ORCO_LOG_ERROR(msg) ORCO_LOG(::orco::common::LogLevel::kError, msg)

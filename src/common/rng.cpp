@@ -1,0 +1,55 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+namespace orco::common {
+
+std::uint32_t Pcg32::bounded(std::uint32_t n) {
+  if (n == 0) return 0;
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint32_t threshold = (-n) % n;
+  for (;;) {
+    const std::uint32_t r = next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Pcg32::normal() {
+  if (has_cached_) {
+    has_cached_ = false;
+    return cached_;
+  }
+  // Box-Muller; u1 in (0,1] so log() is finite.
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_ = r * std::sin(theta);
+  has_cached_ = true;
+  return r * std::cos(theta);
+}
+
+Pcg32 Pcg32::split() {
+  const std::uint64_t seed =
+      (static_cast<std::uint64_t>(next()) << 32) | next();
+  const std::uint64_t stream =
+      (static_cast<std::uint64_t>(next()) << 32) | next();
+  return Pcg32(seed, stream);
+}
+
+std::vector<std::size_t> shuffled_indices(std::size_t n, Pcg32& rng) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = rng.bounded(static_cast<std::uint32_t>(i));
+    std::swap(idx[i - 1], idx[j]);
+  }
+  return idx;
+}
+
+}  // namespace orco::common

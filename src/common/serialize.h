@@ -1,0 +1,114 @@
+// Minimal binary (de)serialisation for model weights and protocol messages.
+//
+// Every message the orchestrator exchanges between the data aggregator and
+// the edge server is serialised through these writers, so the byte counts
+// recorded in the WSN transmission ledger are the true wire sizes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace orco::common {
+
+/// Append-only little-endian byte buffer writer.
+class ByteWriter {
+ public:
+  void write_u32(std::uint32_t v) { write_raw(&v, sizeof v); }
+  void write_u64(std::uint64_t v) { write_raw(&v, sizeof v); }
+  void write_f32(float v) { write_raw(&v, sizeof v); }
+  void write_f64(double v) { write_raw(&v, sizeof v); }
+
+  void write_f32_span(std::span<const float> vs) {
+    write_u64(vs.size());
+    write_raw(vs.data(), vs.size() * sizeof(float));
+  }
+
+  void write_string(const std::string& s) {
+    write_u64(s.size());
+    write_raw(s.data(), s.size());
+  }
+
+  /// Length-prefixed opaque blob (e.g. a nested serialised model).
+  void write_bytes(std::span<const std::byte> bytes) {
+    write_u64(bytes.size());
+    write_raw(bytes.data(), bytes.size());
+  }
+
+  const std::vector<std::byte>& bytes() const noexcept { return buf_; }
+  std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  void write_raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::byte*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  std::vector<std::byte> buf_;
+};
+
+/// Sequential reader over a byte buffer; throws on underrun.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  std::uint32_t read_u32() { return read_pod<std::uint32_t>(); }
+  std::uint64_t read_u64() { return read_pod<std::uint64_t>(); }
+  float read_f32() { return read_pod<float>(); }
+  double read_f64() { return read_pod<double>(); }
+
+  std::vector<float> read_f32_vector() {
+    const std::uint64_t n = read_u64();
+    std::vector<float> out(n);
+    read_raw(out.data(), n * sizeof(float));
+    return out;
+  }
+
+  std::string read_string() {
+    const std::uint64_t n = read_u64();
+    std::string out(n, '\0');
+    read_raw(out.data(), n);
+    return out;
+  }
+
+  std::vector<std::byte> read_bytes() {
+    const std::uint64_t n = read_u64();
+    std::vector<std::byte> out(n);
+    read_raw(out.data(), n);
+    return out;
+  }
+
+  std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
+  bool exhausted() const noexcept { return remaining() == 0; }
+
+ private:
+  template <typename T>
+  T read_pod() {
+    T v;
+    read_raw(&v, sizeof v);
+    return v;
+  }
+
+  void read_raw(void* p, std::size_t n) {
+    ORCO_CHECK(pos_ + n <= bytes_.size(),
+               "byte buffer underrun: want " << n << " at " << pos_ << "/"
+                                             << bytes_.size());
+    std::memcpy(p, bytes_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  std::span<const std::byte> bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Writes/reads a whole buffer to/from a file. Throws std::runtime_error on
+/// I/O failure.
+void write_file(const std::string& path, std::span<const std::byte> bytes);
+std::vector<std::byte> read_file(const std::string& path);
+
+}  // namespace orco::common

@@ -1,0 +1,36 @@
+// Console table printer used by the figure-reproduction benches so that every
+// bench prints the paper's series in a uniform, grep-friendly format.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace orco::common {
+
+/// Accumulates rows of strings/numbers and renders an aligned ASCII table.
+/// Also exposes a CSV form for post-processing.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` significant decimals.
+  static std::string num(double v, int precision = 4);
+
+  void print(std::ostream& os) const;
+  std::string to_csv() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a "=== title ===" section banner. All benches use this so figure
+/// output is self-describing in bench_output.txt.
+void print_section(std::ostream& os, const std::string& title);
+
+}  // namespace orco::common

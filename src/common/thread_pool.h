@@ -1,0 +1,53 @@
+// A small fixed-size thread pool with a parallel_for helper.
+//
+// Used by the tensor GEMM/conv kernels at bench scale. The pool is optional:
+// parallel_for falls back to a serial loop when the pool is null or the
+// range is small, which keeps unit tests deterministic and cheap.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace orco::common {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs fn(begin..end) split into roughly `size()` contiguous chunks and
+  /// blocks until all chunks finish. fn receives [chunk_begin, chunk_end).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Process-wide pool, lazily constructed. Tensor kernels use this.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Serial-or-parallel loop helper. If `pool` is null or the trip count is
+/// below `grain`, runs serially on the calling thread.
+void parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
+                  std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace orco::common

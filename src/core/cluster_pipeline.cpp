@@ -1,0 +1,58 @@
+#include "core/cluster_pipeline.h"
+
+#include "common/check.h"
+#include "nn/loss.h"
+
+namespace orco::core {
+
+ClusterPipeline::ClusterPipeline(OrcoDcsSystem& system) : system_(&system) {
+  ORCO_CHECK(system.config().orco.input_dim == system.field().device_count(),
+             "formulation-level pipeline needs input_dim == device count, got "
+                 << system.config().orco.input_dim << " vs "
+                 << system.field().device_count());
+}
+
+double ClusterPipeline::deploy() {
+  const double seconds = system_->distribute_encoder();
+  auto shares = make_encoder_shares(system_->aggregator().encoder(),
+                                    system_->field().device_count());
+  encoder_ = std::make_unique<DistributedEncoder>(system_->tree(),
+                                                  std::move(shares));
+  return seconds;
+}
+
+ClusterPipeline::SenseResult ClusterPipeline::sense_round(
+    const Tensor& readings) {
+  ORCO_CHECK(encoder_ != nullptr, "deploy() before sense_round()");
+  ORCO_CHECK(readings.rank() == 1 &&
+                 readings.numel() == system_->field().device_count(),
+             "readings must be rank-1 with one value per device");
+
+  SenseResult result;
+  // Hop-by-hop cooperative latent (eq. 6); transport cost is exactly the
+  // hybrid CS round the tree simulates (the traffic property is tested).
+  result.latent = encoder_->encode(readings);
+  result.seconds = system_->compressed_aggregation_round();
+
+  const std::size_t m = result.latent.numel();
+  result.reconstruction =
+      system_->edge()
+          .decode_inference(result.latent.reshaped({1, m}))
+          .reshaped({readings.numel()});
+
+  nn::HuberLoss huber(1.0f);
+  result.error = huber.value(result.reconstruction, readings);
+  return result;
+}
+
+float ClusterPipeline::encode_divergence(const Tensor& readings) {
+  ORCO_CHECK(encoder_ != nullptr, "deploy() before encode_divergence()");
+  const Tensor distributed = encoder_->encode(readings);
+  const Tensor central =
+      system_->aggregator()
+          .encode_inference(readings.reshaped({1, readings.numel()}))
+          .reshaped({distributed.numel()});
+  return (distributed - central).abs_max();
+}
+
+}  // namespace orco::core

@@ -1,0 +1,54 @@
+// Formulation-level pipeline (paper §II): scalar readings, cooperative
+// encoding, edge reconstruction.
+//
+// OrcoDcsSystem trains the autoencoder over stacked reading vectors
+// (input_dim = device count). ClusterPipeline then closes the loop the way
+// §III-C deploys it: encoder columns go to the devices, each sensing round
+// computes the latent hop-by-hop over the aggregation tree (hybrid CS
+// rule), the latent crosses the uplink, and the edge decoder reconstructs
+// the full reading vector.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/distributed_encoding.h"
+#include "core/system.h"
+
+namespace orco::core {
+
+class ClusterPipeline {
+ public:
+  /// `system` must outlive the pipeline and be configured with
+  /// input_dim == system.field().device_count().
+  explicit ClusterPipeline(OrcoDcsSystem& system);
+
+  /// §III-C stage: broadcasts encoder columns and builds the cooperative
+  /// encoder. Returns simulated broadcast seconds (charged to the ledger).
+  /// Call after training; call again after a fine-tuning relaunch to
+  /// re-distribute updated columns.
+  double deploy();
+
+  bool deployed() const noexcept { return encoder_ != nullptr; }
+
+  struct SenseResult {
+    Tensor latent;           // (M), computed hop-by-hop
+    Tensor reconstruction;   // (N), decoded at the edge
+    float error = 0.0f;      // Huber(reconstruction, readings)
+    double seconds = 0.0;    // simulated intra-cluster + uplink time
+  };
+
+  /// One steady-state sensing round for a cluster-wide reading vector
+  /// (rank-1, one scalar per device).
+  SenseResult sense_round(const Tensor& readings);
+
+  /// Max |distributed - centralised| latent element for `readings` — the
+  /// §III-C consistency invariant, exposed for monitoring/tests.
+  float encode_divergence(const Tensor& readings);
+
+ private:
+  OrcoDcsSystem* system_;
+  std::unique_ptr<DistributedEncoder> encoder_;
+};
+
+}  // namespace orco::core

@@ -1,0 +1,134 @@
+#include "core/distributed_encoding.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/dense.h"
+
+namespace orco::core {
+
+DistributedEncoder::DistributedEncoder(const wsn::AggregationTree& tree,
+                                       std::vector<EncoderShareMsg> shares)
+    : tree_(&tree), shares_(std::move(shares)) {
+  ORCO_CHECK(!shares_.empty(), "no encoder shares");
+  const std::size_t m = shares_.front().column.numel();
+  for (const auto& s : shares_) {
+    ORCO_CHECK(s.column.numel() == m && s.bias.numel() == m,
+               "inconsistent share dimensions");
+  }
+  // Map devices onto non-root nodes in node-id order.
+  const std::size_t nodes = tree.bottom_up_order().size();
+  ORCO_CHECK(shares_.size() == nodes - 1,
+             "share count " << shares_.size() << " must equal device count "
+                            << nodes - 1);
+  node_to_device_.assign(nodes, std::nullopt);
+  std::size_t next = 0;
+  for (wsn::NodeId n = 0; n < nodes; ++n) {
+    if (n == tree.root()) continue;
+    node_to_device_[n] = next++;
+  }
+}
+
+std::size_t DistributedEncoder::latent_dim() const {
+  return shares_.front().column.numel();
+}
+
+std::size_t DistributedEncoder::device_for_node(wsn::NodeId node) const {
+  ORCO_CHECK(node < node_to_device_.size(), "node out of range");
+  ORCO_CHECK(node_to_device_[node].has_value(), "root node has no device");
+  return *node_to_device_[node];
+}
+
+Tensor DistributedEncoder::encode(const Tensor& readings,
+                                  std::vector<NodeTraffic>* traffic) const {
+  ORCO_CHECK(readings.rank() == 1 && readings.numel() == shares_.size(),
+             "readings must be rank-1 of device count");
+  const std::size_t m = latent_dim();
+  const std::size_t nodes = node_to_device_.size();
+  if (traffic) traffic->assign(nodes, NodeTraffic{});
+
+  // Per-node upstream state: raw readings (device, value) not yet
+  // compressed, plus an optional M-dim partial sum.
+  struct Upstream {
+    std::vector<std::pair<std::size_t, float>> raw;
+    std::vector<double> partial;  // double accumulation for exactness
+    bool has_partial = false;
+  };
+  std::vector<Upstream> state(nodes);
+
+  auto fold_raw_into_partial = [&](Upstream& up) {
+    if (!up.has_partial) {
+      up.partial.assign(m, 0.0);
+      up.has_partial = true;
+    }
+    for (const auto& [device, value] : up.raw) {
+      const auto col = shares_[device].column.data();
+      for (std::size_t k = 0; k < m; ++k) {
+        up.partial[k] += static_cast<double>(col[k]) * value;
+      }
+    }
+    up.raw.clear();
+  };
+
+  for (const wsn::NodeId u : tree_->bottom_up_order()) {
+    Upstream& mine = state[u];
+    // Absorb children's upstream traffic.
+    for (const wsn::NodeId c : tree_->children(u)) {
+      Upstream& theirs = state[c];
+      if (theirs.has_partial) {
+        if (!mine.has_partial) {
+          mine.partial.assign(m, 0.0);
+          mine.has_partial = true;
+        }
+        for (std::size_t k = 0; k < m; ++k) mine.partial[k] += theirs.partial[k];
+      }
+      mine.raw.insert(mine.raw.end(), theirs.raw.begin(), theirs.raw.end());
+      state[c] = Upstream{};  // free child state
+    }
+    if (u == tree_->root()) break;  // root combines below
+
+    // Contribute this node's own reading.
+    const std::size_t device = *node_to_device_[u];
+    mine.raw.emplace_back(device, readings[device]);
+
+    // Hybrid rule: compress once the subtree carries >= M readings.
+    if (tree_->subtree_size(u) >= m) fold_raw_into_partial(mine);
+
+    if (traffic) {
+      (*traffic)[u].raw_values = mine.raw.size();
+      (*traffic)[u].partial_values = mine.has_partial ? m : 0;
+    }
+  }
+
+  // Root: fold any remaining raw readings, add bias, apply sigmoid (eq. 6).
+  Upstream& root_state = state[tree_->root()];
+  fold_raw_into_partial(root_state);
+  const auto bias = shares_.front().bias.data();
+  Tensor latent({m});
+  for (std::size_t k = 0; k < m; ++k) {
+    const double z = root_state.partial[k] + bias[k];
+    latent[k] = 1.0f / (1.0f + static_cast<float>(std::exp(-z)));
+  }
+  return latent;
+}
+
+std::vector<EncoderShareMsg> make_encoder_shares(
+    const nn::Sequential& encoder, std::size_t device_count) {
+  const auto& dense = dynamic_cast<const nn::Dense&>(encoder.layer(0));
+  ORCO_CHECK(dense.in_features() == device_count,
+             "encoder input dim " << dense.in_features()
+                                  << " must equal device count "
+                                  << device_count);
+  std::vector<EncoderShareMsg> shares;
+  shares.reserve(device_count);
+  for (std::size_t d = 0; d < device_count; ++d) {
+    Tensor column({dense.out_features()});
+    for (std::size_t k = 0; k < dense.out_features(); ++k) {
+      column[k] = dense.weight().at(k, d);
+    }
+    shares.push_back(EncoderShareMsg{d, std::move(column), dense.bias()});
+  }
+  return shares;
+}
+
+}  // namespace orco::core

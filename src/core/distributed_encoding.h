@@ -1,0 +1,60 @@
+// Device-level cooperative latent computation (paper §III-C, eq. 6).
+//
+// After training, each IoT device holds its column of the encoder weight
+// matrix. A cluster-wide reading vector x ∈ R^N is encoded without ever
+// assembling x anywhere: partial sums W[:,i]*x_i flow up the aggregation
+// tree. Following the hybrid compressed-sensing rule [1], a node whose
+// subtree carries fewer than M readings forwards raw readings (cheaper);
+// once a subtree reaches M readings the node compresses them into the
+// M-dimensional partial. The aggregator finishes with sigma(sum + b).
+//
+// Property (tested): the result equals the centralised encoder output
+// sigma(We x + b) exactly, for every tree shape and latent dimension.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/messages.h"
+#include "nn/sequential.h"
+#include "wsn/aggregation_tree.h"
+
+namespace orco::core {
+
+/// Per-node traffic discovered during a distributed encode.
+struct NodeTraffic {
+  std::size_t raw_values = 0;      // raw readings forwarded by this node
+  std::size_t partial_values = 0;  // M-dim partial entries forwarded
+};
+
+class DistributedEncoder {
+ public:
+  /// `shares[d]` is device d's encoder slice; devices are numbered
+  /// 0..N_dev-1 and mapped onto the tree's non-root nodes in node-id order.
+  DistributedEncoder(const wsn::AggregationTree& tree,
+                     std::vector<EncoderShareMsg> shares);
+
+  std::size_t device_count() const noexcept { return shares_.size(); }
+  std::size_t latent_dim() const;
+
+  /// Runs the bottom-up cooperative encode of one reading vector
+  /// (readings[d] = device d's scalar reading). Returns the latent vector;
+  /// when `traffic` is non-null, fills per-node traffic so callers can
+  /// account transmissions.
+  Tensor encode(const Tensor& readings,
+                std::vector<NodeTraffic>* traffic = nullptr) const;
+
+  /// The device id assigned to a (non-root) tree node.
+  std::size_t device_for_node(wsn::NodeId node) const;
+
+ private:
+  const wsn::AggregationTree* tree_;
+  std::vector<EncoderShareMsg> shares_;
+  std::vector<std::optional<std::size_t>> node_to_device_;
+};
+
+/// Convenience: builds all N device shares from the trained encoder.
+std::vector<EncoderShareMsg> make_encoder_shares(
+    const nn::Sequential& encoder, std::size_t device_count);
+
+}  // namespace orco::core

@@ -1,0 +1,91 @@
+#include "core/edge_server.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace orco::core {
+
+EdgeServer::EdgeServer(std::unique_ptr<nn::Sequential> decoder,
+                       const OrcoConfig& config)
+    : decoder_(std::move(decoder)),
+      loss_kind_(config.loss),
+      huber_delta_(config.huber_delta),
+      latent_dim_(config.latent_dim),
+      output_dim_(config.input_dim) {
+  ORCO_CHECK(decoder_ != nullptr, "null decoder");
+  ORCO_CHECK(decoder_->output_features(config.latent_dim) == config.input_dim,
+             "decoder does not map latent_dim to input_dim");
+  optimizer_ = std::make_unique<nn::Sgd>(decoder_->params(),
+                                         config.learning_rate,
+                                         config.momentum);
+}
+
+ReconstructionMsg EdgeServer::reconstruct(const LatentBatchMsg& msg,
+                                          bool training) {
+  ORCO_CHECK(msg.latents.rank() == 2 && msg.latents.dim(1) == latent_dim_,
+             "edge expects (batch, " << latent_dim_ << ") latents");
+  if (training) {
+    ORCO_CHECK(!round_open_, "edge round " << pending_round_ << " still open");
+    pending_round_ = msg.round;
+    round_open_ = true;
+    batch_in_flight_ = msg.latents.dim(0);
+  }
+  Tensor rec = decoder_->forward(msg.latents, training);
+  return ReconstructionMsg{msg.round, std::move(rec)};
+}
+
+LatentGradMsg EdgeServer::train_step(const ResidualMsg& msg) {
+  ORCO_CHECK(round_open_ && msg.round == pending_round_,
+             "residual for round " << msg.round << " does not match "
+                                   << pending_round_);
+  ORCO_CHECK(msg.residuals.rank() == 2 &&
+                 msg.residuals.dim(0) == batch_in_flight_ &&
+                 msg.residuals.dim(1) == output_dim_,
+             "residual shape mismatch");
+
+  // Loss and gradient are functions of the residual r = X - Xr alone:
+  //   Huber: L = mean(huber(r)),   dL/dXr = -clip(r, ±delta) / numel
+  //   MSE:   L = mean(r^2),        dL/dXr = -2 r / numel
+  const auto r = msg.residuals.data();
+  const float inv_n = 1.0f / static_cast<float>(msg.residuals.numel());
+  Tensor grad(msg.residuals.shape());
+  auto gd = grad.data();
+  double loss_acc = 0.0;
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    const float ri = r[i];
+    if (loss_kind_ == ReconLoss::kMse) {
+      loss_acc += static_cast<double>(ri) * ri;
+      gd[i] = -2.0f * ri * inv_n;
+      continue;
+    }
+    const float a = std::fabs(ri);
+    if (a <= huber_delta_) {
+      loss_acc += 0.5 * static_cast<double>(a) * a;
+      gd[i] = -ri * inv_n;
+    } else {
+      loss_acc += static_cast<double>(huber_delta_) * a -
+                  0.5 * huber_delta_ * huber_delta_;
+      gd[i] = (ri > 0.0f ? -huber_delta_ : huber_delta_) * inv_n;
+    }
+  }
+  const float loss =
+      static_cast<float>(loss_acc / static_cast<double>(msg.residuals.numel()));
+
+  optimizer_->zero_grad();
+  Tensor latent_grad = decoder_->backward(grad);
+  optimizer_->step();
+  round_open_ = false;
+  return LatentGradMsg{msg.round, loss, std::move(latent_grad)};
+}
+
+Tensor EdgeServer::decode_inference(const Tensor& latents) {
+  ORCO_CHECK(!round_open_, "cannot run inference with an open round");
+  return decoder_->forward(latents, /*training=*/false);
+}
+
+std::size_t EdgeServer::train_flops(std::size_t batch) const {
+  return 3 * decoder_->forward_flops(batch);
+}
+
+}  // namespace orco::core

@@ -1,0 +1,52 @@
+// The edge-server side of the orchestration.
+//
+// Owns the deep decoder (eq. 3). Reconstructs from noisy latents, and on
+// receiving the residual ("reconstruction error", §III-B) derives the Huber
+// gradient, updates the decoder, and returns the latent gradient so the
+// aggregator can update its encoder.
+#pragma once
+
+#include <memory>
+
+#include "core/config.h"
+#include "core/messages.h"
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+
+namespace orco::core {
+
+class EdgeServer {
+ public:
+  EdgeServer(std::unique_ptr<nn::Sequential> decoder,
+             const OrcoConfig& config);
+
+  /// Decodes latents into reconstructions; caches activations when
+  /// `training` so the next train_step can backpropagate.
+  ReconstructionMsg reconstruct(const LatentBatchMsg& msg, bool training);
+
+  /// Derives the Huber gradient from the residual (loss and gradient are
+  /// both functions of X - Xr alone), backpropagates through the decoder,
+  /// applies one SGD step, and returns dL/d(latents) plus the loss.
+  LatentGradMsg train_step(const ResidualMsg& msg);
+
+  /// Noise-free decoding for evaluation / steady-state reconstruction.
+  Tensor decode_inference(const Tensor& latents);
+
+  nn::Sequential& decoder() noexcept { return *decoder_; }
+  const nn::Sequential& decoder() const noexcept { return *decoder_; }
+
+  /// FLOPs charged to the edge for one training round on `batch` samples.
+  std::size_t train_flops(std::size_t batch) const;
+
+ private:
+  std::unique_ptr<nn::Sequential> decoder_;
+  std::unique_ptr<nn::Sgd> optimizer_;
+  ReconLoss loss_kind_;
+  float huber_delta_;
+  std::uint64_t pending_round_ = 0;
+  bool round_open_ = false;
+  std::size_t batch_in_flight_ = 0;
+  std::size_t latent_dim_, output_dim_;
+};
+
+}  // namespace orco::core

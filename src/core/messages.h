@@ -1,0 +1,69 @@
+// Wire messages of the IoT-Edge orchestration protocol (paper §III-B,
+// "Training procedure"). One online-training step exchanges:
+//
+//   1. LatentBatchMsg      aggregator -> edge   (uplink,   B x M floats)
+//   2. ReconstructionMsg   edge -> aggregator   (downlink, B x N floats)
+//   3. ResidualMsg         aggregator -> edge   (uplink,   B x N floats)
+//   4. LatentGradMsg       edge -> aggregator   (downlink, B x M floats)
+//
+// plus EncoderShareMsg for the post-training encoder-column broadcast
+// (§III-C). Every message serialises through ByteWriter so the byte counts
+// charged to the channel are true wire sizes, not estimates.
+#pragma once
+
+#include "common/serialize.h"
+#include "tensor/tensor.h"
+
+namespace orco::core {
+
+using tensor::Tensor;
+
+/// Serialises a rank-2 tensor with its dimensions.
+void write_tensor(common::ByteWriter& writer, const Tensor& t);
+Tensor read_tensor(common::ByteReader& reader);
+
+struct LatentBatchMsg {
+  std::uint64_t round = 0;
+  Tensor latents;  // (B, M), noise already applied (eq. 2)
+
+  std::vector<std::byte> serialize() const;
+  static LatentBatchMsg deserialize(std::span<const std::byte> bytes);
+};
+
+struct ReconstructionMsg {
+  std::uint64_t round = 0;
+  Tensor reconstructions;  // (B, N)
+
+  std::vector<std::byte> serialize() const;
+  static ReconstructionMsg deserialize(std::span<const std::byte> bytes);
+};
+
+struct ResidualMsg {
+  std::uint64_t round = 0;
+  Tensor residuals;  // (B, N): X - Xr, the "reconstruction error" of §III-B
+
+  std::vector<std::byte> serialize() const;
+  static ResidualMsg deserialize(std::span<const std::byte> bytes);
+};
+
+struct LatentGradMsg {
+  std::uint64_t round = 0;
+  float loss = 0.0f;   // Huber loss the edge observed this round
+  Tensor latent_grad;  // (B, M): dL/d(noisy latent)
+
+  std::vector<std::byte> serialize() const;
+  static LatentGradMsg deserialize(std::span<const std::byte> bytes);
+};
+
+/// Per-device slice of the trained encoder (§III-C): device i needs only
+/// column i of We plus the shared bias to form its contribution.
+struct EncoderShareMsg {
+  std::uint64_t device = 0;
+  Tensor column;  // (M): We[:, device]
+  Tensor bias;    // (M): shared bias b (included once per broadcast)
+
+  std::vector<std::byte> serialize() const;
+  static EncoderShareMsg deserialize(std::span<const std::byte> bytes);
+};
+
+}  // namespace orco::core

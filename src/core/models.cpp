@@ -1,0 +1,35 @@
+#include "core/models.h"
+
+#include "common/check.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+
+namespace orco::core {
+
+std::unique_ptr<nn::Sequential> build_encoder(const OrcoConfig& config,
+                                              common::Pcg32& rng) {
+  ORCO_CHECK(config.input_dim > 0 && config.latent_dim > 0,
+             "encoder dims must be positive");
+  auto model = std::make_unique<nn::Sequential>();
+  model->emplace<nn::Dense>(config.input_dim, config.latent_dim, rng);
+  model->emplace<nn::Sigmoid>();
+  return model;
+}
+
+std::unique_ptr<nn::Sequential> build_decoder(const OrcoConfig& config,
+                                              common::Pcg32& rng) {
+  ORCO_CHECK(config.decoder_layers >= 1, "decoder needs at least one layer");
+  auto model = std::make_unique<nn::Sequential>();
+  const std::size_t hidden = config.decoder_hidden();
+  std::size_t in = config.latent_dim;
+  for (std::size_t l = 0; l + 1 < config.decoder_layers; ++l) {
+    model->emplace<nn::Dense>(in, hidden, rng);
+    model->emplace<nn::ReLU>();
+    in = hidden;
+  }
+  model->emplace<nn::Dense>(in, config.input_dim, rng);
+  model->emplace<nn::Sigmoid>();
+  return model;
+}
+
+}  // namespace orco::core

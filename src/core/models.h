@@ -1,0 +1,27 @@
+// Model builders for the asymmetric autoencoder (paper §III-B).
+//
+//  * encoder: one fully-connected layer + sigmoid (eq. 1) — deliberately
+//    shallow so the data aggregator can afford it;
+//  * decoder: 1..k fully-connected layers (eq. 3 notes "the number of
+//    layers and the structure of the decoder can be increased").
+#pragma once
+
+#include <memory>
+
+#include "core/config.h"
+#include "nn/sequential.h"
+
+namespace orco::core {
+
+/// Builds the single-dense-layer encoder sigma(We X + b): input_dim ->
+/// latent_dim.
+std::unique_ptr<nn::Sequential> build_encoder(const OrcoConfig& config,
+                                              common::Pcg32& rng);
+
+/// Builds a decoder with `config.decoder_layers` dense layers
+/// (latent -> hidden^(k-1) -> input), ReLU between hidden layers and a
+/// final sigmoid so outputs live in [0, 1] like the sensing data.
+std::unique_ptr<nn::Sequential> build_decoder(const OrcoConfig& config,
+                                              common::Pcg32& rng);
+
+}  // namespace orco::core

@@ -1,0 +1,42 @@
+#include "core/monitor.h"
+
+#include <numeric>
+
+#include "common/check.h"
+
+namespace orco::core {
+
+FineTuningMonitor::FineTuningMonitor(float relaunch_factor, std::size_t window)
+    : relaunch_factor_(relaunch_factor), window_(window) {
+  ORCO_CHECK(relaunch_factor > 1.0f, "relaunch factor must exceed 1");
+  ORCO_CHECK(window > 0, "monitor window must be positive");
+}
+
+void FineTuningMonitor::set_baseline(float loss) {
+  ORCO_CHECK(loss >= 0.0f, "baseline loss must be non-negative");
+  baseline_ = loss;
+  has_baseline_ = true;
+}
+
+bool FineTuningMonitor::observe(float loss) {
+  ORCO_CHECK(has_baseline_, "observe() before set_baseline()");
+  ORCO_CHECK(loss >= 0.0f, "loss must be non-negative");
+  recent_.push_back(loss);
+  if (recent_.size() > window_) recent_.pop_front();
+  if (recent_.size() < window_) return false;
+  if (rolling_mean() > relaunch_factor_ * baseline_) {
+    ++relaunches_;
+    return true;
+  }
+  return false;
+}
+
+float FineTuningMonitor::rolling_mean() const {
+  if (recent_.empty()) return 0.0f;
+  const float sum = std::accumulate(recent_.begin(), recent_.end(), 0.0f);
+  return sum / static_cast<float>(recent_.size());
+}
+
+void FineTuningMonitor::reset_observations() { recent_.clear(); }
+
+}  // namespace orco::core

@@ -1,0 +1,44 @@
+// Fine-tuning monitor (paper §III-D): the edge server periodically compares
+// reconstruction error against a post-training baseline; when the rolling
+// error exceeds `relaunch_factor` x baseline — e.g. after environmental
+// drift — training is relaunched.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+namespace orco::core {
+
+class FineTuningMonitor {
+ public:
+  FineTuningMonitor(float relaunch_factor, std::size_t window);
+
+  /// Sets the healthy reference error (typically the final training loss).
+  void set_baseline(float loss);
+  bool has_baseline() const noexcept { return has_baseline_; }
+  float baseline() const noexcept { return baseline_; }
+
+  /// Records one periodic error observation; returns true when the rolling
+  /// mean exceeds relaunch_factor x baseline (the window must be full so a
+  /// single spike does not trigger a relaunch).
+  bool observe(float loss);
+
+  /// Rolling mean of the last `window` observations (0 when empty).
+  float rolling_mean() const;
+
+  /// Clears observations (call after a relaunch completes), keeping the
+  /// baseline until set_baseline is called again.
+  void reset_observations();
+
+  std::size_t relaunch_count() const noexcept { return relaunches_; }
+
+ private:
+  float relaunch_factor_;
+  std::size_t window_;
+  float baseline_ = 0.0f;
+  bool has_baseline_ = false;
+  std::deque<float> recent_;
+  std::size_t relaunches_ = 0;
+};
+
+}  // namespace orco::core

@@ -1,0 +1,91 @@
+#include "core/quantization.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace orco::core {
+
+std::size_t bytes_per_value(LatentPrecision precision) {
+  switch (precision) {
+    case LatentPrecision::kFloat32: return 4;
+    case LatentPrecision::kFixed16: return 2;
+    case LatentPrecision::kFixed8:  return 1;
+  }
+  throw std::invalid_argument("unknown precision");
+}
+
+std::vector<std::uint8_t> quantize_latents(const tensor::Tensor& latents,
+                                           LatentPrecision precision) {
+  const auto data = latents.data();
+  std::vector<std::uint8_t> out;
+  switch (precision) {
+    case LatentPrecision::kFloat32: {
+      out.resize(data.size() * 4);
+      std::memcpy(out.data(), data.data(), out.size());
+      return out;
+    }
+    case LatentPrecision::kFixed16: {
+      out.resize(data.size() * 2);
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        const float v = std::clamp(data[i], 0.0f, 1.0f);
+        const auto q = static_cast<std::uint16_t>(
+            std::lround(v * 65535.0f));
+        out[2 * i] = static_cast<std::uint8_t>(q & 0xff);
+        out[2 * i + 1] = static_cast<std::uint8_t>(q >> 8);
+      }
+      return out;
+    }
+    case LatentPrecision::kFixed8: {
+      out.resize(data.size());
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        const float v = std::clamp(data[i], 0.0f, 1.0f);
+        out[i] = static_cast<std::uint8_t>(std::lround(v * 255.0f));
+      }
+      return out;
+    }
+  }
+  throw std::invalid_argument("unknown precision");
+}
+
+tensor::Tensor dequantize_latents(const std::vector<std::uint8_t>& bytes,
+                                  const tensor::Shape& shape,
+                                  LatentPrecision precision) {
+  const std::size_t n = tensor::shape_numel(shape);
+  ORCO_CHECK(bytes.size() == n * bytes_per_value(precision),
+             "quantised buffer size mismatch: " << bytes.size() << " vs "
+                                                << n * bytes_per_value(precision));
+  tensor::Tensor out(shape);
+  auto data = out.data();
+  switch (precision) {
+    case LatentPrecision::kFloat32:
+      std::memcpy(data.data(), bytes.data(), bytes.size());
+      return out;
+    case LatentPrecision::kFixed16:
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint16_t q = static_cast<std::uint16_t>(
+            bytes[2 * i] | (bytes[2 * i + 1] << 8));
+        data[i] = static_cast<float>(q) / 65535.0f;
+      }
+      return out;
+    case LatentPrecision::kFixed8:
+      for (std::size_t i = 0; i < n; ++i) {
+        data[i] = static_cast<float>(bytes[i]) / 255.0f;
+      }
+      return out;
+  }
+  throw std::invalid_argument("unknown precision");
+}
+
+float quantization_error_bound(LatentPrecision precision) {
+  switch (precision) {
+    case LatentPrecision::kFloat32: return 0.0f;
+    case LatentPrecision::kFixed16: return 0.5f / 65535.0f;
+    case LatentPrecision::kFixed8:  return 0.5f / 255.0f;
+  }
+  throw std::invalid_argument("unknown precision");
+}
+
+}  // namespace orco::core

@@ -1,0 +1,74 @@
+#include "data/ascii_art.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace orco::data {
+
+namespace {
+// Ten-level luminance ramp, dark to bright.
+constexpr const char* kRamp = " .:-=+*#%@";
+
+char shade(float v) {
+  const int idx = std::clamp(static_cast<int>(v * 10.0f), 0, 9);
+  return kRamp[idx];
+}
+
+float luminance(const tensor::Tensor& image, const ImageGeometry& g,
+                std::size_t y, std::size_t x) {
+  const auto d = image.data();
+  if (g.channels == 1) return d[y * g.width + x];
+  // Rec.601 luma over the first three channels.
+  const std::size_t plane = g.height * g.width;
+  const float r = d[0 * plane + y * g.width + x];
+  const float gr = d[1 * plane + y * g.width + x];
+  const float b = d[2 * plane + y * g.width + x];
+  return 0.299f * r + 0.587f * gr + 0.114f * b;
+}
+}  // namespace
+
+std::string ascii_art(const tensor::Tensor& image,
+                      const ImageGeometry& geometry) {
+  ORCO_CHECK(image.numel() == geometry.features(),
+             "ascii_art geometry mismatch");
+  std::ostringstream os;
+  for (std::size_t y = 0; y < geometry.height; ++y) {
+    for (std::size_t x = 0; x < geometry.width; ++x) {
+      const char c = shade(luminance(image, geometry, y, x));
+      os << c << c;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string ascii_art_row(const std::vector<tensor::Tensor>& images,
+                          const std::vector<std::string>& captions,
+                          const ImageGeometry& geometry) {
+  ORCO_CHECK(!images.empty() && images.size() == captions.size(),
+             "ascii_art_row: need equal non-zero images/captions");
+  const std::size_t cell = geometry.width * 2;
+  std::ostringstream os;
+  for (std::size_t i = 0; i < captions.size(); ++i) {
+    std::string cap = captions[i].substr(0, cell);
+    os << cap << std::string(cell - cap.size() + 3, ' ');
+  }
+  os << '\n';
+  for (std::size_t y = 0; y < geometry.height; ++y) {
+    for (const auto& img : images) {
+      ORCO_CHECK(img.numel() == geometry.features(),
+                 "ascii_art_row geometry mismatch");
+      for (std::size_t x = 0; x < geometry.width; ++x) {
+        const char c = shade(luminance(img, geometry, y, x));
+        os << c << c;
+      }
+      os << "   ";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace orco::data

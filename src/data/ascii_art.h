@@ -1,0 +1,23 @@
+// ASCII rendering of images — how bench/fig2_reconstruction reproduces the
+// paper's visual side-by-side comparison in a text environment.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace orco::data {
+
+/// Renders a flattened CHW image as ASCII art (one char per pixel column,
+/// two columns per pixel for aspect ratio). Multi-channel images are
+/// converted to luminance first.
+std::string ascii_art(const tensor::Tensor& image,
+                      const ImageGeometry& geometry);
+
+/// Renders several images side by side with per-image captions.
+std::string ascii_art_row(const std::vector<tensor::Tensor>& images,
+                          const std::vector<std::string>& captions,
+                          const ImageGeometry& geometry);
+
+}  // namespace orco::data

@@ -1,0 +1,48 @@
+#include "data/dataloader.h"
+
+#include <numeric>
+
+#include "common/check.h"
+
+namespace orco::data {
+
+DataLoader::DataLoader(const Dataset& dataset, std::size_t batch_size,
+                       bool shuffle, common::Pcg32 rng)
+    : dataset_(&dataset),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      rng_(rng),
+      order_(dataset.size()) {
+  ORCO_CHECK(batch_size > 0, "batch size must be positive");
+  ORCO_CHECK(dataset.size() > 0, "cannot iterate an empty dataset");
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  if (shuffle_) reshuffle();
+}
+
+std::size_t DataLoader::batch_count() const {
+  return (dataset_->size() + batch_size_ - 1) / batch_size_;
+}
+
+Batch DataLoader::batch(std::size_t b) const {
+  ORCO_CHECK(b < batch_count(), "batch index out of range");
+  const std::size_t begin = b * batch_size_;
+  const std::size_t end = std::min(begin + batch_size_, dataset_->size());
+  const std::size_t n = end - begin;
+  const std::size_t feats = dataset_->geometry().features();
+
+  Batch out{tensor::Tensor({n, feats}), std::vector<std::size_t>(n)};
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t src = order_[begin + i];
+    const auto row = dataset_->images().row(src);
+    std::copy(row.begin(), row.end(), out.images.row(i).begin());
+    out.labels[i] = dataset_->label(src);
+  }
+  return out;
+}
+
+void DataLoader::reshuffle() {
+  if (!shuffle_) return;
+  order_ = common::shuffled_indices(dataset_->size(), rng_);
+}
+
+}  // namespace orco::data

@@ -1,0 +1,40 @@
+// Mini-batch iteration with per-epoch shuffling.
+#pragma once
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace orco::data {
+
+struct Batch {
+  tensor::Tensor images;  // (batch, features)
+  std::vector<std::size_t> labels;
+
+  std::size_t size() const { return labels.size(); }
+};
+
+class DataLoader {
+ public:
+  /// If `shuffle`, sample order is re-randomised by reshuffle() (call it at
+  /// each epoch start). The final partial batch is kept (never dropped).
+  DataLoader(const Dataset& dataset, std::size_t batch_size, bool shuffle,
+             common::Pcg32 rng = common::Pcg32(0x10adu));
+
+  std::size_t batch_count() const;
+  std::size_t batch_size() const noexcept { return batch_size_; }
+
+  /// Returns batch b of the current epoch ordering.
+  Batch batch(std::size_t b) const;
+
+  /// Reshuffles the epoch ordering (no-op when shuffle=false).
+  void reshuffle();
+
+ private:
+  const Dataset* dataset_;
+  std::size_t batch_size_;
+  bool shuffle_;
+  common::Pcg32 rng_;
+  std::vector<std::size_t> order_;
+};
+
+}  // namespace orco::data

@@ -1,0 +1,65 @@
+#include "data/dataset.h"
+
+#include "common/check.h"
+
+namespace orco::data {
+
+Dataset::Dataset(std::string name, ImageGeometry geometry,
+                 std::size_t num_classes, tensor::Tensor images,
+                 std::vector<std::size_t> labels)
+    : name_(std::move(name)),
+      geometry_(geometry),
+      num_classes_(num_classes),
+      images_(std::move(images)),
+      labels_(std::move(labels)) {
+  ORCO_CHECK(images_.rank() == 2, "dataset images must be rank 2");
+  ORCO_CHECK(images_.dim(0) == labels_.size(),
+             "image count " << images_.dim(0) << " vs label count "
+                            << labels_.size());
+  ORCO_CHECK(images_.dim(1) == geometry_.features(),
+             "feature count " << images_.dim(1) << " vs geometry "
+                              << geometry_.features());
+  for (const auto l : labels_) {
+    ORCO_CHECK(l < num_classes_, "label " << l << " out of " << num_classes_);
+  }
+}
+
+tensor::Tensor Dataset::image(std::size_t i) const {
+  ORCO_CHECK(i < size(), "sample index out of range");
+  const auto r = images_.row(i);
+  return tensor::Tensor({geometry_.features()},
+                        std::vector<float>(r.begin(), r.end()));
+}
+
+std::size_t Dataset::label(std::size_t i) const {
+  ORCO_CHECK(i < size(), "sample index out of range");
+  return labels_[i];
+}
+
+Dataset Dataset::subset(std::size_t begin, std::size_t end) const {
+  ORCO_CHECK(begin <= end && end <= size(), "bad subset range");
+  return Dataset(name_, geometry_, num_classes_,
+                 images_.slice_rows(begin, end),
+                 std::vector<std::size_t>(labels_.begin() + static_cast<std::ptrdiff_t>(begin),
+                                          labels_.begin() + static_cast<std::ptrdiff_t>(end)));
+}
+
+Dataset Dataset::gather(const std::vector<std::size_t>& indices) const {
+  tensor::Tensor images({indices.size(), geometry_.features()});
+  std::vector<std::size_t> labels(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    ORCO_CHECK(indices[i] < size(), "gather index out of range");
+    const auto src = images_.row(indices[i]);
+    std::copy(src.begin(), src.end(), images.row(i).begin());
+    labels[i] = labels_[indices[i]];
+  }
+  return Dataset(name_, geometry_, num_classes_, std::move(images),
+                 std::move(labels));
+}
+
+std::pair<Dataset, Dataset> Dataset::split(std::size_t head) const {
+  ORCO_CHECK(head <= size(), "split point out of range");
+  return {subset(0, head), subset(head, size())};
+}
+
+}  // namespace orco::data

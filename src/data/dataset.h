@@ -1,0 +1,57 @@
+// In-memory labelled image dataset: a (count, features) tensor plus labels.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace orco::data {
+
+/// Spatial interpretation of a flattened image row (CHW layout).
+struct ImageGeometry {
+  std::size_t channels = 1;
+  std::size_t height = 0;
+  std::size_t width = 0;
+
+  std::size_t features() const { return channels * height * width; }
+  bool operator==(const ImageGeometry&) const = default;
+};
+
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::string name, ImageGeometry geometry, std::size_t num_classes,
+          tensor::Tensor images, std::vector<std::size_t> labels);
+
+  const std::string& name() const noexcept { return name_; }
+  const ImageGeometry& geometry() const noexcept { return geometry_; }
+  std::size_t num_classes() const noexcept { return num_classes_; }
+  std::size_t size() const { return labels_.size(); }
+
+  const tensor::Tensor& images() const noexcept { return images_; }
+  tensor::Tensor& mutable_images() noexcept { return images_; }
+  const std::vector<std::size_t>& labels() const noexcept { return labels_; }
+
+  /// One image as a rank-1 tensor.
+  tensor::Tensor image(std::size_t i) const;
+  std::size_t label(std::size_t i) const;
+
+  /// Copies samples [begin, end) into a new dataset.
+  Dataset subset(std::size_t begin, std::size_t end) const;
+
+  /// Copies the samples at `indices` into a new dataset.
+  Dataset gather(const std::vector<std::size_t>& indices) const;
+
+  /// Splits into (first `head` samples, rest).
+  std::pair<Dataset, Dataset> split(std::size_t head) const;
+
+ private:
+  std::string name_;
+  ImageGeometry geometry_;
+  std::size_t num_classes_ = 0;
+  tensor::Tensor images_;  // (count, features)
+  std::vector<std::size_t> labels_;
+};
+
+}  // namespace orco::data

@@ -1,0 +1,26 @@
+#include "data/drift.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace orco::data {
+
+Dataset apply_drift(const Dataset& dataset, const DriftConfig& config,
+                    common::Pcg32& rng) {
+  ORCO_CHECK(config.brightness_gain > 0.0f, "brightness gain must be positive");
+  ORCO_CHECK(config.extra_noise >= 0.0f, "extra noise must be non-negative");
+  tensor::Tensor images = dataset.images();
+  for (auto& v : images.data()) {
+    v = v * config.brightness_gain + config.sensor_bias;
+    if (config.extra_noise > 0.0f) {
+      v += static_cast<float>(rng.normal(0.0, config.extra_noise));
+    }
+    v = std::clamp(v, 0.0f, 1.0f);
+  }
+  return Dataset(dataset.name() + "+drift", dataset.geometry(),
+                 dataset.num_classes(), std::move(images),
+                 std::vector<std::size_t>(dataset.labels()));
+}
+
+}  // namespace orco::data

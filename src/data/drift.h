@@ -1,0 +1,23 @@
+// Environmental drift transforms (paper §III-D motivation).
+//
+// The fine-tuning experiments shift the sensing distribution mid-run:
+// brightness change (lighting), additive bias (sensor mis-calibration),
+// and extra noise (degrading channel). Applied in place to a dataset copy.
+#pragma once
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace orco::data {
+
+struct DriftConfig {
+  float brightness_gain = 1.0f;  // multiplicative illumination change
+  float sensor_bias = 0.0f;      // additive offset on every reading
+  float extra_noise = 0.0f;      // stddev of additional Gaussian noise
+};
+
+/// Returns a drifted copy of `dataset`; values are re-clamped to [0,1].
+Dataset apply_drift(const Dataset& dataset, const DriftConfig& config,
+                    common::Pcg32& rng);
+
+}  // namespace orco::data

@@ -1,0 +1,230 @@
+#include "data/image.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace orco::data {
+
+Canvas::Canvas(std::size_t channels, std::size_t height, std::size_t width,
+               float fill)
+    : c_(channels), h_(height), w_(width), pix_(channels * height * width, fill) {
+  ORCO_CHECK(channels > 0 && height > 0 && width > 0, "empty canvas");
+}
+
+float& Canvas::at(std::size_t c, std::size_t y, std::size_t x) {
+  ORCO_CHECK(c < c_ && y < h_ && x < w_, "canvas index out of range");
+  return pix_[(c * h_ + y) * w_ + x];
+}
+
+float Canvas::at(std::size_t c, std::size_t y, std::size_t x) const {
+  return const_cast<Canvas*>(this)->at(c, y, x);
+}
+
+void Canvas::plot(float y, float x, const std::vector<float>& color,
+                  float alpha) {
+  ORCO_CHECK(color.size() == c_, "color channel mismatch");
+  const auto yi = static_cast<std::ptrdiff_t>(std::lround(y));
+  const auto xi = static_cast<std::ptrdiff_t>(std::lround(x));
+  if (yi < 0 || yi >= static_cast<std::ptrdiff_t>(h_) || xi < 0 ||
+      xi >= static_cast<std::ptrdiff_t>(w_)) {
+    return;
+  }
+  for (std::size_t c = 0; c < c_; ++c) {
+    float& p = pix_[(c * h_ + static_cast<std::size_t>(yi)) * w_ +
+                    static_cast<std::size_t>(xi)];
+    p = (1.0f - alpha) * p + alpha * color[c];
+  }
+}
+
+void Canvas::draw_line(float y0, float x0, float y1, float x1,
+                       const std::vector<float>& color, float thickness) {
+  const float dy = y1 - y0, dx = x1 - x0;
+  const float len = std::max(1.0f, std::hypot(dy, dx));
+  const int steps = static_cast<int>(len * 2.0f) + 1;
+  const float r = std::max(0.5f, thickness * 0.5f);
+  for (int s = 0; s <= steps; ++s) {
+    const float t = static_cast<float>(s) / static_cast<float>(steps);
+    const float cy = y0 + t * dy, cx = x0 + t * dx;
+    // Stamp a small disc at each step for thickness.
+    const int ri = static_cast<int>(std::ceil(r));
+    for (int oy = -ri; oy <= ri; ++oy) {
+      for (int ox = -ri; ox <= ri; ++ox) {
+        const float d = std::hypot(static_cast<float>(oy), static_cast<float>(ox));
+        if (d <= r) {
+          plot(cy + static_cast<float>(oy), cx + static_cast<float>(ox), color,
+               1.0f);
+        } else if (d <= r + 0.7f) {
+          plot(cy + static_cast<float>(oy), cx + static_cast<float>(ox), color,
+               r + 0.7f - d);
+        }
+      }
+    }
+  }
+}
+
+void Canvas::draw_circle(float cy, float cx, float radius,
+                         const std::vector<float>& color, float stroke) {
+  const int steps = static_cast<int>(radius * 8.0f) + 16;
+  for (int s = 0; s < steps; ++s) {
+    const float a0 = 2.0f * static_cast<float>(M_PI) * static_cast<float>(s) /
+                     static_cast<float>(steps);
+    const float a1 = 2.0f * static_cast<float>(M_PI) *
+                     static_cast<float>(s + 1) / static_cast<float>(steps);
+    draw_line(cy + radius * std::sin(a0), cx + radius * std::cos(a0),
+              cy + radius * std::sin(a1), cx + radius * std::cos(a1), color,
+              stroke);
+  }
+}
+
+void Canvas::fill_circle(float cy, float cx, float radius,
+                         const std::vector<float>& color) {
+  const int y0 = std::max(0, static_cast<int>(std::floor(cy - radius)));
+  const int y1 = std::min(static_cast<int>(h_) - 1,
+                          static_cast<int>(std::ceil(cy + radius)));
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = 0; x < static_cast<int>(w_); ++x) {
+      const float d = std::hypot(static_cast<float>(y) - cy,
+                                 static_cast<float>(x) - cx);
+      if (d <= radius) {
+        plot(static_cast<float>(y), static_cast<float>(x), color, 1.0f);
+      } else if (d <= radius + 0.7f) {
+        plot(static_cast<float>(y), static_cast<float>(x), color,
+             radius + 0.7f - d);
+      }
+    }
+  }
+}
+
+void Canvas::fill_polygon(const std::vector<std::pair<float, float>>& vertices,
+                          const std::vector<float>& color) {
+  ORCO_CHECK(vertices.size() >= 3, "polygon needs >= 3 vertices");
+  float ymin = vertices[0].first, ymax = vertices[0].first;
+  for (const auto& v : vertices) {
+    ymin = std::min(ymin, v.first);
+    ymax = std::max(ymax, v.first);
+  }
+  const int y0 = std::max(0, static_cast<int>(std::floor(ymin)));
+  const int y1 = std::min(static_cast<int>(h_) - 1,
+                          static_cast<int>(std::ceil(ymax)));
+  const std::size_t n = vertices.size();
+  for (int y = y0; y <= y1; ++y) {
+    const float fy = static_cast<float>(y) + 0.5f;
+    std::vector<float> xs;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& a = vertices[i];
+      const auto& b = vertices[(i + 1) % n];
+      if ((a.first <= fy && b.first > fy) || (b.first <= fy && a.first > fy)) {
+        const float t = (fy - a.first) / (b.first - a.first);
+        xs.push_back(a.second + t * (b.second - a.second));
+      }
+    }
+    std::sort(xs.begin(), xs.end());
+    for (std::size_t i = 0; i + 1 < xs.size(); i += 2) {
+      const int xa = std::max(0, static_cast<int>(std::ceil(xs[i] - 0.5f)));
+      const int xb = std::min(static_cast<int>(w_) - 1,
+                              static_cast<int>(std::floor(xs[i + 1] - 0.5f)));
+      for (int x = xa; x <= xb; ++x) {
+        plot(static_cast<float>(y), static_cast<float>(x), color, 1.0f);
+      }
+    }
+  }
+}
+
+void Canvas::draw_polygon(const std::vector<std::pair<float, float>>& vertices,
+                          const std::vector<float>& color, float thickness) {
+  ORCO_CHECK(vertices.size() >= 2, "polyline needs >= 2 vertices");
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    const auto& a = vertices[i];
+    const auto& b = vertices[(i + 1) % vertices.size()];
+    draw_line(a.first, a.second, b.first, b.second, color, thickness);
+  }
+}
+
+void Canvas::add_noise(float stddev, common::Pcg32& rng) {
+  if (stddev <= 0.0f) return;
+  for (auto& p : pix_) p += static_cast<float>(rng.normal(0.0, stddev));
+}
+
+void Canvas::scale_brightness(float gain) {
+  for (auto& p : pix_) p = std::clamp(p * gain, 0.0f, 1.0f);
+}
+
+void Canvas::blur(int passes) {
+  for (int pass = 0; pass < passes; ++pass) {
+    std::vector<float> out(pix_.size());
+    for (std::size_t c = 0; c < c_; ++c) {
+      for (std::size_t y = 0; y < h_; ++y) {
+        for (std::size_t x = 0; x < w_; ++x) {
+          float acc = 0.0f;
+          int count = 0;
+          for (int oy = -1; oy <= 1; ++oy) {
+            for (int ox = -1; ox <= 1; ++ox) {
+              const auto yy = static_cast<std::ptrdiff_t>(y) + oy;
+              const auto xx = static_cast<std::ptrdiff_t>(x) + ox;
+              if (yy < 0 || yy >= static_cast<std::ptrdiff_t>(h_) || xx < 0 ||
+                  xx >= static_cast<std::ptrdiff_t>(w_)) {
+                continue;
+              }
+              acc += pix_[(c * h_ + static_cast<std::size_t>(yy)) * w_ +
+                          static_cast<std::size_t>(xx)];
+              ++count;
+            }
+          }
+          out[(c * h_ + y) * w_ + x] = acc / static_cast<float>(count);
+        }
+      }
+    }
+    pix_ = std::move(out);
+  }
+}
+
+void Canvas::clamp01() {
+  for (auto& p : pix_) p = std::clamp(p, 0.0f, 1.0f);
+}
+
+tensor::Tensor Canvas::to_tensor() const {
+  return tensor::Tensor({c_ * h_ * w_}, pix_);
+}
+
+Canvas affine_warp(const Canvas& src, float angle_rad, float scale, float dy,
+                   float dx) {
+  ORCO_CHECK(scale > 0.0f, "affine scale must be positive");
+  Canvas out(src.channels(), src.height(), src.width(), 0.0f);
+  const float cy = static_cast<float>(src.height()) * 0.5f;
+  const float cx = static_cast<float>(src.width()) * 0.5f;
+  const float cos_a = std::cos(-angle_rad), sin_a = std::sin(-angle_rad);
+  const float inv_scale = 1.0f / scale;
+  for (std::size_t y = 0; y < out.height(); ++y) {
+    for (std::size_t x = 0; x < out.width(); ++x) {
+      // Inverse-map the output pixel into source coordinates.
+      const float ry = (static_cast<float>(y) - cy - dy) * inv_scale;
+      const float rx = (static_cast<float>(x) - cx - dx) * inv_scale;
+      const float sy = cos_a * ry - sin_a * rx + cy;
+      const float sx = sin_a * ry + cos_a * rx + cx;
+      const auto y0 = static_cast<std::ptrdiff_t>(std::floor(sy));
+      const auto x0 = static_cast<std::ptrdiff_t>(std::floor(sx));
+      const float fy = sy - static_cast<float>(y0);
+      const float fx = sx - static_cast<float>(x0);
+      for (std::size_t c = 0; c < src.channels(); ++c) {
+        auto sample = [&](std::ptrdiff_t yy, std::ptrdiff_t xx) -> float {
+          if (yy < 0 || yy >= static_cast<std::ptrdiff_t>(src.height()) ||
+              xx < 0 || xx >= static_cast<std::ptrdiff_t>(src.width())) {
+            return 0.0f;
+          }
+          return src.at(c, static_cast<std::size_t>(yy),
+                        static_cast<std::size_t>(xx));
+        };
+        const float v = (1 - fy) * ((1 - fx) * sample(y0, x0) +
+                                    fx * sample(y0, x0 + 1)) +
+                        fy * ((1 - fx) * sample(y0 + 1, x0) +
+                              fx * sample(y0 + 1, x0 + 1));
+        out.at(c, y, x) = v;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace orco::data

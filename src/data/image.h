@@ -1,0 +1,80 @@
+// Procedural raster drawing used by the synthetic dataset generators.
+//
+// The real MNIST/GTSRB archives cannot be downloaded in this offline
+// environment, so the generators in this module draw class-structured
+// images from scratch (see DESIGN.md "Substitutions"). Everything here is
+// deterministic given the caller's RNG.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace orco::data {
+
+/// Float image in CHW layout with values nominally in [0, 1].
+class Canvas {
+ public:
+  Canvas(std::size_t channels, std::size_t height, std::size_t width,
+         float fill = 0.0f);
+
+  std::size_t channels() const noexcept { return c_; }
+  std::size_t height() const noexcept { return h_; }
+  std::size_t width() const noexcept { return w_; }
+
+  float& at(std::size_t c, std::size_t y, std::size_t x);
+  float at(std::size_t c, std::size_t y, std::size_t x) const;
+
+  /// Additively blends `value` into a pixel on every channel scaled by the
+  /// per-channel color; no-op outside bounds (callers can draw freely).
+  void plot(float y, float x, const std::vector<float>& color,
+            float alpha = 1.0f);
+
+  /// Anti-aliased thick line segment.
+  void draw_line(float y0, float x0, float y1, float x1,
+                 const std::vector<float>& color, float thickness = 1.0f);
+
+  /// Circle outline (anti-aliased ring of the given stroke width).
+  void draw_circle(float cy, float cx, float radius,
+                   const std::vector<float>& color, float stroke = 1.0f);
+
+  /// Filled circle.
+  void fill_circle(float cy, float cx, float radius,
+                   const std::vector<float>& color);
+
+  /// Filled convex polygon (scanline; vertices as (y,x) pairs).
+  void fill_polygon(const std::vector<std::pair<float, float>>& vertices,
+                    const std::vector<float>& color);
+
+  /// Polygon outline.
+  void draw_polygon(const std::vector<std::pair<float, float>>& vertices,
+                    const std::vector<float>& color, float thickness = 1.0f);
+
+  /// Adds i.i.d. Gaussian noise to every sample.
+  void add_noise(float stddev, common::Pcg32& rng);
+
+  /// Multiplies every sample by `gain` then clamps to [0, 1].
+  void scale_brightness(float gain);
+
+  /// 3x3 box blur applied `passes` times (cheap approximation of Gaussian).
+  void blur(int passes = 1);
+
+  /// Clamps all samples to [0, 1].
+  void clamp01();
+
+  /// Flattened copy as a rank-1 tensor of c*h*w features (CHW order).
+  tensor::Tensor to_tensor() const;
+
+ private:
+  std::size_t c_, h_, w_;
+  std::vector<float> pix_;
+};
+
+/// Applies an affine warp (rotate by `angle_rad` about the centre, scale,
+/// translate) with bilinear sampling; returns the warped canvas.
+Canvas affine_warp(const Canvas& src, float angle_rad, float scale, float dy,
+                   float dx);
+
+}  // namespace orco::data

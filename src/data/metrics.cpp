@@ -1,0 +1,108 @@
+#include "data/metrics.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace orco::data {
+
+double psnr(const tensor::Tensor& reference, const tensor::Tensor& test) {
+  ORCO_CHECK(reference.shape() == test.shape(), "psnr shape mismatch");
+  ORCO_CHECK(reference.numel() > 0, "psnr of empty tensors");
+  double mse = 0.0;
+  const auto a = reference.data(), b = test.data();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    mse += d * d;
+  }
+  mse /= static_cast<double>(a.size());
+  if (mse < 1e-10) return 100.0;
+  return 10.0 * std::log10(1.0 / mse);
+}
+
+double mean_psnr(const tensor::Tensor& reference, const tensor::Tensor& test) {
+  ORCO_CHECK(reference.rank() == 2 && reference.shape() == test.shape(),
+             "mean_psnr wants matching rank-2 tensors");
+  double acc = 0.0;
+  const std::size_t n = reference.dim(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += psnr(reference.slice_rows(i, i + 1), test.slice_rows(i, i + 1));
+  }
+  return acc / static_cast<double>(n);
+}
+
+namespace {
+
+double ssim_window(const float* a, const float* b, std::size_t h,
+                   std::size_t w, std::size_t y0, std::size_t x0,
+                   std::size_t win) {
+  constexpr double c1 = 0.01 * 0.01;
+  constexpr double c2 = 0.03 * 0.03;
+  double ma = 0.0, mb = 0.0;
+  const double n = static_cast<double>(win * win);
+  for (std::size_t y = 0; y < win; ++y) {
+    for (std::size_t x = 0; x < win; ++x) {
+      ma += a[(y0 + y) * w + (x0 + x)];
+      mb += b[(y0 + y) * w + (x0 + x)];
+    }
+  }
+  ma /= n;
+  mb /= n;
+  double va = 0.0, vb = 0.0, cov = 0.0;
+  for (std::size_t y = 0; y < win; ++y) {
+    for (std::size_t x = 0; x < win; ++x) {
+      const double da = a[(y0 + y) * w + (x0 + x)] - ma;
+      const double db = b[(y0 + y) * w + (x0 + x)] - mb;
+      va += da * da;
+      vb += db * db;
+      cov += da * db;
+    }
+  }
+  va /= n - 1;
+  vb /= n - 1;
+  cov /= n - 1;
+  (void)h;
+  return ((2 * ma * mb + c1) * (2 * cov + c2)) /
+         ((ma * ma + mb * mb + c1) * (va + vb + c2));
+}
+
+}  // namespace
+
+double ssim(const tensor::Tensor& reference, const tensor::Tensor& test,
+            const ImageGeometry& geometry) {
+  ORCO_CHECK(reference.shape() == test.shape(), "ssim shape mismatch");
+  ORCO_CHECK(reference.numel() == geometry.features(),
+             "ssim geometry mismatch: " << reference.numel() << " vs "
+                                        << geometry.features());
+  const std::size_t h = geometry.height, w = geometry.width;
+  constexpr std::size_t kWin = 8, kStride = 4;
+  ORCO_CHECK(h >= kWin && w >= kWin, "image smaller than SSIM window");
+
+  double total = 0.0;
+  std::size_t windows = 0;
+  for (std::size_t c = 0; c < geometry.channels; ++c) {
+    const float* a = reference.data().data() + c * h * w;
+    const float* b = test.data().data() + c * h * w;
+    for (std::size_t y = 0; y + kWin <= h; y += kStride) {
+      for (std::size_t x = 0; x + kWin <= w; x += kStride) {
+        total += ssim_window(a, b, h, w, y, x, kWin);
+        ++windows;
+      }
+    }
+  }
+  ORCO_ENSURE(windows > 0, "no SSIM windows evaluated");
+  return total / static_cast<double>(windows);
+}
+
+double accuracy(const std::vector<std::size_t>& predicted,
+                const std::vector<std::size_t>& labels) {
+  ORCO_CHECK(predicted.size() == labels.size(), "accuracy length mismatch");
+  ORCO_CHECK(!labels.empty(), "accuracy of empty vectors");
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (predicted[i] == labels[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(labels.size());
+}
+
+}  // namespace orco::data

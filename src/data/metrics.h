@@ -1,0 +1,26 @@
+// Image-quality and classification metrics for the evaluation harness.
+#pragma once
+
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace orco::data {
+
+/// Peak signal-to-noise ratio in dB between two images in [0,1].
+/// Returns +inf-ish cap (100 dB) for identical images.
+double psnr(const tensor::Tensor& reference, const tensor::Tensor& test);
+
+/// Mean PSNR across the rows of two (N, F) tensors.
+double mean_psnr(const tensor::Tensor& reference, const tensor::Tensor& test);
+
+/// Structural similarity (SSIM) with 8x8 windows, stride 4, standard
+/// constants (K1=0.01, K2=0.03, L=1). Multi-channel images average SSIM over
+/// channels. Inputs are flattened CHW rows interpreted via `geometry`.
+double ssim(const tensor::Tensor& reference, const tensor::Tensor& test,
+            const ImageGeometry& geometry);
+
+/// Fraction of rows where `predicted[i] == labels[i]`.
+double accuracy(const std::vector<std::size_t>& predicted,
+                const std::vector<std::size_t>& labels);
+
+}  // namespace orco::data

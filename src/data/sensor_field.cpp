@@ -1,0 +1,82 @@
+#include "data/sensor_field.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace orco::data {
+
+Dataset make_sensor_field(const wsn::Field& field,
+                          const SensorFieldConfig& config) {
+  ORCO_CHECK(config.steps > 0, "sensor field needs at least one step");
+  ORCO_CHECK(config.correlation_length_m > 0.0,
+             "correlation length must be positive");
+  const std::size_t n = field.device_count();
+  common::Pcg32 rng(config.seed, /*stream=*/0x73656e73ULL);  // "sens"
+
+  // Device positions, skipping the aggregator (device numbering matches
+  // core::DistributedEncoder: non-root nodes in node-id order).
+  std::vector<wsn::Position> device_pos;
+  device_pos.reserve(n);
+  for (wsn::NodeId node = 0; node < field.node_count(); ++node) {
+    if (node == field.aggregator()) continue;
+    device_pos.push_back(field.position(node));
+  }
+
+  // Spatially-correlated component via a sum of randomly-placed smooth
+  // bumps: value_i = sum_k a_k exp(-|p_i - c_k| / L). Cheap, positive
+  // semi-definite-ish, and visually field-like; avoids an O(n^3) Cholesky.
+  constexpr std::size_t kBumps = 12;
+  struct Bump {
+    wsn::Position centre;
+    float amplitude;
+    float phase;  // temporal phase so bumps drift over time
+    float speed;
+  };
+  std::vector<Bump> bumps(kBumps);
+  for (auto& b : bumps) {
+    b.centre = {rng.uniform(0.0f, static_cast<float>(field.config().side_m)),
+                rng.uniform(0.0f, static_cast<float>(field.config().side_m))};
+    b.amplitude = rng.uniform(-1.0f, 1.0f);
+    b.phase = rng.uniform(0.0f, 2.0f * std::numbers::pi_v<float>);
+    b.speed = rng.uniform(0.5f, 2.0f);
+  }
+
+  // Fixed per-device calibration bias.
+  std::vector<float> bias(n);
+  for (auto& b : bias) {
+    b = static_cast<float>(rng.normal(0.0, config.device_bias_std));
+  }
+
+  tensor::Tensor readings({config.steps, n});
+  for (std::size_t t = 0; t < config.steps; ++t) {
+    const float time = static_cast<float>(t) / static_cast<float>(config.steps);
+    const float diurnal =
+        config.diurnal_amplitude *
+        std::sin(2.0f * std::numbers::pi_v<float> * time);
+    auto row = readings.row(t);
+    for (std::size_t i = 0; i < n; ++i) {
+      float fieldv = 0.0f;
+      for (const auto& b : bumps) {
+        const double d = distance(device_pos[i], b.centre);
+        const float envelope = static_cast<float>(
+            std::exp(-d / config.correlation_length_m));
+        fieldv += b.amplitude * envelope *
+                  std::sin(b.phase +
+                           b.speed * 2.0f * std::numbers::pi_v<float> * time);
+      }
+      float v = 0.5f + config.field_amplitude * fieldv / kBumps * 6.0f +
+                diurnal + bias[i] +
+                static_cast<float>(rng.normal(0.0, config.noise_std));
+      row[i] = std::clamp(v, 0.0f, 1.0f);
+    }
+  }
+
+  return Dataset("sensor-field", ImageGeometry{1, 1, n}, 1,
+                 std::move(readings),
+                 std::vector<std::size_t>(config.steps, 0));
+}
+
+}  // namespace orco::data

@@ -1,0 +1,36 @@
+// Scalar sensor-field telemetry — the paper's §II formulation.
+//
+// The problem statement models a cluster of N IoT devices each producing a
+// *scalar* reading x_i; the stacked vector X ∈ R^N is what the encoder
+// compresses. This generator synthesises physically plausible cluster
+// telemetry: a smooth spatially-correlated field (devices close to each
+// other read similar values), a shared diurnal trend, per-device bias, and
+// measurement noise. Rows are time steps, columns are devices — directly
+// trainable by OrcoDcsSystem with input_dim = N and encodable hop-by-hop by
+// core::DistributedEncoder.
+#pragma once
+
+#include "data/dataset.h"
+#include "wsn/field.h"
+
+namespace orco::data {
+
+struct SensorFieldConfig {
+  std::size_t steps = 512;        // time steps (dataset rows)
+  std::uint64_t seed = 31;
+  double correlation_length_m = 30.0;  // spatial kernel length scale
+  float field_amplitude = 0.35f;  // amplitude of the correlated component
+  float diurnal_amplitude = 0.2f; // shared slow sinusoidal trend
+  float device_bias_std = 0.05f;  // fixed per-device calibration offset
+  float noise_std = 0.02f;        // per-reading measurement noise
+};
+
+/// Generates a (steps x device_count) dataset of readings in [0, 1].
+/// Spatial correlation follows exp(-d/correlation_length) over the device
+/// positions in `field` (device i = the i-th non-aggregator node, matching
+/// DistributedEncoder's device numbering). Labels are all 0 (unlabelled
+/// telemetry); num_classes is 1.
+Dataset make_sensor_field(const wsn::Field& field,
+                          const SensorFieldConfig& config);
+
+}  // namespace orco::data

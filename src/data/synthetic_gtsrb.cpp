@@ -1,0 +1,253 @@
+#include "data/synthetic_gtsrb.h"
+
+#include <array>
+#include <cmath>
+
+#include "common/check.h"
+#include "data/image.h"
+
+namespace orco::data {
+
+namespace {
+
+enum class SignShape { kCircle, kTriangleUp, kTriangleDown, kDiamond, kOctagon };
+
+enum class Glyph {
+  kNone, kBarH, kBarV, kBarDiag, kArrowUp, kArrowRight, kArrowLeft,
+  kCross, kDot, kChevron, kZigzag,
+};
+
+struct SignSpec {
+  SignShape shape;
+  std::array<float, 3> rim;    // RGB
+  std::array<float, 3> face;   // RGB
+  std::array<float, 3> glyph_color;
+  Glyph glyph;
+};
+
+// 43 visually distinct (shape, rim, face, glyph) combinations in the spirit
+// of the real GTSRB taxonomy: red-rim prohibitions, triangles for warnings,
+// blue circles for mandatory directions, plus stop-like octagons.
+std::vector<SignSpec> build_specs() {
+  const std::array<float, 3> red{0.85f, 0.10f, 0.12f};
+  const std::array<float, 3> blue{0.10f, 0.25f, 0.80f};
+  const std::array<float, 3> yellow{0.95f, 0.85f, 0.15f};
+  const std::array<float, 3> white{0.95f, 0.95f, 0.95f};
+  const std::array<float, 3> black{0.05f, 0.05f, 0.05f};
+
+  std::vector<SignSpec> specs;
+  const std::array<Glyph, 11> glyphs = {
+      Glyph::kNone,      Glyph::kBarH,      Glyph::kBarV,  Glyph::kBarDiag,
+      Glyph::kArrowUp,   Glyph::kArrowRight, Glyph::kArrowLeft,
+      Glyph::kCross,     Glyph::kDot,       Glyph::kChevron, Glyph::kZigzag};
+
+  // 11 red-rim white-face circles (prohibition family).
+  for (const auto g : glyphs) {
+    specs.push_back({SignShape::kCircle, red, white, black, g});
+  }
+  // 11 blue circles with white glyphs (mandatory family).
+  for (const auto g : glyphs) {
+    specs.push_back({SignShape::kCircle, blue, blue, white, g});
+  }
+  // 11 red-rim warning triangles.
+  for (const auto g : glyphs) {
+    specs.push_back({SignShape::kTriangleUp, red, white, black, g});
+  }
+  // 6 yellow diamonds (priority family).
+  const std::array<Glyph, 6> diamond_glyphs = {Glyph::kNone, Glyph::kBarH,
+                                               Glyph::kBarV, Glyph::kCross,
+                                               Glyph::kDot,  Glyph::kChevron};
+  for (const auto g : diamond_glyphs) {
+    specs.push_back({SignShape::kDiamond, white, yellow, black, g});
+  }
+  // 3 inverted triangles (yield family).
+  specs.push_back({SignShape::kTriangleDown, red, white, black, Glyph::kNone});
+  specs.push_back({SignShape::kTriangleDown, red, white, black, Glyph::kBarH});
+  specs.push_back({SignShape::kTriangleDown, red, white, black, Glyph::kDot});
+  // 1 octagon (stop).
+  specs.push_back({SignShape::kOctagon, white, red, white, Glyph::kBarH});
+
+  ORCO_ENSURE(specs.size() == kGtsrbClasses,
+              "expected 43 sign specs, got " << specs.size());
+  return specs;
+}
+
+std::vector<float> rgb(const std::array<float, 3>& c) {
+  return {c[0], c[1], c[2]};
+}
+
+void draw_shape(Canvas& canvas, const SignSpec& spec, float cy, float cx,
+                float r) {
+  const auto rim = rgb(spec.rim);
+  const auto face = rgb(spec.face);
+  switch (spec.shape) {
+    case SignShape::kCircle:
+      canvas.fill_circle(cy, cx, r, rim);
+      canvas.fill_circle(cy, cx, r * 0.72f, face);
+      break;
+    case SignShape::kTriangleUp: {
+      const std::vector<std::pair<float, float>> outer = {
+          {cy - r, cx}, {cy + r * 0.8f, cx - r}, {cy + r * 0.8f, cx + r}};
+      const std::vector<std::pair<float, float>> inner = {
+          {cy - r * 0.55f, cx},
+          {cy + r * 0.55f, cx - r * 0.6f},
+          {cy + r * 0.55f, cx + r * 0.6f}};
+      canvas.fill_polygon(outer, rim);
+      canvas.fill_polygon(inner, face);
+      break;
+    }
+    case SignShape::kTriangleDown: {
+      const std::vector<std::pair<float, float>> outer = {
+          {cy + r, cx}, {cy - r * 0.8f, cx - r}, {cy - r * 0.8f, cx + r}};
+      const std::vector<std::pair<float, float>> inner = {
+          {cy + r * 0.55f, cx},
+          {cy - r * 0.55f, cx - r * 0.6f},
+          {cy - r * 0.55f, cx + r * 0.6f}};
+      canvas.fill_polygon(outer, rim);
+      canvas.fill_polygon(inner, face);
+      break;
+    }
+    case SignShape::kDiamond: {
+      const std::vector<std::pair<float, float>> outer = {
+          {cy - r, cx}, {cy, cx + r}, {cy + r, cx}, {cy, cx - r}};
+      const std::vector<std::pair<float, float>> inner = {
+          {cy - r * 0.7f, cx},
+          {cy, cx + r * 0.7f},
+          {cy + r * 0.7f, cx},
+          {cy, cx - r * 0.7f}};
+      canvas.fill_polygon(outer, rim);
+      canvas.fill_polygon(inner, face);
+      break;
+    }
+    case SignShape::kOctagon: {
+      std::vector<std::pair<float, float>> outer;
+      for (int k = 0; k < 8; ++k) {
+        const float a = static_cast<float>(M_PI) *
+                        (0.125f + 0.25f * static_cast<float>(k));
+        outer.emplace_back(cy + r * std::sin(a), cx + r * std::cos(a));
+      }
+      canvas.fill_polygon(outer, rgb(spec.face));
+      canvas.draw_polygon(outer, rim, 1.5f);
+      break;
+    }
+  }
+}
+
+void draw_glyph(Canvas& canvas, const SignSpec& spec, float cy, float cx,
+                float r) {
+  const auto col = rgb(spec.glyph_color);
+  const float g = r * 0.42f;
+  switch (spec.glyph) {
+    case Glyph::kNone:
+      break;
+    case Glyph::kBarH:
+      canvas.draw_line(cy, cx - g, cy, cx + g, col, 2.4f);
+      break;
+    case Glyph::kBarV:
+      canvas.draw_line(cy - g, cx, cy + g, cx, col, 2.4f);
+      break;
+    case Glyph::kBarDiag:
+      canvas.draw_line(cy - g, cx - g, cy + g, cx + g, col, 2.4f);
+      break;
+    case Glyph::kArrowUp:
+      canvas.draw_line(cy + g, cx, cy - g, cx, col, 2.0f);
+      canvas.draw_line(cy - g, cx, cy - g * 0.2f, cx - g * 0.6f, col, 2.0f);
+      canvas.draw_line(cy - g, cx, cy - g * 0.2f, cx + g * 0.6f, col, 2.0f);
+      break;
+    case Glyph::kArrowRight:
+      canvas.draw_line(cy, cx - g, cy, cx + g, col, 2.0f);
+      canvas.draw_line(cy, cx + g, cy - g * 0.6f, cx + g * 0.2f, col, 2.0f);
+      canvas.draw_line(cy, cx + g, cy + g * 0.6f, cx + g * 0.2f, col, 2.0f);
+      break;
+    case Glyph::kArrowLeft:
+      canvas.draw_line(cy, cx + g, cy, cx - g, col, 2.0f);
+      canvas.draw_line(cy, cx - g, cy - g * 0.6f, cx - g * 0.2f, col, 2.0f);
+      canvas.draw_line(cy, cx - g, cy + g * 0.6f, cx - g * 0.2f, col, 2.0f);
+      break;
+    case Glyph::kCross:
+      canvas.draw_line(cy - g, cx - g, cy + g, cx + g, col, 2.2f);
+      canvas.draw_line(cy - g, cx + g, cy + g, cx - g, col, 2.2f);
+      break;
+    case Glyph::kDot:
+      canvas.fill_circle(cy, cx, g * 0.55f, col);
+      break;
+    case Glyph::kChevron:
+      canvas.draw_line(cy + g * 0.5f, cx - g, cy - g * 0.5f, cx, col, 2.0f);
+      canvas.draw_line(cy - g * 0.5f, cx, cy + g * 0.5f, cx + g, col, 2.0f);
+      break;
+    case Glyph::kZigzag:
+      canvas.draw_line(cy + g, cx - g, cy - g * 0.2f, cx - g * 0.3f, col, 1.8f);
+      canvas.draw_line(cy - g * 0.2f, cx - g * 0.3f, cy + g * 0.2f,
+                       cx + g * 0.3f, col, 1.8f);
+      canvas.draw_line(cy + g * 0.2f, cx + g * 0.3f, cy - g, cx + g, col, 1.8f);
+      break;
+  }
+}
+
+}  // namespace
+
+Dataset make_synthetic_gtsrb(const GtsrbConfig& config) {
+  ORCO_CHECK(config.count > 0, "gtsrb count must be positive");
+  ORCO_CHECK(config.min_brightness > 0.0f &&
+                 config.min_brightness <= config.max_brightness,
+             "bad gtsrb brightness range");
+  static const std::vector<SignSpec> specs = build_specs();
+  common::Pcg32 rng(config.seed, /*stream=*/0x67747372u);  // "gtsr"
+
+  const auto geom = kGtsrbGeometry;
+  tensor::Tensor images({config.count, geom.features()});
+  std::vector<std::size_t> labels(config.count);
+
+  for (std::size_t i = 0; i < config.count; ++i) {
+    const std::size_t cls = rng.bounded(kGtsrbClasses);
+    labels[i] = cls;
+    const auto& spec = specs[cls];
+
+    // Cluttered background: vertical gradient plus random soft blobs.
+    Canvas canvas(3, geom.height, geom.width, 0.0f);
+    const float base_r = rng.uniform(0.1f, 0.6f);
+    const float base_g = rng.uniform(0.1f, 0.6f);
+    const float base_b = rng.uniform(0.1f, 0.6f);
+    for (std::size_t y = 0; y < geom.height; ++y) {
+      const float grad =
+          0.75f + 0.5f * static_cast<float>(y) / static_cast<float>(geom.height);
+      for (std::size_t x = 0; x < geom.width; ++x) {
+        canvas.at(0, y, x) = base_r * grad;
+        canvas.at(1, y, x) = base_g * grad;
+        canvas.at(2, y, x) = base_b * grad;
+      }
+    }
+    const std::size_t blobs = 2 + rng.bounded(4);
+    for (std::size_t b = 0; b < blobs; ++b) {
+      canvas.fill_circle(rng.uniform(0.0f, 32.0f), rng.uniform(0.0f, 32.0f),
+                         rng.uniform(2.0f, 6.0f),
+                         {rng.uniform(0.0f, 0.8f), rng.uniform(0.0f, 0.8f),
+                          rng.uniform(0.0f, 0.8f)});
+    }
+    canvas.blur(1);
+
+    draw_shape(canvas, spec, 16.0f, 16.0f, 11.0f);
+    draw_glyph(canvas, spec, 16.0f, 16.0f, 11.0f);
+
+    const float angle =
+        rng.uniform(-config.max_rotation_rad, config.max_rotation_rad);
+    const float scale = rng.uniform(config.min_scale, config.max_scale);
+    const float dy = rng.uniform(-config.max_translation, config.max_translation);
+    const float dx = rng.uniform(-config.max_translation, config.max_translation);
+    Canvas warped = affine_warp(canvas, angle, scale, dy, dx);
+
+    warped.scale_brightness(
+        rng.uniform(config.min_brightness, config.max_brightness));
+    warped.blur(1);
+    warped.add_noise(config.pixel_noise, rng);
+    warped.clamp01();
+
+    const auto t = warped.to_tensor();
+    std::copy(t.data().begin(), t.data().end(), images.row(i).begin());
+  }
+
+  return Dataset("synthetic-gtsrb", geom, kGtsrbClasses, std::move(images),
+                 std::move(labels));
+}
+
+}  // namespace orco::data

@@ -1,0 +1,34 @@
+// Procedural stand-in for GTSRB (see DESIGN.md "Substitutions").
+//
+// 43 sign classes are built from the cross product of sign shape, rim
+// colour, face colour and glyph — mirroring the real benchmark's visual
+// structure (red-rimmed circles, triangles, blue mandatory signs, ...).
+// Per-sample variation: rotation, scale, translation, illumination gain,
+// background clutter, blur and pixel noise — matching the paper's remark
+// that GTSRB images "have varying light conditions and colorful
+// backgrounds".
+#pragma once
+
+#include "data/dataset.h"
+
+namespace orco::data {
+
+struct GtsrbConfig {
+  std::size_t count = 1000;
+  std::uint64_t seed = 2;
+  float pixel_noise = 0.04f;
+  float min_brightness = 0.45f;
+  float max_brightness = 1.15f;
+  float max_rotation_rad = 0.2f;
+  float min_scale = 0.8f;
+  float max_scale = 1.05f;
+  float max_translation = 2.0f;
+};
+
+inline constexpr std::size_t kGtsrbClasses = 43;
+inline constexpr ImageGeometry kGtsrbGeometry{3, 32, 32};
+
+/// Generates `config.count` samples with uniformly distributed labels.
+Dataset make_synthetic_gtsrb(const GtsrbConfig& config);
+
+}  // namespace orco::data

@@ -1,0 +1,94 @@
+#include "data/synthetic_mnist.h"
+
+#include <array>
+
+#include "common/check.h"
+#include "data/image.h"
+
+namespace orco::data {
+
+namespace {
+
+// Stroke font on a nominal 28x28 canvas. Key points (y, x):
+//   top bar (6,9)-(6,19), mid bar (14,9)-(14,19), bottom bar (22,9)-(22,19),
+//   verticals at x=9 and x=19, upper (6..14) and lower (14..22) halves.
+struct Segment {
+  float y0, x0, y1, x1;
+};
+
+using Strokes = std::vector<Segment>;
+
+const Strokes& digit_strokes(std::size_t digit) {
+  static const std::array<Strokes, 10> kFont = {{
+      // 0: full outline
+      {{6, 9, 6, 19}, {6, 19, 22, 19}, {22, 19, 22, 9}, {22, 9, 6, 9}},
+      // 1: right vertical with a small flag
+      {{8, 11, 6, 14}, {6, 14, 22, 14}},
+      // 2: top bar, upper-right vertical, mid bar, lower-left vertical, bottom
+      {{6, 9, 6, 19}, {6, 19, 14, 19}, {14, 19, 14, 9}, {14, 9, 22, 9},
+       {22, 9, 22, 19}},
+      // 3: top, mid, bottom bars joined by right vertical
+      {{6, 9, 6, 19}, {6, 19, 22, 19}, {14, 10, 14, 19}, {22, 9, 22, 19}},
+      // 4: upper-left vertical, mid bar, full right vertical
+      {{6, 9, 14, 9}, {14, 9, 14, 19}, {6, 19, 22, 19}},
+      // 5: mirror of 2
+      {{6, 19, 6, 9}, {6, 9, 14, 9}, {14, 9, 14, 19}, {14, 19, 22, 19},
+       {22, 19, 22, 9}},
+      // 6: like 5 plus lower-left vertical
+      {{6, 19, 6, 9}, {6, 9, 22, 9}, {22, 9, 22, 19}, {22, 19, 14, 19},
+       {14, 19, 14, 9}},
+      // 7: top bar and diagonal
+      {{6, 9, 6, 19}, {6, 19, 22, 12}},
+      // 8: everything
+      {{6, 9, 6, 19}, {6, 19, 22, 19}, {22, 19, 22, 9}, {22, 9, 6, 9},
+       {14, 9, 14, 19}},
+      // 9: like 8 minus lower-left vertical
+      {{14, 19, 14, 9}, {14, 9, 6, 9}, {6, 9, 6, 19}, {6, 19, 22, 19},
+       {22, 19, 22, 9}},
+  }};
+  return kFont[digit];
+}
+
+}  // namespace
+
+Dataset make_synthetic_mnist(const MnistConfig& config) {
+  ORCO_CHECK(config.count > 0, "mnist count must be positive");
+  ORCO_CHECK(config.min_scale > 0.0f && config.min_scale <= config.max_scale,
+             "bad mnist scale range");
+  common::Pcg32 rng(config.seed, /*stream=*/0x6d6e6973u);  // "mnis"
+
+  const auto geom = kMnistGeometry;
+  tensor::Tensor images({config.count, geom.features()});
+  std::vector<std::size_t> labels(config.count);
+
+  for (std::size_t i = 0; i < config.count; ++i) {
+    const std::size_t digit = rng.bounded(kMnistClasses);
+    labels[i] = digit;
+
+    Canvas canvas(1, geom.height, geom.width, 0.0f);
+    const float thickness = 1.2f + rng.uniform(0.0f, 1.4f);
+    const float ink = 0.75f + rng.uniform(0.0f, 0.25f);
+    for (const auto& s : digit_strokes(digit)) {
+      canvas.draw_line(s.y0, s.x0, s.y1, s.x1, {ink}, thickness);
+    }
+
+    const float angle =
+        rng.uniform(-config.max_rotation_rad, config.max_rotation_rad);
+    const float scale = rng.uniform(config.min_scale, config.max_scale);
+    const float dy = rng.uniform(-config.max_translation, config.max_translation);
+    const float dx = rng.uniform(-config.max_translation, config.max_translation);
+    Canvas warped = affine_warp(canvas, angle, scale, dy, dx);
+
+    warped.blur(1);
+    warped.add_noise(config.pixel_noise, rng);
+    warped.clamp01();
+
+    const auto t = warped.to_tensor();
+    std::copy(t.data().begin(), t.data().end(), images.row(i).begin());
+  }
+
+  return Dataset("synthetic-mnist", geom, kMnistClasses, std::move(images),
+                 std::move(labels));
+}
+
+}  // namespace orco::data

@@ -1,0 +1,30 @@
+// Procedural stand-in for MNIST (see DESIGN.md "Substitutions").
+//
+// Digits 0-9 are rendered as stroke skeletons on a 28x28 grid — a
+// seven-segment-plus-diagonals font — then perturbed per sample with random
+// rotation, scale, translation, stroke thickness, brightness and pixel
+// noise. The result is a deterministic, class-separable 784-dimensional
+// grayscale distribution exercising the same pipeline as real MNIST.
+#pragma once
+
+#include "data/dataset.h"
+
+namespace orco::data {
+
+struct MnistConfig {
+  std::size_t count = 1000;
+  std::uint64_t seed = 1;
+  float pixel_noise = 0.05f;  // Gaussian stddev added to every pixel
+  float max_rotation_rad = 0.26f;
+  float min_scale = 0.85f;
+  float max_scale = 1.1f;
+  float max_translation = 2.0f;
+};
+
+inline constexpr std::size_t kMnistClasses = 10;
+inline constexpr ImageGeometry kMnistGeometry{1, 28, 28};
+
+/// Generates `config.count` samples with uniformly distributed labels.
+Dataset make_synthetic_mnist(const MnistConfig& config);
+
+}  // namespace orco::data

@@ -1,0 +1,93 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace orco::nn {
+
+Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
+  input_ = input;
+  return input.map([](float v) { return v > 0.0f ? v : 0.0f; });
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  ORCO_CHECK(grad_output.shape() == input_.shape(), "ReLU backward mismatch");
+  Tensor out = grad_output;
+  const auto in = input_.data();
+  auto od = out.data();
+  for (std::size_t i = 0; i < od.size(); ++i) {
+    if (in[i] <= 0.0f) od[i] = 0.0f;
+  }
+  return out;
+}
+
+LeakyReLU::LeakyReLU(float alpha) : alpha_(alpha) {
+  ORCO_CHECK(alpha >= 0.0f && alpha < 1.0f, "LeakyReLU alpha out of range");
+}
+
+Tensor LeakyReLU::forward(const Tensor& input, bool /*training*/) {
+  input_ = input;
+  const float a = alpha_;
+  return input.map([a](float v) { return v > 0.0f ? v : a * v; });
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_output) {
+  ORCO_CHECK(grad_output.shape() == input_.shape(),
+             "LeakyReLU backward mismatch");
+  Tensor out = grad_output;
+  const auto in = input_.data();
+  auto od = out.data();
+  for (std::size_t i = 0; i < od.size(); ++i) {
+    if (in[i] <= 0.0f) od[i] *= alpha_;
+  }
+  return out;
+}
+
+Tensor Sigmoid::forward(const Tensor& input, bool /*training*/) {
+  output_ = input.map([](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+  return output_;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_output) {
+  ORCO_CHECK(grad_output.shape() == output_.shape(),
+             "Sigmoid backward mismatch");
+  Tensor out = grad_output;
+  const auto y = output_.data();
+  auto od = out.data();
+  for (std::size_t i = 0; i < od.size(); ++i) od[i] *= y[i] * (1.0f - y[i]);
+  return out;
+}
+
+Tensor Tanh::forward(const Tensor& input, bool /*training*/) {
+  output_ = input.map([](float v) { return std::tanh(v); });
+  return output_;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  ORCO_CHECK(grad_output.shape() == output_.shape(), "Tanh backward mismatch");
+  Tensor out = grad_output;
+  const auto y = output_.data();
+  auto od = out.data();
+  for (std::size_t i = 0; i < od.size(); ++i) od[i] *= 1.0f - y[i] * y[i];
+  return out;
+}
+
+Tensor Identity::forward(const Tensor& input, bool /*training*/) {
+  return input;
+}
+
+Tensor Identity::backward(const Tensor& grad_output) { return grad_output; }
+
+LayerPtr make_activation(Activation kind) {
+  switch (kind) {
+    case Activation::kIdentity:  return std::make_unique<Identity>();
+    case Activation::kReLU:      return std::make_unique<ReLU>();
+    case Activation::kLeakyReLU: return std::make_unique<LeakyReLU>();
+    case Activation::kSigmoid:   return std::make_unique<Sigmoid>();
+    case Activation::kTanh:      return std::make_unique<Tanh>();
+  }
+  throw std::invalid_argument("unknown activation kind");
+}
+
+}  // namespace orco::nn

@@ -1,0 +1,69 @@
+// Elementwise activation layers.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace orco::nn {
+
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+  std::size_t output_features(std::size_t f) const override { return f; }
+
+ private:
+  Tensor input_;
+};
+
+class LeakyReLU : public Layer {
+ public:
+  explicit LeakyReLU(float alpha = 0.01f);
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "LeakyReLU"; }
+  std::size_t output_features(std::size_t f) const override { return f; }
+
+ private:
+  float alpha_;
+  Tensor input_;
+};
+
+class Sigmoid : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Sigmoid"; }
+  std::size_t output_features(std::size_t f) const override { return f; }
+
+ private:
+  Tensor output_;  // sigmoid' = y(1-y), so cache the output
+};
+
+class Tanh : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Tanh"; }
+  std::size_t output_features(std::size_t f) const override { return f; }
+
+ private:
+  Tensor output_;
+};
+
+/// Pass-through; useful as a configurable "no activation" slot.
+class Identity : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Identity"; }
+  std::size_t output_features(std::size_t f) const override { return f; }
+};
+
+/// Activation kinds for config-driven model construction.
+enum class Activation { kIdentity, kReLU, kLeakyReLU, kSigmoid, kTanh };
+
+/// Factory for an activation layer.
+LayerPtr make_activation(Activation kind);
+
+}  // namespace orco::nn

@@ -1,0 +1,86 @@
+#include "nn/conv2d.h"
+
+#include "common/check.h"
+#include "nn/init.h"
+#include "tensor/matmul.h"
+
+namespace orco::nn {
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, std::size_t pad,
+               std::size_t in_h, std::size_t in_w, common::Pcg32& rng)
+    : geom_{in_channels, in_h, in_w, kernel, kernel, stride, pad},
+      out_channels_(out_channels),
+      w_({out_channels, in_channels * kernel * kernel}),
+      b_({out_channels}),
+      gw_({out_channels, in_channels * kernel * kernel}),
+      gb_({out_channels}) {
+  ORCO_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0,
+             "Conv2d: bad hyperparameters");
+  // Validate geometry eagerly so misconfigured models fail at build time.
+  (void)geom_.out_h();
+  (void)geom_.out_w();
+  he_normal(w_, in_channels * kernel * kernel, rng);
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
+  const std::size_t in_feats = geom_.in_channels * geom_.in_h * geom_.in_w;
+  ORCO_CHECK(input.rank() == 2 && input.dim(1) == in_feats,
+             "Conv2d expects (batch, " << in_feats << "), got "
+                                       << tensor::shape_to_string(input.shape()));
+  input_ = input;
+  const std::size_t batch = input.dim(0);
+  const std::size_t oh = geom_.out_h(), ow = geom_.out_w();
+  Tensor out({batch, out_channels_ * oh * ow});
+  for (std::size_t s = 0; s < batch; ++s) {
+    const Tensor cols = tensor::im2col(input.row(s), geom_);
+    Tensor y = tensor::matmul(w_, cols);  // (outC, OH*OW)
+    auto yd = y.data();
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      const float bias = b_[oc];
+      for (std::size_t p = 0; p < oh * ow; ++p) yd[oc * oh * ow + p] += bias;
+    }
+    out.set_outer(s, y.reshaped({out_channels_ * oh * ow}));
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  const std::size_t batch = input_.dim(0);
+  const std::size_t oh = geom_.out_h(), ow = geom_.out_w();
+  ORCO_CHECK(grad_output.rank() == 2 && grad_output.dim(0) == batch &&
+                 grad_output.dim(1) == out_channels_ * oh * ow,
+             "Conv2d backward shape mismatch");
+  Tensor grad_input({batch, input_.dim(1)});
+  for (std::size_t s = 0; s < batch; ++s) {
+    const Tensor cols = tensor::im2col(input_.row(s), geom_);
+    Tensor gy({out_channels_, oh * ow},
+              std::vector<float>(grad_output.row(s).begin(),
+                                 grad_output.row(s).end()));
+    // dW += dY cols^T ; db += spatial sums ; dCols = W^T dY -> col2im.
+    gw_ += tensor::matmul_nt(gy, cols);
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      double acc = 0.0;
+      const auto r = gy.row(oc);
+      for (const auto v : r) acc += v;
+      gb_[oc] += static_cast<float>(acc);
+    }
+    const Tensor gcols = tensor::matmul_tn(w_, gy);
+    tensor::col2im(gcols, geom_, grad_input.row(s));
+  }
+  return grad_input;
+}
+
+std::vector<ParamView> Conv2d::params() {
+  return {{"weight", &w_, &gw_}, {"bias", &b_, &gb_}};
+}
+
+std::size_t Conv2d::output_features(std::size_t input_features) const {
+  const std::size_t in_feats = geom_.in_channels * geom_.in_h * geom_.in_w;
+  ORCO_CHECK(input_features == in_feats,
+             "Conv2d chain mismatch: got " << input_features << ", expected "
+                                           << in_feats);
+  return out_channels_ * geom_.out_h() * geom_.out_w();
+}
+
+}  // namespace orco::nn

@@ -1,0 +1,105 @@
+#include "nn/conv_transpose2d.h"
+
+#include "common/check.h"
+#include "nn/init.h"
+#include "tensor/matmul.h"
+
+namespace orco::nn {
+
+ConvTranspose2d::ConvTranspose2d(std::size_t in_channels,
+                                 std::size_t out_channels, std::size_t kernel,
+                                 std::size_t stride, std::size_t pad,
+                                 std::size_t in_h, std::size_t in_w,
+                                 common::Pcg32& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      in_h_(in_h),
+      in_w_(in_w),
+      w_({in_channels, out_channels * kernel * kernel}),
+      b_({out_channels}),
+      gw_({in_channels, out_channels * kernel * kernel}),
+      gb_({out_channels}) {
+  ORCO_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0,
+             "ConvTranspose2d: bad hyperparameters");
+  ORCO_CHECK((in_h - 1) * stride + kernel >= 2 * pad,
+             "ConvTranspose2d: padding too large");
+  out_h_ = (in_h - 1) * stride + kernel - 2 * pad;
+  out_w_ = (in_w - 1) * stride + kernel - 2 * pad;
+  geom_ = tensor::Conv2dGeometry{out_channels, out_h_, out_w_,
+                                 kernel,       kernel, stride, pad};
+  // The adjoint geometry must map the output back onto the input grid.
+  ORCO_ENSURE(geom_.out_h() == in_h && geom_.out_w() == in_w,
+              "ConvTranspose2d geometry inconsistent");
+  he_normal(w_, in_channels, rng);
+}
+
+Tensor ConvTranspose2d::forward(const Tensor& input, bool /*training*/) {
+  const std::size_t in_feats = in_channels_ * in_h_ * in_w_;
+  ORCO_CHECK(input.rank() == 2 && input.dim(1) == in_feats,
+             "ConvTranspose2d expects (batch, " << in_feats << "), got "
+                                                << tensor::shape_to_string(
+                                                       input.shape()));
+  input_ = input;
+  const std::size_t batch = input.dim(0);
+  const std::size_t out_feats = out_channels_ * out_h_ * out_w_;
+  Tensor out({batch, out_feats});
+  for (std::size_t s = 0; s < batch; ++s) {
+    Tensor x({in_channels_, in_h_ * in_w_},
+             std::vector<float>(input.row(s).begin(), input.row(s).end()));
+    const Tensor cols = tensor::matmul_tn(w_, x);  // (outC*K*K, H*W)
+    Tensor y({out_feats});
+    tensor::col2im(cols, geom_, y.data());
+    auto yd = y.data();
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      const float bias = b_[oc];
+      for (std::size_t p = 0; p < out_h_ * out_w_; ++p) {
+        yd[oc * out_h_ * out_w_ + p] += bias;
+      }
+    }
+    out.set_outer(s, y);
+  }
+  return out;
+}
+
+Tensor ConvTranspose2d::backward(const Tensor& grad_output) {
+  const std::size_t batch = input_.dim(0);
+  const std::size_t out_feats = out_channels_ * out_h_ * out_w_;
+  ORCO_CHECK(grad_output.rank() == 2 && grad_output.dim(0) == batch &&
+                 grad_output.dim(1) == out_feats,
+             "ConvTranspose2d backward shape mismatch");
+  Tensor grad_input({batch, input_.dim(1)});
+  for (std::size_t s = 0; s < batch; ++s) {
+    // Gradient w.r.t. output image -> columns (adjoint of col2im is im2col).
+    const Tensor gcols = tensor::im2col(grad_output.row(s), geom_);
+    Tensor x({in_channels_, in_h_ * in_w_},
+             std::vector<float>(input_.row(s).begin(), input_.row(s).end()));
+    // dX = W gcols ; dW += x gcols^T ; db += per-channel sums of grad_out.
+    const Tensor gx = tensor::matmul(w_, gcols);
+    grad_input.set_outer(s, gx.reshaped({input_.dim(1)}));
+    gw_ += tensor::matmul_nt(x, gcols);
+    const auto go = grad_output.row(s);
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < out_h_ * out_w_; ++p) {
+        acc += go[oc * out_h_ * out_w_ + p];
+      }
+      gb_[oc] += static_cast<float>(acc);
+    }
+  }
+  return grad_input;
+}
+
+std::vector<ParamView> ConvTranspose2d::params() {
+  return {{"weight", &w_, &gw_}, {"bias", &b_, &gb_}};
+}
+
+std::size_t ConvTranspose2d::output_features(
+    std::size_t input_features) const {
+  const std::size_t in_feats = in_channels_ * in_h_ * in_w_;
+  ORCO_CHECK(input_features == in_feats,
+             "ConvTranspose2d chain mismatch: got "
+                 << input_features << ", expected " << in_feats);
+  return out_channels_ * out_h_ * out_w_;
+}
+
+}  // namespace orco::nn

@@ -1,0 +1,60 @@
+#include "nn/dense.h"
+
+#include "common/check.h"
+#include "nn/init.h"
+#include "tensor/matmul.h"
+
+namespace orco::nn {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features,
+             common::Pcg32& rng)
+    : in_(in_features),
+      out_(out_features),
+      w_({out_features, in_features}),
+      b_({out_features}),
+      gw_({out_features, in_features}),
+      gb_({out_features}) {
+  ORCO_CHECK(in_features > 0 && out_features > 0,
+             "Dense dims must be positive, got " << in_features << " -> "
+                                                 << out_features);
+  xavier_uniform(w_, in_features, out_features, rng);
+}
+
+Tensor Dense::forward(const Tensor& input, bool /*training*/) {
+  ORCO_CHECK(input.rank() == 2 && input.dim(1) == in_,
+             "Dense expects (batch, " << in_ << "), got "
+                                      << tensor::shape_to_string(input.shape()));
+  input_ = input;
+  Tensor out = tensor::matmul_nt(input, w_);  // (B, out)
+  for (std::size_t i = 0; i < out.dim(0); ++i) {
+    auto r = out.row(i);
+    for (std::size_t j = 0; j < out_; ++j) r[j] += b_[j];
+  }
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  ORCO_CHECK(grad_output.rank() == 2 && grad_output.dim(1) == out_ &&
+                 grad_output.dim(0) == input_.dim(0),
+             "Dense backward shape mismatch");
+  // dW += dY^T X ; db += column sums of dY ; dX = dY W
+  gw_ += tensor::matmul_tn(grad_output, input_);
+  for (std::size_t i = 0; i < grad_output.dim(0); ++i) {
+    const auto r = grad_output.row(i);
+    for (std::size_t j = 0; j < out_; ++j) gb_[j] += r[j];
+  }
+  return tensor::matmul(grad_output, w_);
+}
+
+std::vector<ParamView> Dense::params() {
+  return {{"weight", &w_, &gw_}, {"bias", &b_, &gb_}};
+}
+
+std::size_t Dense::output_features(std::size_t input_features) const {
+  ORCO_CHECK(input_features == in_, "Dense chain mismatch: got "
+                                        << input_features << ", expected "
+                                        << in_);
+  return out_;
+}
+
+}  // namespace orco::nn

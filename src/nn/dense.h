@@ -1,0 +1,45 @@
+// Fully-connected layer: y = x W^T + b.
+//
+// This is the paper's encoder building block: OrcoDCS's encoder is exactly
+// one Dense layer (eq. 1), sized so that each IoT device owns one column of
+// the weight matrix (see core/encoder_share.h).
+#pragma once
+
+#include "nn/layer.h"
+
+namespace orco::nn {
+
+class Dense : public Layer {
+ public:
+  /// Weight is (out_features, in_features); bias (out_features).
+  /// Weights are Xavier-uniform initialised from `rng`.
+  Dense(std::size_t in_features, std::size_t out_features, common::Pcg32& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamView> params() override;
+  std::string name() const override { return "Dense"; }
+  std::size_t output_features(std::size_t input_features) const override;
+  std::size_t forward_flops(std::size_t batch) const override {
+    return 2 * batch * in_ * out_;
+  }
+
+  std::size_t in_features() const noexcept { return in_; }
+  std::size_t out_features() const noexcept { return out_; }
+
+  /// Direct access for the orchestrator, which splits the encoder weight
+  /// into per-device columns and reassembles gradients.
+  Tensor& weight() noexcept { return w_; }
+  const Tensor& weight() const noexcept { return w_; }
+  Tensor& bias() noexcept { return b_; }
+  const Tensor& bias() const noexcept { return b_; }
+  Tensor& weight_grad() noexcept { return gw_; }
+  Tensor& bias_grad() noexcept { return gb_; }
+
+ private:
+  std::size_t in_, out_;
+  Tensor w_, b_, gw_, gb_;
+  Tensor input_;  // cached for backward
+};
+
+}  // namespace orco::nn

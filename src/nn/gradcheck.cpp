@@ -1,0 +1,88 @@
+#include "nn/gradcheck.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace orco::nn {
+
+namespace {
+
+float dot(const Tensor& a, const Tensor& b) {
+  double acc = 0.0;
+  const auto ad = a.data(), bd = b.data();
+  for (std::size_t i = 0; i < ad.size(); ++i) {
+    acc += static_cast<double>(ad[i]) * bd[i];
+  }
+  return static_cast<float>(acc);
+}
+
+float rel_error(float analytic, float numeric) {
+  const float denom =
+      std::max(1e-4f, std::fabs(analytic) + std::fabs(numeric));
+  return std::fabs(analytic - numeric) / denom;
+}
+
+}  // namespace
+
+GradCheckReport gradcheck_layer(Layer& layer, const tensor::Shape& input_shape,
+                                common::Pcg32& rng, float eps,
+                                float tolerance) {
+  return gradcheck_layer_with_input(layer, Tensor::randn(input_shape, rng),
+                                    rng, eps, tolerance);
+}
+
+GradCheckReport gradcheck_layer_with_input(Layer& layer, Tensor input,
+                                           common::Pcg32& rng, float eps,
+                                           float tolerance) {
+  Tensor out = layer.forward(input, /*training=*/false);
+  const Tensor projection = Tensor::randn(out.shape(), rng);
+
+  // Analytic gradients of L = sum(forward(x) ⊙ R).
+  layer.zero_grad();
+  (void)layer.forward(input, false);
+  const Tensor grad_input = layer.backward(projection);
+
+  GradCheckReport report;
+
+  // Snapshot analytic parameter gradients (backward accumulated them).
+  std::vector<Tensor> analytic_param_grads;
+  for (auto& p : layer.params()) analytic_param_grads.push_back(*p.grad);
+
+  // Numeric parameter gradients via central differences.
+  auto params = layer.params();
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    auto& value = *params[pi].value;
+    for (std::size_t j = 0; j < value.numel(); ++j) {
+      const float saved = value[j];
+      value[j] = saved + eps;
+      const float plus = dot(layer.forward(input, false), projection);
+      value[j] = saved - eps;
+      const float minus = dot(layer.forward(input, false), projection);
+      value[j] = saved;
+      const float numeric = (plus - minus) / (2.0f * eps);
+      const float analytic = analytic_param_grads[pi][j];
+      report.max_param_rel_error =
+          std::max(report.max_param_rel_error, rel_error(analytic, numeric));
+    }
+  }
+
+  // Numeric input gradients.
+  for (std::size_t j = 0; j < input.numel(); ++j) {
+    const float saved = input[j];
+    input[j] = saved + eps;
+    const float plus = dot(layer.forward(input, false), projection);
+    input[j] = saved - eps;
+    const float minus = dot(layer.forward(input, false), projection);
+    input[j] = saved;
+    const float numeric = (plus - minus) / (2.0f * eps);
+    report.max_input_rel_error = std::max(
+        report.max_input_rel_error, rel_error(grad_input[j], numeric));
+  }
+
+  report.ok = report.max_param_rel_error <= tolerance &&
+              report.max_input_rel_error <= tolerance;
+  return report;
+}
+
+}  // namespace orco::nn

@@ -1,0 +1,32 @@
+// Numerical gradient checking — every layer in tests/nn_gradcheck_test.cpp
+// is validated against central finite differences through this harness.
+#pragma once
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace orco::nn {
+
+struct GradCheckReport {
+  float max_param_rel_error = 0.0f;
+  float max_input_rel_error = 0.0f;
+  bool ok = false;
+};
+
+/// Checks d(sum(forward(x) * R))/dθ and /dx against central differences for
+/// a random input of `input_shape` and a fixed random projection R.
+/// The layer must be deterministic in eval mode (training=false is used).
+GradCheckReport gradcheck_layer(Layer& layer, const tensor::Shape& input_shape,
+                                common::Pcg32& rng, float eps = 1e-2f,
+                                float tolerance = 3e-2f);
+
+/// Same check with a caller-provided input. Use inputs with well-separated
+/// values for layers whose gradient is only piecewise smooth (max pooling):
+/// a random input can put two window entries within eps of each other, and
+/// the finite-difference probe then crosses the winner boundary.
+GradCheckReport gradcheck_layer_with_input(Layer& layer, Tensor input,
+                                           common::Pcg32& rng,
+                                           float eps = 1e-2f,
+                                           float tolerance = 3e-2f);
+
+}  // namespace orco::nn

@@ -1,0 +1,16 @@
+// Weight initialisers (Glorot/He). Deterministic given the caller's RNG.
+#pragma once
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace orco::nn {
+
+/// Glorot/Xavier uniform: U(-a, a), a = sqrt(6 / (fan_in + fan_out)).
+void xavier_uniform(tensor::Tensor& w, std::size_t fan_in, std::size_t fan_out,
+                    common::Pcg32& rng);
+
+/// He/Kaiming normal: N(0, sqrt(2 / fan_in)). Preferred before ReLU.
+void he_normal(tensor::Tensor& w, std::size_t fan_in, common::Pcg32& rng);
+
+}  // namespace orco::nn

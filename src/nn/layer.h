@@ -1,0 +1,70 @@
+// Layer abstraction: explicit forward/backward with cached activations
+// (Caffe-style). Chosen over tape autograd because every model in the paper
+// is a feed-forward chain, and explicit backward keeps each kernel
+// independently verifiable with numerical gradient checks.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace orco::nn {
+
+using tensor::Tensor;
+
+/// Non-owning handle to one trainable parameter and its gradient.
+struct ParamView {
+  std::string name;
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+};
+
+/// Base class for all layers. Data flows as rank-2 (batch, features)
+/// tensors; spatial layers (conv, pool) interpret `features` as C*H*W using
+/// their own geometry and validate it.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  /// Computes the layer output. `training` toggles train-only behaviour
+  /// (e.g. noise injection). Implementations cache whatever backward needs.
+  virtual Tensor forward(const Tensor& input, bool training) = 0;
+
+  /// Given dL/d(output), accumulates parameter gradients and returns
+  /// dL/d(input). Must be called after forward on the same batch.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<ParamView> params() { return {}; }
+
+  /// Resets accumulated parameter gradients to zero.
+  void zero_grad() {
+    for (auto& p : params()) p.grad->fill(0.0f);
+  }
+
+  /// Layer type name for diagnostics and serialisation headers.
+  virtual std::string name() const = 0;
+
+  /// Output feature count for a given input feature count; used by model
+  /// builders to validate chains at construction time.
+  virtual std::size_t output_features(std::size_t input_features) const = 0;
+
+  /// Estimated multiply-add FLOPs for a forward pass over `batch` samples.
+  /// Backward is conventionally charged at 2x forward. Stateless layers
+  /// report 0 (their cost is negligible next to the GEMMs). Used by the
+  /// simulated compute-time model (core/compute_model.h).
+  virtual std::size_t forward_flops(std::size_t batch) const {
+    (void)batch;
+    return 0;
+  }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace orco::nn

@@ -1,0 +1,116 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace orco::nn {
+
+namespace {
+void check_pair(const Tensor& pred, const Tensor& target, const char* who) {
+  ORCO_CHECK(pred.shape() == target.shape(),
+             who << ": shape mismatch " << tensor::shape_to_string(pred.shape())
+                 << " vs " << tensor::shape_to_string(target.shape()));
+  ORCO_CHECK(pred.numel() > 0, who << ": empty tensors");
+}
+}  // namespace
+
+float MseLoss::value(const Tensor& pred, const Tensor& target) const {
+  check_pair(pred, target, "MseLoss");
+  return tensor::mse(pred, target);
+}
+
+Tensor MseLoss::gradient(const Tensor& pred, const Tensor& target) const {
+  check_pair(pred, target, "MseLoss");
+  const float scale = 2.0f / static_cast<float>(pred.numel());
+  Tensor g = pred - target;
+  g *= scale;
+  return g;
+}
+
+float L1Loss::value(const Tensor& pred, const Tensor& target) const {
+  check_pair(pred, target, "L1Loss");
+  double acc = 0.0;
+  const auto p = pred.data(), t = target.data();
+  for (std::size_t i = 0; i < p.size(); ++i) acc += std::fabs(p[i] - t[i]);
+  return static_cast<float>(acc / static_cast<double>(pred.numel()));
+}
+
+Tensor L1Loss::gradient(const Tensor& pred, const Tensor& target) const {
+  check_pair(pred, target, "L1Loss");
+  const float scale = 1.0f / static_cast<float>(pred.numel());
+  Tensor g(pred.shape());
+  const auto p = pred.data(), t = target.data();
+  auto gd = g.data();
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const float d = p[i] - t[i];
+    gd[i] = d > 0.0f ? scale : (d < 0.0f ? -scale : 0.0f);
+  }
+  return g;
+}
+
+HuberLoss::HuberLoss(float delta) : delta_(delta) {
+  ORCO_CHECK(delta > 0.0f, "Huber delta must be positive");
+}
+
+float HuberLoss::value(const Tensor& pred, const Tensor& target) const {
+  check_pair(pred, target, "HuberLoss");
+  double acc = 0.0;
+  const auto p = pred.data(), t = target.data();
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const float a = std::fabs(p[i] - t[i]);
+    if (a <= delta_) {
+      acc += 0.5 * static_cast<double>(a) * a;
+    } else {
+      acc += static_cast<double>(delta_) * a - 0.5 * delta_ * delta_;
+    }
+  }
+  return static_cast<float>(acc / static_cast<double>(pred.numel()));
+}
+
+Tensor HuberLoss::gradient(const Tensor& pred, const Tensor& target) const {
+  check_pair(pred, target, "HuberLoss");
+  const float scale = 1.0f / static_cast<float>(pred.numel());
+  Tensor g(pred.shape());
+  const auto p = pred.data(), t = target.data();
+  auto gd = g.data();
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const float d = p[i] - t[i];
+    if (std::fabs(d) <= delta_) {
+      gd[i] = d * scale;
+    } else {
+      gd[i] = (d > 0.0f ? delta_ : -delta_) * scale;
+    }
+  }
+  return g;
+}
+
+float SoftmaxCrossEntropy::value(
+    const Tensor& logits, const std::vector<std::size_t>& labels) const {
+  ORCO_CHECK(logits.rank() == 2, "SoftmaxCrossEntropy wants rank-2 logits");
+  ORCO_CHECK(labels.size() == logits.dim(0),
+             "label count " << labels.size() << " vs batch " << logits.dim(0));
+  const Tensor lsm = tensor::log_softmax_rows(logits);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    ORCO_CHECK(labels[i] < logits.dim(1), "label out of range");
+    acc -= lsm.at(i, labels[i]);
+  }
+  return static_cast<float>(acc / static_cast<double>(labels.size()));
+}
+
+Tensor SoftmaxCrossEntropy::gradient(
+    const Tensor& logits, const std::vector<std::size_t>& labels) const {
+  ORCO_CHECK(logits.rank() == 2, "SoftmaxCrossEntropy wants rank-2 logits");
+  ORCO_CHECK(labels.size() == logits.dim(0), "label/batch mismatch");
+  Tensor g = tensor::softmax_rows(logits);
+  const float inv_b = 1.0f / static_cast<float>(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    g.at(i, labels[i]) -= 1.0f;
+  }
+  g *= inv_b;
+  return g;
+}
+
+}  // namespace orco::nn

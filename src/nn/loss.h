@@ -1,0 +1,65 @@
+// Reconstruction losses (tensor target) and softmax cross-entropy (class
+// target).
+//
+// HuberLoss is the paper's training objective (eq. 4): quadratic within δ,
+// linear outside — robust to outlier pixels. All reconstruction losses are
+// mean-reduced over every element so loss magnitudes are comparable across
+// batch sizes and image dimensions.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace orco::nn {
+
+using tensor::Tensor;
+
+class Loss {
+ public:
+  virtual ~Loss() = default;
+  virtual float value(const Tensor& pred, const Tensor& target) const = 0;
+  virtual Tensor gradient(const Tensor& pred, const Tensor& target) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Mean squared error: mean((p - t)^2).
+class MseLoss : public Loss {
+ public:
+  float value(const Tensor& pred, const Tensor& target) const override;
+  Tensor gradient(const Tensor& pred, const Tensor& target) const override;
+  std::string name() const override { return "mse"; }
+};
+
+/// Mean absolute error: mean(|p - t|).
+class L1Loss : public Loss {
+ public:
+  float value(const Tensor& pred, const Tensor& target) const override;
+  Tensor gradient(const Tensor& pred, const Tensor& target) const override;
+  std::string name() const override { return "l1"; }
+};
+
+/// Elementwise Huber (smooth-L1) with threshold δ, mean-reduced (paper eq. 4).
+class HuberLoss : public Loss {
+ public:
+  explicit HuberLoss(float delta = 1.0f);
+  float value(const Tensor& pred, const Tensor& target) const override;
+  Tensor gradient(const Tensor& pred, const Tensor& target) const override;
+  std::string name() const override { return "huber"; }
+  float delta() const noexcept { return delta_; }
+
+ private:
+  float delta_;
+};
+
+/// Softmax + cross-entropy over integer class labels, mean-reduced over the
+/// batch. Gradient is the standard (softmax - onehot)/B.
+class SoftmaxCrossEntropy {
+ public:
+  float value(const Tensor& logits,
+              const std::vector<std::size_t>& labels) const;
+  Tensor gradient(const Tensor& logits,
+                  const std::vector<std::size_t>& labels) const;
+};
+
+}  // namespace orco::nn

@@ -1,0 +1,25 @@
+// Model weight (de)serialisation.
+//
+// Beyond checkpointing, this is how the orchestrator measures the broadcast
+// cost of distributing the trained encoder to IoT devices (paper §III-C):
+// the serialised size is the wire size.
+#pragma once
+
+#include <string>
+
+#include "common/serialize.h"
+#include "nn/layer.h"
+
+namespace orco::nn {
+
+/// Serialises all parameters of `model` (names, shapes, data) into bytes.
+std::vector<std::byte> save_params(Layer& model);
+
+/// Restores parameters saved by save_params; shapes and names must match.
+void load_params(Layer& model, std::span<const std::byte> bytes);
+
+/// File convenience wrappers.
+void save_params_file(Layer& model, const std::string& path);
+void load_params_file(Layer& model, const std::string& path);
+
+}  // namespace orco::nn

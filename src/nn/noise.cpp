@@ -1,0 +1,30 @@
+#include "nn/noise.h"
+
+#include "common/check.h"
+
+namespace orco::nn {
+
+GaussianNoise::GaussianNoise(float sigma, common::Pcg32 rng)
+    : sigma_(sigma), rng_(rng) {
+  ORCO_CHECK(sigma >= 0.0f, "noise sigma must be non-negative");
+}
+
+void GaussianNoise::set_sigma(float sigma) {
+  ORCO_CHECK(sigma >= 0.0f, "noise sigma must be non-negative");
+  sigma_ = sigma;
+}
+
+Tensor GaussianNoise::forward(const Tensor& input, bool training) {
+  if (!training || sigma_ == 0.0f) return input;
+  Tensor out = input;
+  for (auto& v : out.data()) {
+    v += static_cast<float>(rng_.normal(0.0, sigma_));
+  }
+  return out;
+}
+
+Tensor GaussianNoise::backward(const Tensor& grad_output) {
+  return grad_output;
+}
+
+}  // namespace orco::nn

@@ -1,0 +1,108 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace orco::nn {
+
+Optimizer::Optimizer(std::vector<ParamView> params)
+    : params_(std::move(params)) {
+  for (const auto& p : params_) {
+    ORCO_CHECK(p.value != nullptr && p.grad != nullptr,
+               "null param view: " << p.name);
+    ORCO_CHECK(p.value->shape() == p.grad->shape(),
+               "param/grad shape mismatch: " << p.name);
+  }
+}
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) p.grad->fill(0.0f);
+}
+
+std::size_t Optimizer::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& p : params_) n += p.value->numel();
+  return n;
+}
+
+Sgd::Sgd(std::vector<ParamView> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  ORCO_CHECK(lr > 0.0f, "learning rate must be positive");
+  ORCO_CHECK(momentum >= 0.0f && momentum < 1.0f, "momentum out of [0,1)");
+  ORCO_CHECK(weight_decay >= 0.0f, "weight decay must be non-negative");
+  if (momentum_ > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (const auto& p : params_) velocity_.emplace_back(p.value->shape());
+  }
+}
+
+void Sgd::set_learning_rate(float lr) {
+  ORCO_CHECK(lr > 0.0f, "learning rate must be positive");
+  lr_ = lr;
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& value = *params_[i].value;
+    auto& grad = *params_[i].grad;
+    auto vd = value.data();
+    const auto gd = grad.data();
+    if (momentum_ > 0.0f) {
+      auto mv = velocity_[i].data();
+      for (std::size_t j = 0; j < vd.size(); ++j) {
+        const float g = gd[j] + weight_decay_ * vd[j];
+        mv[j] = momentum_ * mv[j] + g;
+        vd[j] -= lr_ * mv[j];
+      }
+    } else {
+      for (std::size_t j = 0; j < vd.size(); ++j) {
+        const float g = gd[j] + weight_decay_ * vd[j];
+        vd[j] -= lr_ * g;
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<ParamView> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  ORCO_CHECK(lr > 0.0f, "learning rate must be positive");
+  ORCO_CHECK(beta1 >= 0.0f && beta1 < 1.0f, "beta1 out of [0,1)");
+  ORCO_CHECK(beta2 >= 0.0f && beta2 < 1.0f, "beta2 out of [0,1)");
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.value->shape());
+    v_.emplace_back(p.value->shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto vd = params_[i].value->data();
+    const auto gd = params_[i].grad->data();
+    auto md = m_[i].data();
+    auto sd = v_[i].data();
+    for (std::size_t j = 0; j < vd.size(); ++j) {
+      md[j] = beta1_ * md[j] + (1.0f - beta1_) * gd[j];
+      sd[j] = beta2_ * sd[j] + (1.0f - beta2_) * gd[j] * gd[j];
+      const float mhat = md[j] / bc1;
+      const float vhat = sd[j] / bc2;
+      vd[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace orco::nn

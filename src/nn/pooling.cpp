@@ -1,0 +1,84 @@
+#include "nn/pooling.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace orco::nn {
+
+MaxPool2d::MaxPool2d(std::size_t channels, std::size_t in_h, std::size_t in_w,
+                     std::size_t kernel, std::size_t stride)
+    : channels_(channels),
+      in_h_(in_h),
+      in_w_(in_w),
+      kernel_(kernel),
+      stride_(stride) {
+  ORCO_CHECK(channels > 0 && kernel > 0 && stride > 0, "MaxPool2d: bad params");
+  ORCO_CHECK(in_h >= kernel && in_w >= kernel,
+             "MaxPool2d: window larger than input");
+  out_h_ = (in_h - kernel) / stride + 1;
+  out_w_ = (in_w - kernel) / stride + 1;
+}
+
+Tensor MaxPool2d::forward(const Tensor& input, bool /*training*/) {
+  const std::size_t in_feats = channels_ * in_h_ * in_w_;
+  ORCO_CHECK(input.rank() == 2 && input.dim(1) == in_feats,
+             "MaxPool2d expects (batch, " << in_feats << ")");
+  batch_ = input.dim(0);
+  const std::size_t out_feats = channels_ * out_h_ * out_w_;
+  Tensor out({batch_, out_feats});
+  argmax_.assign(batch_ * out_feats, 0);
+
+  for (std::size_t s = 0; s < batch_; ++s) {
+    const auto in = input.row(s);
+    auto o = out.row(s);
+    std::size_t oi = 0;
+    for (std::size_t c = 0; c < channels_; ++c) {
+      const float* plane = in.data() + c * in_h_ * in_w_;
+      for (std::size_t y = 0; y < out_h_; ++y) {
+        for (std::size_t x = 0; x < out_w_; ++x, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t ky = 0; ky < kernel_; ++ky) {
+            for (std::size_t kx = 0; kx < kernel_; ++kx) {
+              const std::size_t sy = y * stride_ + ky;
+              const std::size_t sx = x * stride_ + kx;
+              const std::size_t idx = sy * in_w_ + sx;
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = c * in_h_ * in_w_ + idx;
+              }
+            }
+          }
+          o[oi] = best;
+          argmax_[s * out_feats + oi] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  const std::size_t out_feats = channels_ * out_h_ * out_w_;
+  ORCO_CHECK(grad_output.rank() == 2 && grad_output.dim(0) == batch_ &&
+                 grad_output.dim(1) == out_feats,
+             "MaxPool2d backward shape mismatch");
+  Tensor grad_input({batch_, channels_ * in_h_ * in_w_});
+  for (std::size_t s = 0; s < batch_; ++s) {
+    const auto go = grad_output.row(s);
+    auto gi = grad_input.row(s);
+    for (std::size_t oi = 0; oi < out_feats; ++oi) {
+      gi[argmax_[s * out_feats + oi]] += go[oi];
+    }
+  }
+  return grad_input;
+}
+
+std::size_t MaxPool2d::output_features(std::size_t input_features) const {
+  ORCO_CHECK(input_features == channels_ * in_h_ * in_w_,
+             "MaxPool2d chain mismatch");
+  return channels_ * out_h_ * out_w_;
+}
+
+}  // namespace orco::nn

@@ -1,0 +1,29 @@
+// Spatial pooling layers for the follow-up CNN classifier.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace orco::nn {
+
+/// Max pooling with square window; stores winner indices for backward.
+class MaxPool2d : public Layer {
+ public:
+  MaxPool2d(std::size_t channels, std::size_t in_h, std::size_t in_w,
+            std::size_t kernel, std::size_t stride);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "MaxPool2d"; }
+  std::size_t output_features(std::size_t input_features) const override;
+
+  std::size_t out_h() const noexcept { return out_h_; }
+  std::size_t out_w() const noexcept { return out_w_; }
+
+ private:
+  std::size_t channels_, in_h_, in_w_, kernel_, stride_;
+  std::size_t out_h_, out_w_;
+  std::vector<std::size_t> argmax_;  // flat winner index per output element
+  std::size_t batch_ = 0;
+};
+
+}  // namespace orco::nn

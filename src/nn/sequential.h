@@ -1,0 +1,50 @@
+// Sequential layer container — the model type used for encoders, decoders,
+// DCSNet and the classifier.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "nn/layer.h"
+
+namespace orco::nn {
+
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns a reference for further wiring.
+  Layer& add(LayerPtr layer);
+
+  /// Constructs a layer in place and appends it.
+  template <typename T, typename... Args>
+  T& emplace(Args&&... args) {
+    auto layer = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *layer;
+    add(std::move(layer));
+    return ref;
+  }
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<ParamView> params() override;
+  std::string name() const override { return "Sequential"; }
+
+  /// Validates the whole chain for `input_features`, returning the final
+  /// feature count. Throws if any adjacent pair disagrees.
+  std::size_t output_features(std::size_t input_features) const override;
+
+  std::size_t size() const noexcept { return layers_.size(); }
+  Layer& layer(std::size_t i);
+  const Layer& layer(std::size_t i) const;
+
+  /// Total trainable scalar count (for overhead accounting).
+  std::size_t parameter_count();
+
+  std::size_t forward_flops(std::size_t batch) const override;
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace orco::nn

@@ -1,0 +1,90 @@
+#include "tensor/im2col.h"
+
+#include "common/check.h"
+
+namespace orco::tensor {
+
+std::size_t Conv2dGeometry::out_h() const {
+  ORCO_CHECK(in_h + 2 * pad >= kernel_h, "conv kernel taller than padded input");
+  return (in_h + 2 * pad - kernel_h) / stride + 1;
+}
+
+std::size_t Conv2dGeometry::out_w() const {
+  ORCO_CHECK(in_w + 2 * pad >= kernel_w, "conv kernel wider than padded input");
+  return (in_w + 2 * pad - kernel_w) / stride + 1;
+}
+
+Tensor im2col(std::span<const float> image, const Conv2dGeometry& g) {
+  ORCO_CHECK(image.size() == g.in_channels * g.in_h * g.in_w,
+             "im2col image size mismatch: " << image.size() << " vs "
+                                            << g.in_channels * g.in_h * g.in_w);
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  const std::size_t rows = g.in_channels * g.kernel_h * g.kernel_w;
+  Tensor cols({rows, oh * ow});
+  auto out = cols.data();
+
+  std::size_t r = 0;
+  for (std::size_t c = 0; c < g.in_channels; ++c) {
+    for (std::size_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::size_t kw = 0; kw < g.kernel_w; ++kw, ++r) {
+        float* dst = out.data() + r * oh * ow;
+        for (std::size_t y = 0; y < oh; ++y) {
+          // Signed arithmetic: padding can push source coords negative.
+          const std::ptrdiff_t sy =
+              static_cast<std::ptrdiff_t>(y * g.stride + kh) -
+              static_cast<std::ptrdiff_t>(g.pad);
+          for (std::size_t x = 0; x < ow; ++x) {
+            const std::ptrdiff_t sx =
+                static_cast<std::ptrdiff_t>(x * g.stride + kw) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            float v = 0.0f;
+            if (sy >= 0 && sy < static_cast<std::ptrdiff_t>(g.in_h) &&
+                sx >= 0 && sx < static_cast<std::ptrdiff_t>(g.in_w)) {
+              v = image[(c * g.in_h + static_cast<std::size_t>(sy)) * g.in_w +
+                        static_cast<std::size_t>(sx)];
+            }
+            dst[y * ow + x] = v;
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+void col2im(const Tensor& columns, const Conv2dGeometry& g,
+            std::span<float> image_grad) {
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  const std::size_t rows = g.in_channels * g.kernel_h * g.kernel_w;
+  ORCO_CHECK(columns.rank() == 2 && columns.dim(0) == rows &&
+                 columns.dim(1) == oh * ow,
+             "col2im shape mismatch: " << shape_to_string(columns.shape()));
+  ORCO_CHECK(image_grad.size() == g.in_channels * g.in_h * g.in_w,
+             "col2im image size mismatch");
+  const auto src = columns.data();
+
+  std::size_t r = 0;
+  for (std::size_t c = 0; c < g.in_channels; ++c) {
+    for (std::size_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::size_t kw = 0; kw < g.kernel_w; ++kw, ++r) {
+        const float* col = src.data() + r * oh * ow;
+        for (std::size_t y = 0; y < oh; ++y) {
+          const std::ptrdiff_t sy =
+              static_cast<std::ptrdiff_t>(y * g.stride + kh) -
+              static_cast<std::ptrdiff_t>(g.pad);
+          if (sy < 0 || sy >= static_cast<std::ptrdiff_t>(g.in_h)) continue;
+          for (std::size_t x = 0; x < ow; ++x) {
+            const std::ptrdiff_t sx =
+                static_cast<std::ptrdiff_t>(x * g.stride + kw) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            if (sx < 0 || sx >= static_cast<std::ptrdiff_t>(g.in_w)) continue;
+            image_grad[(c * g.in_h + static_cast<std::size_t>(sy)) * g.in_w +
+                       static_cast<std::size_t>(sx)] += col[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace orco::tensor

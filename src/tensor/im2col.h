@@ -1,0 +1,35 @@
+// im2col / col2im lowering for convolutions.
+//
+// Conv2d and ConvTranspose2d in the NN library are implemented as GEMM over
+// these unrolled patch matrices — the standard lowering used by Caffe and
+// most CPU DL stacks.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.h"
+
+namespace orco::tensor {
+
+struct Conv2dGeometry {
+  std::size_t in_channels = 0;
+  std::size_t in_h = 0, in_w = 0;
+  std::size_t kernel_h = 0, kernel_w = 0;
+  std::size_t stride = 1;
+  std::size_t pad = 0;
+
+  std::size_t out_h() const;
+  std::size_t out_w() const;
+};
+
+/// Unrolls one image (C, H, W flattened, row-major) into a
+/// (C*KH*KW) x (OH*OW) column matrix.
+Tensor im2col(std::span<const float> image, const Conv2dGeometry& g);
+
+/// Folds a (C*KH*KW) x (OH*OW) column matrix back into an image gradient,
+/// accumulating overlapping patches. `image_grad` must hold C*H*W floats and
+/// is accumulated into (callers zero it first).
+void col2im(const Tensor& columns, const Conv2dGeometry& g,
+            std::span<float> image_grad);
+
+}  // namespace orco::tensor

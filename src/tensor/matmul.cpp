@@ -1,0 +1,102 @@
+#include "tensor/matmul.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace orco::tensor {
+
+namespace {
+
+std::atomic<bool> g_parallel{true};
+
+// Minimum row*col product before we bother waking the thread pool.
+constexpr std::size_t kParallelThreshold = 64 * 1024;
+
+// Inner kernel: rows [r0, r1) of C = A * B, all row-major contiguous.
+// k-loop is hoisted outside the j-loop so B is streamed row-wise — this is
+// the classic ikj ordering, cache-friendly without explicit tiling.
+void gemm_rows(const float* a, const float* b, float* c, std::size_t r0,
+               std::size_t r1, std::size_t k, std::size_t n) {
+  for (std::size_t i = r0; i < r1; ++i) {
+    float* ci = c + i * n;
+    const float* ai = a + i * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float aip = ai[p];
+      if (aip == 0.0f) continue;
+      const float* bp = b + p * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+void run_gemm(const float* a, const float* b, float* c, std::size_t m,
+              std::size_t k, std::size_t n) {
+  common::ThreadPool* pool =
+      (g_parallel.load() && m * n >= kParallelThreshold)
+          ? &common::ThreadPool::global()
+          : nullptr;
+  common::parallel_for(pool, 0, m, /*grain=*/8,
+                       [&](std::size_t lo, std::size_t hi) {
+                         gemm_rows(a, b, c, lo, hi, k, n);
+                       });
+}
+
+}  // namespace
+
+void set_gemm_parallelism(bool enabled) { g_parallel.store(enabled); }
+bool gemm_parallelism() { return g_parallel.load(); }
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  ORCO_CHECK(a.rank() == 2 && b.rank() == 2,
+             "matmul requires rank-2 operands, got "
+                 << shape_to_string(a.shape()) << " x "
+                 << shape_to_string(b.shape()));
+  const std::size_t m = a.dim(0), k = a.dim(1);
+  ORCO_CHECK(b.dim(0) == k, "matmul inner dim mismatch: "
+                                << shape_to_string(a.shape()) << " x "
+                                << shape_to_string(b.shape()));
+  const std::size_t n = b.dim(1);
+  Tensor c({m, n});
+  run_gemm(a.data().data(), b.data().data(), c.data().data(), m, k, n);
+  return c;
+}
+
+void matmul_accumulate(const Tensor& a, const Tensor& b, Tensor& out) {
+  ORCO_CHECK(a.rank() == 2 && b.rank() == 2 && out.rank() == 2,
+             "matmul_accumulate requires rank-2 operands");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  ORCO_CHECK(b.dim(0) == k && out.dim(0) == m && out.dim(1) == n,
+             "matmul_accumulate shape mismatch");
+  run_gemm(a.data().data(), b.data().data(), out.data().data(), m, k, n);
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  // A is (k x m) stored row-major; we want A^T * B. Materialising the
+  // transpose keeps the hot loop contiguous and is cheap at our sizes.
+  return matmul(a.transposed(), b);
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  return matmul(a, b.transposed());
+}
+
+Tensor matvec(const Tensor& w, const Tensor& x) {
+  ORCO_CHECK(w.rank() == 2 && x.rank() == 1, "matvec wants (m x n) * (n)");
+  const std::size_t m = w.dim(0), n = w.dim(1);
+  ORCO_CHECK(x.dim(0) == n, "matvec dim mismatch: " << n << " vs " << x.dim(0));
+  Tensor y({m});
+  const auto wd = w.data();
+  const auto xd = x.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    double acc = 0.0;
+    const float* wi = wd.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) acc += static_cast<double>(wi[j]) * xd[j];
+    y[i] = static_cast<float>(acc);
+  }
+  return y;
+}
+
+}  // namespace orco::tensor

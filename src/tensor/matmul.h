@@ -1,0 +1,31 @@
+// GEMM kernels. The dense layers and the im2col-based convolutions reduce to
+// these. Blocked over rows and parallelised via the global thread pool when
+// the problem is large enough; small problems run serially so unit tests are
+// deterministic and cheap.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace orco::tensor {
+
+/// C = A (m x k) * B (k x n). Returns a new (m x n) tensor.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = A^T (k x m -> m x k) * B (k x n).
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// C = A (m x k) * B^T (n x k -> k x n).
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// out += A (m x k) * B (k x n); out must already be (m x n).
+void matmul_accumulate(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// y = W (m x n) * x (n) as rank-1 tensors.
+Tensor matvec(const Tensor& w, const Tensor& x);
+
+/// Enables/disables thread-pool parallelism for GEMM (default on). Tests
+/// that need bit-exact serial reductions can turn it off.
+void set_gemm_parallelism(bool enabled);
+bool gemm_parallelism();
+
+}  // namespace orco::tensor

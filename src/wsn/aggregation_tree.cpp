@@ -1,0 +1,183 @@
+#include "wsn/aggregation_tree.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+
+namespace orco::wsn {
+
+AggregationTree::AggregationTree(const Field& field, const RadioModel& radio)
+    : field_(&field), radio_(radio), root_(field.aggregator()) {
+  const std::size_t n = field.node_count();
+  parent_.assign(n, root_);
+  depth_.assign(n, 0);
+  children_.assign(n, {});
+
+  // Dijkstra from the root over energy-weighted in-range links. Edge weight
+  // approximates per-bit transmit energy so the tree minimises the energy a
+  // reading spends travelling to the aggregator.
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  std::vector<bool> done(n, false);
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[root_] = 0.0;
+  heap.emplace(0.0, root_);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (done[u]) continue;
+    done[u] = true;
+    for (NodeId v = 0; v < n; ++v) {
+      if (v == u || done[v] || !field.in_range(u, v)) continue;
+      const double w = radio_.tx_energy(1, field.link_distance(u, v));
+      if (dist[u] + w < dist[v]) {
+        dist[v] = dist[u] + w;
+        parent_[v] = u;
+        heap.emplace(dist[v], v);
+      }
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    ORCO_CHECK(done[v], "node " << v
+                                << " cannot reach the aggregator; increase "
+                                   "radio range or shrink the field");
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (v == root_) continue;
+    children_[parent_[v]].push_back(v);
+  }
+
+  // Depths and a bottom-up order via BFS from the root.
+  std::vector<NodeId> top_down;
+  top_down.reserve(n);
+  std::queue<NodeId> queue;
+  queue.push(root_);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    top_down.push_back(u);
+    for (const NodeId c : children_[u]) {
+      depth_[c] = depth_[u] + 1;
+      queue.push(c);
+    }
+  }
+  ORCO_ENSURE(top_down.size() == n, "tree does not span all nodes");
+  bottom_up_.assign(top_down.rbegin(), top_down.rend());
+
+  // Subtree sizes in device count (the root itself is not a device).
+  subtree_size_.assign(n, 0);
+  for (const NodeId u : bottom_up_) {
+    std::size_t size = (u == root_) ? 0 : 1;
+    for (const NodeId c : children_[u]) size += subtree_size_[c];
+    subtree_size_[u] = size;
+  }
+}
+
+NodeId AggregationTree::parent(NodeId id) const {
+  ORCO_CHECK(id < parent_.size(), "node id out of range");
+  return parent_[id];
+}
+
+const std::vector<NodeId>& AggregationTree::children(NodeId id) const {
+  ORCO_CHECK(id < children_.size(), "node id out of range");
+  return children_[id];
+}
+
+std::size_t AggregationTree::depth(NodeId id) const {
+  ORCO_CHECK(id < depth_.size(), "node id out of range");
+  return depth_[id];
+}
+
+std::size_t AggregationTree::subtree_size(NodeId id) const {
+  ORCO_CHECK(id < subtree_size_.size(), "node id out of range");
+  return subtree_size_[id];
+}
+
+std::size_t AggregationTree::max_depth() const {
+  return *std::max_element(depth_.begin(), depth_.end());
+}
+
+void AggregationTree::record_hop(NodeId from, NodeId to,
+                                 std::size_t payload_bytes, LinkKind kind,
+                                 TransmissionLedger& ledger,
+                                 RoundStats& stats) const {
+  const double d = field_->link_distance(from, to);
+  const double tx = radio_.tx_energy(payload_bytes, d);
+  const double rx = radio_.rx_energy(payload_bytes);
+  const double airtime = radio_.airtime(payload_bytes);
+  ledger.record(kind, payload_bytes, radio_.wire_bytes(payload_bytes),
+                radio_.packets_for(payload_bytes), tx + rx, airtime);
+  stats.payload_bytes += payload_bytes;
+  stats.energy_j += tx + rx;
+  stats.airtime_s += airtime;
+  stats.node_energy_j[from] += tx;
+  stats.node_energy_j[to] += rx;
+}
+
+RoundStats AggregationTree::simulate_raw_round(
+    std::size_t bytes_per_reading, TransmissionLedger& ledger) const {
+  RoundStats stats;
+  stats.node_energy_j.assign(field_->node_count(), 0.0);
+  // Bottom-up: each non-root node forwards its whole subtree's readings.
+  for (const NodeId u : bottom_up_) {
+    if (u == root_) continue;
+    const std::size_t readings = subtree_size_[u];
+    record_hop(u, parent_[u], readings * bytes_per_reading,
+               LinkKind::kIntraCluster, ledger, stats);
+  }
+  return stats;
+}
+
+RoundStats AggregationTree::simulate_hybrid_cs_round(
+    std::size_t m_values, std::size_t bytes_per_value,
+    TransmissionLedger& ledger) const {
+  ORCO_CHECK(m_values > 0, "latent dimension must be positive");
+  RoundStats stats;
+  stats.node_energy_j.assign(field_->node_count(), 0.0);
+  // Hybrid rule [1]: forward raw readings while the subtree holds fewer
+  // than M of them; switch to the fixed M-dimensional compressed partial
+  // once the subtree reaches M readings.
+  for (const NodeId u : bottom_up_) {
+    if (u == root_) continue;
+    const std::size_t readings = subtree_size_[u];
+    const std::size_t values = std::min(readings, m_values);
+    record_hop(u, parent_[u], values * bytes_per_value,
+               LinkKind::kIntraCluster, ledger, stats);
+  }
+  return stats;
+}
+
+RoundStats AggregationTree::simulate_broadcast(
+    std::size_t bytes, TransmissionLedger& ledger) const {
+  RoundStats stats;
+  stats.node_energy_j.assign(field_->node_count(), 0.0);
+  // Every internal node retransmits the broadcast once; every device
+  // receives it once. Model: one tx per node that has children, plus rx
+  // energy at each device, all at kBroadcast.
+  for (NodeId u = 0; u < field_->node_count(); ++u) {
+    if (children_[u].empty()) continue;
+    // Farthest child bounds the required tx power.
+    double dmax = 0.0;
+    for (const NodeId c : children_[u]) {
+      dmax = std::max(dmax, field_->link_distance(u, c));
+    }
+    const double tx = radio_.tx_energy(bytes, dmax);
+    const double rx = radio_.rx_energy(bytes);
+    const double energy =
+        tx + static_cast<double>(children_[u].size()) * rx;
+    const double airtime = radio_.airtime(bytes);
+    ledger.record(LinkKind::kBroadcast, bytes, radio_.wire_bytes(bytes),
+                  radio_.packets_for(bytes), energy, airtime);
+    stats.payload_bytes += bytes;
+    stats.energy_j += energy;
+    stats.airtime_s += airtime;
+    stats.node_energy_j[u] += tx;
+    for (const NodeId c : children_[u]) stats.node_energy_j[c] += rx;
+  }
+  return stats;
+}
+
+}  // namespace orco::wsn

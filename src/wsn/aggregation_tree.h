@@ -1,0 +1,97 @@
+// Multi-hop data aggregation tree (paper §III-A).
+//
+// A shortest-path tree rooted at the data aggregator, built with Dijkstra
+// over energy-weighted links limited to radio range. Two aggregation rounds
+// are simulated on it:
+//
+//  * raw round      — every device forwards its reading and all of its
+//                     children's readings hop by hop to the root (the
+//                     "intra-cluster raw data aggregation" used before
+//                     training);
+//  * hybrid CS round — per Luo et al. [1]: a node whose subtree has fewer
+//                     than M readings forwards raw readings; once a subtree
+//                     reaches M readings the node transmits the M-dimensional
+//                     compressed partial instead, so per-hop cost is capped
+//                     at M values.
+//
+// Every simulated hop is charged to the TransmissionLedger via the radio
+// model (tx at the sender, rx at the receiver).
+#pragma once
+
+#include <vector>
+
+#include "wsn/field.h"
+#include "wsn/ledger.h"
+#include "wsn/radio.h"
+
+namespace orco::wsn {
+
+struct RoundStats {
+  std::size_t payload_bytes = 0;
+  double energy_j = 0.0;
+  double airtime_s = 0.0;
+  /// Energy spent per node this round (tx at senders, rx at receivers);
+  /// indexed by NodeId. Feeds network-lifetime analysis (wsn/lifetime.h).
+  std::vector<double> node_energy_j;
+};
+
+class AggregationTree {
+ public:
+  /// Builds the tree; throws if any device cannot reach the aggregator.
+  AggregationTree(const Field& field, const RadioModel& radio);
+
+  NodeId root() const noexcept { return root_; }
+
+  /// Parent of a node (root's parent is itself).
+  NodeId parent(NodeId id) const;
+
+  /// Children lists.
+  const std::vector<NodeId>& children(NodeId id) const;
+
+  /// Hop count from node to root (root = 0).
+  std::size_t depth(NodeId id) const;
+
+  /// Number of devices in the subtree rooted at `id` (excluding the
+  /// aggregator root, including `id` itself if it is a device).
+  std::size_t subtree_size(NodeId id) const;
+
+  std::size_t max_depth() const;
+
+  /// Nodes in bottom-up order (leaves first, root last).
+  const std::vector<NodeId>& bottom_up_order() const noexcept {
+    return bottom_up_;
+  }
+
+  /// Simulates one raw aggregation round where every device sends
+  /// `bytes_per_reading` to the root; returns totals and records to ledger.
+  RoundStats simulate_raw_round(std::size_t bytes_per_reading,
+                                TransmissionLedger& ledger) const;
+
+  /// Simulates one hybrid compressed-sensing round with latent dimension M
+  /// (`m_values`) and `bytes_per_value` per value.
+  RoundStats simulate_hybrid_cs_round(std::size_t m_values,
+                                      std::size_t bytes_per_value,
+                                      TransmissionLedger& ledger) const;
+
+  /// Simulates a one-round broadcast of `bytes` from the root to all
+  /// devices (encoder-column distribution, §III-C). Charged as one tx per
+  /// tree level plus one rx per device.
+  RoundStats simulate_broadcast(std::size_t bytes,
+                                TransmissionLedger& ledger) const;
+
+ private:
+  void record_hop(NodeId from, NodeId to, std::size_t payload_bytes,
+                  LinkKind kind, TransmissionLedger& ledger,
+                  RoundStats& stats) const;
+
+  const Field* field_;
+  RadioModel radio_;
+  NodeId root_;
+  std::vector<NodeId> parent_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<std::size_t> depth_;
+  std::vector<std::size_t> subtree_size_;
+  std::vector<NodeId> bottom_up_;
+};
+
+}  // namespace orco::wsn

@@ -1,0 +1,43 @@
+#include "wsn/channel.h"
+
+#include "common/check.h"
+
+namespace orco::wsn {
+
+Channel::Channel(const ChannelConfig& config) : config_(config) {
+  ORCO_CHECK(config.uplink_bps > 0.0 && config.downlink_bps > 0.0,
+             "channel bandwidth must be positive");
+  ORCO_CHECK(config.latency_s >= 0.0, "negative latency");
+  ORCO_CHECK(config.mtu_payload_bytes > 0, "MTU must be positive");
+}
+
+std::size_t Channel::packets_for(std::size_t payload_bytes) const {
+  if (payload_bytes == 0) return 1;  // control message still costs a packet
+  return (payload_bytes + config_.mtu_payload_bytes - 1) /
+         config_.mtu_payload_bytes;
+}
+
+std::size_t Channel::wire_bytes(std::size_t payload_bytes) const {
+  return payload_bytes + packets_for(payload_bytes) * config_.header_bytes;
+}
+
+double Channel::send(std::size_t payload_bytes, Direction direction,
+                     TransmissionLedger& ledger) {
+  const std::size_t wire = wire_bytes(payload_bytes);
+  const double bps = direction == Direction::kUp ? config_.uplink_bps
+                                                 : config_.downlink_bps;
+  const double seconds =
+      config_.latency_s + static_cast<double>(wire) * 8.0 / bps;
+  ledger.record(direction == Direction::kUp ? LinkKind::kUplink
+                                            : LinkKind::kDownlink,
+                payload_bytes, wire, packets_for(payload_bytes),
+                /*energy_j=*/0.0, seconds);
+  return seconds;
+}
+
+void SimClock::advance(double seconds) {
+  ORCO_CHECK(seconds >= 0.0, "cannot rewind the clock");
+  now_s_ += seconds;
+}
+
+}  // namespace orco::wsn

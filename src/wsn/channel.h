@@ -1,0 +1,54 @@
+// Aggregator <-> edge-server link with asymmetric bandwidth.
+//
+// Per the paper's overhead analysis (§III-E), downlink (edge -> aggregator)
+// is considerably cheaper than uplink, so the two directions carry separate
+// bandwidths. Every protocol message the orchestrator sends flows through
+// send(), which charges the ledger and advances the simulated clock.
+#pragma once
+
+#include <cstddef>
+
+#include "wsn/ledger.h"
+
+namespace orco::wsn {
+
+struct ChannelConfig {
+  double uplink_bps = 2e6;     // constrained backhaul from the aggregator
+  double downlink_bps = 20e6;  // edge server's downlink is ~10x faster
+  double latency_s = 2e-3;     // per-message propagation + queuing
+  std::size_t header_bytes = 40;      // IP/UDP style overhead per packet
+  std::size_t mtu_payload_bytes = 1400;
+};
+
+enum class Direction { kUp, kDown };
+
+class Channel {
+ public:
+  explicit Channel(const ChannelConfig& config);
+
+  /// Transfers `payload_bytes` in the given direction: records the message
+  /// to `ledger` and returns the simulated transfer time in seconds.
+  double send(std::size_t payload_bytes, Direction direction,
+              TransmissionLedger& ledger);
+
+  const ChannelConfig& config() const noexcept { return config_; }
+
+  std::size_t packets_for(std::size_t payload_bytes) const;
+  std::size_t wire_bytes(std::size_t payload_bytes) const;
+
+ private:
+  ChannelConfig config_;
+};
+
+/// Simulated wall clock accumulating compute and communication time.
+class SimClock {
+ public:
+  void advance(double seconds);
+  double now() const noexcept { return now_s_; }
+  void reset() { now_s_ = 0.0; }
+
+ private:
+  double now_s_ = 0.0;
+};
+
+}  // namespace orco::wsn

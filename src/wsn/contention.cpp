@@ -1,0 +1,54 @@
+#include "wsn/contention.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace orco::wsn {
+
+double slotted_success_probability(std::size_t contenders) {
+  if (contenders <= 1) return 1.0;
+  const double k = static_cast<double>(contenders);
+  const double p = 1.0 / k;
+  return k * p * std::pow(1.0 - p, k - 1.0);
+}
+
+ContentionReport star_contention(std::size_t devices) {
+  ORCO_CHECK(devices > 0, "star needs at least one device");
+  ContentionReport report;
+  report.largest_domain = devices;
+  report.success_probability = slotted_success_probability(devices);
+  report.expected_slots_per_packet = 1.0 / report.success_probability;
+  return report;
+}
+
+ContentionReport tree_contention(const AggregationTree& tree) {
+  ContentionReport report;
+  report.success_probability = 1.0;
+  report.expected_slots_per_packet = 0.0;
+
+  // Group sibling sets by depth; the largest sibling group at each level
+  // bounds that level's contention.
+  const std::size_t nodes = tree.bottom_up_order().size();
+  std::size_t max_depth = tree.max_depth();
+  for (std::size_t level = 0; level < max_depth; ++level) {
+    std::size_t worst_siblings = 0;
+    for (NodeId u = 0; u < nodes; ++u) {
+      if (tree.depth(u) != level) continue;
+      worst_siblings = std::max(worst_siblings, tree.children(u).size());
+    }
+    if (worst_siblings == 0) continue;
+    const double success = slotted_success_probability(worst_siblings);
+    report.success_probability =
+        std::min(report.success_probability, success);
+    report.expected_slots_per_packet += 1.0 / success;
+    report.largest_domain = std::max(report.largest_domain, worst_siblings);
+  }
+  if (report.expected_slots_per_packet == 0.0) {
+    report.expected_slots_per_packet = 1.0;
+  }
+  return report;
+}
+
+}  // namespace orco::wsn

@@ -1,0 +1,37 @@
+// Medium-contention model backing the paper's §III-A claim that tree-based
+// aggregation "mitigates collisions, thereby enhancing network efficiency".
+//
+// Slotted-ALOHA-style analysis: k nodes contending for the same slot each
+// transmit with probability p; a slot succeeds when exactly one transmits.
+// Star topologies put all N devices in one contention domain; the
+// aggregation tree spreads transmissions across levels, so each domain
+// holds only the children of one parent.
+#pragma once
+
+#include <cstddef>
+
+#include "wsn/aggregation_tree.h"
+
+namespace orco::wsn {
+
+struct ContentionReport {
+  double success_probability = 0.0;   // per-slot success with optimal p
+  double expected_slots_per_packet = 0.0;  // 1 / success_probability
+  std::size_t largest_domain = 0;     // max simultaneous contenders
+};
+
+/// Per-slot success probability for k contenders transmitting with the
+/// optimal probability p = 1/k: k * p * (1-p)^(k-1). k=0 -> 1, k=1 -> 1.
+double slotted_success_probability(std::size_t contenders);
+
+/// Contention when every device talks straight to the aggregator (star):
+/// one domain with all devices.
+ContentionReport star_contention(std::size_t devices);
+
+/// Contention over the aggregation tree: each parent's children form one
+/// domain; domains at the same depth are assumed spatially separated
+/// enough to proceed in parallel, so the binding constraint is the largest
+/// sibling group. Expected slots aggregates level by level.
+ContentionReport tree_contention(const AggregationTree& tree);
+
+}  // namespace orco::wsn

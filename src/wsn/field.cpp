@@ -1,0 +1,72 @@
+#include "wsn/field.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace orco::wsn {
+
+Field::Field(const FieldConfig& config) : config_(config) {
+  ORCO_CHECK(config.device_count > 0, "need at least one device");
+  ORCO_CHECK(config.side_m > 0.0, "field side must be positive");
+  ORCO_CHECK(config.radio_range_m > 0.0, "radio range must be positive");
+
+  common::Pcg32 rng(config.seed, /*stream=*/0x6669656cU);  // "fiel"
+  positions_.reserve(config.device_count + 1);
+  for (std::size_t i = 0; i < config.device_count + 1; ++i) {
+    positions_.push_back(Position{
+        rng.uniform(0.0f, static_cast<float>(config.side_m)),
+        rng.uniform(0.0f, static_cast<float>(config.side_m)),
+    });
+  }
+
+  // Aggregator: node closest to the centroid.
+  Position centroid{0.0, 0.0};
+  for (const auto& p : positions_) {
+    centroid.x += p.x;
+    centroid.y += p.y;
+  }
+  centroid.x /= static_cast<double>(positions_.size());
+  centroid.y /= static_cast<double>(positions_.size());
+
+  double best = std::numeric_limits<double>::max();
+  for (NodeId i = 0; i < positions_.size(); ++i) {
+    const double d = distance(positions_[i], centroid);
+    if (d < best) {
+      best = d;
+      aggregator_ = i;
+    }
+  }
+}
+
+Field::Field(std::vector<Position> positions, NodeId aggregator,
+             double radio_range_m)
+    : positions_(std::move(positions)), aggregator_(aggregator) {
+  ORCO_CHECK(positions_.size() >= 2, "need an aggregator and a device");
+  ORCO_CHECK(aggregator < positions_.size(), "aggregator id out of range");
+  ORCO_CHECK(radio_range_m > 0.0, "radio range must be positive");
+  double side = 0.0;
+  for (const auto& p : positions_) {
+    ORCO_CHECK(p.x >= 0.0 && p.y >= 0.0, "positions must be non-negative");
+    side = std::max({side, p.x, p.y});
+  }
+  config_.device_count = positions_.size() - 1;
+  config_.side_m = std::max(side, 1.0);
+  config_.radio_range_m = radio_range_m;
+}
+
+const Position& Field::position(NodeId id) const {
+  ORCO_CHECK(id < positions_.size(), "node id out of range");
+  return positions_[id];
+}
+
+double Field::link_distance(NodeId a, NodeId b) const {
+  return distance(position(a), position(b));
+}
+
+bool Field::in_range(NodeId a, NodeId b) const {
+  return link_distance(a, b) <= config_.radio_range_m + 1e-9;
+}
+
+}  // namespace orco::wsn

@@ -1,0 +1,54 @@
+// Node deployment: N IoT devices placed uniformly at random in a square
+// field, plus a data aggregator. Following the cluster-head literature the
+// paper cites [18]-[20], the aggregator is the node closest to the cluster
+// centroid (minimising intra-cluster distances).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "wsn/geometry.h"
+
+namespace orco::wsn {
+
+struct FieldConfig {
+  std::size_t device_count = 32;
+  double side_m = 100.0;       // square field side length
+  double radio_range_m = 40.0; // max single-hop distance
+  std::uint64_t seed = 7;
+};
+
+class Field {
+ public:
+  explicit Field(const FieldConfig& config);
+
+  /// Builds a field from explicit positions (tests and topology studies).
+  /// `positions[aggregator]` is the aggregator; the rest are devices.
+  Field(std::vector<Position> positions, NodeId aggregator,
+        double radio_range_m);
+
+  std::size_t device_count() const noexcept { return positions_.size() - 1; }
+
+  /// Total node count including the aggregator.
+  std::size_t node_count() const noexcept { return positions_.size(); }
+
+  /// The aggregator's node id (always a valid index).
+  NodeId aggregator() const noexcept { return aggregator_; }
+
+  const Position& position(NodeId id) const;
+  double radio_range() const noexcept { return config_.radio_range_m; }
+  const FieldConfig& config() const noexcept { return config_; }
+
+  /// Distance between two nodes.
+  double link_distance(NodeId a, NodeId b) const;
+
+  /// True when the two nodes are within radio range.
+  bool in_range(NodeId a, NodeId b) const;
+
+ private:
+  FieldConfig config_;
+  std::vector<Position> positions_;
+  NodeId aggregator_ = 0;
+};
+
+}  // namespace orco::wsn

@@ -1,0 +1,21 @@
+// Planar geometry for node deployments.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace orco::wsn {
+
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+inline double distance(const Position& a, const Position& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// Index of a node within its deployment.
+using NodeId = std::size_t;
+
+}  // namespace orco::wsn

@@ -1,0 +1,72 @@
+#include "wsn/ledger.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace orco::wsn {
+
+const char* link_kind_name(LinkKind kind) {
+  switch (kind) {
+    case LinkKind::kIntraCluster: return "intra-cluster";
+    case LinkKind::kUplink:       return "uplink";
+    case LinkKind::kDownlink:     return "downlink";
+    case LinkKind::kBroadcast:    return "broadcast";
+  }
+  return "?";
+}
+
+void TransmissionLedger::record(LinkKind kind, std::size_t payload_bytes,
+                                std::size_t wire_bytes, std::size_t packets,
+                                double energy_j, double airtime_s) {
+  ORCO_CHECK(wire_bytes >= payload_bytes,
+             "wire bytes below payload: " << wire_bytes << " < "
+                                          << payload_bytes);
+  ORCO_CHECK(energy_j >= 0.0 && airtime_s >= 0.0,
+             "negative energy or airtime");
+  auto& t = totals_.at(static_cast<std::size_t>(kind));
+  t.payload_bytes += payload_bytes;
+  t.wire_bytes += wire_bytes;
+  t.packets += packets;
+  t.messages += 1;
+  t.energy_j += energy_j;
+  t.airtime_s += airtime_s;
+}
+
+const LinkTotals& TransmissionLedger::totals(LinkKind kind) const {
+  return totals_.at(static_cast<std::size_t>(kind));
+}
+
+LinkTotals TransmissionLedger::grand_total() const {
+  LinkTotals sum;
+  for (const auto& t : totals_) {
+    sum.payload_bytes += t.payload_bytes;
+    sum.wire_bytes += t.wire_bytes;
+    sum.packets += t.packets;
+    sum.messages += t.messages;
+    sum.energy_j += t.energy_j;
+    sum.airtime_s += t.airtime_s;
+  }
+  return sum;
+}
+
+double TransmissionLedger::total_airtime() const {
+  return grand_total().airtime_s;
+}
+
+void TransmissionLedger::reset() { totals_ = {}; }
+
+std::string TransmissionLedger::summary() const {
+  std::ostringstream os;
+  for (std::size_t k = 0; k < kLinkKindCount; ++k) {
+    const auto& t = totals_[k];
+    if (t.messages == 0) continue;
+    os << link_kind_name(static_cast<LinkKind>(k)) << ": "
+       << t.payload_bytes / 1024 << " KB payload, " << t.wire_bytes / 1024
+       << " KB wire, " << t.packets << " pkts, " << t.energy_j << " J, "
+       << t.airtime_s << " s; ";
+  }
+  return os.str();
+}
+
+}  // namespace orco::wsn

@@ -1,0 +1,57 @@
+// Transmission ledger: the single source of truth for every byte, joule and
+// simulated second spent moving data. Figure 3's transmission-cost series
+// and the communication component of Figure 4's time axis are read straight
+// from here.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace orco::wsn {
+
+enum class LinkKind {
+  kIntraCluster = 0,   // device <-> device / device -> aggregator hops
+  kUplink = 1,         // aggregator -> edge server
+  kDownlink = 2,       // edge server -> aggregator
+  kBroadcast = 3,      // aggregator -> devices (encoder distribution)
+};
+inline constexpr std::size_t kLinkKindCount = 4;
+
+const char* link_kind_name(LinkKind kind);
+
+struct LinkTotals {
+  std::size_t payload_bytes = 0;
+  std::size_t wire_bytes = 0;  // payload + packet headers
+  std::size_t packets = 0;
+  std::size_t messages = 0;
+  double energy_j = 0.0;
+  double airtime_s = 0.0;
+};
+
+class TransmissionLedger {
+ public:
+  /// Records one message on a link.
+  void record(LinkKind kind, std::size_t payload_bytes,
+              std::size_t wire_bytes, std::size_t packets, double energy_j,
+              double airtime_s);
+
+  const LinkTotals& totals(LinkKind kind) const;
+
+  /// Sums across all link kinds.
+  LinkTotals grand_total() const;
+
+  /// Total simulated communication time (s). Intra-cluster hops on the
+  /// shared medium serialise, so airtimes add.
+  double total_airtime() const;
+
+  void reset();
+
+  /// One-line human-readable summary.
+  std::string summary() const;
+
+ private:
+  std::array<LinkTotals, kLinkKindCount> totals_{};
+};
+
+}  // namespace orco::wsn

@@ -1,0 +1,42 @@
+#include "wsn/lifetime.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace orco::wsn {
+
+LifetimeReport estimate_lifetime(const Field& field,
+                                 const std::vector<double>& node_energy_j,
+                                 double battery_j) {
+  ORCO_CHECK(node_energy_j.size() == field.node_count(),
+             "energy profile size " << node_energy_j.size()
+                                    << " vs node count "
+                                    << field.node_count());
+  ORCO_CHECK(battery_j > 0.0, "battery budget must be positive");
+
+  LifetimeReport report;
+  double max_energy = 0.0;
+  double sum_energy = 0.0;
+  std::size_t devices = 0;
+  for (NodeId id = 0; id < node_energy_j.size(); ++id) {
+    if (id == field.aggregator()) continue;
+    ORCO_CHECK(node_energy_j[id] >= 0.0, "negative node energy");
+    ++devices;
+    sum_energy += node_energy_j[id];
+    if (node_energy_j[id] > max_energy) {
+      max_energy = node_energy_j[id];
+      report.first_dead_node = id;
+    }
+  }
+  ORCO_ENSURE(devices > 0, "no devices in field");
+  report.max_device_energy_per_round_j = max_energy;
+  report.mean_device_energy_per_round_j =
+      sum_energy / static_cast<double>(devices);
+  report.rounds_until_first_death =
+      max_energy > 0.0 ? battery_j / max_energy
+                       : std::numeric_limits<double>::infinity();
+  return report;
+}
+
+}  // namespace orco::wsn

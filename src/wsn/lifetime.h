@@ -1,0 +1,30 @@
+// Network-lifetime estimation from per-node, per-round energy profiles.
+//
+// The classic WSN metric: with a fixed battery budget per device, how many
+// sensing rounds until the first node dies? Hybrid CS aggregation caps the
+// per-hop payload near the root, which is exactly where raw aggregation
+// drains relay nodes fastest — this module quantifies that benefit.
+#pragma once
+
+#include <vector>
+
+#include "wsn/aggregation_tree.h"
+
+namespace orco::wsn {
+
+struct LifetimeReport {
+  /// Rounds until the first device exhausts its battery (the aggregator is
+  /// assumed mains-/solar-backed and excluded, per common practice).
+  double rounds_until_first_death = 0.0;
+  NodeId first_dead_node = 0;
+  double max_device_energy_per_round_j = 0.0;
+  double mean_device_energy_per_round_j = 0.0;
+};
+
+/// Computes lifetime for devices with `battery_j` joules each, given one
+/// round's per-node energy profile (RoundStats::node_energy_j).
+LifetimeReport estimate_lifetime(const Field& field,
+                                 const std::vector<double>& node_energy_j,
+                                 double battery_j);
+
+}  // namespace orco::wsn

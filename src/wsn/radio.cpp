@@ -1,0 +1,49 @@
+#include "wsn/radio.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace orco::wsn {
+
+double RadioModel::crossover_distance() const {
+  ORCO_CHECK(eps_mp_j_bit_m4 > 0.0, "multipath coefficient must be positive");
+  return std::sqrt(eps_fs_j_bit_m2 / eps_mp_j_bit_m4);
+}
+
+std::size_t RadioModel::packets_for(std::size_t payload_bytes) const {
+  ORCO_CHECK(mtu_payload_bytes > 0, "MTU must be positive");
+  if (payload_bytes == 0) return 0;
+  return (payload_bytes + mtu_payload_bytes - 1) / mtu_payload_bytes;
+}
+
+std::size_t RadioModel::wire_bytes(std::size_t payload_bytes) const {
+  return payload_bytes + packets_for(payload_bytes) * header_bytes;
+}
+
+double RadioModel::tx_energy(std::size_t payload_bytes,
+                             double distance_m) const {
+  ORCO_CHECK(distance_m >= 0.0, "negative distance");
+  const double bits = static_cast<double>(wire_bytes(payload_bytes)) * 8.0;
+  const double d0 = crossover_distance();
+  double amp = 0.0;
+  if (distance_m < d0) {
+    amp = eps_fs_j_bit_m2 * distance_m * distance_m;
+  } else {
+    amp = eps_mp_j_bit_m4 * distance_m * distance_m * distance_m * distance_m;
+  }
+  return bits * (e_elec_j_per_bit + amp);
+}
+
+double RadioModel::rx_energy(std::size_t payload_bytes) const {
+  const double bits = static_cast<double>(wire_bytes(payload_bytes)) * 8.0;
+  return bits * e_elec_j_per_bit;
+}
+
+double RadioModel::airtime(std::size_t payload_bytes) const {
+  ORCO_CHECK(bit_rate_bps > 0.0, "bit rate must be positive");
+  const double bits = static_cast<double>(wire_bytes(payload_bytes)) * 8.0;
+  return bits / bit_rate_bps;
+}
+
+}  // namespace orco::wsn

@@ -1,0 +1,41 @@
+// First-order radio energy model and 802.15.4-style link parameters.
+//
+// The standard WSN energy model (Heinzelman et al.): transmitting k bits
+// over distance d costs E_elec*k + eps_fs*k*d^2 (free space) below the
+// crossover distance d0, and E_elec*k + eps_mp*k*d^4 beyond it; receiving
+// costs E_elec*k. Airtime follows from the bit rate plus per-packet
+// header/MTU fragmentation.
+#pragma once
+
+#include <cstddef>
+
+namespace orco::wsn {
+
+struct RadioModel {
+  double e_elec_j_per_bit = 50e-9;    // electronics energy
+  double eps_fs_j_bit_m2 = 10e-12;    // free-space amplifier
+  double eps_mp_j_bit_m4 = 0.0013e-12;  // multipath amplifier
+  double bit_rate_bps = 250e3;        // 802.15.4
+  std::size_t header_bytes = 25;      // PHY+MAC overhead per packet
+  std::size_t mtu_payload_bytes = 102;  // payload per packet
+
+  /// Free-space/multipath crossover distance (m).
+  double crossover_distance() const;
+
+  /// Number of packets needed for `payload_bytes` of application data.
+  std::size_t packets_for(std::size_t payload_bytes) const;
+
+  /// Total on-air bytes including per-packet headers.
+  std::size_t wire_bytes(std::size_t payload_bytes) const;
+
+  /// Energy (J) to transmit `payload_bytes` over distance d, with headers.
+  double tx_energy(std::size_t payload_bytes, double distance_m) const;
+
+  /// Energy (J) to receive `payload_bytes`, with headers.
+  double rx_energy(std::size_t payload_bytes) const;
+
+  /// Airtime (s) for `payload_bytes`, with headers.
+  double airtime(std::size_t payload_bytes) const;
+};
+
+}  // namespace orco::wsn

@@ -1,0 +1,89 @@
+// Follow-up classifier tests (paper §IV-A / Fig. 5 machinery).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/classifier.h"
+#include "data/synthetic_mnist.h"
+
+namespace orco::apps {
+namespace {
+
+data::Dataset easy_mnist(std::size_t count, std::uint64_t seed = 1) {
+  data::MnistConfig cfg;
+  cfg.count = count;
+  cfg.seed = seed;
+  cfg.pixel_noise = 0.02f;
+  return data::make_synthetic_mnist(cfg);
+}
+
+TEST(ClassifierTest, ConstructionValidatesClasses) {
+  ClassifierConfig cfg;
+  EXPECT_THROW(CnnClassifier(data::kMnistGeometry, 1, cfg),
+               std::invalid_argument);
+}
+
+TEST(ClassifierTest, PredictsOneLabelPerRow) {
+  ClassifierConfig cfg;
+  CnnClassifier clf(data::kMnistGeometry, 10, cfg);
+  const auto ds = easy_mnist(12);
+  const auto preds = clf.predict(ds.images());
+  EXPECT_EQ(preds.size(), 12u);
+  for (const auto p : preds) EXPECT_LT(p, 10u);
+}
+
+TEST(ClassifierTest, LearnsAboveChanceInTwoEpochs) {
+  const auto train = easy_mnist(600, 2);
+  const auto test = easy_mnist(200, 3);
+  ClassifierConfig cfg;
+  cfg.learning_rate = 2e-3f;
+  CnnClassifier clf(data::kMnistGeometry, 10, cfg);
+
+  const float loss1 = clf.train_epoch(train);
+  const float loss2 = clf.train_epoch(train);
+  EXPECT_LT(loss2, loss1);
+
+  const auto eval = clf.evaluate(test);
+  EXPECT_GT(eval.accuracy, 0.3);  // chance is 0.1
+  EXPECT_LT(eval.loss, std::log(10.0) + 0.5);
+}
+
+TEST(ClassifierTest, EvaluateRejectsWrongGeometry) {
+  ClassifierConfig cfg;
+  CnnClassifier clf(data::kMnistGeometry, 10, cfg);
+  data::ImageGeometry other{3, 32, 32};
+  data::Dataset wrong("w", other, 10,
+                      tensor::Tensor({4, other.features()}),
+                      std::vector<std::size_t>(4, 0));
+  EXPECT_THROW((void)clf.evaluate(wrong), std::invalid_argument);
+  EXPECT_THROW((void)clf.train_epoch(wrong), std::invalid_argument);
+}
+
+TEST(ReconstructDatasetTest, PreservesLabelsAndShape) {
+  const auto ds = easy_mnist(20, 4);
+  const auto identity = [](const tensor::Tensor& x) { return x; };
+  const auto rec = reconstruct_dataset(ds, identity, 7);
+  EXPECT_EQ(rec.size(), ds.size());
+  EXPECT_EQ(rec.labels(), ds.labels());
+  EXPECT_TRUE(rec.images().allclose(ds.images(), 0.0f));
+  EXPECT_NE(rec.name(), ds.name());
+}
+
+TEST(ReconstructDatasetTest, AppliesTransform) {
+  const auto ds = easy_mnist(10, 5);
+  const auto halve = [](const tensor::Tensor& x) { return x * 0.5f; };
+  const auto rec = reconstruct_dataset(ds, halve);
+  EXPECT_TRUE(rec.images().allclose(ds.images() * 0.5f, 1e-6f));
+}
+
+TEST(ReconstructDatasetTest, RejectsBadTransformOutput) {
+  const auto ds = easy_mnist(6, 6);
+  const auto broken = [](const tensor::Tensor& x) {
+    return x.slice_rows(0, x.dim(0) - 1);  // drops a row
+  };
+  EXPECT_THROW((void)reconstruct_dataset(ds, broken, 3),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace orco::apps

@@ -1,0 +1,166 @@
+// Property tests for the cooperative (distributed) latent computation
+// (paper §III-C / eq. 6): for every tree shape, device count and latent
+// dimension, the hop-by-hop computation must equal the centralised encoder.
+#include <gtest/gtest.h>
+
+#include "core/distributed_encoding.h"
+#include "core/models.h"
+#include "wsn/field.h"
+
+namespace orco::core {
+namespace {
+
+using tensor::Tensor;
+
+struct DistCase {
+  std::size_t devices;
+  std::size_t latent_dim;
+  std::uint64_t seed;
+};
+
+void PrintTo(const DistCase& c, std::ostream* os) {
+  *os << "devices" << c.devices << "_m" << c.latent_dim << "_seed" << c.seed;
+}
+
+class DistributedEncodeSuite : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistributedEncodeSuite, MatchesCentralisedEncoder) {
+  const auto param = GetParam();
+
+  wsn::FieldConfig field_cfg;
+  field_cfg.device_count = param.devices;
+  field_cfg.side_m = 80.0;
+  field_cfg.radio_range_m = 50.0;
+  field_cfg.seed = param.seed;
+  const wsn::Field field(field_cfg);
+  const wsn::AggregationTree tree(field, wsn::RadioModel{});
+
+  OrcoConfig cfg;
+  cfg.input_dim = param.devices;  // one scalar reading per device
+  cfg.latent_dim = param.latent_dim;
+  common::Pcg32 rng(param.seed * 31 + 1);
+  const auto encoder = build_encoder(cfg, rng);
+
+  const auto shares = make_encoder_shares(*encoder, param.devices);
+  const DistributedEncoder dist(tree, shares);
+
+  common::Pcg32 data_rng(param.seed * 7 + 5);
+  const Tensor readings = Tensor::uniform({param.devices}, data_rng);
+
+  const Tensor distributed = dist.encode(readings);
+
+  // Centralised: sigma(We x + b) through the actual encoder model.
+  const Tensor central =
+      encoder->forward(readings.reshaped({1, param.devices}), false)
+          .reshaped({param.latent_dim});
+
+  ASSERT_EQ(distributed.shape(), central.shape());
+  EXPECT_TRUE(distributed.allclose(central, 1e-4f))
+      << "max diff " << (distributed - central).abs_max();
+}
+
+TEST_P(DistributedEncodeSuite, TrafficRespectsHybridCap) {
+  const auto param = GetParam();
+  wsn::FieldConfig field_cfg;
+  field_cfg.device_count = param.devices;
+  field_cfg.side_m = 80.0;
+  field_cfg.radio_range_m = 50.0;
+  field_cfg.seed = param.seed;
+  const wsn::Field field(field_cfg);
+  const wsn::AggregationTree tree(field, wsn::RadioModel{});
+
+  OrcoConfig cfg;
+  cfg.input_dim = param.devices;
+  cfg.latent_dim = param.latent_dim;
+  common::Pcg32 rng(param.seed + 17);
+  const auto encoder = build_encoder(cfg, rng);
+  const DistributedEncoder dist(tree,
+                                make_encoder_shares(*encoder, param.devices));
+
+  common::Pcg32 data_rng(param.seed + 23);
+  const Tensor readings = Tensor::uniform({param.devices}, data_rng);
+  std::vector<NodeTraffic> traffic;
+  (void)dist.encode(readings, &traffic);
+
+  for (wsn::NodeId u = 0; u < traffic.size(); ++u) {
+    if (u == tree.root()) continue;
+    const auto& t = traffic[u];
+    // A node sends either raw readings (fewer than M of them) or the
+    // M-dim partial plus raws not yet folded; never more than M raws.
+    EXPECT_LE(t.raw_values, param.latent_dim);
+    if (tree.subtree_size(u) >= param.latent_dim) {
+      EXPECT_EQ(t.partial_values, param.latent_dim);
+      EXPECT_EQ(t.raw_values, 0u);
+    } else {
+      EXPECT_EQ(t.partial_values, 0u);
+      EXPECT_EQ(t.raw_values, tree.subtree_size(u));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TreeShapes, DistributedEncodeSuite,
+    ::testing::Values(DistCase{8, 4, 1}, DistCase{8, 16, 2},
+                      DistCase{16, 4, 3}, DistCase{24, 8, 4},
+                      DistCase{32, 8, 5}, DistCase{32, 32, 6},
+                      DistCase{48, 12, 7}, DistCase{12, 3, 8}),
+    [](const ::testing::TestParamInfo<DistCase>& info) {
+      return "devices" + std::to_string(info.param.devices) + "_m" +
+             std::to_string(info.param.latent_dim) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(DistributedEncoderTest, ValidatesShareCount) {
+  wsn::FieldConfig field_cfg;
+  field_cfg.device_count = 6;
+  field_cfg.radio_range_m = 60.0;
+  const wsn::Field field(field_cfg);
+  const wsn::AggregationTree tree(field, wsn::RadioModel{});
+  OrcoConfig cfg;
+  cfg.input_dim = 5;  // wrong: 6 devices
+  cfg.latent_dim = 3;
+  common::Pcg32 rng(1);
+  const auto encoder = build_encoder(cfg, rng);
+  EXPECT_THROW(DistributedEncoder(tree, make_encoder_shares(*encoder, 5)),
+               std::invalid_argument);
+}
+
+TEST(DistributedEncoderTest, ValidatesReadingCount) {
+  wsn::FieldConfig field_cfg;
+  field_cfg.device_count = 6;
+  field_cfg.radio_range_m = 60.0;
+  const wsn::Field field(field_cfg);
+  const wsn::AggregationTree tree(field, wsn::RadioModel{});
+  OrcoConfig cfg;
+  cfg.input_dim = 6;
+  cfg.latent_dim = 3;
+  common::Pcg32 rng(2);
+  const auto encoder = build_encoder(cfg, rng);
+  const DistributedEncoder dist(tree, make_encoder_shares(*encoder, 6));
+  EXPECT_THROW((void)dist.encode(Tensor({5})), std::invalid_argument);
+}
+
+TEST(DistributedEncoderTest, DeviceMappingSkipsRoot) {
+  wsn::FieldConfig field_cfg;
+  field_cfg.device_count = 6;
+  field_cfg.radio_range_m = 60.0;
+  const wsn::Field field(field_cfg);
+  const wsn::AggregationTree tree(field, wsn::RadioModel{});
+  OrcoConfig cfg;
+  cfg.input_dim = 6;
+  cfg.latent_dim = 2;
+  common::Pcg32 rng(3);
+  const auto encoder = build_encoder(cfg, rng);
+  const DistributedEncoder dist(tree, make_encoder_shares(*encoder, 6));
+  EXPECT_THROW((void)dist.device_for_node(tree.root()),
+               std::invalid_argument);
+  std::set<std::size_t> devices;
+  for (wsn::NodeId n = 0; n < field.node_count(); ++n) {
+    if (n == tree.root()) continue;
+    devices.insert(dist.device_for_node(n));
+  }
+  EXPECT_EQ(devices.size(), 6u);
+}
+
+}  // namespace
+}  // namespace orco::core

@@ -1,0 +1,96 @@
+// Fine-tuning monitor tests (paper §III-D).
+#include <gtest/gtest.h>
+
+#include "core/monitor.h"
+
+namespace orco::core {
+namespace {
+
+TEST(MonitorTest, ValidatesConstruction) {
+  EXPECT_THROW(FineTuningMonitor(1.0f, 4), std::invalid_argument);
+  EXPECT_THROW(FineTuningMonitor(2.0f, 0), std::invalid_argument);
+}
+
+TEST(MonitorTest, RequiresBaselineBeforeObserve) {
+  FineTuningMonitor monitor(2.0f, 3);
+  EXPECT_FALSE(monitor.has_baseline());
+  EXPECT_THROW((void)monitor.observe(0.1f), std::invalid_argument);
+  monitor.set_baseline(0.1f);
+  EXPECT_TRUE(monitor.has_baseline());
+  EXPECT_FLOAT_EQ(monitor.baseline(), 0.1f);
+}
+
+TEST(MonitorTest, HealthyLossesNeverTrigger) {
+  FineTuningMonitor monitor(2.0f, 3);
+  monitor.set_baseline(0.1f);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(monitor.observe(0.12f));
+  }
+  EXPECT_EQ(monitor.relaunch_count(), 0u);
+}
+
+TEST(MonitorTest, WindowMustFillBeforeTriggering) {
+  FineTuningMonitor monitor(2.0f, 4);
+  monitor.set_baseline(0.1f);
+  // Three huge observations: window not yet full, no trigger.
+  EXPECT_FALSE(monitor.observe(10.0f));
+  EXPECT_FALSE(monitor.observe(10.0f));
+  EXPECT_FALSE(monitor.observe(10.0f));
+  // Fourth fills the window -> trigger.
+  EXPECT_TRUE(monitor.observe(10.0f));
+  EXPECT_EQ(monitor.relaunch_count(), 1u);
+}
+
+TEST(MonitorTest, SingleSpikeInHealthyStreamDoesNotTrigger) {
+  FineTuningMonitor monitor(2.0f, 4);
+  monitor.set_baseline(0.1f);
+  for (int i = 0; i < 4; ++i) (void)monitor.observe(0.1f);
+  // One spike among healthy values: rolling mean stays below 0.2.
+  EXPECT_FALSE(monitor.observe(0.3f));
+  EXPECT_FALSE(monitor.observe(0.1f));
+}
+
+TEST(MonitorTest, SustainedDriftTriggers) {
+  FineTuningMonitor monitor(1.5f, 4);
+  monitor.set_baseline(0.1f);
+  bool triggered = false;
+  for (int i = 0; i < 10 && !triggered; ++i) {
+    triggered = monitor.observe(0.25f);
+  }
+  EXPECT_TRUE(triggered);
+}
+
+TEST(MonitorTest, RollingMeanTracksWindow) {
+  FineTuningMonitor monitor(2.0f, 2);
+  monitor.set_baseline(1.0f);
+  EXPECT_FLOAT_EQ(monitor.rolling_mean(), 0.0f);
+  (void)monitor.observe(1.0f);
+  EXPECT_FLOAT_EQ(monitor.rolling_mean(), 1.0f);
+  (void)monitor.observe(3.0f);
+  EXPECT_FLOAT_EQ(monitor.rolling_mean(), 2.0f);
+  // Window slides: oldest (1.0) drops.
+  (void)monitor.observe(3.0f);
+  EXPECT_FLOAT_EQ(monitor.rolling_mean(), 3.0f);
+}
+
+TEST(MonitorTest, ResetClearsObservationsKeepsBaseline) {
+  FineTuningMonitor monitor(2.0f, 2);
+  monitor.set_baseline(0.5f);
+  (void)monitor.observe(10.0f);
+  monitor.reset_observations();
+  EXPECT_FLOAT_EQ(monitor.rolling_mean(), 0.0f);
+  EXPECT_TRUE(monitor.has_baseline());
+  // Needs a full fresh window again.
+  EXPECT_FALSE(monitor.observe(10.0f));
+  EXPECT_TRUE(monitor.observe(10.0f));
+}
+
+TEST(MonitorTest, RejectsNegativeLosses) {
+  FineTuningMonitor monitor(2.0f, 2);
+  EXPECT_THROW(monitor.set_baseline(-0.1f), std::invalid_argument);
+  monitor.set_baseline(0.1f);
+  EXPECT_THROW((void)monitor.observe(-1.0f), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace orco::core

@@ -1,0 +1,184 @@
+// End-to-end tests of the OrcoDcsSystem facade: the paper's three stages
+// plus fine-tuning, on a small synthetic-MNIST workload.
+#include <gtest/gtest.h>
+
+#include "core/orcodcs.h"
+#include "data/drift.h"
+#include "data/metrics.h"
+#include "data/synthetic_gtsrb.h"
+#include "data/synthetic_mnist.h"
+
+namespace orco::core {
+namespace {
+
+SystemConfig small_system() {
+  SystemConfig cfg;
+  cfg.orco.input_dim = 784;
+  cfg.orco.latent_dim = 32;
+  cfg.orco.decoder_layers = 1;
+  cfg.orco.noise_variance = 0.01f;
+  cfg.orco.batch_size = 32;
+  cfg.orco.learning_rate = 3.0f;
+  cfg.field.device_count = 16;
+  cfg.field.radio_range_m = 50.0;
+  return cfg;
+}
+
+data::Dataset small_mnist(std::size_t count = 256, std::uint64_t seed = 1) {
+  data::MnistConfig cfg;
+  cfg.count = count;
+  cfg.seed = seed;
+  return data::make_synthetic_mnist(cfg);
+}
+
+TEST(SystemTest, ConstructsWithValidTopology) {
+  OrcoDcsSystem sys(small_system());
+  EXPECT_EQ(sys.field().device_count(), 16u);
+  EXPECT_EQ(sys.tree().subtree_size(sys.tree().root()), 16u);
+  EXPECT_DOUBLE_EQ(sys.sim_time(), 0.0);
+}
+
+TEST(SystemTest, RawAggregationChargesIntraClusterLink) {
+  OrcoDcsSystem sys(small_system());
+  const double seconds = sys.raw_aggregation_round(784 * sizeof(float));
+  EXPECT_GT(seconds, 0.0);
+  EXPECT_GT(sys.ledger().totals(wsn::LinkKind::kIntraCluster).payload_bytes,
+            0u);
+  EXPECT_DOUBLE_EQ(sys.sim_time(), seconds);
+}
+
+TEST(SystemTest, OnlineTrainingReducesLossAndAdvancesClock) {
+  OrcoDcsSystem sys(small_system());
+  const auto train = small_mnist();
+  const auto summary = sys.train_online(train, /*epochs=*/3);
+  ASSERT_FALSE(summary.rounds.empty());
+  // Mean loss of the first epoch vs last epoch.
+  const std::size_t per_epoch = summary.rounds.size() / 3;
+  double first = 0.0, last = 0.0;
+  for (std::size_t i = 0; i < per_epoch; ++i) {
+    first += summary.rounds[i].loss;
+    last += summary.rounds[summary.rounds.size() - 1 - i].loss;
+  }
+  EXPECT_LT(last, first * 0.8);
+  EXPECT_GT(summary.sim_seconds, 0.0);
+  EXPECT_FLOAT_EQ(summary.final_loss, summary.rounds.back().loss);
+}
+
+TEST(SystemTest, TrainingIsDeterministicPerSeed) {
+  const auto train = small_mnist(128);
+  OrcoDcsSystem a(small_system()), b(small_system());
+  const auto sa = a.train_online(train, 1);
+  const auto sb = b.train_online(train, 1);
+  ASSERT_EQ(sa.rounds.size(), sb.rounds.size());
+  for (std::size_t i = 0; i < sa.rounds.size(); ++i) {
+    EXPECT_FLOAT_EQ(sa.rounds[i].loss, sb.rounds[i].loss);
+  }
+}
+
+TEST(SystemTest, ReconstructionBeatsUntrainedBaseline) {
+  const auto train = small_mnist();
+  const auto test = small_mnist(64, 2);
+
+  OrcoDcsSystem trained(small_system());
+  OrcoDcsSystem untrained(small_system());
+  (void)trained.train_online(train, 4);
+
+  const double trained_psnr =
+      data::mean_psnr(test.images(), trained.reconstruct(test.images()));
+  const double untrained_psnr =
+      data::mean_psnr(test.images(), untrained.reconstruct(test.images()));
+  EXPECT_GT(trained_psnr, untrained_psnr + 1.0);
+}
+
+TEST(SystemTest, RejectsMismatchedDataset) {
+  OrcoDcsSystem sys(small_system());
+  data::GtsrbConfig gcfg;
+  gcfg.count = 8;
+  const auto wrong = data::make_synthetic_gtsrb(gcfg);  // 3072 features
+  EXPECT_THROW((void)sys.train_online(wrong, 1), std::invalid_argument);
+}
+
+TEST(SystemTest, EncoderDistributionUsesBroadcastLink) {
+  OrcoDcsSystem sys(small_system());
+  const double seconds = sys.distribute_encoder();
+  EXPECT_GT(seconds, 0.0);
+  const auto& bc = sys.ledger().totals(wsn::LinkKind::kBroadcast);
+  EXPECT_GT(bc.payload_bytes, 0u);
+  // Broadcast payload carries N columns of M floats + bias.
+  const std::size_t share_bytes =
+      (16 * 32 + 32) * sizeof(float);
+  EXPECT_GE(bc.payload_bytes, share_bytes);  // >= one full transmission
+}
+
+TEST(SystemTest, CompressedRoundIsCheaperThanRawRound) {
+  OrcoDcsSystem sys(small_system());
+  // Raw: each device ships a full 784-float image through the tree.
+  (void)sys.raw_aggregation_round(784 * sizeof(float));
+  const auto raw_bytes =
+      sys.ledger().totals(wsn::LinkKind::kIntraCluster).payload_bytes;
+  (void)sys.compressed_aggregation_round();
+  const auto after_bytes =
+      sys.ledger().totals(wsn::LinkKind::kIntraCluster).payload_bytes;
+  EXPECT_LT(after_bytes - raw_bytes, raw_bytes / 10);
+}
+
+TEST(SystemTest, MonitorTriggersAfterDrift) {
+  SystemConfig cfg = small_system();
+  cfg.orco.relaunch_factor = 1.5f;
+  cfg.orco.monitor_window = 4;
+  OrcoDcsSystem sys(cfg);
+  const auto train = small_mnist();
+  (void)sys.train_online(train, 4);
+
+  // Healthy data does not trigger.
+  const float healthy = sys.evaluate_loss(train);
+  bool triggered = false;
+  for (int i = 0; i < 6; ++i) triggered |= sys.monitor_observe(healthy);
+  EXPECT_FALSE(triggered);
+
+  // Severe drift raises reconstruction error enough to trigger.
+  common::Pcg32 rng(3);
+  const auto drifted = data::apply_drift(
+      train, data::DriftConfig{0.3f, 0.4f, 0.4f}, rng);
+  const float drifted_loss = sys.evaluate_loss(drifted);
+  EXPECT_GT(drifted_loss, healthy);
+  for (int i = 0; i < 8 && !triggered; ++i) {
+    triggered = sys.monitor_observe(drifted_loss);
+  }
+  EXPECT_TRUE(triggered);
+
+  // Relaunch: retrain on drifted data recovers the loss.
+  const auto relaunch = sys.train_online(drifted, 4);
+  EXPECT_LT(sys.evaluate_loss(drifted), drifted_loss);
+  EXPECT_GT(relaunch.rounds.size(), 0u);
+}
+
+TEST(SystemTest, DeeperDecodersAreConfigurable) {
+  SystemConfig cfg = small_system();
+  cfg.orco.decoder_layers = 3;
+  OrcoDcsSystem sys(cfg);
+  const auto test = small_mnist(32, 5);
+  const auto rec = sys.reconstruct(test.images());
+  EXPECT_EQ(rec.shape(), test.images().shape());
+}
+
+TEST(SystemTest, FlexibleLatentDimensionChangesUplinkBytes) {
+  SystemConfig small_cfg = small_system();
+  small_cfg.orco.latent_dim = 16;
+  SystemConfig big_cfg = small_system();
+  big_cfg.orco.latent_dim = 128;
+  OrcoDcsSystem small_sys(small_cfg), big_sys(big_cfg);
+  const auto test = small_mnist(32, 6);
+  (void)small_sys.aggregate_images(test.images());
+  (void)big_sys.aggregate_images(test.images());
+  const auto small_up =
+      small_sys.ledger().totals(wsn::LinkKind::kUplink).payload_bytes;
+  const auto big_up =
+      big_sys.ledger().totals(wsn::LinkKind::kUplink).payload_bytes;
+  // 8x latent dimension -> ~8x uplink bytes.
+  EXPECT_NEAR(static_cast<double>(big_up) / static_cast<double>(small_up),
+              8.0, 0.5);
+}
+
+}  // namespace
+}  // namespace orco::core

@@ -1,0 +1,316 @@
+// Data substrate tests: generators, loaders, metrics, drift, ascii art.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/ascii_art.h"
+#include "data/dataloader.h"
+#include "data/dataset.h"
+#include "data/drift.h"
+#include "data/metrics.h"
+#include "data/synthetic_gtsrb.h"
+#include "data/synthetic_mnist.h"
+
+namespace orco::data {
+namespace {
+
+using tensor::Tensor;
+
+TEST(DatasetTest, ValidatesConstruction) {
+  const ImageGeometry g{1, 2, 2};
+  EXPECT_THROW(Dataset("x", g, 2, Tensor({3, 4}), {0, 1}),
+               std::invalid_argument);  // count mismatch
+  EXPECT_THROW(Dataset("x", g, 2, Tensor({2, 5}), {0, 1}),
+               std::invalid_argument);  // feature mismatch
+  EXPECT_THROW(Dataset("x", g, 2, Tensor({2, 4}), {0, 2}),
+               std::invalid_argument);  // label out of range
+}
+
+TEST(DatasetTest, SubsetGatherSplit) {
+  const ImageGeometry g{1, 1, 2};
+  Tensor images = Tensor::from2d({{0, 0}, {1, 1}, {2, 2}, {3, 3}});
+  Dataset ds("t", g, 4, std::move(images), {0, 1, 2, 3});
+
+  const Dataset sub = ds.subset(1, 3);
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.label(0), 1u);
+
+  const Dataset gathered = ds.gather({3, 0});
+  EXPECT_EQ(gathered.label(0), 3u);
+  EXPECT_FLOAT_EQ(gathered.image(1)[0], 0.0f);
+
+  const auto [head, tail] = ds.split(1);
+  EXPECT_EQ(head.size(), 1u);
+  EXPECT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail.label(0), 1u);
+}
+
+TEST(SyntheticMnistTest, DeterministicPerSeed) {
+  MnistConfig cfg;
+  cfg.count = 20;
+  const Dataset a = make_synthetic_mnist(cfg);
+  const Dataset b = make_synthetic_mnist(cfg);
+  EXPECT_TRUE(a.images().allclose(b.images(), 0.0f));
+  EXPECT_EQ(a.labels(), b.labels());
+}
+
+TEST(SyntheticMnistTest, DifferentSeedsDiffer) {
+  MnistConfig a_cfg;
+  a_cfg.count = 20;
+  MnistConfig b_cfg = a_cfg;
+  b_cfg.seed = 999;
+  const Dataset a = make_synthetic_mnist(a_cfg);
+  const Dataset b = make_synthetic_mnist(b_cfg);
+  EXPECT_FALSE(a.images().allclose(b.images(), 1e-4f));
+}
+
+TEST(SyntheticMnistTest, GeometryAndRanges) {
+  MnistConfig cfg;
+  cfg.count = 50;
+  const Dataset ds = make_synthetic_mnist(cfg);
+  EXPECT_EQ(ds.size(), 50u);
+  EXPECT_EQ(ds.geometry(), kMnistGeometry);
+  EXPECT_EQ(ds.num_classes(), kMnistClasses);
+  EXPECT_GE(ds.images().min(), 0.0f);
+  EXPECT_LE(ds.images().max(), 1.0f);
+  for (const auto l : ds.labels()) EXPECT_LT(l, 10u);
+}
+
+TEST(SyntheticMnistTest, CoversAllClassesAndHasInk) {
+  MnistConfig cfg;
+  cfg.count = 300;
+  const Dataset ds = make_synthetic_mnist(cfg);
+  std::set<std::size_t> classes(ds.labels().begin(), ds.labels().end());
+  EXPECT_EQ(classes.size(), 10u);
+  // Every digit image should contain meaningful bright strokes.
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_GT(ds.image(i).max(), 0.5f) << "image " << i << " is blank";
+  }
+}
+
+TEST(SyntheticMnistTest, ClassesAreVisuallyDistinct) {
+  // Mean images of different digit classes should differ clearly — the
+  // class structure the classifier and reconstruction tasks rely on.
+  MnistConfig cfg;
+  cfg.count = 400;
+  cfg.pixel_noise = 0.0f;
+  const Dataset ds = make_synthetic_mnist(cfg);
+  std::array<Tensor, 10> means;
+  std::array<std::size_t, 10> counts{};
+  for (auto& m : means) m = Tensor({784});
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    means[ds.label(i)] += ds.image(i);
+    counts[ds.label(i)]++;
+  }
+  for (std::size_t c = 0; c < 10; ++c) {
+    ASSERT_GT(counts[c], 0u);
+    means[c] *= 1.0f / static_cast<float>(counts[c]);
+  }
+  const float d01 = (means[0] - means[1]).l2_norm();
+  EXPECT_GT(d01, 1.0f);
+}
+
+TEST(SyntheticGtsrbTest, DeterministicPerSeed) {
+  GtsrbConfig cfg;
+  cfg.count = 20;
+  const Dataset a = make_synthetic_gtsrb(cfg);
+  const Dataset b = make_synthetic_gtsrb(cfg);
+  EXPECT_TRUE(a.images().allclose(b.images(), 0.0f));
+}
+
+TEST(SyntheticGtsrbTest, GeometryAndRanges) {
+  GtsrbConfig cfg;
+  cfg.count = 60;
+  const Dataset ds = make_synthetic_gtsrb(cfg);
+  EXPECT_EQ(ds.geometry(), kGtsrbGeometry);
+  EXPECT_EQ(ds.num_classes(), kGtsrbClasses);
+  EXPECT_EQ(ds.images().dim(1), 3u * 32u * 32u);
+  EXPECT_GE(ds.images().min(), 0.0f);
+  EXPECT_LE(ds.images().max(), 1.0f);
+  for (const auto l : ds.labels()) EXPECT_LT(l, 43u);
+}
+
+TEST(SyntheticGtsrbTest, CoversManyClasses) {
+  GtsrbConfig cfg;
+  cfg.count = 800;
+  const Dataset ds = make_synthetic_gtsrb(cfg);
+  std::set<std::size_t> classes(ds.labels().begin(), ds.labels().end());
+  EXPECT_GE(classes.size(), 40u);  // 43 classes, uniform sampling
+}
+
+TEST(SyntheticGtsrbTest, ImagesAreColourful) {
+  GtsrbConfig cfg;
+  cfg.count = 30;
+  const Dataset ds = make_synthetic_gtsrb(cfg);
+  // Channels should differ (not grayscale): compare per-channel means.
+  std::size_t colourful = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const Tensor img = ds.image(i);
+    double mean_r = 0.0, mean_b = 0.0;
+    for (std::size_t p = 0; p < 1024; ++p) {
+      mean_r += img[p];
+      mean_b += img[2 * 1024 + p];
+    }
+    if (std::abs(mean_r - mean_b) > 10.0) ++colourful;
+  }
+  EXPECT_GT(colourful, 10u);
+}
+
+TEST(DataLoaderTest, CoversAllSamplesOncePerEpoch) {
+  MnistConfig cfg;
+  cfg.count = 23;  // prime-ish: forces a partial final batch
+  const Dataset ds = make_synthetic_mnist(cfg);
+  DataLoader loader(ds, 5, /*shuffle=*/true);
+  EXPECT_EQ(loader.batch_count(), 5u);
+  std::size_t seen = 0;
+  for (std::size_t b = 0; b < loader.batch_count(); ++b) {
+    seen += loader.batch(b).size();
+  }
+  EXPECT_EQ(seen, 23u);
+  EXPECT_EQ(loader.batch(4).size(), 3u);  // partial batch kept
+}
+
+TEST(DataLoaderTest, ShuffleChangesOrderButNotContent) {
+  MnistConfig cfg;
+  cfg.count = 40;
+  const Dataset ds = make_synthetic_mnist(cfg);
+  common::Pcg32 rng(5);
+  DataLoader loader(ds, 40, /*shuffle=*/true, rng);
+  const auto batch1 = loader.batch(0);
+  loader.reshuffle();
+  const auto batch2 = loader.batch(0);
+  EXPECT_NE(batch1.labels, batch2.labels);  // order differs w.h.p.
+  auto sorted1 = batch1.labels, sorted2 = batch2.labels;
+  std::sort(sorted1.begin(), sorted1.end());
+  std::sort(sorted2.begin(), sorted2.end());
+  EXPECT_EQ(sorted1, sorted2);  // same multiset of samples
+}
+
+TEST(DataLoaderTest, NoShuffleKeepsDatasetOrder) {
+  MnistConfig cfg;
+  cfg.count = 10;
+  const Dataset ds = make_synthetic_mnist(cfg);
+  DataLoader loader(ds, 4, /*shuffle=*/false);
+  const auto batch = loader.batch(0);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(batch.labels[i], ds.label(i));
+}
+
+TEST(MetricsTest, PsnrIdenticalIsCapped) {
+  const Tensor img({16}, 0.5f);
+  EXPECT_DOUBLE_EQ(psnr(img, img), 100.0);
+}
+
+TEST(MetricsTest, PsnrKnownValue) {
+  // MSE = 0.01 -> PSNR = 10*log10(1/0.01) = 20 dB.
+  Tensor a({100}, 0.0f);
+  Tensor b({100}, 0.1f);
+  EXPECT_NEAR(psnr(a, b), 20.0, 1e-6);
+}
+
+TEST(MetricsTest, PsnrDecreasesWithNoise) {
+  common::Pcg32 rng(7);
+  const Tensor ref = Tensor::uniform({784}, rng);
+  Tensor mild = ref, severe = ref;
+  common::Pcg32 noise_rng(8);
+  for (auto& v : mild.data()) {
+    v += static_cast<float>(noise_rng.normal(0.0, 0.02));
+  }
+  for (auto& v : severe.data()) {
+    v += static_cast<float>(noise_rng.normal(0.0, 0.2));
+  }
+  EXPECT_GT(psnr(ref, mild), psnr(ref, severe));
+}
+
+TEST(MetricsTest, MeanPsnrAveragesRows) {
+  Tensor ref({2, 4}, 0.0f);
+  Tensor test = ref;
+  test.at(1, 0) = 1.0f;  // only second row differs
+  const double mp = mean_psnr(ref, test);
+  EXPECT_LT(mp, 100.0);
+  EXPECT_GT(mp, 20.0);
+}
+
+TEST(MetricsTest, SsimIdenticalIsOne) {
+  common::Pcg32 rng(9);
+  const Tensor img = Tensor::uniform({784}, rng);
+  EXPECT_NEAR(ssim(img, img, kMnistGeometry), 1.0, 1e-6);
+}
+
+TEST(MetricsTest, SsimDegradesWithDistortion) {
+  MnistConfig cfg;
+  cfg.count = 1;
+  const Dataset ds = make_synthetic_mnist(cfg);
+  const Tensor img = ds.image(0);
+  Tensor noisy = img;
+  common::Pcg32 rng(10);
+  for (auto& v : noisy.data()) {
+    v = std::clamp(v + static_cast<float>(rng.normal(0.0, 0.3)), 0.0f, 1.0f);
+  }
+  const double s = ssim(img, noisy, kMnistGeometry);
+  EXPECT_LT(s, 0.9);
+  EXPECT_GT(s, -1.0);
+}
+
+TEST(MetricsTest, AccuracyCountsMatches) {
+  EXPECT_DOUBLE_EQ(accuracy({1, 2, 3}, {1, 2, 0}), 2.0 / 3.0);
+  EXPECT_THROW((void)accuracy({1}, {1, 2}), std::invalid_argument);
+}
+
+TEST(DriftTest, BrightnessGainRaisesMeanUntilClamp) {
+  MnistConfig cfg;
+  cfg.count = 10;
+  const Dataset ds = make_synthetic_mnist(cfg);
+  common::Pcg32 rng(11);
+  const Dataset brighter =
+      apply_drift(ds, DriftConfig{1.5f, 0.0f, 0.0f}, rng);
+  EXPECT_GT(brighter.images().mean(), ds.images().mean());
+  EXPECT_LE(brighter.images().max(), 1.0f);
+  EXPECT_EQ(brighter.labels(), ds.labels());
+}
+
+TEST(DriftTest, NoiseChangesPixelsDeterministicallyPerRng) {
+  MnistConfig cfg;
+  cfg.count = 5;
+  const Dataset ds = make_synthetic_mnist(cfg);
+  common::Pcg32 rng_a(12), rng_b(12);
+  const Dataset a = apply_drift(ds, DriftConfig{1.0f, 0.0f, 0.1f}, rng_a);
+  const Dataset b = apply_drift(ds, DriftConfig{1.0f, 0.0f, 0.1f}, rng_b);
+  EXPECT_TRUE(a.images().allclose(b.images(), 0.0f));
+  EXPECT_FALSE(a.images().allclose(ds.images(), 1e-4f));
+}
+
+TEST(DriftTest, ValidatesConfig) {
+  MnistConfig cfg;
+  cfg.count = 2;
+  const Dataset ds = make_synthetic_mnist(cfg);
+  common::Pcg32 rng(13);
+  EXPECT_THROW((void)apply_drift(ds, DriftConfig{0.0f, 0.0f, 0.0f}, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)apply_drift(ds, DriftConfig{1.0f, 0.0f, -0.5f}, rng),
+               std::invalid_argument);
+}
+
+TEST(AsciiArtTest, RendersExpectedDimensions) {
+  MnistConfig cfg;
+  cfg.count = 1;
+  const Dataset ds = make_synthetic_mnist(cfg);
+  const std::string art = ascii_art(ds.image(0), ds.geometry());
+  // 28 rows of 56 chars + newline each.
+  EXPECT_EQ(art.size(), 28u * 57u);
+}
+
+TEST(AsciiArtTest, RowComposesMultipleImages) {
+  MnistConfig cfg;
+  cfg.count = 2;
+  const Dataset ds = make_synthetic_mnist(cfg);
+  const std::string art = ascii_art_row({ds.image(0), ds.image(1)},
+                                        {"left", "right"}, ds.geometry());
+  EXPECT_NE(art.find("left"), std::string::npos);
+  EXPECT_NE(art.find("right"), std::string::npos);
+  EXPECT_THROW(
+      (void)ascii_art_row({ds.image(0)}, {"a", "b"}, ds.geometry()),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace orco::data

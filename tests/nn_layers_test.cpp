@@ -1,0 +1,279 @@
+// Unit tests for NN layers: forward semantics, caching, chaining, noise.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/conv_transpose2d.h"
+#include "nn/dense.h"
+#include "nn/noise.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+
+namespace orco::nn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(DenseTest, ForwardComputesAffineMap) {
+  common::Pcg32 rng(1);
+  Dense d(2, 3, rng);
+  // Overwrite with known weights: y = W x + b.
+  d.weight() = Tensor::from2d({{1, 0}, {0, 1}, {1, 1}});
+  d.bias() = Tensor::from({0.5f, -0.5f, 0.0f});
+  const Tensor x = Tensor::from2d({{2, 3}});
+  const Tensor y = d.forward(x, false);
+  EXPECT_TRUE(y.allclose(Tensor::from2d({{2.5f, 2.5f, 5.0f}})));
+}
+
+TEST(DenseTest, RejectsWrongInputWidth) {
+  common::Pcg32 rng(2);
+  Dense d(4, 2, rng);
+  EXPECT_THROW((void)d.forward(Tensor({1, 3}), false), std::invalid_argument);
+}
+
+TEST(DenseTest, BackwardAccumulatesGradients) {
+  common::Pcg32 rng(3);
+  Dense d(2, 2, rng);
+  const Tensor x = Tensor::from2d({{1, 2}});
+  (void)d.forward(x, true);
+  (void)d.backward(Tensor::from2d({{1, 1}}));
+  const Tensor gw1 = d.weight_grad();
+  (void)d.forward(x, true);
+  (void)d.backward(Tensor::from2d({{1, 1}}));
+  // Second backward doubles the accumulated gradient.
+  EXPECT_TRUE(d.weight_grad().allclose(gw1 * 2.0f, 1e-5f));
+  d.zero_grad();
+  EXPECT_FLOAT_EQ(d.weight_grad().abs_max(), 0.0f);
+}
+
+TEST(DenseTest, ParamsExposeWeightAndBias) {
+  common::Pcg32 rng(4);
+  Dense d(3, 5, rng);
+  const auto params = d.params();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].value->shape(), (tensor::Shape{5, 3}));
+  EXPECT_EQ(params[1].value->shape(), (tensor::Shape{5}));
+  EXPECT_EQ(d.output_features(3), 5u);
+  EXPECT_THROW((void)d.output_features(4), std::invalid_argument);
+  EXPECT_EQ(d.forward_flops(2), 2u * 2u * 3u * 5u);
+}
+
+TEST(Conv2dTest, IdentityKernelPassesThrough) {
+  common::Pcg32 rng(5);
+  Conv2d conv(1, 1, 1, 1, 0, 3, 3, rng);
+  // 1x1 kernel with weight 1, bias 0 is the identity.
+  conv.params()[0].value->fill(1.0f);
+  conv.params()[1].value->fill(0.0f);
+  const Tensor x = Tensor::from2d({{1, 2, 3, 4, 5, 6, 7, 8, 9}});
+  EXPECT_TRUE(conv.forward(x, false).allclose(x));
+}
+
+TEST(Conv2dTest, KnownSumKernel) {
+  common::Pcg32 rng(6);
+  Conv2d conv(1, 1, 2, 1, 0, 2, 2, rng);
+  conv.params()[0].value->fill(1.0f);  // 2x2 all-ones kernel: sums patch
+  conv.params()[1].value->fill(0.5f);
+  const Tensor x = Tensor::from2d({{1, 2, 3, 4}});
+  const Tensor y = conv.forward(x, false);
+  ASSERT_EQ(y.numel(), 1u);
+  EXPECT_FLOAT_EQ(y[0], 10.5f);
+}
+
+TEST(Conv2dTest, OutputGeometryAndFlops) {
+  common::Pcg32 rng(7);
+  Conv2d conv(3, 8, 3, 1, 1, 32, 32, rng);
+  EXPECT_EQ(conv.out_h(), 32u);
+  EXPECT_EQ(conv.output_features(3 * 32 * 32), 8u * 32u * 32u);
+  EXPECT_THROW((void)conv.output_features(123), std::invalid_argument);
+  EXPECT_GT(conv.forward_flops(1), 0u);
+}
+
+TEST(Conv2dTest, StridedOutput) {
+  common::Pcg32 rng(8);
+  Conv2d conv(1, 2, 3, 2, 1, 8, 8, rng);
+  EXPECT_EQ(conv.out_h(), 4u);
+  const Tensor x({2, 64}, 1.0f);
+  const Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.dim(1), 2u * 4u * 4u);
+}
+
+TEST(ConvTranspose2dTest, UpsamplesGeometry) {
+  common::Pcg32 rng(9);
+  ConvTranspose2d convt(4, 2, 4, 2, 1, 7, 7, rng);
+  EXPECT_EQ(convt.out_h(), 14u);
+  EXPECT_EQ(convt.out_w(), 14u);
+  EXPECT_EQ(convt.output_features(4 * 7 * 7), 2u * 14u * 14u);
+}
+
+TEST(ConvTranspose2dTest, ForwardAgreesWithManualScatter) {
+  // 1 channel -> 1 channel, 2x2 kernel, stride 2: each input pixel paints a
+  // scaled copy of the kernel on a disjoint 2x2 block.
+  common::Pcg32 rng(10);
+  ConvTranspose2d convt(1, 1, 2, 2, 0, 2, 2, rng);
+  convt.params()[0].value->data()[0] = 1.0f;
+  convt.params()[0].value->data()[1] = 2.0f;
+  convt.params()[0].value->data()[2] = 3.0f;
+  convt.params()[0].value->data()[3] = 4.0f;
+  convt.params()[1].value->fill(0.0f);
+  const Tensor x = Tensor::from2d({{1, 10, 100, 1000}});
+  const Tensor y = convt.forward(x, false);
+  ASSERT_EQ(y.numel(), 16u);
+  // Top-left block scaled by 1, top-right by 10, etc.
+  EXPECT_FLOAT_EQ(y[0], 1.0f);
+  EXPECT_FLOAT_EQ(y[1], 2.0f);
+  EXPECT_FLOAT_EQ(y[2], 10.0f);
+  EXPECT_FLOAT_EQ(y[3], 20.0f);
+  EXPECT_FLOAT_EQ(y[4], 3.0f);
+  EXPECT_FLOAT_EQ(y[5], 4.0f);
+  EXPECT_FLOAT_EQ(y[15], 4000.0f);
+}
+
+TEST(MaxPool2dTest, ForwardPicksMaxima) {
+  MaxPool2d pool(1, 4, 4, 2, 2);
+  const Tensor x = Tensor::from2d(
+      {{1, 2, 5, 6, 3, 4, 7, 8, 9, 10, 13, 14, 11, 12, 15, 16}});
+  const Tensor y = pool.forward(x, false);
+  EXPECT_TRUE(y.allclose(Tensor::from2d({{4, 8, 12, 16}})));
+}
+
+TEST(MaxPool2dTest, BackwardRoutesToWinners) {
+  MaxPool2d pool(1, 2, 2, 2, 2);
+  const Tensor x = Tensor::from2d({{1, 3, 2, 0}});
+  (void)pool.forward(x, true);
+  const Tensor gi = pool.backward(Tensor::from2d({{5}}));
+  EXPECT_TRUE(gi.allclose(Tensor::from2d({{0, 5, 0, 0}})));
+}
+
+TEST(MaxPool2dTest, GeometryValidation) {
+  EXPECT_THROW(MaxPool2d(1, 2, 2, 3, 1), std::invalid_argument);
+  MaxPool2d pool(2, 8, 8, 2, 2);
+  EXPECT_EQ(pool.output_features(2 * 64), 2u * 16u);
+  EXPECT_THROW((void)pool.output_features(100), std::invalid_argument);
+}
+
+TEST(ActivationTest, ReLUZeroesNegatives) {
+  ReLU relu;
+  const Tensor x = Tensor::from({-1, 0, 2});
+  EXPECT_TRUE(relu.forward(x, false).allclose(Tensor::from({0, 0, 2})));
+  const Tensor g = relu.backward(Tensor::from({1, 1, 1}));
+  EXPECT_TRUE(g.allclose(Tensor::from({0, 0, 1})));
+}
+
+TEST(ActivationTest, LeakyReLUKeepsSlope) {
+  LeakyReLU lrelu(0.1f);
+  const Tensor x = Tensor::from({-2, 4});
+  EXPECT_TRUE(lrelu.forward(x, false).allclose(Tensor::from({-0.2f, 4.0f})));
+  const Tensor g = lrelu.backward(Tensor::from({1, 1}));
+  EXPECT_TRUE(g.allclose(Tensor::from({0.1f, 1.0f})));
+  EXPECT_THROW(LeakyReLU(1.5f), std::invalid_argument);
+}
+
+TEST(ActivationTest, SigmoidRangeAndDerivative) {
+  Sigmoid s;
+  const Tensor x = Tensor::from({0.0f});
+  const Tensor y = s.forward(x, false);
+  EXPECT_NEAR(y[0], 0.5f, 1e-6f);
+  const Tensor g = s.backward(Tensor::from({1.0f}));
+  EXPECT_NEAR(g[0], 0.25f, 1e-6f);  // sigmoid'(0) = 1/4
+}
+
+TEST(ActivationTest, TanhOddAndBounded) {
+  Tanh t;
+  const Tensor x = Tensor::from({-3, 0, 3});
+  const Tensor y = t.forward(x, false);
+  EXPECT_NEAR(y[1], 0.0f, 1e-6f);
+  EXPECT_NEAR(y[0], -y[2], 1e-6f);
+  EXPECT_LT(std::fabs(y[2]), 1.0f);
+}
+
+TEST(ActivationTest, FactoryCoversAllKinds) {
+  for (const auto kind :
+       {Activation::kIdentity, Activation::kReLU, Activation::kLeakyReLU,
+        Activation::kSigmoid, Activation::kTanh}) {
+    const auto layer = make_activation(kind);
+    ASSERT_NE(layer, nullptr);
+    EXPECT_EQ(layer->output_features(7), 7u);
+  }
+}
+
+TEST(GaussianNoiseTest, EvalModeIsIdentity) {
+  common::Pcg32 rng(11);
+  GaussianNoise noise(0.5f, rng);
+  const Tensor x = Tensor::from({1, 2, 3});
+  EXPECT_TRUE(noise.forward(x, false).allclose(x, 0.0f));
+}
+
+TEST(GaussianNoiseTest, TrainingAddsZeroMeanNoise) {
+  common::Pcg32 rng(12);
+  GaussianNoise noise(0.3f, rng);
+  const Tensor x({10000}, 1.0f);
+  const Tensor y = noise.forward(x, true);
+  EXPECT_FALSE(y.allclose(x, 1e-6f));
+  const Tensor delta = y - x;
+  EXPECT_NEAR(delta.mean(), 0.0f, 0.02f);
+  // Sample stddev should be near sigma.
+  double sq = 0.0;
+  for (const auto v : delta.data()) sq += static_cast<double>(v) * v;
+  EXPECT_NEAR(std::sqrt(sq / 10000.0), 0.3, 0.02);
+}
+
+TEST(GaussianNoiseTest, ZeroSigmaIsAlwaysIdentity) {
+  common::Pcg32 rng(13);
+  GaussianNoise noise(0.0f, rng);
+  const Tensor x = Tensor::from({4, 5});
+  EXPECT_TRUE(noise.forward(x, true).allclose(x, 0.0f));
+  EXPECT_THROW(noise.set_sigma(-1.0f), std::invalid_argument);
+}
+
+TEST(GaussianNoiseTest, GradientPassesThrough) {
+  common::Pcg32 rng(14);
+  GaussianNoise noise(0.2f, rng);
+  const Tensor g = Tensor::from({1, 2});
+  EXPECT_TRUE(noise.backward(g).allclose(g, 0.0f));
+}
+
+TEST(SequentialTest, ChainsLayersAndValidates) {
+  common::Pcg32 rng(15);
+  Sequential model;
+  model.emplace<Dense>(4, 8, rng);
+  model.emplace<ReLU>();
+  model.emplace<Dense>(8, 2, rng);
+  EXPECT_EQ(model.output_features(4), 2u);
+  EXPECT_THROW((void)model.output_features(5), std::invalid_argument);
+  EXPECT_EQ(model.size(), 3u);
+  const Tensor x = Tensor::randn({3, 4}, rng);
+  EXPECT_EQ(model.forward(x, false).shape(), (tensor::Shape{3, 2}));
+}
+
+TEST(SequentialTest, ParamNamesIncludeLayerIndex) {
+  common::Pcg32 rng(16);
+  Sequential model;
+  model.emplace<Dense>(2, 2, rng);
+  model.emplace<Dense>(2, 2, rng);
+  const auto params = model.params();
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_EQ(params[0].name, "layer0.Dense.weight");
+  EXPECT_EQ(params[3].name, "layer1.Dense.bias");
+  EXPECT_EQ(model.parameter_count(), 2u * (2 * 2 + 2));
+}
+
+TEST(SequentialTest, FlopsSumAcrossLayers) {
+  common::Pcg32 rng(17);
+  Sequential model;
+  model.emplace<Dense>(10, 20, rng);
+  model.emplace<ReLU>();
+  model.emplace<Dense>(20, 5, rng);
+  EXPECT_EQ(model.forward_flops(2),
+            2u * 2u * 10u * 20u + 2u * 2u * 20u * 5u);
+}
+
+TEST(SequentialTest, RejectsNullLayer) {
+  Sequential model;
+  EXPECT_THROW(model.add(nullptr), std::invalid_argument);
+  EXPECT_THROW((void)model.layer(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace orco::nn

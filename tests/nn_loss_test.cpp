@@ -1,0 +1,184 @@
+// Loss-function tests: known values, numeric gradients, Huber properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/loss.h"
+
+namespace orco::nn {
+namespace {
+
+using tensor::Tensor;
+
+// Central-difference check of dL/dpred for a reconstruction loss.
+void check_loss_gradient(const Loss& loss, const Tensor& pred,
+                         const Tensor& target, float tol = 2e-3f) {
+  const Tensor analytic = loss.gradient(pred, target);
+  Tensor probe = pred;
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < probe.numel(); ++i) {
+    const float saved = probe[i];
+    probe[i] = saved + eps;
+    const float plus = loss.value(probe, target);
+    probe[i] = saved - eps;
+    const float minus = loss.value(probe, target);
+    probe[i] = saved;
+    const float numeric = (plus - minus) / (2 * eps);
+    EXPECT_NEAR(analytic[i], numeric, tol) << loss.name() << " at " << i;
+  }
+}
+
+TEST(MseLossTest, KnownValue) {
+  MseLoss mse;
+  const Tensor p = Tensor::from({1, 2});
+  const Tensor t = Tensor::from({0, 0});
+  EXPECT_FLOAT_EQ(mse.value(p, t), 2.5f);
+}
+
+TEST(MseLossTest, ZeroAtPerfectReconstruction) {
+  MseLoss mse;
+  const Tensor p = Tensor::from({3, -1, 2});
+  EXPECT_FLOAT_EQ(mse.value(p, p), 0.0f);
+  EXPECT_FLOAT_EQ(mse.gradient(p, p).abs_max(), 0.0f);
+}
+
+TEST(MseLossTest, GradientMatchesNumeric) {
+  common::Pcg32 rng(1);
+  const Tensor p = Tensor::randn({4, 6}, rng);
+  const Tensor t = Tensor::randn({4, 6}, rng);
+  check_loss_gradient(MseLoss{}, p, t);
+}
+
+TEST(L1LossTest, KnownValueAndSignGradient) {
+  L1Loss l1;
+  const Tensor p = Tensor::from({2, -3});
+  const Tensor t = Tensor::from({0, 0});
+  EXPECT_FLOAT_EQ(l1.value(p, t), 2.5f);
+  const Tensor g = l1.gradient(p, t);
+  EXPECT_FLOAT_EQ(g[0], 0.5f);
+  EXPECT_FLOAT_EQ(g[1], -0.5f);
+}
+
+TEST(L1LossTest, GradientMatchesNumericAwayFromKink) {
+  common::Pcg32 rng(2);
+  // Keep |p - t| > 0.1 so the finite difference never straddles the kink.
+  Tensor p = Tensor::randn({3, 5}, rng);
+  Tensor t = p.map([](float v) { return v + (v >= 0 ? 0.5f : -0.5f); });
+  check_loss_gradient(L1Loss{}, p, t);
+}
+
+TEST(HuberLossTest, QuadraticInsideDelta) {
+  HuberLoss huber(1.0f);
+  MseLoss mse;
+  common::Pcg32 rng(3);
+  // All residuals within delta: Huber = MSE / 2.
+  const Tensor t = Tensor::randn({2, 8}, rng);
+  Tensor p = t;
+  for (auto& v : p.data()) v += 0.3f;
+  EXPECT_NEAR(huber.value(p, t), mse.value(p, t) / 2.0f, 1e-6f);
+}
+
+TEST(HuberLossTest, LinearOutsideDelta) {
+  HuberLoss huber(1.0f);
+  // Single element with residual 5: loss = delta*|r| - delta^2/2 = 4.5.
+  const Tensor p = Tensor::from({5.0f});
+  const Tensor t = Tensor::from({0.0f});
+  EXPECT_FLOAT_EQ(huber.value(p, t), 4.5f);
+  // Gradient saturates at delta.
+  EXPECT_FLOAT_EQ(huber.gradient(p, t)[0], 1.0f);
+}
+
+TEST(HuberLossTest, ContinuousAtDelta) {
+  HuberLoss huber(1.0f);
+  const Tensor t = Tensor::from({0.0f});
+  const float below = huber.value(Tensor::from({1.0f - 1e-4f}), t);
+  const float above = huber.value(Tensor::from({1.0f + 1e-4f}), t);
+  EXPECT_NEAR(below, above, 1e-3f);
+}
+
+TEST(HuberLossTest, RobustnessBoundedBelowMse) {
+  // For large residuals Huber grows linearly while MSE grows quadratically —
+  // the robustness property the paper cites for eq. (4).
+  HuberLoss huber(1.0f);
+  MseLoss mse;
+  const Tensor t = Tensor::from({0.0f});
+  const Tensor p = Tensor::from({100.0f});
+  EXPECT_LT(huber.value(p, t), mse.value(p, t) / 100.0f);
+}
+
+TEST(HuberLossTest, DeltaSweepGradientMatchesNumeric) {
+  common::Pcg32 rng(4);
+  for (const float delta : {0.25f, 1.0f, 2.0f}) {
+    const Tensor p = Tensor::randn({3, 4}, rng, 0.0f, 2.0f);
+    const Tensor t = Tensor::randn({3, 4}, rng, 0.0f, 2.0f);
+    check_loss_gradient(HuberLoss{delta}, p, t);
+  }
+}
+
+TEST(HuberLossTest, RejectsNonPositiveDelta) {
+  EXPECT_THROW(HuberLoss(0.0f), std::invalid_argument);
+  EXPECT_THROW(HuberLoss(-1.0f), std::invalid_argument);
+}
+
+TEST(LossTest, ShapeMismatchThrows) {
+  MseLoss mse;
+  EXPECT_THROW((void)mse.value(Tensor({2}), Tensor({3})),
+               std::invalid_argument);
+  HuberLoss huber(1.0f);
+  EXPECT_THROW((void)huber.gradient(Tensor({2, 2}), Tensor({4})),
+               std::invalid_argument);
+}
+
+TEST(SoftmaxCrossEntropyTest, UniformLogitsGiveLogC) {
+  SoftmaxCrossEntropy ce;
+  const Tensor logits({2, 10}, 0.0f);
+  EXPECT_NEAR(ce.value(logits, {3, 7}), std::log(10.0f), 1e-5f);
+}
+
+TEST(SoftmaxCrossEntropyTest, ConfidentCorrectPredictionNearZero) {
+  SoftmaxCrossEntropy ce;
+  Tensor logits({1, 3}, 0.0f);
+  logits.at(0, 1) = 20.0f;
+  EXPECT_LT(ce.value(logits, {1}), 1e-4f);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientMatchesNumeric) {
+  SoftmaxCrossEntropy ce;
+  common::Pcg32 rng(5);
+  Tensor logits = Tensor::randn({3, 5}, rng);
+  const std::vector<std::size_t> labels = {0, 4, 2};
+  const Tensor analytic = ce.gradient(logits, labels);
+  const float eps = 1e-2f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    const float saved = logits[i];
+    logits[i] = saved + eps;
+    const float plus = ce.value(logits, labels);
+    logits[i] = saved - eps;
+    const float minus = ce.value(logits, labels);
+    logits[i] = saved;
+    EXPECT_NEAR(analytic[i], (plus - minus) / (2 * eps), 2e-3f);
+  }
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientRowsSumToZero) {
+  SoftmaxCrossEntropy ce;
+  common::Pcg32 rng(6);
+  const Tensor logits = Tensor::randn({4, 6}, rng);
+  const Tensor g = ce.gradient(logits, {0, 1, 2, 3});
+  for (std::size_t i = 0; i < 4; ++i) {
+    double sum = 0.0;
+    for (const auto v : g.row(i)) sum += v;
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+  }
+}
+
+TEST(SoftmaxCrossEntropyTest, LabelValidation) {
+  SoftmaxCrossEntropy ce;
+  const Tensor logits({2, 3}, 0.0f);
+  EXPECT_THROW((void)ce.value(logits, {0}), std::invalid_argument);
+  EXPECT_THROW((void)ce.value(logits, {0, 3}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace orco::nn

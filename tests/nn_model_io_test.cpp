@@ -1,0 +1,81 @@
+// Weight serialisation round-trip and mismatch handling.
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/model_io.h"
+#include "nn/sequential.h"
+
+namespace orco::nn {
+namespace {
+
+using tensor::Tensor;
+
+std::unique_ptr<Sequential> make_model(std::uint64_t seed) {
+  common::Pcg32 rng(seed);
+  auto model = std::make_unique<Sequential>();
+  model->emplace<Dense>(6, 4, rng);
+  model->emplace<ReLU>();
+  model->emplace<Dense>(4, 6, rng);
+  model->emplace<Sigmoid>();
+  return model;
+}
+
+TEST(ModelIoTest, SaveLoadRoundTripRestoresOutputs) {
+  auto a = make_model(1);
+  auto b = make_model(2);  // different weights
+  common::Pcg32 rng(3);
+  const Tensor x = Tensor::randn({5, 6}, rng);
+  const Tensor before = a->forward(x, false);
+  EXPECT_FALSE(b->forward(x, false).allclose(before, 1e-5f));
+
+  const auto bytes = save_params(*a);
+  load_params(*b, bytes);
+  EXPECT_TRUE(b->forward(x, false).allclose(before, 0.0f));
+}
+
+TEST(ModelIoTest, FileRoundTrip) {
+  auto a = make_model(4);
+  const std::string path = ::testing::TempDir() + "/orco_model_io_test.bin";
+  save_params_file(*a, path);
+  auto b = make_model(5);
+  load_params_file(*b, path);
+  common::Pcg32 rng(6);
+  const Tensor x = Tensor::randn({2, 6}, rng);
+  EXPECT_TRUE(a->forward(x, false).allclose(b->forward(x, false), 0.0f));
+}
+
+TEST(ModelIoTest, ArchitectureMismatchThrows) {
+  auto a = make_model(7);
+  common::Pcg32 rng(8);
+  Sequential different;
+  different.emplace<Dense>(6, 5, rng);  // wrong shape
+  const auto bytes = save_params(*a);
+  EXPECT_THROW(load_params(different, bytes), std::invalid_argument);
+}
+
+TEST(ModelIoTest, ParamCountMismatchThrows) {
+  auto a = make_model(9);
+  common::Pcg32 rng(10);
+  Sequential shorter;
+  shorter.emplace<Dense>(6, 4, rng);
+  const auto bytes = save_params(*a);
+  EXPECT_THROW(load_params(shorter, bytes), std::invalid_argument);
+}
+
+TEST(ModelIoTest, CorruptMagicThrows) {
+  auto a = make_model(11);
+  auto bytes = save_params(*a);
+  bytes[0] = std::byte{0x00};
+  EXPECT_THROW(load_params(*a, bytes), std::invalid_argument);
+}
+
+TEST(ModelIoTest, SerialisedSizeTracksParameterCount) {
+  auto a = make_model(12);
+  const auto bytes = save_params(*a);
+  // At least 4 bytes per parameter scalar.
+  EXPECT_GT(bytes.size(), a->parameter_count() * sizeof(float));
+}
+
+}  // namespace
+}  // namespace orco::nn

@@ -1,0 +1,315 @@
+// WSN substrate tests: radio model, ledger, field, tree invariants, channel.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "wsn/aggregation_tree.h"
+#include "wsn/channel.h"
+#include "wsn/field.h"
+#include "wsn/ledger.h"
+#include "wsn/radio.h"
+
+namespace orco::wsn {
+namespace {
+
+TEST(RadioModelTest, CrossoverDistanceMatchesCoefficients) {
+  RadioModel radio;
+  const double d0 = radio.crossover_distance();
+  EXPECT_NEAR(d0, std::sqrt(10e-12 / 0.0013e-12), 1e-6);
+}
+
+TEST(RadioModelTest, PacketizationRoundsUp) {
+  RadioModel radio;
+  radio.mtu_payload_bytes = 100;
+  EXPECT_EQ(radio.packets_for(0), 0u);
+  EXPECT_EQ(radio.packets_for(1), 1u);
+  EXPECT_EQ(radio.packets_for(100), 1u);
+  EXPECT_EQ(radio.packets_for(101), 2u);
+  radio.header_bytes = 10;
+  EXPECT_EQ(radio.wire_bytes(101), 101u + 20u);
+}
+
+TEST(RadioModelTest, TxEnergyMonotonicInDistanceAndSize) {
+  RadioModel radio;
+  EXPECT_LT(radio.tx_energy(100, 10.0), radio.tx_energy(100, 50.0));
+  EXPECT_LT(radio.tx_energy(100, 10.0), radio.tx_energy(200, 10.0));
+  // Beyond crossover the d^4 term dominates.
+  const double d0 = radio.crossover_distance();
+  EXPECT_LT(radio.tx_energy(100, d0 * 0.99), radio.tx_energy(100, d0 * 1.5));
+}
+
+TEST(RadioModelTest, RxEnergyIndependentOfDistance) {
+  RadioModel radio;
+  EXPECT_GT(radio.rx_energy(100), 0.0);
+  EXPECT_LT(radio.rx_energy(100), radio.tx_energy(100, 80.0));
+}
+
+TEST(RadioModelTest, AirtimeScalesWithBytes) {
+  RadioModel radio;
+  EXPECT_NEAR(radio.airtime(200) / radio.airtime(100), 2.0, 0.3);
+  EXPECT_THROW((void)radio.tx_energy(10, -1.0), std::invalid_argument);
+}
+
+TEST(LedgerTest, AccumulatesPerLinkKind) {
+  TransmissionLedger ledger;
+  ledger.record(LinkKind::kUplink, 100, 120, 1, 0.5, 0.01);
+  ledger.record(LinkKind::kUplink, 200, 240, 2, 0.5, 0.02);
+  ledger.record(LinkKind::kDownlink, 50, 60, 1, 0.0, 0.005);
+
+  const auto& up = ledger.totals(LinkKind::kUplink);
+  EXPECT_EQ(up.payload_bytes, 300u);
+  EXPECT_EQ(up.wire_bytes, 360u);
+  EXPECT_EQ(up.packets, 3u);
+  EXPECT_EQ(up.messages, 2u);
+  EXPECT_DOUBLE_EQ(up.energy_j, 1.0);
+
+  const auto total = ledger.grand_total();
+  EXPECT_EQ(total.payload_bytes, 350u);
+  EXPECT_NEAR(ledger.total_airtime(), 0.035, 1e-12);
+}
+
+TEST(LedgerTest, RejectsInconsistentRecords) {
+  TransmissionLedger ledger;
+  EXPECT_THROW(ledger.record(LinkKind::kUplink, 100, 50, 1, 0.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(ledger.record(LinkKind::kUplink, 10, 20, 1, -1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(LedgerTest, ResetClearsEverything) {
+  TransmissionLedger ledger;
+  ledger.record(LinkKind::kBroadcast, 10, 12, 1, 0.1, 0.1);
+  ledger.reset();
+  EXPECT_EQ(ledger.grand_total().messages, 0u);
+  EXPECT_EQ(ledger.summary(), "");
+}
+
+TEST(FieldTest, DeterministicDeployment) {
+  FieldConfig cfg;
+  cfg.device_count = 16;
+  const Field a(cfg), b(cfg);
+  for (NodeId i = 0; i < a.node_count(); ++i) {
+    EXPECT_DOUBLE_EQ(a.position(i).x, b.position(i).x);
+    EXPECT_DOUBLE_EQ(a.position(i).y, b.position(i).y);
+  }
+  EXPECT_EQ(a.aggregator(), b.aggregator());
+}
+
+TEST(FieldTest, NodesInsideFieldAndCounts) {
+  FieldConfig cfg;
+  cfg.device_count = 30;
+  cfg.side_m = 50.0;
+  const Field field(cfg);
+  EXPECT_EQ(field.device_count(), 30u);
+  EXPECT_EQ(field.node_count(), 31u);
+  for (NodeId i = 0; i < field.node_count(); ++i) {
+    EXPECT_GE(field.position(i).x, 0.0);
+    EXPECT_LE(field.position(i).x, 50.0);
+  }
+}
+
+TEST(FieldTest, DistanceSymmetricAndRangeConsistent) {
+  FieldConfig cfg;
+  cfg.device_count = 10;
+  const Field field(cfg);
+  EXPECT_DOUBLE_EQ(field.link_distance(0, 5), field.link_distance(5, 0));
+  EXPECT_TRUE(field.in_range(3, 3));
+  EXPECT_EQ(field.in_range(2, 7),
+            field.link_distance(2, 7) <= field.radio_range() + 1e-9);
+}
+
+Field dense_field(std::size_t devices = 24, std::uint64_t seed = 7) {
+  FieldConfig cfg;
+  cfg.device_count = devices;
+  cfg.side_m = 100.0;
+  cfg.radio_range_m = 45.0;
+  cfg.seed = seed;
+  return Field(cfg);
+}
+
+TEST(AggregationTreeTest, SpansAllNodes) {
+  const Field field = dense_field();
+  const AggregationTree tree(field, RadioModel{});
+  EXPECT_EQ(tree.root(), field.aggregator());
+  EXPECT_EQ(tree.parent(tree.root()), tree.root());
+  // Every non-root node reaches the root by parent pointers.
+  for (NodeId v = 0; v < field.node_count(); ++v) {
+    NodeId u = v;
+    std::size_t hops = 0;
+    while (u != tree.root()) {
+      u = tree.parent(u);
+      ASSERT_LT(++hops, field.node_count());
+    }
+    EXPECT_EQ(hops, tree.depth(v));
+  }
+}
+
+TEST(AggregationTreeTest, LinksRespectRadioRange) {
+  const Field field = dense_field();
+  const AggregationTree tree(field, RadioModel{});
+  for (NodeId v = 0; v < field.node_count(); ++v) {
+    if (v == tree.root()) continue;
+    EXPECT_TRUE(field.in_range(v, tree.parent(v)));
+  }
+}
+
+TEST(AggregationTreeTest, SubtreeSizesAreConsistent) {
+  const Field field = dense_field();
+  const AggregationTree tree(field, RadioModel{});
+  // Root's device count equals all devices.
+  EXPECT_EQ(tree.subtree_size(tree.root()), field.device_count());
+  // A node's subtree = own (1) + sum of children's subtrees.
+  for (NodeId v = 0; v < field.node_count(); ++v) {
+    std::size_t sum = (v == tree.root()) ? 0 : 1;
+    for (const NodeId c : tree.children(v)) sum += tree.subtree_size(c);
+    EXPECT_EQ(tree.subtree_size(v), sum);
+  }
+}
+
+TEST(AggregationTreeTest, BottomUpOrderVisitsChildrenFirst) {
+  const Field field = dense_field();
+  const AggregationTree tree(field, RadioModel{});
+  std::set<NodeId> visited;
+  for (const NodeId u : tree.bottom_up_order()) {
+    for (const NodeId c : tree.children(u)) {
+      EXPECT_TRUE(visited.count(c)) << "child " << c << " after parent " << u;
+    }
+    visited.insert(u);
+  }
+  EXPECT_EQ(visited.size(), field.node_count());
+}
+
+TEST(AggregationTreeTest, UnreachableNodeThrows) {
+  FieldConfig cfg;
+  cfg.device_count = 12;
+  cfg.side_m = 500.0;
+  cfg.radio_range_m = 10.0;  // almost surely disconnected
+  cfg.seed = 3;
+  const Field field(cfg);
+  EXPECT_THROW(AggregationTree(field, RadioModel{}), std::invalid_argument);
+}
+
+TEST(AggregationTreeTest, RawRoundBytesMatchSubtreeArithmetic) {
+  const Field field = dense_field();
+  const AggregationTree tree(field, RadioModel{});
+  TransmissionLedger ledger;
+  const auto stats = tree.simulate_raw_round(4, ledger);
+  // Each non-root node forwards subtree_size readings of 4 bytes.
+  std::size_t expected = 0;
+  for (NodeId v = 0; v < field.node_count(); ++v) {
+    if (v == tree.root()) continue;
+    expected += tree.subtree_size(v) * 4;
+  }
+  EXPECT_EQ(stats.payload_bytes, expected);
+  EXPECT_EQ(ledger.totals(LinkKind::kIntraCluster).payload_bytes, expected);
+  EXPECT_GT(stats.energy_j, 0.0);
+  EXPECT_GT(stats.airtime_s, 0.0);
+}
+
+// A 1-D chain with the aggregator at one end forces deep multi-hop routes —
+// the regime where hybrid CS pays off (near-root hops carry whole subtrees).
+Field chain_field(std::size_t devices, double spacing = 10.0) {
+  std::vector<Position> positions;
+  positions.reserve(devices + 1);
+  for (std::size_t i = 0; i <= devices; ++i) {
+    positions.push_back(Position{spacing * static_cast<double>(i), 0.0});
+  }
+  return Field(std::move(positions), /*aggregator=*/0,
+               /*radio_range_m=*/spacing * 1.5);
+}
+
+TEST(AggregationTreeTest, ChainTopologyBuildsDeepTree) {
+  const Field field = chain_field(20);
+  const AggregationTree tree(field, RadioModel{});
+  EXPECT_EQ(tree.max_depth(), 20u);
+  EXPECT_EQ(tree.subtree_size(1), 20u);  // node next to the root carries all
+}
+
+TEST(AggregationTreeTest, HybridCsCapsPerHopCost) {
+  const Field field = chain_field(40);
+  const AggregationTree tree(field, RadioModel{});
+  TransmissionLedger raw_ledger, cs_ledger;
+  const std::size_t m = 8;  // much smaller than 40 devices
+  const auto raw = tree.simulate_raw_round(4, raw_ledger);
+  const auto cs = tree.simulate_hybrid_cs_round(m, 4, cs_ledger);
+  EXPECT_LT(cs.payload_bytes, raw.payload_bytes);
+  // Raw on the chain: sum_{k=1..40} k readings. Hybrid: capped at M.
+  EXPECT_EQ(raw.payload_bytes, 4u * (40u * 41u) / 2u);
+  std::size_t expected = 0;
+  for (NodeId v = 0; v < field.node_count(); ++v) {
+    if (v == tree.root()) continue;
+    expected += std::min(tree.subtree_size(v), m) * 4;
+  }
+  EXPECT_EQ(cs.payload_bytes, expected);
+}
+
+TEST(AggregationTreeTest, HybridEqualsRawWhenMExceedsDevices) {
+  const Field field = dense_field(10, 13);
+  const AggregationTree tree(field, RadioModel{});
+  TransmissionLedger a, b;
+  const auto raw = tree.simulate_raw_round(4, a);
+  const auto cs = tree.simulate_hybrid_cs_round(1000, 4, b);
+  EXPECT_EQ(raw.payload_bytes, cs.payload_bytes);
+}
+
+TEST(AggregationTreeTest, BroadcastChargesInternalNodes) {
+  const Field field = dense_field();
+  const AggregationTree tree(field, RadioModel{});
+  TransmissionLedger ledger;
+  const auto stats = tree.simulate_broadcast(1024, ledger);
+  EXPECT_GT(stats.payload_bytes, 0u);
+  EXPECT_EQ(ledger.totals(LinkKind::kBroadcast).payload_bytes,
+            stats.payload_bytes);
+  std::size_t internal = 0;
+  for (NodeId v = 0; v < field.node_count(); ++v) {
+    if (!tree.children(v).empty()) ++internal;
+  }
+  EXPECT_EQ(ledger.totals(LinkKind::kBroadcast).messages, internal);
+}
+
+TEST(ChannelTest, TransferTimeFollowsBandwidthAsymmetry) {
+  ChannelConfig cfg;
+  cfg.uplink_bps = 1e6;
+  cfg.downlink_bps = 10e6;
+  cfg.latency_s = 0.0;
+  Channel channel(cfg);
+  TransmissionLedger ledger;
+  const double up = channel.send(100000, Direction::kUp, ledger);
+  const double down = channel.send(100000, Direction::kDown, ledger);
+  EXPECT_NEAR(up / down, 10.0, 0.1);
+  EXPECT_EQ(ledger.totals(LinkKind::kUplink).messages, 1u);
+  EXPECT_EQ(ledger.totals(LinkKind::kDownlink).messages, 1u);
+}
+
+TEST(ChannelTest, LatencyFloorsSmallMessages) {
+  ChannelConfig cfg;
+  cfg.latency_s = 0.5;
+  Channel channel(cfg);
+  TransmissionLedger ledger;
+  EXPECT_GE(channel.send(1, Direction::kUp, ledger), 0.5);
+}
+
+TEST(ChannelTest, PacketizationAddsHeaders) {
+  ChannelConfig cfg;
+  cfg.header_bytes = 40;
+  cfg.mtu_payload_bytes = 1000;
+  Channel channel(cfg);
+  EXPECT_EQ(channel.packets_for(0), 1u);
+  EXPECT_EQ(channel.packets_for(1000), 1u);
+  EXPECT_EQ(channel.packets_for(1001), 2u);
+  EXPECT_EQ(channel.wire_bytes(2500), 2500u + 3u * 40u);
+}
+
+TEST(SimClockTest, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+  clock.advance(1.5);
+  clock.advance(0.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 2.0);
+  EXPECT_THROW(clock.advance(-1.0), std::invalid_argument);
+  clock.reset();
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace orco::wsn

@@ -1,0 +1,164 @@
+// Serving-runtime throughput bench: batched multi-shard serving vs. the
+// naive one-request-at-a-time decode loop.
+//
+// Eight heterogeneous tenants (MNIST-like latent-128 decoders) receive a
+// fixed closed-loop request volume from concurrent clients. The baseline
+// decodes each latent individually on one thread — exactly what the
+// single-cluster facade offered before src/serve existed. The runtime is
+// then measured at 1/2/4/8 shards. Emits BENCH_serve.json next to the
+// binary's working directory so later PRs have a perf trajectory to beat.
+//
+//   requests scale with ORCO_BENCH_SCALE (bench_common.h conventions).
+#include <fstream>
+#include <future>
+#include <thread>
+
+#include "bench_common.h"
+#include "serve/serve.h"
+
+namespace {
+
+using namespace orco;
+
+constexpr std::size_t kTenants = 8;
+constexpr std::size_t kClientThreads = 8;
+
+struct RunResult {
+  double rps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_batch = 0.0;
+};
+
+std::vector<std::shared_ptr<core::OrcoDcsSystem>> make_tenants() {
+  std::vector<std::shared_ptr<core::OrcoDcsSystem>> tenants;
+  for (std::size_t t = 0; t < kTenants; ++t) {
+    core::SystemConfig cfg = bench::orco_mnist_config();
+    cfg.orco.seed = 1000 + t;  // distinct decoder weights per tenant
+    tenants.push_back(std::make_shared<core::OrcoDcsSystem>(cfg));
+  }
+  return tenants;
+}
+
+std::vector<tensor::Tensor> make_latents(std::size_t count,
+                                         std::size_t latent_dim) {
+  common::Pcg32 rng(77);
+  std::vector<tensor::Tensor> latents;
+  latents.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    latents.push_back(tensor::Tensor::randn({latent_dim}, rng));
+  }
+  return latents;
+}
+
+/// The pre-serve world: decode each request by itself, one after another.
+double naive_rps(const std::vector<std::shared_ptr<core::OrcoDcsSystem>>& tenants,
+                 const std::vector<tensor::Tensor>& latents,
+                 std::size_t requests) {
+  const std::size_t latent_dim = latents.front().numel();
+  common::Stopwatch sw;
+  for (std::size_t i = 0; i < requests; ++i) {
+    const auto& tenant = *tenants[i % tenants.size()];
+    const tensor::Tensor rec = tenant.edge().decode_inference(
+        latents[i % latents.size()].reshaped({1, latent_dim}));
+    (void)rec;
+  }
+  return static_cast<double>(requests) / sw.seconds();
+}
+
+RunResult runtime_rps(
+    const std::vector<std::shared_ptr<core::OrcoDcsSystem>>& tenants,
+    const std::vector<tensor::Tensor>& latents, std::size_t requests,
+    std::size_t shards) {
+  serve::ServeConfig cfg;
+  cfg.shard_count = shards;
+  cfg.queue.capacity = 4096;
+  cfg.queue.max_batch = 32;
+  cfg.queue.max_wait_us = 200;
+  serve::ServerRuntime runtime(cfg);
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    runtime.register_cluster(t, tenants[t]);
+  }
+  runtime.start();
+
+  common::Stopwatch sw;
+  std::vector<std::thread> clients;
+  const std::size_t per_client = requests / kClientThreads;
+  for (std::size_t c = 0; c < kClientThreads; ++c) {
+    clients.emplace_back([&, c] {
+      // Closed loop with a small pipeline window per client: keeps the
+      // shards busy without modelling an open-loop arrival process.
+      constexpr std::size_t kWindow = 8;
+      std::vector<std::future<serve::DecodeResponse>> window;
+      for (std::size_t i = 0; i < per_client; ++i) {
+        const std::size_t g = c * per_client + i;
+        window.push_back(runtime.submit(g % kTenants,
+                                        latents[g % latents.size()]));
+        if (window.size() >= kWindow) {
+          for (auto& f : window) (void)f.get();
+          window.clear();
+        }
+      }
+      for (auto& f : window) (void)f.get();
+    });
+  }
+  for (auto& c : clients) c.join();
+  const double elapsed = sw.seconds();
+  runtime.shutdown();
+
+  const auto snapshot = runtime.telemetry().snapshot();
+  RunResult r;
+  r.rps = snapshot.throughput_rps(elapsed);
+  r.p50_us = snapshot.p50_us;
+  r.p99_us = snapshot.p99_us;
+  r.mean_batch = snapshot.mean_batch_occupancy;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using common::Table;
+
+  const std::size_t requests = bench::scaled(4000);
+  const auto tenants = make_tenants();
+  const auto latents =
+      make_latents(256, tenants.front()->config().orco.latent_dim);
+
+  common::print_section(std::cout, "Serving throughput, " +
+                                       std::to_string(kTenants) + " tenants, " +
+                                       std::to_string(requests) + " requests");
+
+  // Warm-up (page in weights) then measure the naive loop.
+  (void)naive_rps(tenants, latents, 64);
+  const double baseline = naive_rps(tenants, latents, requests / 4);
+  std::cout << "naive one-at-a-time loop: " << Table::num(baseline, 1)
+            << " req/s\n\n";
+
+  Table table({"shards", "req/s", "p50 us", "p99 us", "mean batch", "speedup"});
+  std::ofstream json("BENCH_serve.json");
+  json << "{\n  \"tenants\": " << kTenants
+       << ",\n  \"requests\": " << requests
+       << ",\n  \"baseline_rps\": " << baseline << ",\n  \"runs\": [\n";
+  double speedup_at_8 = 0.0;
+  const std::size_t shard_counts[] = {1, 2, 4, 8};
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::size_t shards = shard_counts[i];
+    const RunResult r = runtime_rps(tenants, latents, requests, shards);
+    const double speedup = r.rps / baseline;
+    if (shards == 8) speedup_at_8 = speedup;
+    table.add_row({std::to_string(shards), Table::num(r.rps, 1),
+                   Table::num(r.p50_us, 1), Table::num(r.p99_us, 1),
+                   Table::num(r.mean_batch, 2), Table::num(speedup, 2)});
+    json << "    {\"shards\": " << shards << ", \"rps\": " << r.rps
+         << ", \"p50_us\": " << r.p50_us << ", \"p99_us\": " << r.p99_us
+         << ", \"mean_batch\": " << r.mean_batch
+         << ", \"speedup\": " << speedup << "}" << (i + 1 < 4 ? "," : "")
+         << "\n";
+  }
+  json << "  ],\n  \"speedup_at_8_shards\": " << speedup_at_8 << "\n}\n";
+  table.print(std::cout);
+  std::cout << "\nspeedup at 8 shards vs naive loop: "
+            << Table::num(speedup_at_8, 2) << "x (acceptance floor: 2x)\n";
+  return 0;
+}

@@ -81,8 +81,10 @@ void ThreadPool::parallel_for(
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
-  return pool;
+  // Deliberately leaked (see header): keeps the pool alive through static
+  // destruction so late users never touch a joined pool.
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
 }
 
 void parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,

@@ -1,16 +1,23 @@
-// A small fixed-size thread pool with a parallel_for helper.
+// A small fixed-size thread pool with parallel_for and future-returning
+// task submission.
 //
-// Used by the tensor GEMM/conv kernels at bench scale. The pool is optional:
-// parallel_for falls back to a serial loop when the pool is null or the
-// range is small, which keeps unit tests deterministic and cheap.
+// Used by the tensor GEMM/conv kernels at bench scale and as the worker
+// substrate of the serving runtime (src/serve). The pool is optional for
+// loops: parallel_for falls back to a serial loop when the pool is null or
+// the range is small, which keeps unit tests deterministic and cheap.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace orco::common {
@@ -31,7 +38,32 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
-  /// Process-wide pool, lazily constructed. Tensor kernels use this.
+  /// Enqueues a task and returns a future for its result. Exceptions thrown
+  /// by the task are captured and rethrown from future::get(). Long-running
+  /// tasks (e.g. serve-shard worker loops) occupy a worker until they
+  /// return, so size the pool accordingly.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard lock(mu_);
+      if (stop_) {
+        throw std::runtime_error("ThreadPool::submit on a stopped pool");
+      }
+      tasks_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Process-wide pool, lazily constructed on first use and intentionally
+  /// never destroyed: joining workers from a static destructor races with
+  /// other static teardown (a later destructor calling global() would touch
+  /// a dead pool). Leaking keeps global() valid for the whole process; the
+  /// OS reclaims the threads at exit.
   static ThreadPool& global();
 
  private:

@@ -79,9 +79,9 @@ LatentGradMsg EdgeServer::train_step(const ResidualMsg& msg) {
   return LatentGradMsg{msg.round, loss, std::move(latent_grad)};
 }
 
-Tensor EdgeServer::decode_inference(const Tensor& latents) {
+Tensor EdgeServer::decode_inference(const Tensor& latents) const {
   ORCO_CHECK(!round_open_, "cannot run inference with an open round");
-  return decoder_->forward(latents, /*training=*/false);
+  return decoder_->infer(latents);
 }
 
 std::size_t EdgeServer::train_flops(std::size_t batch) const {

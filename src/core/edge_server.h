@@ -30,7 +30,9 @@ class EdgeServer {
   LatentGradMsg train_step(const ResidualMsg& msg);
 
   /// Noise-free decoding for evaluation / steady-state reconstruction.
-  Tensor decode_inference(const Tensor& latents);
+  /// Const and cache-free (nn::Layer::infer path): one decoder can serve
+  /// batched read-only decode traffic without perturbing training state.
+  Tensor decode_inference(const Tensor& latents) const;
 
   nn::Sequential& decoder() noexcept { return *decoder_; }
   const nn::Sequential& decoder() const noexcept { return *decoder_; }

@@ -74,6 +74,7 @@ class OrcoDcsSystem {
   // -- component access ---------------------------------------------------
   DataAggregator& aggregator() noexcept { return *aggregator_; }
   EdgeServer& edge() noexcept { return *edge_; }
+  const EdgeServer& edge() const noexcept { return *edge_; }
   Orchestrator& orchestrator() noexcept { return *orchestrator_; }
   FineTuningMonitor& monitor() noexcept { return monitor_.inner; }
   const wsn::TransmissionLedger& ledger() const noexcept { return ledger_; }

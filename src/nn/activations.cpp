@@ -8,6 +8,10 @@ namespace orco::nn {
 
 Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
   input_ = input;
+  return infer(input);
+}
+
+Tensor ReLU::infer(const Tensor& input) const {
   return input.map([](float v) { return v > 0.0f ? v : 0.0f; });
 }
 
@@ -28,6 +32,10 @@ LeakyReLU::LeakyReLU(float alpha) : alpha_(alpha) {
 
 Tensor LeakyReLU::forward(const Tensor& input, bool /*training*/) {
   input_ = input;
+  return infer(input);
+}
+
+Tensor LeakyReLU::infer(const Tensor& input) const {
   const float a = alpha_;
   return input.map([a](float v) { return v > 0.0f ? v : a * v; });
 }
@@ -45,8 +53,12 @@ Tensor LeakyReLU::backward(const Tensor& grad_output) {
 }
 
 Tensor Sigmoid::forward(const Tensor& input, bool /*training*/) {
-  output_ = input.map([](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+  output_ = infer(input);
   return output_;
+}
+
+Tensor Sigmoid::infer(const Tensor& input) const {
+  return input.map([](float v) { return 1.0f / (1.0f + std::exp(-v)); });
 }
 
 Tensor Sigmoid::backward(const Tensor& grad_output) {
@@ -60,8 +72,12 @@ Tensor Sigmoid::backward(const Tensor& grad_output) {
 }
 
 Tensor Tanh::forward(const Tensor& input, bool /*training*/) {
-  output_ = input.map([](float v) { return std::tanh(v); });
+  output_ = infer(input);
   return output_;
+}
+
+Tensor Tanh::infer(const Tensor& input) const {
+  return input.map([](float v) { return std::tanh(v); });
 }
 
 Tensor Tanh::backward(const Tensor& grad_output) {
@@ -76,6 +92,8 @@ Tensor Tanh::backward(const Tensor& grad_output) {
 Tensor Identity::forward(const Tensor& input, bool /*training*/) {
   return input;
 }
+
+Tensor Identity::infer(const Tensor& input) const { return input; }
 
 Tensor Identity::backward(const Tensor& grad_output) { return grad_output; }
 

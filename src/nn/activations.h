@@ -9,6 +9,7 @@ class ReLU : public Layer {
  public:
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  Tensor infer(const Tensor& input) const override;
   std::string name() const override { return "ReLU"; }
   std::size_t output_features(std::size_t f) const override { return f; }
 
@@ -21,6 +22,7 @@ class LeakyReLU : public Layer {
   explicit LeakyReLU(float alpha = 0.01f);
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  Tensor infer(const Tensor& input) const override;
   std::string name() const override { return "LeakyReLU"; }
   std::size_t output_features(std::size_t f) const override { return f; }
 
@@ -33,6 +35,7 @@ class Sigmoid : public Layer {
  public:
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  Tensor infer(const Tensor& input) const override;
   std::string name() const override { return "Sigmoid"; }
   std::size_t output_features(std::size_t f) const override { return f; }
 
@@ -44,6 +47,7 @@ class Tanh : public Layer {
  public:
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  Tensor infer(const Tensor& input) const override;
   std::string name() const override { return "Tanh"; }
   std::size_t output_features(std::size_t f) const override { return f; }
 
@@ -56,6 +60,7 @@ class Identity : public Layer {
  public:
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  Tensor infer(const Tensor& input) const override;
   std::string name() const override { return "Identity"; }
   std::size_t output_features(std::size_t f) const override { return f; }
 };

@@ -24,11 +24,15 @@ Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
 }
 
 Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
+  input_ = input;
+  return infer(input);
+}
+
+Tensor Conv2d::infer(const Tensor& input) const {
   const std::size_t in_feats = geom_.in_channels * geom_.in_h * geom_.in_w;
   ORCO_CHECK(input.rank() == 2 && input.dim(1) == in_feats,
              "Conv2d expects (batch, " << in_feats << "), got "
                                        << tensor::shape_to_string(input.shape()));
-  input_ = input;
   const std::size_t batch = input.dim(0);
   const std::size_t oh = geom_.out_h(), ow = geom_.out_w();
   Tensor out({batch, out_channels_ * oh * ow});

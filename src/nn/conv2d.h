@@ -18,6 +18,7 @@ class Conv2d : public Layer {
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  Tensor infer(const Tensor& input) const override;
   std::vector<ParamView> params() override;
   std::string name() const override { return "Conv2d"; }
   std::size_t output_features(std::size_t input_features) const override;

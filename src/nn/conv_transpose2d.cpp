@@ -34,12 +34,16 @@ ConvTranspose2d::ConvTranspose2d(std::size_t in_channels,
 }
 
 Tensor ConvTranspose2d::forward(const Tensor& input, bool /*training*/) {
+  input_ = input;
+  return infer(input);
+}
+
+Tensor ConvTranspose2d::infer(const Tensor& input) const {
   const std::size_t in_feats = in_channels_ * in_h_ * in_w_;
   ORCO_CHECK(input.rank() == 2 && input.dim(1) == in_feats,
              "ConvTranspose2d expects (batch, " << in_feats << "), got "
                                                 << tensor::shape_to_string(
                                                        input.shape()));
-  input_ = input;
   const std::size_t batch = input.dim(0);
   const std::size_t out_feats = out_channels_ * out_h_ * out_w_;
   Tensor out({batch, out_feats});

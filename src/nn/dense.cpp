@@ -21,10 +21,14 @@ Dense::Dense(std::size_t in_features, std::size_t out_features,
 }
 
 Tensor Dense::forward(const Tensor& input, bool /*training*/) {
+  input_ = input;
+  return infer(input);
+}
+
+Tensor Dense::infer(const Tensor& input) const {
   ORCO_CHECK(input.rank() == 2 && input.dim(1) == in_,
              "Dense expects (batch, " << in_ << "), got "
                                       << tensor::shape_to_string(input.shape()));
-  input_ = input;
   Tensor out = tensor::matmul_nt(input, w_);  // (B, out)
   for (std::size_t i = 0; i < out.dim(0); ++i) {
     auto r = out.row(i);

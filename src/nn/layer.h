@@ -5,6 +5,7 @@
 #pragma once
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,17 @@ class Layer {
   /// Given dL/d(output), accumulates parameter gradients and returns
   /// dL/d(input). Must be called after forward on the same batch.
   virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Inference-only forward pass: no activation caching, no train-only
+  /// behaviour, no mutation — safe to call concurrently from readers that
+  /// share one trained model (the serving runtime's batched decode path).
+  /// Layers that only ever run in training pipelines may leave the default,
+  /// which throws.
+  virtual Tensor infer(const Tensor& input) const {
+    (void)input;
+    throw std::logic_error("Layer " + name() +
+                           " does not implement const inference");
+  }
 
   /// Trainable parameters (empty for stateless layers).
   virtual std::vector<ParamView> params() { return {}; }

@@ -17,6 +17,8 @@ class GaussianNoise : public Layer {
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  /// Identity at inference, like forward(training=false).
+  Tensor infer(const Tensor& input) const override { return input; }
   std::string name() const override { return "GaussianNoise"; }
   std::size_t output_features(std::size_t f) const override { return f; }
 

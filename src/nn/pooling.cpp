@@ -21,15 +21,26 @@ MaxPool2d::MaxPool2d(std::size_t channels, std::size_t in_h, std::size_t in_w,
 }
 
 Tensor MaxPool2d::forward(const Tensor& input, bool /*training*/) {
+  Tensor out = compute(input, &argmax_);
+  batch_ = input.dim(0);
+  return out;
+}
+
+Tensor MaxPool2d::infer(const Tensor& input) const {
+  return compute(input, nullptr);
+}
+
+Tensor MaxPool2d::compute(const Tensor& input,
+                          std::vector<std::size_t>* argmax) const {
   const std::size_t in_feats = channels_ * in_h_ * in_w_;
   ORCO_CHECK(input.rank() == 2 && input.dim(1) == in_feats,
              "MaxPool2d expects (batch, " << in_feats << ")");
-  batch_ = input.dim(0);
+  const std::size_t batch = input.dim(0);
   const std::size_t out_feats = channels_ * out_h_ * out_w_;
-  Tensor out({batch_, out_feats});
-  argmax_.assign(batch_ * out_feats, 0);
+  Tensor out({batch, out_feats});
+  if (argmax != nullptr) argmax->assign(batch * out_feats, 0);
 
-  for (std::size_t s = 0; s < batch_; ++s) {
+  for (std::size_t s = 0; s < batch; ++s) {
     const auto in = input.row(s);
     auto o = out.row(s);
     std::size_t oi = 0;
@@ -51,7 +62,7 @@ Tensor MaxPool2d::forward(const Tensor& input, bool /*training*/) {
             }
           }
           o[oi] = best;
-          argmax_[s * out_feats + oi] = best_idx;
+          if (argmax != nullptr) (*argmax)[s * out_feats + oi] = best_idx;
         }
       }
     }

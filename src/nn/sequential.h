@@ -27,6 +27,7 @@ class Sequential : public Layer {
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
+  Tensor infer(const Tensor& input) const override;
   std::vector<ParamView> params() override;
   std::string name() const override { return "Sequential"; }
 

@@ -1,0 +1,79 @@
+#include "serve/batch_queue.h"
+
+#include "common/check.h"
+
+namespace orco::serve {
+
+BatchQueue::BatchQueue(const BatchQueueConfig& config) : config_(config) {
+  ORCO_CHECK(config.capacity > 0, "BatchQueue capacity must be positive");
+  ORCO_CHECK(config.max_batch > 0, "BatchQueue max_batch must be positive");
+}
+
+PushResult BatchQueue::push(PendingRequest&& pending) {
+  {
+    std::lock_guard lock(mu_);
+    if (closed_) return PushResult::kClosed;
+    if (pending_.size() >= config_.capacity) return PushResult::kShed;
+    pending_.push_back(std::move(pending));
+  }
+  cv_.notify_one();
+  return PushResult::kAccepted;
+}
+
+void BatchQueue::extract_cluster(ClusterId cluster, std::size_t limit,
+                                 std::vector<PendingRequest>& out) {
+  for (auto it = pending_.begin();
+       it != pending_.end() && out.size() < limit;) {
+    if (it->request.cluster == cluster) {
+      out.push_back(std::move(*it));
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<PendingRequest> BatchQueue::pop_batch() {
+  std::vector<PendingRequest> batch;
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [this] { return closed_ || !pending_.empty(); });
+  if (pending_.empty()) return batch;  // closed and drained
+
+  const ClusterId target = pending_.front().request.cluster;
+  extract_cluster(target, config_.max_batch, batch);
+
+  // Coalescing window: once we own the batch's first request, linger up to
+  // max_wait_us for more of the same cluster. Closed queues skip the wait
+  // so shutdown drains promptly.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(config_.max_wait_us);
+  while (batch.size() < config_.max_batch && !closed_ &&
+         config_.max_wait_us > 0) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      extract_cluster(target, config_.max_batch, batch);
+      break;
+    }
+    extract_cluster(target, config_.max_batch, batch);
+  }
+  return batch;
+}
+
+void BatchQueue::close() {
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool BatchQueue::closed() const {
+  std::lock_guard lock(mu_);
+  return closed_;
+}
+
+std::size_t BatchQueue::size() const {
+  std::lock_guard lock(mu_);
+  return pending_.size();
+}
+
+}  // namespace orco::serve

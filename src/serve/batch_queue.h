@@ -1,0 +1,67 @@
+// BatchQueue — a bounded MPMC queue that coalesces same-cluster decode
+// requests into batches.
+//
+// Producers push from any thread; push never blocks — when the queue is at
+// capacity the request is shed (backpressure is explicit, callers answer
+// the request with kShed). A consumer pops a *batch*: all requests in it
+// belong to one cluster (hence one decoder model), so the shard can decode
+// them with a single batched GEMM. pop_batch waits up to max_wait for
+// stragglers of the same cluster once the first request is in hand, trading
+// a bounded latency hit for batch occupancy.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace orco::serve {
+
+struct BatchQueueConfig {
+  std::size_t capacity = 1024;   // pending requests before shedding
+  std::size_t max_batch = 32;    // coalescing ceiling per pop
+  std::uint64_t max_wait_us = 200;  // coalescing window after first request
+};
+
+enum class PushResult { kAccepted, kShed, kClosed };
+
+class BatchQueue {
+ public:
+  explicit BatchQueue(const BatchQueueConfig& config);
+
+  /// Thread-safe, non-blocking. kShed when full, kClosed after close().
+  PushResult push(PendingRequest&& pending);
+
+  /// Blocks until at least one request is available (or the queue is closed
+  /// and drained — then returns empty). Returns up to max_batch requests,
+  /// all for the same cluster, preserving per-cluster FIFO order. Other
+  /// clusters' requests keep their positions.
+  std::vector<PendingRequest> pop_batch();
+
+  /// Stops intake and wakes consumers; queued requests remain poppable so a
+  /// graceful shutdown can drain in-flight work.
+  void close();
+
+  bool closed() const;
+  std::size_t size() const;
+  std::size_t capacity() const noexcept { return config_.capacity; }
+  const BatchQueueConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Moves up to `limit` requests for `cluster` out of pending_ into out.
+  /// Caller holds mu_.
+  void extract_cluster(ClusterId cluster, std::size_t limit,
+                       std::vector<PendingRequest>& out);
+
+  BatchQueueConfig config_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<PendingRequest> pending_;
+  bool closed_ = false;
+};
+
+}  // namespace orco::serve

@@ -1,0 +1,145 @@
+#include "serve/cluster_shard.h"
+
+#include <chrono>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace orco::serve {
+
+namespace {
+
+double elapsed_us(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+void respond_error(PendingRequest& pending, ResponseStatus status) {
+  DecodeResponse response;
+  response.id = pending.request.id;
+  response.status = status;
+  response.latency_us = elapsed_us(pending.request.enqueued_at);
+  pending.promise.set_value(std::move(response));
+}
+
+}  // namespace
+
+ClusterShard::ClusterShard(std::size_t index,
+                           const BatchQueueConfig& queue_config,
+                           Telemetry* telemetry)
+    : index_(index), queue_(queue_config), telemetry_(telemetry) {
+  ORCO_CHECK(telemetry != nullptr, "ClusterShard needs a telemetry registry");
+}
+
+void ClusterShard::add_cluster(ClusterId cluster,
+                               std::shared_ptr<core::OrcoDcsSystem> system) {
+  ORCO_CHECK(system != nullptr, "cannot register a null tenant system");
+  std::lock_guard lock(tenants_mu_);
+  ORCO_CHECK(tenants_.emplace(cluster, std::move(system)).second,
+             "cluster " << cluster << " already registered on shard "
+                        << index_);
+}
+
+bool ClusterShard::has_cluster(ClusterId cluster) const {
+  std::lock_guard lock(tenants_mu_);
+  return tenants_.count(cluster) > 0;
+}
+
+std::size_t ClusterShard::cluster_count() const {
+  std::lock_guard lock(tenants_mu_);
+  return tenants_.size();
+}
+
+std::shared_ptr<core::OrcoDcsSystem> ClusterShard::find_cluster(
+    ClusterId cluster) const {
+  std::lock_guard lock(tenants_mu_);
+  const auto it = tenants_.find(cluster);
+  return it == tenants_.end() ? nullptr : it->second;
+}
+
+void ClusterShard::run() {
+  for (;;) {
+    std::vector<PendingRequest> batch = queue_.pop_batch();
+    if (batch.empty()) return;  // closed and drained
+    try {
+      serve_batch(std::move(batch));
+    } catch (const std::exception& e) {
+      // serve_batch answers per-request failures itself; anything escaping
+      // it (e.g. allocation failure) must not kill the shard worker. The
+      // affected batch's promises break, the shard keeps serving.
+      ORCO_LOG_ERROR("shard " << index_ << " dropped a batch: " << e.what());
+    }
+  }
+}
+
+void ClusterShard::serve_batch(std::vector<PendingRequest> batch) {
+  if (batch.empty()) return;
+  const ClusterId cluster = batch.front().request.cluster;
+  const auto system = find_cluster(cluster);
+  if (system == nullptr) {
+    for (auto& pending : batch) {
+      // Telemetry strictly before the promise resolves: a caller who sees
+      // the future ready must also see the counters updated.
+      telemetry_->record_rejected();
+      respond_error(pending, ResponseStatus::kUnknownCluster);
+    }
+    return;
+  }
+
+  // Validate shapes up front; only well-formed latents join the GEMM batch.
+  const std::size_t latent_dim = system->config().orco.latent_dim;
+  std::vector<PendingRequest> good;
+  good.reserve(batch.size());
+  std::vector<Tensor> latents;
+  latents.reserve(batch.size());
+  for (auto& pending : batch) {
+    const Tensor& latent = pending.request.latent;
+    const bool well_formed =
+        (latent.rank() == 1 || (latent.rank() == 2 && latent.dim(0) == 1)) &&
+        latent.numel() == latent_dim;
+    if (!well_formed) {
+      telemetry_->record_rejected();
+      respond_error(pending, ResponseStatus::kBadRequest);
+      continue;
+    }
+    latents.push_back(latent);
+    good.push_back(std::move(pending));
+  }
+  if (good.empty()) return;
+
+  // One batched decode for the whole coalesced batch: the decoder weights
+  // stream through cache once instead of once per request.
+  Tensor decoded;
+  try {
+    decoded = system->edge().decode_inference(tensor::stack_rows(latents));
+  } catch (const std::exception& e) {
+    for (auto& pending : good) {
+      telemetry_->record_rejected();
+      DecodeResponse response;
+      response.id = pending.request.id;
+      response.status = ResponseStatus::kInternalError;
+      response.detail = e.what();
+      response.latency_us = elapsed_us(pending.request.enqueued_at);
+      pending.promise.set_value(std::move(response));
+    }
+    return;
+  }
+  telemetry_->record_batch(good.size());
+
+  const std::size_t output_dim = decoded.dim(1);
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    DecodeResponse response;
+    response.id = good[i].request.id;
+    response.status = ResponseStatus::kOk;
+    response.reconstruction =
+        decoded.slice_rows(i, i + 1).reshaped({output_dim});
+    response.batch_size = good.size();
+    response.latency_us = elapsed_us(good[i].request.enqueued_at);
+    telemetry_->record_completed(response.latency_us);
+    good[i].promise.set_value(std::move(response));
+  }
+}
+
+}  // namespace orco::serve

@@ -1,0 +1,70 @@
+// ClusterShard — one shard of the serving runtime's tenant space.
+//
+// Cluster ids hash onto shards with shard_for(); each shard owns the
+// OrcoDcsSystem instances of its clusters and is driven by exactly one
+// worker thread, so tenant state needs no locks on the serve path. The
+// shard's BatchQueue hands the worker same-cluster batches which are
+// decoded with a single batched decode_inference call and fanned back out
+// to the per-request futures.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/system.h"
+#include "serve/batch_queue.h"
+#include "serve/request.h"
+#include "serve/telemetry.h"
+
+namespace orco::serve {
+
+/// Stable hash route: splitmix64 finalizer over the cluster id. Same id
+/// always lands on the same shard for a given shard_count.
+inline std::size_t shard_for(ClusterId cluster, std::size_t shard_count) {
+  std::uint64_t x = cluster + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x % shard_count);
+}
+
+class ClusterShard {
+ public:
+  ClusterShard(std::size_t index, const BatchQueueConfig& queue_config,
+               Telemetry* telemetry);
+
+  std::size_t index() const noexcept { return index_; }
+  BatchQueue& queue() noexcept { return queue_; }
+
+  /// Registers a tenant. The system is shared so callers can keep training
+  /// or monitoring it between serve batches (same-shard serialization makes
+  /// that safe only from the shard worker; external mutation should pause
+  /// traffic first).
+  void add_cluster(ClusterId cluster,
+                   std::shared_ptr<core::OrcoDcsSystem> system);
+
+  bool has_cluster(ClusterId cluster) const;
+  std::size_t cluster_count() const;
+
+  /// Worker loop: pops batches until the queue is closed and drained.
+  /// Runs on exactly one thread per shard.
+  void run();
+
+  /// Decodes one same-cluster batch and fulfils every request's promise.
+  /// Exposed for tests; normally called from run().
+  void serve_batch(std::vector<PendingRequest> batch);
+
+ private:
+  std::shared_ptr<core::OrcoDcsSystem> find_cluster(ClusterId cluster) const;
+
+  std::size_t index_;
+  BatchQueue queue_;
+  Telemetry* telemetry_;  // runtime-owned; never null
+  mutable std::mutex tenants_mu_;  // guards registration vs. lookup only
+  std::map<ClusterId, std::shared_ptr<core::OrcoDcsSystem>> tenants_;
+};
+
+}  // namespace orco::serve

@@ -1,0 +1,76 @@
+// Request/response types of the multi-cluster serving runtime.
+//
+// A DecodeRequest carries one latent vector from a cluster's uplink; the
+// runtime routes it to the shard owning that cluster, coalesces it with
+// other pending latents for the same tenant, and answers with the decoded
+// reconstruction. Responses travel back through per-request futures.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <utility>
+
+#include "tensor/tensor.h"
+
+namespace orco::serve {
+
+using tensor::Tensor;
+
+/// Stable tenant identifier; hashed onto shards (see shard_for()).
+using ClusterId = std::uint64_t;
+using RequestId = std::uint64_t;
+
+enum class ResponseStatus {
+  kOk,              // decoded successfully
+  kShed,            // rejected by backpressure: the shard queue was full
+  kShutdown,        // runtime not accepting traffic (stopped or stopping)
+  kUnknownCluster,  // no tenant registered under this cluster id
+  kBadRequest,      // latent shape does not match the tenant's latent_dim
+  kInternalError,   // tenant decode threw; see the response's detail field
+};
+
+inline const char* to_string(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kOk: return "ok";
+    case ResponseStatus::kShed: return "shed";
+    case ResponseStatus::kShutdown: return "shutdown";
+    case ResponseStatus::kUnknownCluster: return "unknown-cluster";
+    case ResponseStatus::kBadRequest: return "bad-request";
+    case ResponseStatus::kInternalError: return "internal-error";
+  }
+  return "invalid";
+}
+
+struct DecodeRequest {
+  ClusterId cluster = 0;
+  RequestId id = 0;
+  Tensor latent;  // (M) or (1, M) for the tenant's latent dimension M
+  std::chrono::steady_clock::time_point enqueued_at;
+};
+
+struct DecodeResponse {
+  RequestId id = 0;
+  ResponseStatus status = ResponseStatus::kOk;
+  Tensor reconstruction;        // (N) on kOk; empty otherwise
+  std::string detail;           // human-readable cause on kInternalError
+  double latency_us = 0.0;      // enqueue -> response
+  std::size_t batch_size = 0;   // occupancy of the batch that served it
+};
+
+/// A queued request plus the promise that fulfils its caller's future.
+struct PendingRequest {
+  DecodeRequest request;
+  std::promise<DecodeResponse> promise;
+
+  PendingRequest() = default;
+  PendingRequest(DecodeRequest req, std::promise<DecodeResponse> prom)
+      : request(std::move(req)), promise(std::move(prom)) {}
+  PendingRequest(PendingRequest&&) = default;
+  PendingRequest& operator=(PendingRequest&&) = default;
+  PendingRequest(const PendingRequest&) = delete;
+  PendingRequest& operator=(const PendingRequest&) = delete;
+};
+
+}  // namespace orco::serve

@@ -1,0 +1,25 @@
+// Umbrella header for the multi-cluster serving runtime.
+//
+// Quickstart:
+//
+//   #include "serve/serve.h"
+//
+//   orco::serve::ServeConfig cfg;
+//   cfg.shard_count = 4;
+//   orco::serve::ServerRuntime runtime(cfg);
+//   runtime.register_cluster(/*cluster=*/1, mnist_system);
+//   runtime.start();
+//   auto future = runtime.submit(1, latent);       // (latent_dim) tensor
+//   auto response = future.get();                  // kOk -> reconstruction
+//   runtime.shutdown();                            // drains in-flight work
+//
+// Layering: tensor -> nn -> wsn -> core -> serve. The runtime multiplexes
+// many independent core::OrcoDcsSystem tenants behind one batched,
+// sharded, bounded-queue front door.
+#pragma once
+
+#include "serve/batch_queue.h"     // IWYU pragma: export
+#include "serve/cluster_shard.h"   // IWYU pragma: export
+#include "serve/request.h"         // IWYU pragma: export
+#include "serve/server_runtime.h"  // IWYU pragma: export
+#include "serve/telemetry.h"       // IWYU pragma: export

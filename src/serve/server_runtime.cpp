@@ -1,0 +1,102 @@
+#include "serve/server_runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace orco::serve {
+
+ServerRuntime::ServerRuntime(const ServeConfig& config)
+    : config_(config), pool_(std::max<std::size_t>(1, config.shard_count)) {
+  ORCO_CHECK(config.shard_count > 0, "ServerRuntime needs at least one shard");
+  shards_.reserve(config.shard_count);
+  for (std::size_t i = 0; i < config.shard_count; ++i) {
+    shards_.push_back(
+        std::make_unique<ClusterShard>(i, config.queue, &telemetry_));
+  }
+}
+
+ServerRuntime::~ServerRuntime() { shutdown(); }
+
+void ServerRuntime::register_cluster(
+    ClusterId cluster, std::shared_ptr<core::OrcoDcsSystem> system) {
+  shards_[shard_of(cluster)]->add_cluster(cluster, std::move(system));
+}
+
+std::future<DecodeResponse> ServerRuntime::immediate_response(
+    RequestId id, ResponseStatus status) {
+  std::promise<DecodeResponse> promise;
+  std::future<DecodeResponse> future = promise.get_future();
+  DecodeResponse response;
+  response.id = id;
+  response.status = status;
+  promise.set_value(std::move(response));
+  return future;
+}
+
+std::future<DecodeResponse> ServerRuntime::submit(ClusterId cluster,
+                                                  Tensor latent) {
+  const RequestId id = next_request_id_.fetch_add(1);
+  telemetry_.record_submitted();
+  if (!accepting_.load()) {
+    telemetry_.record_rejected();
+    return immediate_response(id, ResponseStatus::kShutdown);
+  }
+
+  PendingRequest pending;
+  pending.request.cluster = cluster;
+  pending.request.id = id;
+  pending.request.latent = std::move(latent);
+  pending.request.enqueued_at = std::chrono::steady_clock::now();
+  std::future<DecodeResponse> future = pending.promise.get_future();
+
+  switch (shards_[shard_of(cluster)]->queue().push(std::move(pending))) {
+    case PushResult::kAccepted:
+      return future;
+    case PushResult::kShed: {
+      telemetry_.record_shed();
+      return immediate_response(id, ResponseStatus::kShed);
+    }
+    case PushResult::kClosed:
+      telemetry_.record_rejected();
+      return immediate_response(id, ResponseStatus::kShutdown);
+  }
+  return future;  // unreachable
+}
+
+void ServerRuntime::start() {
+  ORCO_CHECK(!stopped_.load(), "cannot restart a shut-down ServerRuntime");
+  if (running_.exchange(true)) return;
+  workers_.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    ClusterShard* s = shard.get();
+    workers_.push_back(pool_.submit([s] { s->run(); }));
+  }
+}
+
+void ServerRuntime::shutdown() {
+  if (stopped_.exchange(true)) return;
+  accepting_.store(false);
+  for (auto& shard : shards_) shard->queue().close();
+  if (running_.load()) {
+    // Join every worker even if one died; shutdown() must not throw (it
+    // runs from the destructor).
+    for (auto& worker : workers_) {
+      try {
+        worker.get();
+      } catch (const std::exception& e) {
+        ORCO_LOG_ERROR("serve shard worker died: " << e.what());
+      }
+    }
+    workers_.clear();
+    running_.store(false);
+  } else {
+    // Never started: drain queues inline so every accepted future resolves.
+    for (auto& shard : shards_) shard->run();
+  }
+}
+
+}  // namespace orco::serve

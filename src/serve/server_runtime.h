@@ -1,0 +1,84 @@
+// ServerRuntime — the multi-tenant edge serving runtime.
+//
+// Owns shard_count ClusterShards, each with its own coalescing BatchQueue
+// and exactly one worker task running on an orco::common::ThreadPool (via
+// submit()). submit() hash-routes a cluster's latent to its shard and
+// returns a future; backpressure is a bounded queue with an explicit
+// shed-load answer, and shutdown() is graceful: intake stops, queued work
+// drains, workers join, every outstanding future resolves.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "serve/cluster_shard.h"
+
+namespace orco::serve {
+
+struct ServeConfig {
+  std::size_t shard_count = 4;
+  BatchQueueConfig queue;  // applied per shard
+};
+
+class ServerRuntime {
+ public:
+  explicit ServerRuntime(const ServeConfig& config);
+
+  /// Calls shutdown(); any still-queued requests are served first.
+  ~ServerRuntime();
+
+  ServerRuntime(const ServerRuntime&) = delete;
+  ServerRuntime& operator=(const ServerRuntime&) = delete;
+
+  /// Registers a tenant on its home shard. Allowed before start() and while
+  /// running; re-registering an id throws.
+  void register_cluster(ClusterId cluster,
+                        std::shared_ptr<core::OrcoDcsSystem> system);
+
+  /// Enqueues one latent for decoding. Always returns a future that will be
+  /// fulfilled: kOk with the reconstruction, kShed under backpressure,
+  /// kShutdown after shutdown(), kUnknownCluster / kBadRequest on invalid
+  /// traffic. Requests may be submitted before start(); they queue up and
+  /// are served once workers run (subject to queue capacity).
+  std::future<DecodeResponse> submit(ClusterId cluster, Tensor latent);
+
+  /// Launches one worker per shard. Idempotent until shutdown().
+  void start();
+
+  /// Graceful stop: refuse new traffic, drain every shard queue, join the
+  /// workers. Safe to call multiple times and without start().
+  void shutdown();
+
+  bool running() const noexcept { return running_.load(); }
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  ClusterShard& shard(std::size_t i) { return *shards_[i]; }
+  const ClusterShard& shard(std::size_t i) const { return *shards_[i]; }
+  /// The shard a cluster routes to (stable for a fixed shard_count).
+  std::size_t shard_of(ClusterId cluster) const {
+    return shard_for(cluster, shards_.size());
+  }
+
+  Telemetry& telemetry() noexcept { return telemetry_; }
+  const Telemetry& telemetry() const noexcept { return telemetry_; }
+  const ServeConfig& config() const noexcept { return config_; }
+
+ private:
+  std::future<DecodeResponse> immediate_response(RequestId id,
+                                                 ResponseStatus status);
+
+  ServeConfig config_;
+  Telemetry telemetry_;
+  std::vector<std::unique_ptr<ClusterShard>> shards_;
+  common::ThreadPool pool_;  // one thread per shard worker
+  std::vector<std::future<void>> workers_;
+  std::atomic<bool> accepting_{true};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<RequestId> next_request_id_{1};
+};
+
+}  // namespace orco::serve

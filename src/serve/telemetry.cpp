@@ -1,0 +1,128 @@
+#include "serve/telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace orco::serve {
+
+namespace {
+// Quarter-powers of two up to ~2^36 us (~19 hours): 4 buckets per octave
+// gives <=19% bucket width across the whole range.
+constexpr std::size_t kBucketsPerOctave = 4;
+constexpr std::size_t kBucketCount = 36 * kBucketsPerOctave;
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : buckets_(kBucketCount, 0) {}
+
+std::size_t LatencyHistogram::bucket_for(double us) const {
+  if (us <= 1.0) return 0;
+  const double b = std::log2(us) * static_cast<double>(kBucketsPerOctave);
+  return std::min(kBucketCount - 1, static_cast<std::size_t>(b));
+}
+
+void LatencyHistogram::record(double us) {
+  us = std::max(0.0, us);
+  buckets_[bucket_for(us)]++;
+  ++count_;
+  sum_us_ += us;
+  max_us_ = std::max(max_us_, us);
+}
+
+double LatencyHistogram::mean_us() const {
+  return count_ > 0 ? sum_us_ / static_cast<double>(count_) : 0.0;
+}
+
+double LatencyHistogram::quantile(double q) const {
+  ORCO_CHECK(q >= 0.0 && q <= 1.0, "quantile wants q in [0,1], got " << q);
+  if (count_ == 0) return 0.0;
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += buckets_[b];
+    if (static_cast<double>(seen) < target) continue;
+    // Interpolate within [lo, hi) = the bucket's microsecond span.
+    const double lo =
+        b == 0 ? 0.0
+               : std::exp2(static_cast<double>(b) / kBucketsPerOctave);
+    const double hi = std::exp2(static_cast<double>(b + 1) / kBucketsPerOctave);
+    const double frac =
+        std::clamp((target - before) / static_cast<double>(buckets_[b]), 0.0, 1.0);
+    return std::min(lo + frac * (hi - lo), max_us_);
+  }
+  return max_us_;
+}
+
+void Telemetry::record_submitted() {
+  std::lock_guard lock(mu_);
+  ++submitted_;
+}
+
+void Telemetry::record_shed() {
+  std::lock_guard lock(mu_);
+  ++shed_;
+}
+
+void Telemetry::record_rejected() {
+  std::lock_guard lock(mu_);
+  ++rejected_;
+}
+
+void Telemetry::record_batch(std::size_t occupancy) {
+  std::lock_guard lock(mu_);
+  ++batches_;
+  batch_requests_ += occupancy;
+  max_occupancy_ = std::max(max_occupancy_, occupancy);
+}
+
+void Telemetry::record_completed(double latency_us) {
+  std::lock_guard lock(mu_);
+  latency_.record(latency_us);
+}
+
+TelemetrySnapshot Telemetry::snapshot() const {
+  std::lock_guard lock(mu_);
+  TelemetrySnapshot s;
+  s.submitted = submitted_;
+  s.completed = latency_.count();
+  s.shed = shed_;
+  s.rejected = rejected_;
+  s.batches = batches_;
+  s.mean_batch_occupancy =
+      batches_ > 0 ? static_cast<double>(batch_requests_) /
+                         static_cast<double>(batches_)
+                   : 0.0;
+  s.max_batch_occupancy = max_occupancy_;
+  s.p50_us = latency_.quantile(0.50);
+  s.p95_us = latency_.quantile(0.95);
+  s.p99_us = latency_.quantile(0.99);
+  s.mean_latency_us = latency_.mean_us();
+  s.max_latency_us = latency_.max_us();
+  return s;
+}
+
+common::Table Telemetry::report(double elapsed_s) const {
+  const TelemetrySnapshot s = snapshot();
+  common::Table t({"metric", "value"});
+  t.add_row({"submitted", std::to_string(s.submitted)});
+  t.add_row({"completed", std::to_string(s.completed)});
+  t.add_row({"shed", std::to_string(s.shed)});
+  t.add_row({"rejected", std::to_string(s.rejected)});
+  t.add_row({"batches", std::to_string(s.batches)});
+  t.add_row({"mean batch occupancy", common::Table::num(s.mean_batch_occupancy, 2)});
+  t.add_row({"max batch occupancy", std::to_string(s.max_batch_occupancy)});
+  t.add_row({"p50 latency (us)", common::Table::num(s.p50_us, 1)});
+  t.add_row({"p95 latency (us)", common::Table::num(s.p95_us, 1)});
+  t.add_row({"p99 latency (us)", common::Table::num(s.p99_us, 1)});
+  t.add_row({"mean latency (us)", common::Table::num(s.mean_latency_us, 1)});
+  if (elapsed_s > 0.0) {
+    t.add_row({"throughput (req/s)",
+               common::Table::num(s.throughput_rps(elapsed_s), 1)});
+  }
+  return t;
+}
+
+}  // namespace orco::serve

@@ -88,4 +88,22 @@ Tensor concat_rows(const std::vector<Tensor>& parts) {
   return out;
 }
 
+Tensor stack_rows(const std::vector<Tensor>& parts) {
+  ORCO_CHECK(!parts.empty(), "stack_rows of nothing");
+  const std::size_t cols = parts.front().numel();
+  Tensor out({parts.size(), cols});
+  std::size_t r = 0;
+  for (const auto& p : parts) {
+    ORCO_CHECK((p.rank() == 1 || (p.rank() == 2 && p.dim(0) == 1)) &&
+                   p.numel() == cols,
+               "stack_rows: part " << r << " has shape "
+                                   << shape_to_string(p.shape())
+                                   << ", want length " << cols);
+    std::copy(p.data().begin(), p.data().end(),
+              out.data().begin() + static_cast<std::ptrdiff_t>(r * cols));
+    ++r;
+  }
+  return out;
+}
+
 }  // namespace orco::tensor

@@ -1,0 +1,339 @@
+// Tests for the multi-cluster serving runtime (src/serve): shard routing,
+// batch coalescing, batched-vs-sequential decode equality, backpressure,
+// and graceful shutdown.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "serve/serve.h"
+
+namespace orco::serve {
+namespace {
+
+core::SystemConfig small_config(std::size_t input_dim = 64,
+                                std::size_t latent_dim = 16,
+                                std::uint64_t seed = 42) {
+  core::SystemConfig cfg;
+  cfg.orco.input_dim = input_dim;
+  cfg.orco.latent_dim = latent_dim;
+  cfg.orco.decoder_layers = 2;
+  cfg.orco.seed = seed;
+  cfg.field.device_count = 8;
+  cfg.field.radio_range_m = 60.0;
+  return cfg;
+}
+
+std::shared_ptr<core::OrcoDcsSystem> make_tenant(
+    std::size_t input_dim = 64, std::size_t latent_dim = 16,
+    std::uint64_t seed = 42) {
+  return std::make_shared<core::OrcoDcsSystem>(
+      small_config(input_dim, latent_dim, seed));
+}
+
+Tensor random_latent(std::size_t latent_dim, common::Pcg32& rng) {
+  return Tensor::randn({latent_dim}, rng);
+}
+
+TEST(ShardRoutingTest, SameClusterAlwaysSameShard) {
+  for (ClusterId id = 0; id < 500; ++id) {
+    const std::size_t first = shard_for(id, 8);
+    for (int rep = 0; rep < 3; ++rep) EXPECT_EQ(shard_for(id, 8), first);
+    EXPECT_LT(first, 8u);
+  }
+}
+
+TEST(ShardRoutingTest, SpreadsClustersAcrossShards) {
+  const std::size_t shards = 8;
+  std::vector<std::size_t> counts(shards, 0);
+  const std::size_t n = 8000;
+  for (ClusterId id = 0; id < n; ++id) counts[shard_for(id, shards)]++;
+  // Sequential ids should hash to a near-uniform spread; allow +/-30%.
+  const std::size_t expect = n / shards;
+  for (const auto c : counts) {
+    EXPECT_GT(c, expect * 7 / 10);
+    EXPECT_LT(c, expect * 13 / 10);
+  }
+}
+
+TEST(BatchQueueTest, CoalescesOnlyOneClusterPerBatchInFifoOrder) {
+  BatchQueueConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_wait_us = 0;  // no lingering: deterministic pops
+  BatchQueue queue(cfg);
+
+  auto push = [&](ClusterId cluster, RequestId id) {
+    PendingRequest p;
+    p.request.cluster = cluster;
+    p.request.id = id;
+    ASSERT_EQ(queue.push(std::move(p)), PushResult::kAccepted);
+  };
+  // Interleave clusters A=1 and B=2.
+  push(1, 10);
+  push(2, 20);
+  push(1, 11);
+  push(2, 21);
+  push(1, 12);
+
+  auto batch = queue.pop_batch();
+  ASSERT_EQ(batch.size(), 3u);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i].request.cluster, 1u);
+    EXPECT_EQ(batch[i].request.id, 10u + i);
+  }
+  batch = queue.pop_batch();
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].request.cluster, 2u);
+  EXPECT_EQ(batch[0].request.id, 20u);
+  EXPECT_EQ(batch[1].request.id, 21u);
+}
+
+TEST(BatchQueueTest, RespectsMaxBatch) {
+  BatchQueueConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 0;
+  BatchQueue queue(cfg);
+  for (RequestId id = 0; id < 10; ++id) {
+    PendingRequest p;
+    p.request.cluster = 7;
+    p.request.id = id;
+    ASSERT_EQ(queue.push(std::move(p)), PushResult::kAccepted);
+  }
+  EXPECT_EQ(queue.pop_batch().size(), 4u);
+  EXPECT_EQ(queue.pop_batch().size(), 4u);
+  EXPECT_EQ(queue.pop_batch().size(), 2u);
+}
+
+TEST(BatchQueueTest, ShedsAtCapacityAndClosedAfterClose) {
+  BatchQueueConfig cfg;
+  cfg.capacity = 2;
+  BatchQueue queue(cfg);
+  PendingRequest a, b, c, d;
+  EXPECT_EQ(queue.push(std::move(a)), PushResult::kAccepted);
+  EXPECT_EQ(queue.push(std::move(b)), PushResult::kAccepted);
+  EXPECT_EQ(queue.push(std::move(c)), PushResult::kShed);
+  queue.close();
+  EXPECT_EQ(queue.push(std::move(d)), PushResult::kClosed);
+  // Close drains: queued entries still pop, then empty signals done.
+  EXPECT_EQ(queue.pop_batch().size(), 2u);
+  EXPECT_TRUE(queue.pop_batch().empty());
+}
+
+TEST(ServeTest, BatchedDecodeBitwiseEqualsSequentialDecode) {
+  const std::size_t latent_dim = 16;
+  auto tenant = make_tenant(64, latent_dim);
+
+  ServeConfig cfg;
+  cfg.shard_count = 1;
+  cfg.queue.max_batch = 16;
+  cfg.queue.max_wait_us = 2000;
+  ServerRuntime runtime(cfg);
+  runtime.register_cluster(1, tenant);
+
+  // Submit everything before start() so the worker is forced to coalesce.
+  common::Pcg32 rng(123);
+  const std::size_t n = 32;
+  std::vector<Tensor> latents;
+  std::vector<std::future<DecodeResponse>> futures;
+  for (std::size_t i = 0; i < n; ++i) {
+    latents.push_back(random_latent(latent_dim, rng));
+    futures.push_back(runtime.submit(1, latents.back()));
+  }
+  runtime.start();
+  runtime.shutdown();
+
+  std::set<std::size_t> occupancies;
+  for (std::size_t i = 0; i < n; ++i) {
+    DecodeResponse response = futures[i].get();
+    ASSERT_EQ(response.status, ResponseStatus::kOk);
+    occupancies.insert(response.batch_size);
+
+    // The reference: a one-request inference straight on the tenant edge.
+    const Tensor expected = tenant->edge().decode_inference(
+        latents[i].reshaped({1, latent_dim}));
+    ASSERT_EQ(response.reconstruction.numel(), expected.numel());
+    for (std::size_t j = 0; j < expected.numel(); ++j) {
+      // Bitwise: batching must not change a single ULP.
+      EXPECT_EQ(response.reconstruction[j], expected[j])
+          << "request " << i << " element " << j;
+    }
+  }
+  // Proof that batching actually happened (not 32 singleton batches).
+  EXPECT_GT(*occupancies.rbegin(), 1u);
+  const auto snapshot = runtime.telemetry().snapshot();
+  EXPECT_EQ(snapshot.completed, n);
+  EXPECT_LT(snapshot.batches, n);
+}
+
+TEST(ServeTest, HeterogeneousTenantsDecodeToTheirOwnDims) {
+  ServeConfig cfg;
+  cfg.shard_count = 4;
+  cfg.queue.max_wait_us = 100;
+  ServerRuntime runtime(cfg);
+  runtime.register_cluster(1, make_tenant(64, 16, 1));    // telemetry-ish
+  runtime.register_cluster(2, make_tenant(128, 32, 2));   // image-ish
+  runtime.start();
+
+  common::Pcg32 rng(7);
+  std::vector<std::future<DecodeResponse>> small, large;
+  for (int i = 0; i < 6; ++i) {
+    small.push_back(runtime.submit(1, random_latent(16, rng)));
+    large.push_back(runtime.submit(2, random_latent(32, rng)));
+  }
+  for (auto& f : small) {
+    auto r = f.get();
+    ASSERT_EQ(r.status, ResponseStatus::kOk);
+    EXPECT_EQ(r.reconstruction.numel(), 64u);
+  }
+  for (auto& f : large) {
+    auto r = f.get();
+    ASSERT_EQ(r.status, ResponseStatus::kOk);
+    EXPECT_EQ(r.reconstruction.numel(), 128u);
+  }
+  runtime.shutdown();
+}
+
+TEST(ServeTest, UnknownClusterAndBadLatentAreRejected) {
+  ServeConfig cfg;
+  cfg.shard_count = 2;
+  ServerRuntime runtime(cfg);
+  runtime.register_cluster(5, make_tenant(64, 16));
+  runtime.start();
+
+  common::Pcg32 rng(9);
+  auto unknown = runtime.submit(999, random_latent(16, rng));
+  auto misshapen = runtime.submit(5, random_latent(17, rng));
+  EXPECT_EQ(unknown.get().status, ResponseStatus::kUnknownCluster);
+  EXPECT_EQ(misshapen.get().status, ResponseStatus::kBadRequest);
+
+  const auto snapshot = runtime.telemetry().snapshot();
+  EXPECT_EQ(snapshot.rejected, 2u);
+  runtime.shutdown();
+}
+
+TEST(ServeTest, BackpressureShedsBeyondQueueCapacity) {
+  ServeConfig cfg;
+  cfg.shard_count = 1;
+  cfg.queue.capacity = 4;
+  ServerRuntime runtime(cfg);
+  runtime.register_cluster(1, make_tenant());
+
+  // Workers not started: the 5th..10th submissions must shed immediately.
+  common::Pcg32 rng(11);
+  std::vector<std::future<DecodeResponse>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(runtime.submit(1, random_latent(16, rng)));
+  }
+  std::size_t ok = 0, shed = 0;
+  runtime.shutdown();  // drains the 4 accepted requests inline
+  for (auto& f : futures) {
+    const auto status = f.get().status;
+    if (status == ResponseStatus::kOk) ++ok;
+    if (status == ResponseStatus::kShed) ++shed;
+  }
+  EXPECT_EQ(ok, 4u);
+  EXPECT_EQ(shed, 6u);
+  EXPECT_EQ(runtime.telemetry().snapshot().shed, 6u);
+}
+
+TEST(ServeTest, GracefulShutdownResolvesEveryInFlightFuture) {
+  ServeConfig cfg;
+  cfg.shard_count = 4;
+  cfg.queue.max_wait_us = 50;
+  ServerRuntime runtime(cfg);
+  for (ClusterId id = 1; id <= 8; ++id) {
+    runtime.register_cluster(id, make_tenant(64, 16, id));
+  }
+  runtime.start();
+
+  // Hammer from several producer threads while shutting down concurrently.
+  std::vector<std::future<DecodeResponse>> futures[4];
+  std::vector<std::thread> producers;
+  std::atomic<bool> go{false};
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&, t] {
+      common::Pcg32 rng(100 + t);
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < 50; ++i) {
+        const ClusterId id = 1 + ((t * 50 + i) % 8);
+        futures[t].push_back(runtime.submit(id, random_latent(16, rng)));
+      }
+    });
+  }
+  go.store(true);
+  for (auto& p : producers) p.join();
+  runtime.shutdown();
+
+  std::size_t resolved = 0;
+  for (auto& per_thread : futures) {
+    for (auto& f : per_thread) {
+      const auto r = f.get();  // must not hang or throw broken_promise
+      EXPECT_TRUE(r.status == ResponseStatus::kOk ||
+                  r.status == ResponseStatus::kShed ||
+                  r.status == ResponseStatus::kShutdown)
+          << to_string(r.status);
+      ++resolved;
+    }
+  }
+  EXPECT_EQ(resolved, 200u);
+  // Everything submitted was answered one way or another.
+  const auto snapshot = runtime.telemetry().snapshot();
+  EXPECT_EQ(snapshot.submitted,
+            snapshot.completed + snapshot.shed + snapshot.rejected);
+}
+
+TEST(ServeTest, SubmitAfterShutdownAnswersShutdownStatus) {
+  ServeConfig cfg;
+  cfg.shard_count = 1;
+  ServerRuntime runtime(cfg);
+  runtime.register_cluster(1, make_tenant());
+  runtime.start();
+  runtime.shutdown();
+  common::Pcg32 rng(5);
+  EXPECT_EQ(runtime.submit(1, random_latent(16, rng)).get().status,
+            ResponseStatus::kShutdown);
+}
+
+TEST(ServeTest, ShutdownIsIdempotentAndDestructorSafe) {
+  ServeConfig cfg;
+  cfg.shard_count = 2;
+  auto runtime = std::make_unique<ServerRuntime>(cfg);
+  runtime->register_cluster(1, make_tenant());
+  runtime->start();
+  runtime->shutdown();
+  runtime->shutdown();
+  runtime.reset();  // destructor after explicit shutdown: no deadlock
+}
+
+TEST(TelemetryTest, QuantilesBracketRecordedLatencies) {
+  Telemetry telemetry;
+  for (int i = 1; i <= 1000; ++i) {
+    telemetry.record_completed(static_cast<double>(i));  // 1..1000 us
+  }
+  const auto s = telemetry.snapshot();
+  EXPECT_EQ(s.completed, 1000u);
+  // Log-bucketed estimates: generous but meaningful brackets.
+  EXPECT_GT(s.p50_us, 250.0);
+  EXPECT_LT(s.p50_us, 800.0);
+  EXPECT_GT(s.p99_us, 800.0);
+  EXPECT_LE(s.p99_us, 1000.0);
+  EXPECT_NEAR(s.mean_latency_us, 500.5, 1.0);
+  EXPECT_EQ(s.max_latency_us, 1000.0);
+}
+
+TEST(TelemetryTest, ReportIncludesThroughput) {
+  Telemetry telemetry;
+  telemetry.record_submitted();
+  telemetry.record_batch(1);
+  telemetry.record_completed(100.0);
+  const auto table = telemetry.report(2.0);
+  EXPECT_GT(table.rows(), 5u);
+  const auto csv = table.to_csv();
+  EXPECT_NE(csv.find("throughput"), std::string::npos);
+  EXPECT_NE(csv.find("0.5"), std::string::npos);  // 1 completed / 2 s
+}
+
+}  // namespace
+}  // namespace orco::serve

@@ -1,8 +1,17 @@
 // Micro benchmarks (google-benchmark) for the kernels behind every figure:
-// GEMM, conv lowering, losses, protocol round pieces and dataset synthesis.
+// GEMM (per kernel backend), conv lowering, losses, protocol round pieces
+// and dataset synthesis. main() first emits BENCH_gemm.json — GFLOP/s per
+// backend per shape — so kernel PRs have a committed baseline to beat, then
+// runs the registered google-benchmark suite.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <iostream>
+#include <string_view>
+
 #include "baseline/dcsnet.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
 #include "core/orcodcs.h"
 #include "data/synthetic_gtsrb.h"
 #include "data/synthetic_mnist.h"
@@ -16,18 +25,28 @@ namespace {
 using namespace orco;
 using tensor::Tensor;
 
-void BM_Gemm(benchmark::State& state) {
+void bench_gemm_backend(benchmark::State& state, const tensor::Backend& be) {
   const auto n = static_cast<std::size_t>(state.range(0));
   common::Pcg32 rng(1);
   const Tensor a = Tensor::randn({n, n}, rng);
   const Tensor b = Tensor::randn({n, n}, rng);
+  tensor::BackendScope scope(&be);
   for (auto _ : state) {
     benchmark::DoNotOptimize(tensor::matmul(a, b));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(2 * n * n * n));
 }
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_GemmReference(benchmark::State& state) {
+  bench_gemm_backend(state, tensor::reference_backend());
+}
+BENCHMARK(BM_GemmReference)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_GemmBlocked(benchmark::State& state) {
+  bench_gemm_backend(state, tensor::blocked_backend());
+}
+BENCHMARK(BM_GemmBlocked)->Arg(64)->Arg(256)->Arg(512);
 
 void BM_DenseForward(benchmark::State& state) {
   common::Pcg32 rng(2);
@@ -154,4 +173,90 @@ void BM_DistributedEncode(benchmark::State& state) {
 }
 BENCHMARK(BM_DistributedEncode)->Arg(16)->Arg(64)->Arg(128);
 
+// --- BENCH_gemm.json -------------------------------------------------------
+// Hand-timed GFLOP/s per backend per shape (square kernels plus the serving
+// decode shapes), written next to the binary's working directory. The
+// committed copy is the baseline future kernel PRs must beat.
+
+struct GemmShape {
+  std::size_t m, k, n;
+};
+
+double gemm_gflops(const tensor::Backend& be, const GemmShape& s) {
+  common::Pcg32 rng(11);
+  const Tensor a = Tensor::randn({s.m, s.k}, rng);
+  const Tensor b = Tensor::randn({s.k, s.n}, rng);
+  Tensor c({s.m, s.n});
+  const double flop = 2.0 * static_cast<double>(s.m) *
+                      static_cast<double>(s.k) * static_cast<double>(s.n);
+  // Warm-up, then run until >= 0.2 s of measured work.
+  be.gemm(a.data().data(), b.data().data(), c.data().data(), s.m, s.k, s.n);
+  std::size_t iters = 0;
+  common::Stopwatch sw;
+  double elapsed = 0.0;
+  while (elapsed < 0.2 || iters < 3) {
+    c.fill(0.0f);
+    be.gemm(a.data().data(), b.data().data(), c.data().data(), s.m, s.k, s.n);
+    ++iters;
+    elapsed = sw.seconds();
+  }
+  return flop * static_cast<double>(iters) / elapsed / 1e9;
+}
+
+void emit_bench_gemm_json() {
+  using common::Table;
+  const GemmShape shapes[] = {
+      {64, 64, 64},    {128, 128, 128}, {256, 256, 256},
+      {512, 512, 512}, {8, 128, 784},   {32, 456, 784},
+  };
+  common::print_section(std::cout, "GEMM GFLOP/s per kernel backend");
+  Table table({"m", "k", "n", "reference", "blocked", "blocked/reference"});
+  std::ofstream json("BENCH_gemm.json");
+  json << "{\n  \"flop_metric\": \"GFLOP/s\",\n  \"shapes\": [\n";
+  const std::size_t count = sizeof(shapes) / sizeof(shapes[0]);
+  for (std::size_t i = 0; i < count; ++i) {
+    const GemmShape& s = shapes[i];
+    const double ref = gemm_gflops(tensor::reference_backend(), s);
+    const double blk = gemm_gflops(tensor::blocked_backend(), s);
+    const double ratio = blk / ref;
+    table.add_row({std::to_string(s.m), std::to_string(s.k),
+                   std::to_string(s.n), Table::num(ref, 2),
+                   Table::num(blk, 2), Table::num(ratio, 2)});
+    json << "    {\"m\": " << s.m << ", \"k\": " << s.k << ", \"n\": " << s.n
+         << ", \"reference_gflops\": " << ref
+         << ", \"blocked_gflops\": " << blk
+         << ", \"blocked_vs_reference\": " << ratio << "}"
+         << (i + 1 < count ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  table.print(std::cout);
+  std::cout << "\nwrote BENCH_gemm.json\n\n";
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  // The JSON sweep takes a few seconds and overwrites BENCH_gemm.json in
+  // the CWD, so it runs only on a plain invocation (the committed-baseline
+  // flow) or when asked for explicitly with --gemm-json; filtered or
+  // exploratory google-benchmark runs skip it.
+  bool force_json = false;
+  bool benchmark_args = false;
+  int argc_out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--gemm-json") {
+      force_json = true;
+      continue;  // strip: google-benchmark would reject it
+    }
+    if (arg.rfind("--benchmark_", 0) == 0) benchmark_args = true;
+    argv[argc_out++] = argv[i];
+  }
+  argc = argc_out;
+  if (force_json || !benchmark_args) emit_bench_gemm_json();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,12 +9,15 @@
 // binary's working directory so later PRs have a perf trajectory to beat.
 //
 //   requests scale with ORCO_BENCH_SCALE (bench_common.h conventions).
+//   ORCO_BACKEND picks the kernel backend (default here: blocked).
+#include <cstdlib>
 #include <fstream>
 #include <future>
 #include <thread>
 
 #include "bench_common.h"
 #include "serve/serve.h"
+#include "tensor/backend.h"
 
 namespace {
 
@@ -22,6 +25,13 @@ using namespace orco;
 
 constexpr std::size_t kTenants = 8;
 constexpr std::size_t kClientThreads = 8;
+
+/// The kernel backend under test: ORCO_BACKEND if set, else the blocked
+/// kernel (the serving fast path).
+std::string bench_backend() {
+  const char* env = std::getenv("ORCO_BACKEND");
+  return (env != nullptr && *env != '\0') ? env : "blocked";
+}
 
 struct RunResult {
   double rps = 0.0;
@@ -56,6 +66,7 @@ double naive_rps(const std::vector<std::shared_ptr<core::OrcoDcsSystem>>& tenant
                  const std::vector<tensor::Tensor>& latents,
                  std::size_t requests) {
   const std::size_t latent_dim = latents.front().numel();
+  tensor::BackendScope scope(tensor::find_backend(bench_backend()));
   common::Stopwatch sw;
   for (std::size_t i = 0; i < requests; ++i) {
     const auto& tenant = *tenants[i % tenants.size()];
@@ -75,6 +86,7 @@ RunResult runtime_rps(
   cfg.queue.capacity = 4096;
   cfg.queue.max_batch = 32;
   cfg.queue.max_wait_us = 200;
+  cfg.backend = bench_backend();
   serve::ServerRuntime runtime(cfg);
   for (std::size_t t = 0; t < tenants.size(); ++t) {
     runtime.register_cluster(t, tenants[t]);
@@ -127,7 +139,8 @@ int main() {
 
   common::print_section(std::cout, "Serving throughput, " +
                                        std::to_string(kTenants) + " tenants, " +
-                                       std::to_string(requests) + " requests");
+                                       std::to_string(requests) + " requests, " +
+                                       bench_backend() + " backend");
 
   // Warm-up (page in weights) then measure the naive loop.
   (void)naive_rps(tenants, latents, 64);
@@ -139,6 +152,7 @@ int main() {
   std::ofstream json("BENCH_serve.json");
   json << "{\n  \"tenants\": " << kTenants
        << ",\n  \"requests\": " << requests
+       << ",\n  \"backend\": \"" << bench_backend() << "\""
        << ",\n  \"baseline_rps\": " << baseline << ",\n  \"runs\": [\n";
   double speedup_at_8 = 0.0;
   const std::size_t shard_counts[] = {1, 2, 4, 8};

@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace orco::core {
 
@@ -41,6 +42,11 @@ struct OrcoConfig {
   std::size_t monitor_window = 8;
 
   std::uint64_t seed = 42;
+
+  // Kernel backend (tensor/backend.h) for this system's training rounds and
+  // edge decoding: "reference", "blocked", or empty to inherit the process
+  // default (set_backend() / ORCO_BACKEND).
+  std::string backend;
 
   std::size_t decoder_hidden() const {
     return decoder_hidden_dim != 0 ? decoder_hidden_dim

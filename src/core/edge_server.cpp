@@ -16,6 +16,7 @@ EdgeServer::EdgeServer(std::unique_ptr<nn::Sequential> decoder,
   ORCO_CHECK(decoder_ != nullptr, "null decoder");
   ORCO_CHECK(decoder_->output_features(config.latent_dim) == config.input_dim,
              "decoder does not map latent_dim to input_dim");
+  backend_ = tensor::resolve_backend(config.backend);
   optimizer_ = std::make_unique<nn::Sgd>(decoder_->params(),
                                          config.learning_rate,
                                          config.momentum);
@@ -31,6 +32,7 @@ ReconstructionMsg EdgeServer::reconstruct(const LatentBatchMsg& msg,
     round_open_ = true;
     batch_in_flight_ = msg.latents.dim(0);
   }
+  tensor::BackendScope scope(backend_);
   Tensor rec = decoder_->forward(msg.latents, training);
   return ReconstructionMsg{msg.round, std::move(rec)};
 }
@@ -73,6 +75,7 @@ LatentGradMsg EdgeServer::train_step(const ResidualMsg& msg) {
       static_cast<float>(loss_acc / static_cast<double>(msg.residuals.numel()));
 
   optimizer_->zero_grad();
+  tensor::BackendScope scope(backend_);
   Tensor latent_grad = decoder_->backward(grad);
   optimizer_->step();
   round_open_ = false;
@@ -81,6 +84,7 @@ LatentGradMsg EdgeServer::train_step(const ResidualMsg& msg) {
 
 Tensor EdgeServer::decode_inference(const Tensor& latents) const {
   ORCO_CHECK(!round_open_, "cannot run inference with an open round");
+  tensor::BackendScope scope(backend_);
   return decoder_->infer(latents);
 }
 

@@ -12,6 +12,7 @@
 #include "core/messages.h"
 #include "nn/optimizer.h"
 #include "nn/sequential.h"
+#include "tensor/backend.h"
 
 namespace orco::core {
 
@@ -40,7 +41,12 @@ class EdgeServer {
   /// FLOPs charged to the edge for one training round on `batch` samples.
   std::size_t train_flops(std::size_t batch) const;
 
+  /// The kernel backend this edge runs on (from OrcoConfig::backend);
+  /// nullptr means "inherit the caller's selection".
+  const tensor::Backend* backend() const noexcept { return backend_; }
+
  private:
+  const tensor::Backend* backend_ = nullptr;
   std::unique_ptr<nn::Sequential> decoder_;
   std::unique_ptr<nn::Sgd> optimizer_;
   ReconLoss loss_kind_;

@@ -18,6 +18,7 @@ Orchestrator::Orchestrator(DataAggregator& aggregator, EdgeServer& edge,
 
 RoundRecord Orchestrator::train_round(const Tensor& batch) {
   ORCO_CHECK(batch.rank() == 2 && batch.dim(0) > 0, "empty training batch");
+  tensor::BackendScope scope(backend_);
   const std::uint64_t round = next_round_++;
   const std::size_t b = batch.dim(0);
   RoundRecord rec;
@@ -104,6 +105,7 @@ std::vector<RoundRecord> Orchestrator::train(
 }
 
 double Orchestrator::aggregate_batch(const Tensor& batch) {
+  tensor::BackendScope scope(backend_);
   const std::size_t b = batch.dim(0);
   double seconds =
       compute_.aggregator_seconds(aggregator_->encoder().forward_flops(b));
@@ -116,6 +118,7 @@ double Orchestrator::aggregate_batch(const Tensor& batch) {
 }
 
 Tensor Orchestrator::reconstruct(const Tensor& batch) {
+  tensor::BackendScope scope(backend_);
   const Tensor latents = aggregator_->encode_inference(batch);
   return edge_->decode_inference(latents);
 }

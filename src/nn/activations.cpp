@@ -97,6 +97,19 @@ Tensor Identity::infer(const Tensor& input) const { return input; }
 
 Tensor Identity::backward(const Tensor& grad_output) { return grad_output; }
 
+std::optional<tensor::EpilogueAct> activation_epilogue(const Layer& layer,
+                                                       float& leaky_alpha) {
+  if (dynamic_cast<const Identity*>(&layer)) return tensor::EpilogueAct::kNone;
+  if (dynamic_cast<const ReLU*>(&layer)) return tensor::EpilogueAct::kReLU;
+  if (const auto* leaky = dynamic_cast<const LeakyReLU*>(&layer)) {
+    leaky_alpha = leaky->alpha();
+    return tensor::EpilogueAct::kLeakyReLU;
+  }
+  if (dynamic_cast<const Sigmoid*>(&layer)) return tensor::EpilogueAct::kSigmoid;
+  if (dynamic_cast<const Tanh*>(&layer)) return tensor::EpilogueAct::kTanh;
+  return std::nullopt;
+}
+
 LayerPtr make_activation(Activation kind) {
   switch (kind) {
     case Activation::kIdentity:  return std::make_unique<Identity>();

@@ -1,7 +1,10 @@
 // Elementwise activation layers.
 #pragma once
 
+#include <optional>
+
 #include "nn/layer.h"
+#include "tensor/backend.h"
 
 namespace orco::nn {
 
@@ -25,6 +28,8 @@ class LeakyReLU : public Layer {
   Tensor infer(const Tensor& input) const override;
   std::string name() const override { return "LeakyReLU"; }
   std::size_t output_features(std::size_t f) const override { return f; }
+
+  float alpha() const noexcept { return alpha_; }
 
  private:
   float alpha_;
@@ -70,5 +75,12 @@ enum class Activation { kIdentity, kReLU, kLeakyReLU, kSigmoid, kTanh };
 
 /// Factory for an activation layer.
 LayerPtr make_activation(Activation kind);
+
+/// If `layer` is one of the elementwise activations above, returns the
+/// GEMM-epilogue equivalent (Identity -> kNone) and fills `leaky_alpha` for
+/// LeakyReLU; nullopt otherwise. Sequential::infer uses this to fuse a
+/// Dense/Conv2d layer with its following activation into one backend pass.
+std::optional<tensor::EpilogueAct> activation_epilogue(const Layer& layer,
+                                                       float& leaky_alpha);
 
 }  // namespace orco::nn

@@ -29,6 +29,11 @@ Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
 }
 
 Tensor Conv2d::infer(const Tensor& input) const {
+  return infer_fused(input, tensor::EpilogueAct::kNone);
+}
+
+Tensor Conv2d::infer_fused(const Tensor& input, tensor::EpilogueAct act,
+                           float leaky_alpha) const {
   const std::size_t in_feats = geom_.in_channels * geom_.in_h * geom_.in_w;
   ORCO_CHECK(input.rank() == 2 && input.dim(1) == in_feats,
              "Conv2d expects (batch, " << in_feats << "), got "
@@ -38,12 +43,9 @@ Tensor Conv2d::infer(const Tensor& input) const {
   Tensor out({batch, out_channels_ * oh * ow});
   for (std::size_t s = 0; s < batch; ++s) {
     const Tensor cols = tensor::im2col(input.row(s), geom_);
-    Tensor y = tensor::matmul(w_, cols);  // (outC, OH*OW)
-    auto yd = y.data();
-    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-      const float bias = b_[oc];
-      for (std::size_t p = 0; p < oh * ow; ++p) yd[oc * oh * ow + p] += bias;
-    }
+    // (outC, OH*OW) with the per-channel bias and activation applied in the
+    // same pass as the GEMM.
+    const Tensor y = tensor::gemm_rowbias_act(w_, cols, b_, act, leaky_alpha);
     out.set_outer(s, y.reshaped({out_channels_ * oh * ow}));
   }
   return out;

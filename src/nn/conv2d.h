@@ -6,6 +6,7 @@
 #pragma once
 
 #include "nn/layer.h"
+#include "tensor/backend.h"
 #include "tensor/im2col.h"
 
 namespace orco::nn {
@@ -19,6 +20,13 @@ class Conv2d : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   Tensor infer(const Tensor& input) const override;
+
+  /// act(W·cols + b) per sample in one fused backend pass (bias per output
+  /// channel row). infer() is infer_fused(kNone); Sequential::infer
+  /// peepholes a following activation layer into `act`.
+  Tensor infer_fused(const Tensor& input, tensor::EpilogueAct act,
+                     float leaky_alpha = 0.01f) const override;
+
   std::vector<ParamView> params() override;
   std::string name() const override { return "Conv2d"; }
   std::size_t output_features(std::size_t input_features) const override;

@@ -46,11 +46,16 @@ Tensor ConvTranspose2d::infer(const Tensor& input) const {
                                                        input.shape()));
   const std::size_t batch = input.dim(0);
   const std::size_t out_feats = out_channels_ * out_h_ * out_w_;
+  const std::size_t spatial = in_h_ * in_w_;
+  const std::size_t col_rows = w_.dim(1);  // outC*K*K
   Tensor out({batch, out_feats});
+  const auto& backend = tensor::current_backend();
   for (std::size_t s = 0; s < batch; ++s) {
-    Tensor x({in_channels_, in_h_ * in_w_},
-             std::vector<float>(input.row(s).begin(), input.row(s).end()));
-    const Tensor cols = tensor::matmul_tn(w_, x);  // (outC*K*K, H*W)
+    // cols = Wᵀ·x with x the sample row viewed as (inC, H*W) — straight off
+    // the input span, no per-sample copy or materialised transpose.
+    Tensor cols({col_rows, spatial});
+    backend.gemm_tn(w_.data().data(), input.row(s).data(), cols.data().data(),
+                    col_rows, in_channels_, spatial);
     Tensor y({out_feats});
     tensor::col2im(cols, geom_, y.data());
     auto yd = y.data();

@@ -26,15 +26,15 @@ Tensor Dense::forward(const Tensor& input, bool /*training*/) {
 }
 
 Tensor Dense::infer(const Tensor& input) const {
+  return infer_fused(input, tensor::EpilogueAct::kNone);
+}
+
+Tensor Dense::infer_fused(const Tensor& input, tensor::EpilogueAct act,
+                          float leaky_alpha) const {
   ORCO_CHECK(input.rank() == 2 && input.dim(1) == in_,
              "Dense expects (batch, " << in_ << "), got "
                                       << tensor::shape_to_string(input.shape()));
-  Tensor out = tensor::matmul_nt(input, w_);  // (B, out)
-  for (std::size_t i = 0; i < out.dim(0); ++i) {
-    auto r = out.row(i);
-    for (std::size_t j = 0; j < out_; ++j) r[j] += b_[j];
-  }
-  return out;
+  return tensor::gemm_bias_act(input, w_, b_, act, leaky_alpha);  // (B, out)
 }
 
 Tensor Dense::backward(const Tensor& grad_output) {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "nn/layer.h"
+#include "tensor/backend.h"
 
 namespace orco::nn {
 
@@ -18,6 +19,13 @@ class Dense : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   Tensor infer(const Tensor& input) const override;
+
+  /// act(x·Wᵀ + b) in one fused backend pass — GEMM, bias and activation
+  /// applied while output tiles are hot. infer() is infer_fused(kNone);
+  /// Sequential::infer peepholes a following activation layer into `act`.
+  Tensor infer_fused(const Tensor& input, tensor::EpilogueAct act,
+                     float leaky_alpha = 0.01f) const override;
+
   std::vector<ParamView> params() override;
   std::string name() const override { return "Dense"; }
   std::size_t output_features(std::size_t input_features) const override;

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/backend.h"
 #include "tensor/tensor.h"
 
 namespace orco::nn {
@@ -50,6 +51,25 @@ class Layer {
     (void)input;
     throw std::logic_error("Layer " + name() +
                            " does not implement const inference");
+  }
+
+  /// infer() with an elementwise activation applied on top — the hook
+  /// Sequential::infer uses to fuse a layer with its following activation
+  /// layer. GEMM-backed layers (Dense, Conv2d) override this to push the
+  /// activation into the kernel epilogue; the default computes infer() and
+  /// applies the activation in a second pass, which is always equivalent.
+  virtual Tensor infer_fused(const Tensor& input, tensor::EpilogueAct act,
+                             float leaky_alpha = 0.01f) const {
+    Tensor out = infer(input);
+    tensor::Epilogue epilogue;
+    epilogue.act = act;
+    epilogue.leaky_alpha = leaky_alpha;
+    const std::size_t rows = out.rank() >= 1 ? out.dim(0) : 0;
+    if (rows > 0) {
+      tensor::apply_epilogue(out.data().data(), rows, out.numel() / rows,
+                             epilogue);
+    }
+    return out;
   }
 
   /// Trainable parameters (empty for stateless layers).

@@ -1,6 +1,7 @@
 #include "nn/sequential.h"
 
 #include "common/check.h"
+#include "nn/activations.h"
 
 namespace orco::nn {
 
@@ -17,8 +18,25 @@ Tensor Sequential::forward(const Tensor& input, bool training) {
 }
 
 Tensor Sequential::infer(const Tensor& input) const {
+  // Peephole fusion: a layer followed by an elementwise activation becomes
+  // one infer_fused() call — GEMM-backed layers (Dense, Conv2d) push the
+  // activation into the kernel epilogue, halving the memory traffic of the
+  // serving decode path; everything else falls back to infer()-then-apply,
+  // which is always equivalent. The training-mode forward() stays unfused
+  // because backward needs the pre-activation.
   Tensor x = input;
-  for (const auto& l : layers_) x = l->infer(x);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (i + 1 < layers_.size()) {
+      float leaky_alpha = 0.01f;
+      const auto epi = activation_epilogue(*layers_[i + 1], leaky_alpha);
+      if (epi) {
+        x = layers_[i]->infer_fused(x, *epi, leaky_alpha);
+        ++i;
+        continue;
+      }
+    }
+    x = layers_[i]->infer(x);
+  }
   return x;
 }
 

@@ -28,8 +28,12 @@ void respond_error(PendingRequest& pending, ResponseStatus status) {
 
 ClusterShard::ClusterShard(std::size_t index,
                            const BatchQueueConfig& queue_config,
-                           Telemetry* telemetry)
-    : index_(index), queue_(queue_config), telemetry_(telemetry) {
+                           Telemetry* telemetry,
+                           const tensor::Backend* backend)
+    : index_(index),
+      queue_(queue_config),
+      telemetry_(telemetry),
+      backend_(backend) {
   ORCO_CHECK(telemetry != nullptr, "ClusterShard needs a telemetry registry");
 }
 
@@ -76,6 +80,10 @@ void ClusterShard::run() {
 
 void ClusterShard::serve_batch(std::vector<PendingRequest> batch) {
   if (batch.empty()) return;
+  // Per-ServeConfig kernel backend for everything this batch computes; a
+  // tenant with its own OrcoConfig::backend still overrides inside
+  // decode_inference (most specific wins).
+  tensor::BackendScope scope(backend_);
   const ClusterId cluster = batch.front().request.cluster;
   const auto system = find_cluster(cluster);
   if (system == nullptr) {

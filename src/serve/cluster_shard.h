@@ -18,6 +18,7 @@
 #include "serve/batch_queue.h"
 #include "serve/request.h"
 #include "serve/telemetry.h"
+#include "tensor/backend.h"
 
 namespace orco::serve {
 
@@ -33,8 +34,11 @@ inline std::size_t shard_for(ClusterId cluster, std::size_t shard_count) {
 
 class ClusterShard {
  public:
+  /// `backend` (nullable) pins this shard's decode GEMMs to one kernel
+  /// backend (tensor/backend.h); null inherits the process default.
   ClusterShard(std::size_t index, const BatchQueueConfig& queue_config,
-               Telemetry* telemetry);
+               Telemetry* telemetry,
+               const tensor::Backend* backend = nullptr);
 
   std::size_t index() const noexcept { return index_; }
   BatchQueue& queue() noexcept { return queue_; }
@@ -63,6 +67,7 @@ class ClusterShard {
   std::size_t index_;
   BatchQueue queue_;
   Telemetry* telemetry_;  // runtime-owned; never null
+  const tensor::Backend* backend_;  // nullable: inherit process default
   mutable std::mutex tenants_mu_;  // guards registration vs. lookup only
   std::map<ClusterId, std::shared_ptr<core::OrcoDcsSystem>> tenants_;
 };

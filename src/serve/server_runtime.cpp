@@ -12,10 +12,11 @@ namespace orco::serve {
 ServerRuntime::ServerRuntime(const ServeConfig& config)
     : config_(config), pool_(std::max<std::size_t>(1, config.shard_count)) {
   ORCO_CHECK(config.shard_count > 0, "ServerRuntime needs at least one shard");
+  const tensor::Backend* backend = tensor::resolve_backend(config.backend);
   shards_.reserve(config.shard_count);
   for (std::size_t i = 0; i < config.shard_count; ++i) {
     shards_.push_back(
-        std::make_unique<ClusterShard>(i, config.queue, &telemetry_));
+        std::make_unique<ClusterShard>(i, config.queue, &telemetry_, backend));
   }
 }
 

@@ -22,6 +22,11 @@ namespace orco::serve {
 struct ServeConfig {
   std::size_t shard_count = 4;
   BatchQueueConfig queue;  // applied per shard
+  // Kernel backend (tensor/backend.h) every shard worker decodes on:
+  // "reference", "blocked", or empty to inherit the process default. A
+  // tenant whose OrcoConfig names its own backend overrides this per
+  // decode (most specific wins).
+  std::string backend;
 };
 
 class ServerRuntime {

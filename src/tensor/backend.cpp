@@ -1,0 +1,445 @@
+#include "tensor/backend.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace orco::tensor {
+
+namespace {
+
+std::atomic<bool> g_parallel{true};
+
+// Minimum row*col product before we bother waking the thread pool.
+constexpr std::size_t kParallelThreshold = 64 * 1024;
+
+common::ThreadPool* gemm_pool(std::size_t m, std::size_t n) {
+  return (g_parallel.load() && m * n >= kParallelThreshold)
+             ? &common::ThreadPool::global()
+             : nullptr;
+}
+
+// Must mirror nn/activations.h exactly: fusing an activation into the GEMM
+// epilogue may not change a single value versus the standalone layer.
+inline float apply_act(float v, EpilogueAct act, float alpha) {
+  switch (act) {
+    case EpilogueAct::kNone:      return v;
+    case EpilogueAct::kReLU:      return v > 0.0f ? v : 0.0f;
+    case EpilogueAct::kLeakyReLU: return v > 0.0f ? v : alpha * v;
+    case EpilogueAct::kSigmoid:   return 1.0f / (1.0f + std::exp(-v));
+    case EpilogueAct::kTanh:      return std::tanh(v);
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Reference backend: the original ikj streaming kernel. The k-loop is
+// hoisted outside the j-loop so B is streamed row-wise — cache-friendly
+// without explicit tiling — and the inner loop is branch-free so it
+// auto-vectorizes.
+// ---------------------------------------------------------------------------
+
+void ref_gemm_rows(const float* a, const float* b, float* c, std::size_t r0,
+                   std::size_t r1, std::size_t k, std::size_t n) {
+  for (std::size_t i = r0; i < r1; ++i) {
+    float* ci = c + i * n;
+    const float* ai = a + i * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float aip = ai[p];
+      const float* bp = b + p * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+class ReferenceBackend final : public Backend {
+ public:
+  std::string name() const override { return "reference"; }
+
+  void gemm(const float* a, const float* b, float* c, std::size_t m,
+            std::size_t k, std::size_t n) const override {
+    common::parallel_for(gemm_pool(m, n), 0, m, /*grain=*/8,
+                         [&](std::size_t lo, std::size_t hi) {
+                           ref_gemm_rows(a, b, c, lo, hi, k, n);
+                         });
+  }
+
+  // The transposed layouts materialise the transpose and stream, keeping
+  // the hot loop contiguous — the reduction order (ascending k) matches
+  // gemm(), so all three layouts agree bitwise with each other and with the
+  // blocked backend.
+  void gemm_nt(const float* a, const float* b, float* c, std::size_t m,
+               std::size_t k, std::size_t n) const override {
+    std::vector<float> bt(k * n);
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t p = 0; p < k; ++p) bt[p * n + j] = b[j * k + p];
+    }
+    gemm(a, bt.data(), c, m, k, n);
+  }
+
+  void gemm_tn(const float* a, const float* b, float* c, std::size_t m,
+               std::size_t k, std::size_t n) const override {
+    std::vector<float> at(m * k);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t p = 0; p < k; ++p) at[i * k + p] = a[p * m + i];
+    }
+    gemm(at.data(), b, c, m, k, n);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Blocked backend: packed-panel, cache-tiled, register-blocked GEMM.
+//
+//   - k is split into kKc panels, n into kNc panels; the active B panel is
+//     packed into kNr-wide column strips so the micro-kernel streams it
+//     contiguously from L1/L2.
+//   - rows are split into kMc blocks; each block's A panel is packed into
+//     kMr-tall row strips (zero-padded), so the micro-kernel is branch-free.
+//   - the kMr×kNr micro-kernel keeps the output tile in registers across
+//     the whole k panel: ~1 load per 2·kMr·kNr flops instead of the
+//     reference kernel's load+store of the C row every k step. Plain loops
+//     with constant trip counts — the compiler vectorizes the j dimension.
+//
+// Per-element reduction stays in ascending k order (one accumulator per
+// output element, panels visited in order), so results match the reference
+// kernel bitwise and are independent of batch shape and tile position.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kMr = 4;    // micro-tile rows
+constexpr std::size_t kNr = 32;   // micro-tile cols (4 SIMD lanes of 8)
+constexpr std::size_t kKc = 256;  // k panel: kKc*kNr B floats stay in L1
+constexpr std::size_t kMc = 64;   // row block per packed A panel
+constexpr std::size_t kNc = 1024; // col panel: bounds the packed B buffer
+
+constexpr std::size_t round_up(std::size_t v, std::size_t t) {
+  return (v + t - 1) / t * t;
+}
+
+// Packs A[i0:i0+mc, p0:p0+kc] (or the transpose-source equivalent when
+// `trans`, with `a` stored (k×m)) into kMr-interleaved panels: panel ip
+// holds kMr consecutive rows laid out [p][ii], zero-padded past mc.
+void pack_a(const float* a, std::size_t lda, bool trans, std::size_t i0,
+            std::size_t p0, std::size_t mc, std::size_t kc, float* ap) {
+  for (std::size_t ip = 0; ip < mc; ip += kMr) {
+    float* dst = ap + (ip / kMr) * (kMr * kc);
+    for (std::size_t ii = 0; ii < kMr; ++ii) {
+      const std::size_t i = i0 + ip + ii;
+      if (ip + ii < mc) {
+        if (trans) {
+          for (std::size_t p = 0; p < kc; ++p) {
+            dst[p * kMr + ii] = a[(p0 + p) * lda + i];
+          }
+        } else {
+          const float* src = a + i * lda + p0;
+          for (std::size_t p = 0; p < kc; ++p) dst[p * kMr + ii] = src[p];
+        }
+      } else {
+        for (std::size_t p = 0; p < kc; ++p) dst[p * kMr + ii] = 0.0f;
+      }
+    }
+  }
+}
+
+// Packs B[p0:p0+kc, j0:j0+nc] (or the transpose-source equivalent when
+// `trans`, with `b` stored (n×k)) into kNr-interleaved panels: panel jp
+// holds kNr consecutive columns laid out [p][jj], zero-padded past nc.
+void pack_b(const float* b, std::size_t ldb, bool trans, std::size_t p0,
+            std::size_t j0, std::size_t kc, std::size_t nc, float* bp) {
+  for (std::size_t jp = 0; jp < nc; jp += kNr) {
+    float* dst = bp + (jp / kNr) * (kNr * kc);
+    if (trans) {
+      for (std::size_t jj = 0; jj < kNr; ++jj) {
+        const std::size_t j = j0 + jp + jj;
+        if (jp + jj < nc) {
+          const float* src = b + j * ldb + p0;
+          for (std::size_t p = 0; p < kc; ++p) dst[p * kNr + jj] = src[p];
+        } else {
+          for (std::size_t p = 0; p < kc; ++p) dst[p * kNr + jj] = 0.0f;
+        }
+      }
+    } else {
+      const std::size_t cols = std::min(kNr, nc - jp);
+      for (std::size_t p = 0; p < kc; ++p) {
+        const float* src = b + (p0 + p) * ldb + j0 + jp;
+        float* row = dst + p * kNr;
+        for (std::size_t jj = 0; jj < cols; ++jj) row[jj] = src[jj];
+        for (std::size_t jj = cols; jj < kNr; ++jj) row[jj] = 0.0f;
+      }
+    }
+  }
+}
+
+// One kMr×kNr output tile accumulated over a whole packed k panel. The
+// accumulator array lives in registers; constant trip counts let the
+// compiler unroll and vectorize the jj dimension.
+void micro_kernel(const float* ap, const float* bp, std::size_t kc,
+                  float acc[kMr][kNr]) {
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* a = ap + p * kMr;
+    const float* b = bp + p * kNr;
+    for (std::size_t ii = 0; ii < kMr; ++ii) {
+      const float aip = a[ii];
+      for (std::size_t jj = 0; jj < kNr; ++jj) {
+        acc[ii][jj] += aip * b[jj];
+      }
+    }
+  }
+}
+
+// Seeds the accumulator tile from C (zero on the padded fringe) so that
+// across k panels every output element is ONE sequential reduction chain in
+// ascending k order — bitwise identical to the reference ikj kernel, which
+// accumulates straight into C. Summing each panel separately and adding
+// would re-associate the chain and drift at the last ulps.
+void load_tile(const float* c, std::size_t ldc, std::size_t rows,
+               std::size_t cols, float acc[kMr][kNr]) {
+  for (std::size_t ii = 0; ii < kMr; ++ii) {
+    if (ii < rows) {
+      const float* ci = c + ii * ldc;
+      for (std::size_t jj = 0; jj < kNr; ++jj) {
+        acc[ii][jj] = jj < cols ? ci[jj] : 0.0f;
+      }
+    } else {
+      for (std::size_t jj = 0; jj < kNr; ++jj) acc[ii][jj] = 0.0f;
+    }
+  }
+}
+
+// Writes a micro-tile back, clipping the zero-padded fringe; when `epi` is
+// set (last k panel of a fused GEMM) the epilogue is applied while the tile
+// is still hot.
+void store_tile(float* c, std::size_t ldc, const float acc[kMr][kNr],
+                std::size_t rows, std::size_t cols, const Epilogue* epi,
+                std::size_t row0, std::size_t col0) {
+  for (std::size_t ii = 0; ii < rows; ++ii) {
+    float* ci = c + ii * ldc;
+    for (std::size_t jj = 0; jj < cols; ++jj) {
+      float v = acc[ii][jj];
+      if (epi) {
+        if (epi->bias) {
+          v += epi->bias_per_row ? epi->bias[row0 + ii] : epi->bias[col0 + jj];
+        }
+        v = apply_act(v, epi->act, epi->leaky_alpha);
+      }
+      ci[jj] = v;
+    }
+  }
+}
+
+class BlockedBackend final : public Backend {
+ public:
+  std::string name() const override { return "blocked"; }
+
+  void gemm(const float* a, const float* b, float* c, std::size_t m,
+            std::size_t k, std::size_t n) const override {
+    run(a, k, false, b, n, false, c, m, k, n, nullptr);
+  }
+
+  void gemm_nt(const float* a, const float* b, float* c, std::size_t m,
+               std::size_t k, std::size_t n) const override {
+    run(a, k, false, b, k, true, c, m, k, n, nullptr);
+  }
+
+  void gemm_tn(const float* a, const float* b, float* c, std::size_t m,
+               std::size_t k, std::size_t n) const override {
+    run(a, m, true, b, n, false, c, m, k, n, nullptr);
+  }
+
+  void gemm_fused(const float* a, const float* b, float* c, std::size_t m,
+                  std::size_t k, std::size_t n, bool transpose_b,
+                  const Epilogue& epilogue) const override {
+    std::fill(c, c + m * n, 0.0f);
+    run(a, k, false, b, transpose_b ? k : n, transpose_b, c, m, k, n,
+        &epilogue);
+  }
+
+ private:
+  static void run(const float* a, std::size_t lda, bool ta, const float* b,
+                  std::size_t ldb, bool tb, float* c, std::size_t m,
+                  std::size_t k, std::size_t n, const Epilogue* epi) {
+    if (m == 0 || n == 0) return;
+    if (k == 0) {
+      if (epi) apply_epilogue(c, m, n, *epi);
+      return;
+    }
+    thread_local std::vector<float> bp_buf;
+    for (std::size_t pc = 0; pc < k; pc += kKc) {
+      const std::size_t kc = std::min(kKc, k - pc);
+      const bool last_panel = pc + kc == k;
+      for (std::size_t jc = 0; jc < n; jc += kNc) {
+        const std::size_t nc = std::min(kNc, n - jc);
+        bp_buf.resize(round_up(nc, kNr) * kc);
+        pack_b(b, ldb, tb, pc, jc, kc, nc, bp_buf.data());
+        const float* bp = bp_buf.data();
+
+        const std::size_t row_blocks = (m + kMc - 1) / kMc;
+        common::parallel_for(
+            gemm_pool(m, n), 0, row_blocks, /*grain=*/1,
+            [&](std::size_t blk0, std::size_t blk1) {
+              thread_local std::vector<float> ap_buf;
+              for (std::size_t blk = blk0; blk < blk1; ++blk) {
+                const std::size_t ic = blk * kMc;
+                const std::size_t mc = std::min(kMc, m - ic);
+                ap_buf.resize(round_up(mc, kMr) * kc);
+                pack_a(a, lda, ta, ic, pc, mc, kc, ap_buf.data());
+                for (std::size_t jr = 0; jr < nc; jr += kNr) {
+                  const float* bpan = bp + (jr / kNr) * (kNr * kc);
+                  const std::size_t cols = std::min(kNr, nc - jr);
+                  for (std::size_t ir = 0; ir < mc; ir += kMr) {
+                    const std::size_t rows = std::min(kMr, mc - ir);
+                    float* ctile = c + (ic + ir) * n + jc + jr;
+                    float acc[kMr][kNr];
+                    load_tile(ctile, n, rows, cols, acc);
+                    micro_kernel(ap_buf.data() + (ir / kMr) * (kMr * kc),
+                                 bpan, kc, acc);
+                    store_tile(ctile, n, acc, rows, cols,
+                               (epi && last_panel) ? epi : nullptr, ic + ir,
+                               jc + jr);
+                  }
+                }
+              }
+            });
+      }
+    }
+  }
+};
+
+std::atomic<const Backend*> g_default{nullptr};
+thread_local const Backend* t_scope = nullptr;
+
+struct RegistryEntry {
+  const char* name;
+  const Backend& (*get)();
+};
+
+// The single source of truth for registered backends; lookups, name
+// listings and error messages all derive from it.
+constexpr RegistryEntry kRegistry[] = {
+    {"reference", reference_backend},
+    {"blocked", blocked_backend},
+};
+
+std::string registry_names_joined() {
+  std::string out;
+  for (const auto& entry : kRegistry) {
+    if (!out.empty()) out += ", ";
+    out += entry.name;
+  }
+  return out;
+}
+
+const Backend* default_from_env() {
+  const char* env = std::getenv("ORCO_BACKEND");
+  if (env == nullptr || *env == '\0') return &reference_backend();
+  const Backend* backend = find_backend(env);
+  ORCO_CHECK(backend != nullptr,
+             "ORCO_BACKEND=" << env << " is not a registered kernel backend"
+                             << " (have: " << registry_names_joined() << ")");
+  return backend;
+}
+
+}  // namespace
+
+void Backend::gemm_fused(const float* a, const float* b, float* c,
+                         std::size_t m, std::size_t k, std::size_t n,
+                         bool transpose_b, const Epilogue& epilogue) const {
+  std::fill(c, c + m * n, 0.0f);
+  if (k > 0) {
+    if (transpose_b) {
+      gemm_nt(a, b, c, m, k, n);
+    } else {
+      gemm(a, b, c, m, k, n);
+    }
+  }
+  apply_epilogue(c, m, n, epilogue);
+}
+
+const Backend& reference_backend() {
+  static const ReferenceBackend backend;
+  return backend;
+}
+
+const Backend& blocked_backend() {
+  static const BlockedBackend backend;
+  return backend;
+}
+
+const Backend* find_backend(const std::string& name) {
+  for (const auto& entry : kRegistry) {
+    if (name == entry.name) return &entry.get();
+  }
+  return nullptr;
+}
+
+const Backend* resolve_backend(const std::string& name) {
+  if (name.empty()) return nullptr;
+  const Backend* backend = find_backend(name);
+  ORCO_CHECK(backend != nullptr,
+             "unknown kernel backend \"" << name << "\" (have: "
+                                         << registry_names_joined() << ")");
+  return backend;
+}
+
+std::vector<std::string> backend_names() {
+  std::vector<std::string> names;
+  for (const auto& entry : kRegistry) names.emplace_back(entry.name);
+  return names;
+}
+
+void set_backend(const std::string& name) {
+  const Backend* backend = find_backend(name);
+  ORCO_CHECK(backend != nullptr,
+             "unknown kernel backend \"" << name << "\" (have: "
+                                         << registry_names_joined() << ")");
+  g_default.store(backend, std::memory_order_release);
+}
+
+void set_backend(const Backend& backend) {
+  g_default.store(&backend, std::memory_order_release);
+}
+
+const Backend& current_backend() {
+  if (t_scope != nullptr) return *t_scope;
+  const Backend* backend = g_default.load(std::memory_order_acquire);
+  if (backend == nullptr) {
+    // First use: publish the env-derived default, but never clobber a
+    // concurrent set_backend() — an explicit choice must win the race.
+    const Backend* env_default = default_from_env();
+    if (g_default.compare_exchange_strong(backend, env_default,
+                                          std::memory_order_acq_rel)) {
+      backend = env_default;
+    }
+    // On CAS failure `backend` was reloaded with the concurrent store.
+  }
+  return *backend;
+}
+
+BackendScope::BackendScope(const Backend* backend) : prev_(t_scope) {
+  if (backend != nullptr) t_scope = backend;
+}
+
+BackendScope::~BackendScope() { t_scope = prev_; }
+
+void apply_epilogue(float* c, std::size_t m, std::size_t n,
+                    const Epilogue& epilogue) {
+  for (std::size_t i = 0; i < m; ++i) {
+    float* ci = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      float v = ci[j];
+      if (epilogue.bias) {
+        v += epilogue.bias_per_row ? epilogue.bias[i] : epilogue.bias[j];
+      }
+      ci[j] = apply_act(v, epilogue.act, epilogue.leaky_alpha);
+    }
+  }
+}
+
+void set_gemm_parallelism(bool enabled) { g_parallel.store(enabled); }
+bool gemm_parallelism() { return g_parallel.load(); }
+
+}  // namespace orco::tensor

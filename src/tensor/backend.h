@@ -1,0 +1,136 @@
+// Pluggable kernel backends for the GEMM-shaped hot paths.
+//
+// Every dense layer, im2col convolution, orchestrated training round and
+// serving decode in the repository reduces to one of three row-major GEMM
+// layouts (NN, NT, TN) plus an optional fused epilogue (bias + activation).
+// A Backend implements those kernels; the rest of the codebase calls them
+// through the free functions in tensor/matmul.h, which route to
+// current_backend().
+//
+// Two backends are registered:
+//   "reference" — the original ikj streaming kernel; the trusted baseline.
+//   "blocked"   — cache-tiled, packed-panel, register-blocked GEMM written
+//                 so the compiler auto-vectorizes the micro-kernel.
+//
+// Selection, most specific wins:
+//   1. A BackendScope installed on the current thread (the serving runtime
+//      installs one per ServeConfig, EdgeServer/Orchestrator per
+//      OrcoConfig).
+//   2. The process default, settable with set_backend().
+//   3. The ORCO_BACKEND environment variable, read once on first use.
+//   4. The reference backend.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace orco::tensor {
+
+/// Activation applied by a fused GEMM epilogue. Semantics match the
+/// nn/activations.h layers exactly (same expressions, same std:: calls) so
+/// fusing an activation into the GEMM cannot change a single value.
+enum class EpilogueAct { kNone, kReLU, kLeakyReLU, kSigmoid, kTanh };
+
+/// Fused epilogue description: out = act(accumulated + bias).
+struct Epilogue {
+  const float* bias = nullptr;  // nullable; length n (per column) or m (per row)
+  bool bias_per_row = false;    // false: bias[j] per output column (dense);
+                                // true:  bias[i] per output row (im2col conv)
+  EpilogueAct act = EpilogueAct::kNone;
+  float leaky_alpha = 0.01f;    // only read when act == kLeakyReLU
+};
+
+/// A kernel backend. All matrices are dense row-major float32; the gemm*
+/// kernels ACCUMULATE into c (callers zero it for a plain product), while
+/// gemm_fused OVERWRITES c with act(a·b + bias) in one pass.
+///
+/// Numerical contract: for a fixed backend the value of each output element
+/// depends only on its own row of A and column of B, reduced in ascending
+/// k order — never on m, n, tile position or thread count. The serving
+/// runtime relies on this: a latent decoded in a coalesced batch must equal
+/// the same latent decoded alone, bitwise.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual std::string name() const = 0;
+
+  /// c (m×n) += a (m×k) · b (k×n).
+  virtual void gemm(const float* a, const float* b, float* c, std::size_t m,
+                    std::size_t k, std::size_t n) const = 0;
+
+  /// c (m×n) += a (m×k) · bᵀ, with b stored row-major (n×k). This is the
+  /// dense-layer layout: y = x·Wᵀ with W (out×in).
+  virtual void gemm_nt(const float* a, const float* b, float* c,
+                       std::size_t m, std::size_t k, std::size_t n) const = 0;
+
+  /// c (m×n) += aᵀ · b, with a stored row-major (k×m).
+  virtual void gemm_tn(const float* a, const float* b, float* c,
+                       std::size_t m, std::size_t k, std::size_t n) const = 0;
+
+  /// c (m×n) = act(a (m×k) · b + bias) in one pass; b is (k×n) row-major,
+  /// or (n×k) when transpose_b. Overwrites c. The base implementation is
+  /// the unfused fallback (zero, gemm, epilogue sweep); backends override
+  /// it to apply the epilogue while output tiles are still cache-hot.
+  virtual void gemm_fused(const float* a, const float* b, float* c,
+                          std::size_t m, std::size_t k, std::size_t n,
+                          bool transpose_b, const Epilogue& epilogue) const;
+};
+
+/// The original ikj streaming kernel (always available).
+const Backend& reference_backend();
+
+/// The blocked/packed cache-tiled kernel (always available).
+const Backend& blocked_backend();
+
+/// Looks a backend up by name; nullptr when unknown.
+const Backend* find_backend(const std::string& name);
+
+/// Config-string resolution: empty -> nullptr ("inherit"), known name ->
+/// the backend, unknown name -> std::invalid_argument listing the
+/// registered names. EdgeServer and ServerRuntime resolve their config
+/// fields through this.
+const Backend* resolve_backend(const std::string& name);
+
+/// Registered backend names, in registration order.
+std::vector<std::string> backend_names();
+
+/// Sets the process-default backend. Throws std::invalid_argument for an
+/// unknown name.
+void set_backend(const std::string& name);
+void set_backend(const Backend& backend);
+
+/// The backend the calling thread should use right now: innermost
+/// BackendScope if any, else the process default (ORCO_BACKEND env or
+/// "reference").
+const Backend& current_backend();
+
+/// RAII thread-local backend override. A null backend makes the scope a
+/// no-op (inherit whatever is already selected) so per-config plumbing can
+/// pass "not configured" straight through.
+class BackendScope {
+ public:
+  explicit BackendScope(const Backend* backend);
+  ~BackendScope();
+
+  BackendScope(const BackendScope&) = delete;
+  BackendScope& operator=(const BackendScope&) = delete;
+
+ private:
+  const Backend* prev_;
+};
+
+/// Applies `epilogue` to every element of c (m×n) in place — the unfused
+/// fallback sweep, also used when k == 0.
+void apply_epilogue(float* c, std::size_t m, std::size_t n,
+                    const Epilogue& epilogue);
+
+/// Enables/disables thread-pool parallelism for GEMM (default on). Tests
+/// that need bit-exact serial reductions can turn it off. (Row-partitioned
+/// parallelism never changes values — this exists for determinism of
+/// scheduling-sensitive measurements.)
+void set_gemm_parallelism(bool enabled);
+bool gemm_parallelism();
+
+}  // namespace orco::tensor

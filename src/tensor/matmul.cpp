@@ -1,53 +1,8 @@
 #include "tensor/matmul.h"
 
-#include <atomic>
-#include <cstring>
-
 #include "common/check.h"
-#include "common/thread_pool.h"
 
 namespace orco::tensor {
-
-namespace {
-
-std::atomic<bool> g_parallel{true};
-
-// Minimum row*col product before we bother waking the thread pool.
-constexpr std::size_t kParallelThreshold = 64 * 1024;
-
-// Inner kernel: rows [r0, r1) of C = A * B, all row-major contiguous.
-// k-loop is hoisted outside the j-loop so B is streamed row-wise — this is
-// the classic ikj ordering, cache-friendly without explicit tiling.
-void gemm_rows(const float* a, const float* b, float* c, std::size_t r0,
-               std::size_t r1, std::size_t k, std::size_t n) {
-  for (std::size_t i = r0; i < r1; ++i) {
-    float* ci = c + i * n;
-    const float* ai = a + i * k;
-    for (std::size_t p = 0; p < k; ++p) {
-      const float aip = ai[p];
-      if (aip == 0.0f) continue;
-      const float* bp = b + p * n;
-      for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
-    }
-  }
-}
-
-void run_gemm(const float* a, const float* b, float* c, std::size_t m,
-              std::size_t k, std::size_t n) {
-  common::ThreadPool* pool =
-      (g_parallel.load() && m * n >= kParallelThreshold)
-          ? &common::ThreadPool::global()
-          : nullptr;
-  common::parallel_for(pool, 0, m, /*grain=*/8,
-                       [&](std::size_t lo, std::size_t hi) {
-                         gemm_rows(a, b, c, lo, hi, k, n);
-                       });
-}
-
-}  // namespace
-
-void set_gemm_parallelism(bool enabled) { g_parallel.store(enabled); }
-bool gemm_parallelism() { return g_parallel.load(); }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   ORCO_CHECK(a.rank() == 2 && b.rank() == 2,
@@ -60,7 +15,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                                 << shape_to_string(b.shape()));
   const std::size_t n = b.dim(1);
   Tensor c({m, n});
-  run_gemm(a.data().data(), b.data().data(), c.data().data(), m, k, n);
+  current_backend().gemm(a.data().data(), b.data().data(), c.data().data(), m,
+                         k, n);
   return c;
 }
 
@@ -70,17 +26,90 @@ void matmul_accumulate(const Tensor& a, const Tensor& b, Tensor& out) {
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   ORCO_CHECK(b.dim(0) == k && out.dim(0) == m && out.dim(1) == n,
              "matmul_accumulate shape mismatch");
-  run_gemm(a.data().data(), b.data().data(), out.data().data(), m, k, n);
+  current_backend().gemm(a.data().data(), b.data().data(), out.data().data(),
+                         m, k, n);
 }
 
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
-  // A is (k x m) stored row-major; we want A^T * B. Materialising the
-  // transpose keeps the hot loop contiguous and is cheap at our sizes.
-  return matmul(a.transposed(), b);
+  ORCO_CHECK(a.rank() == 2 && b.rank() == 2,
+             "matmul_tn requires rank-2 operands, got "
+                 << shape_to_string(a.shape()) << " x "
+                 << shape_to_string(b.shape()));
+  const std::size_t k = a.dim(0), m = a.dim(1);
+  ORCO_CHECK(b.dim(0) == k, "matmul_tn inner dim mismatch: "
+                                << shape_to_string(a.shape()) << " x "
+                                << shape_to_string(b.shape()));
+  const std::size_t n = b.dim(1);
+  Tensor c({m, n});
+  current_backend().gemm_tn(a.data().data(), b.data().data(), c.data().data(),
+                            m, k, n);
+  return c;
 }
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
-  return matmul(a, b.transposed());
+  ORCO_CHECK(a.rank() == 2 && b.rank() == 2,
+             "matmul_nt requires rank-2 operands, got "
+                 << shape_to_string(a.shape()) << " x "
+                 << shape_to_string(b.shape()));
+  const std::size_t m = a.dim(0), k = a.dim(1);
+  ORCO_CHECK(b.dim(1) == k, "matmul_nt inner dim mismatch: "
+                                << shape_to_string(a.shape()) << " x "
+                                << shape_to_string(b.shape()));
+  const std::size_t n = b.dim(0);
+  Tensor c({m, n});
+  current_backend().gemm_nt(a.data().data(), b.data().data(), c.data().data(),
+                            m, k, n);
+  return c;
+}
+
+Tensor gemm_bias_act(const Tensor& a, const Tensor& b, const Tensor& bias,
+                     EpilogueAct act, float leaky_alpha) {
+  ORCO_CHECK(a.rank() == 2 && b.rank() == 2,
+             "gemm_bias_act requires rank-2 operands, got "
+                 << shape_to_string(a.shape()) << " x "
+                 << shape_to_string(b.shape()));
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  ORCO_CHECK(b.dim(1) == k, "gemm_bias_act inner dim mismatch: "
+                                << shape_to_string(a.shape()) << " x "
+                                << shape_to_string(b.shape()) << "^T");
+  ORCO_CHECK(bias.rank() == 1 && bias.dim(0) == n,
+             "gemm_bias_act bias must be rank-1 of length "
+                 << n << ", got " << shape_to_string(bias.shape()));
+  Tensor c({m, n});
+  Epilogue epi;
+  epi.bias = bias.data().data();
+  epi.bias_per_row = false;
+  epi.act = act;
+  epi.leaky_alpha = leaky_alpha;
+  current_backend().gemm_fused(a.data().data(), b.data().data(),
+                               c.data().data(), m, k, n,
+                               /*transpose_b=*/true, epi);
+  return c;
+}
+
+Tensor gemm_rowbias_act(const Tensor& a, const Tensor& b, const Tensor& bias,
+                        EpilogueAct act, float leaky_alpha) {
+  ORCO_CHECK(a.rank() == 2 && b.rank() == 2,
+             "gemm_rowbias_act requires rank-2 operands, got "
+                 << shape_to_string(a.shape()) << " x "
+                 << shape_to_string(b.shape()));
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  ORCO_CHECK(b.dim(0) == k, "gemm_rowbias_act inner dim mismatch: "
+                                << shape_to_string(a.shape()) << " x "
+                                << shape_to_string(b.shape()));
+  ORCO_CHECK(bias.rank() == 1 && bias.dim(0) == m,
+             "gemm_rowbias_act bias must be rank-1 of length "
+                 << m << ", got " << shape_to_string(bias.shape()));
+  Tensor c({m, n});
+  Epilogue epi;
+  epi.bias = bias.data().data();
+  epi.bias_per_row = true;
+  epi.act = act;
+  epi.leaky_alpha = leaky_alpha;
+  current_backend().gemm_fused(a.data().data(), b.data().data(),
+                               c.data().data(), m, k, n,
+                               /*transpose_b=*/false, epi);
+  return c;
 }
 
 Tensor matvec(const Tensor& w, const Tensor& x) {

@@ -1,9 +1,12 @@
-// GEMM kernels. The dense layers and the im2col-based convolutions reduce to
-// these. Blocked over rows and parallelised via the global thread pool when
-// the problem is large enough; small problems run serially so unit tests are
-// deterministic and cheap.
+// GEMM entry points. The dense layers and the im2col-based convolutions
+// reduce to these; every call routes through the pluggable kernel backend
+// selected via tensor/backend.h (reference ikj kernel or blocked/packed
+// cache-tiled kernel). Large problems are row-parallelised via the global
+// thread pool; small problems run serially so unit tests are deterministic
+// and cheap.
 #pragma once
 
+#include "tensor/backend.h"
 #include "tensor/tensor.h"
 
 namespace orco::tensor {
@@ -20,12 +23,22 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b);
 /// out += A (m x k) * B (k x n); out must already be (m x n).
 void matmul_accumulate(const Tensor& a, const Tensor& b, Tensor& out);
 
+/// C = act(A (m x k) * B^T + bias), with B row-major (n x k) and bias of
+/// length n added per output column — the Dense layer in one fused pass
+/// (GEMM, bias and activation applied while output tiles are hot) instead
+/// of matmul-then-bias-then-activation.
+Tensor gemm_bias_act(const Tensor& a, const Tensor& b, const Tensor& bias,
+                     EpilogueAct act = EpilogueAct::kNone,
+                     float leaky_alpha = 0.01f);
+
+/// C = act(A (m x k) * B (k x n) + bias), with bias of length m added per
+/// output row — the im2col convolution (filters x columns, one bias per
+/// output channel) in one fused pass.
+Tensor gemm_rowbias_act(const Tensor& a, const Tensor& b, const Tensor& bias,
+                        EpilogueAct act = EpilogueAct::kNone,
+                        float leaky_alpha = 0.01f);
+
 /// y = W (m x n) * x (n) as rank-1 tensors.
 Tensor matvec(const Tensor& w, const Tensor& x);
-
-/// Enables/disables thread-pool parallelism for GEMM (default on). Tests
-/// that need bit-exact serial reductions can turn it off.
-void set_gemm_parallelism(bool enabled);
-bool gemm_parallelism();
 
 }  // namespace orco::tensor

@@ -70,14 +70,23 @@ float mse(const Tensor& a, const Tensor& b) {
 }
 
 Tensor concat_rows(const std::vector<Tensor>& parts) {
-  ORCO_CHECK(!parts.empty(), "concat_rows of nothing");
+  ORCO_CHECK(!parts.empty(), "concat_rows of an empty part list");
+  ORCO_CHECK(parts.front().rank() == 2,
+             "concat_rows: part 0 must be rank 2, got "
+                 << shape_to_string(parts.front().shape()));
   const std::size_t cols = parts.front().dim(1);
   std::size_t rows = 0;
-  for (const auto& p : parts) {
-    ORCO_CHECK(p.rank() == 2 && p.dim(1) == cols,
-               "concat_rows: column mismatch");
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const Tensor& p = parts[i];
+    ORCO_CHECK(p.rank() == 2, "concat_rows: part " << i
+                                                   << " must be rank 2, got "
+                                                   << shape_to_string(p.shape()));
+    ORCO_CHECK(p.dim(1) == cols, "concat_rows: part "
+                                     << i << " has " << p.dim(1)
+                                     << " columns, want " << cols);
     rows += p.dim(0);
   }
+  ORCO_CHECK(rows > 0, "concat_rows: every part has zero rows");
   Tensor out({rows, cols});
   std::size_t r = 0;
   for (const auto& p : parts) {
@@ -89,8 +98,10 @@ Tensor concat_rows(const std::vector<Tensor>& parts) {
 }
 
 Tensor stack_rows(const std::vector<Tensor>& parts) {
-  ORCO_CHECK(!parts.empty(), "stack_rows of nothing");
+  ORCO_CHECK(!parts.empty(), "stack_rows of an empty part list");
   const std::size_t cols = parts.front().numel();
+  ORCO_CHECK(cols > 0, "stack_rows: part 0 is empty (shape "
+                           << shape_to_string(parts.front().shape()) << ")");
   Tensor out({parts.size(), cols});
   std::size_t r = 0;
   for (const auto& p : parts) {

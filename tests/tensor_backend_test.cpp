@@ -1,0 +1,298 @@
+// Backend parity: the blocked/packed kernel must agree with the reference
+// kernel across rectangular/odd/tiny shapes and every transpose layout, and
+// the fused epilogues must match the unfused matmul-then-bias-then-activation
+// pipeline through Dense and Conv2d.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/sequential.h"
+#include "tensor/backend.h"
+#include "tensor/matmul.h"
+
+namespace {
+
+using namespace orco;
+using tensor::Tensor;
+
+// Triple-loop double-accumulated ground truth.
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a.at(i, p)) * b.at(p, j);
+      }
+      c.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+struct Shape {
+  std::size_t m, k, n;
+};
+
+void ExpectBitwiseEqual(const Tensor& blk, const Tensor& ref,
+                        const char* what, const Shape& s) {
+  ASSERT_EQ(blk.shape(), ref.shape());
+  const auto bd = blk.data(), rd = ref.data();
+  for (std::size_t i = 0; i < bd.size(); ++i) {
+    ASSERT_EQ(bd[i], rd[i]) << what << " element " << i << " at " << s.m
+                            << "x" << s.k << "x" << s.n;
+  }
+}
+
+// Rectangular, odd, tiny and micro-tile-fringe shapes: cover every
+// combination of full/partial kMr row panels and kNr column panels, plus a
+// shape crossing the kKc k-panel boundary.
+const Shape kShapes[] = {
+    {1, 1, 1},    {2, 3, 4},     {5, 7, 3},    {4, 32, 32},
+    {17, 31, 13}, {33, 64, 65},  {8, 128, 784}, {100, 1, 9},
+    {1, 300, 2},  {63, 300, 31}, {96, 96, 96},
+};
+
+TEST(BackendRegistryTest, NamesAndLookup) {
+  EXPECT_EQ(tensor::reference_backend().name(), "reference");
+  EXPECT_EQ(tensor::blocked_backend().name(), "blocked");
+  EXPECT_EQ(tensor::find_backend("reference"), &tensor::reference_backend());
+  EXPECT_EQ(tensor::find_backend("blocked"), &tensor::blocked_backend());
+  EXPECT_EQ(tensor::find_backend("no-such-kernel"), nullptr);
+  EXPECT_THROW(tensor::set_backend("no-such-kernel"), std::invalid_argument);
+  const auto names = tensor::backend_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "reference");
+  EXPECT_EQ(names[1], "blocked");
+}
+
+TEST(BackendRegistryTest, ScopeOverridesAndRestores) {
+  const std::string before = tensor::current_backend().name();
+  {
+    tensor::BackendScope scope(&tensor::blocked_backend());
+    EXPECT_EQ(tensor::current_backend().name(), "blocked");
+    {
+      tensor::BackendScope inner(&tensor::reference_backend());
+      EXPECT_EQ(tensor::current_backend().name(), "reference");
+    }
+    EXPECT_EQ(tensor::current_backend().name(), "blocked");
+    {
+      tensor::BackendScope noop(nullptr);  // inherit, not reset
+      EXPECT_EQ(tensor::current_backend().name(), "blocked");
+    }
+  }
+  EXPECT_EQ(tensor::current_backend().name(), before);
+}
+
+TEST(BackendParityTest, MatmulMatchesReferenceAndGroundTruth) {
+  common::Pcg32 rng(31);
+  for (const auto& s : kShapes) {
+    const Tensor a = Tensor::randn({s.m, s.k}, rng);
+    const Tensor b = Tensor::randn({s.k, s.n}, rng);
+    const Tensor truth = naive_matmul(a, b);
+    Tensor ref, blk;
+    {
+      tensor::BackendScope scope(&tensor::reference_backend());
+      ref = tensor::matmul(a, b);
+    }
+    {
+      tensor::BackendScope scope(&tensor::blocked_backend());
+      blk = tensor::matmul(a, b);
+    }
+    // The contract is stronger than "within 1e-5": identical reduction
+    // chains make the kernels agree bitwise (backend.h), and batched
+    // serving relies on that.
+    ExpectBitwiseEqual(blk, ref, "matmul", s);
+    EXPECT_TRUE(blk.allclose(truth, 1e-3f))
+        << "blocked vs ground truth at " << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(BackendParityTest, TransposedLayoutsMatchReference) {
+  common::Pcg32 rng(32);
+  for (const auto& s : kShapes) {
+    const Tensor a = Tensor::randn({s.m, s.k}, rng);
+    const Tensor at = a.transposed();              // (k, m)
+    const Tensor b = Tensor::randn({s.k, s.n}, rng);
+    const Tensor bt = b.transposed();              // (n, k)
+    Tensor ref_nt, ref_tn, blk_nt, blk_tn;
+    {
+      tensor::BackendScope scope(&tensor::reference_backend());
+      ref_nt = tensor::matmul_nt(a, bt);
+      ref_tn = tensor::matmul_tn(at, b);
+    }
+    {
+      tensor::BackendScope scope(&tensor::blocked_backend());
+      blk_nt = tensor::matmul_nt(a, bt);
+      blk_tn = tensor::matmul_tn(at, b);
+    }
+    ExpectBitwiseEqual(blk_nt, ref_nt, "gemm_nt", s);
+    ExpectBitwiseEqual(blk_tn, ref_tn, "gemm_tn", s);
+  }
+}
+
+TEST(BackendParityTest, AccumulateAddsIntoExistingOnBothBackends) {
+  common::Pcg32 rng(33);
+  const Tensor a = Tensor::randn({9, 37}, rng);
+  const Tensor b = Tensor::randn({37, 21}, rng);
+  const Tensor base = Tensor::randn({9, 21}, rng);
+  const Tensor expected = base + naive_matmul(a, b);
+  for (const char* name : {"reference", "blocked"}) {
+    tensor::BackendScope scope(tensor::find_backend(name));
+    Tensor c = base;
+    tensor::matmul_accumulate(a, b, c);
+    EXPECT_TRUE(c.allclose(expected, 1e-3f)) << name;
+  }
+}
+
+float apply_reference_act(float v, tensor::EpilogueAct act, float alpha) {
+  switch (act) {
+    case tensor::EpilogueAct::kNone:      return v;
+    case tensor::EpilogueAct::kReLU:      return v > 0.0f ? v : 0.0f;
+    case tensor::EpilogueAct::kLeakyReLU: return v > 0.0f ? v : alpha * v;
+    case tensor::EpilogueAct::kSigmoid:   return 1.0f / (1.0f + std::exp(-v));
+    case tensor::EpilogueAct::kTanh:      return std::tanh(v);
+  }
+  return v;
+}
+
+TEST(FusedEpilogueTest, GemmBiasActMatchesUnfusedPipeline) {
+  common::Pcg32 rng(34);
+  const tensor::EpilogueAct acts[] = {
+      tensor::EpilogueAct::kNone, tensor::EpilogueAct::kReLU,
+      tensor::EpilogueAct::kLeakyReLU, tensor::EpilogueAct::kSigmoid,
+      tensor::EpilogueAct::kTanh};
+  const Tensor x = Tensor::randn({7, 45}, rng);
+  const Tensor w = Tensor::randn({23, 45}, rng);  // (out, in) dense layout
+  const Tensor bias = Tensor::randn({23}, rng);
+  for (const char* name : {"reference", "blocked"}) {
+    tensor::BackendScope scope(tensor::find_backend(name));
+    // Unfused: matmul, then bias sweep, then activation map.
+    Tensor unfused = tensor::matmul_nt(x, w);
+    for (std::size_t i = 0; i < unfused.dim(0); ++i) {
+      auto r = unfused.row(i);
+      for (std::size_t j = 0; j < r.size(); ++j) r[j] += bias[j];
+    }
+    for (const auto act : acts) {
+      const Tensor fused = tensor::gemm_bias_act(x, w, bias, act, 0.02f);
+      const Tensor expected = unfused.map(
+          [&](float v) { return apply_reference_act(v, act, 0.02f); });
+      EXPECT_TRUE(fused.allclose(expected, 1e-6f))
+          << name << " act " << static_cast<int>(act);
+    }
+  }
+}
+
+TEST(FusedEpilogueTest, GemmRowBiasActMatchesUnfusedPipeline) {
+  common::Pcg32 rng(35);
+  const Tensor w = Tensor::randn({13, 27}, rng);   // (outC, inC*K*K)
+  const Tensor cols = Tensor::randn({27, 50}, rng);  // (inC*K*K, OH*OW)
+  const Tensor bias = Tensor::randn({13}, rng);
+  for (const char* name : {"reference", "blocked"}) {
+    tensor::BackendScope scope(tensor::find_backend(name));
+    Tensor unfused = tensor::matmul(w, cols);
+    for (std::size_t i = 0; i < unfused.dim(0); ++i) {
+      for (auto& v : unfused.row(i)) v += bias[i];
+    }
+    const Tensor fused = tensor::gemm_rowbias_act(
+        w, cols, bias, tensor::EpilogueAct::kReLU);
+    const Tensor expected =
+        unfused.map([](float v) { return v > 0.0f ? v : 0.0f; });
+    EXPECT_TRUE(fused.allclose(expected, 1e-6f)) << name;
+  }
+}
+
+TEST(FusedEpilogueTest, SequentialInferFusesDenseActivationPairs) {
+  common::Pcg32 rng(36);
+  nn::Sequential model;
+  auto& d1 = model.emplace<nn::Dense>(19, 33, rng);
+  model.emplace<nn::LeakyReLU>(0.05f);
+  auto& d2 = model.emplace<nn::Dense>(33, 11, rng);
+  model.emplace<nn::Sigmoid>();
+  const Tensor x = Tensor::randn({6, 19}, rng);
+  for (const char* name : {"reference", "blocked"}) {
+    tensor::BackendScope scope(tensor::find_backend(name));
+    // Layer-by-layer (unfused) pipeline vs the peepholed Sequential::infer.
+    Tensor step = d1.infer(x);
+    step = nn::LeakyReLU(0.05f).infer(step);
+    step = d2.infer(step);
+    step = nn::Sigmoid().infer(step);
+    const Tensor fused = model.infer(x);
+    EXPECT_TRUE(fused.allclose(step, 1e-6f)) << name;
+  }
+}
+
+TEST(FusedEpilogueTest, SequentialInferFusesConvActivationPairs) {
+  common::Pcg32 rng(37);
+  nn::Sequential model;
+  model.emplace<nn::Conv2d>(2, 5, 3, 1, 1, 8, 8, rng);
+  model.emplace<nn::ReLU>();
+  const Tensor x = Tensor::randn({3, 2 * 8 * 8}, rng);
+  for (const char* name : {"reference", "blocked"}) {
+    tensor::BackendScope scope(tensor::find_backend(name));
+    const auto& conv = dynamic_cast<const nn::Conv2d&>(model.layer(0));
+    Tensor step = nn::ReLU().infer(conv.infer(x));
+    const Tensor fused = model.infer(x);
+    EXPECT_TRUE(fused.allclose(step, 1e-6f)) << name;
+  }
+}
+
+TEST(FusedEpilogueTest, DenseInferAgreesAcrossBackends) {
+  common::Pcg32 rng(38);
+  nn::Dense dense(128, 784, rng);  // the MNIST decoder shape
+  const Tensor x = Tensor::randn({8, 128}, rng);
+  Tensor ref, blk;
+  {
+    tensor::BackendScope scope(&tensor::reference_backend());
+    ref = dense.infer(x);
+  }
+  {
+    tensor::BackendScope scope(&tensor::blocked_backend());
+    blk = dense.infer(x);
+  }
+  EXPECT_TRUE(blk.allclose(ref, 1e-5f));
+}
+
+TEST(FusedEpilogueTest, BatchedRowsMatchSingleRowDecodeBitwise) {
+  // The serving runtime coalesces requests into one GEMM batch and promises
+  // results identical to one-at-a-time decoding. That requires the kernel's
+  // per-element reduction to be independent of the batch shape.
+  common::Pcg32 rng(39);
+  nn::Dense dense(128, 784, rng);
+  const Tensor batch = Tensor::randn({7, 128}, rng);
+  for (const char* name : {"reference", "blocked"}) {
+    tensor::BackendScope scope(tensor::find_backend(name));
+    const Tensor batched = dense.infer(batch);
+    for (std::size_t i = 0; i < batch.dim(0); ++i) {
+      const Tensor single = dense.infer(batch.slice_rows(i, i + 1));
+      for (std::size_t j = 0; j < single.numel(); ++j) {
+        ASSERT_EQ(batched.at(i, j), single[j])
+            << name << " row " << i << " col " << j;
+      }
+    }
+  }
+}
+
+TEST(FusedEpilogueTest, ActivationEpilogueMapping) {
+  float alpha = 0.0f;
+  EXPECT_EQ(nn::activation_epilogue(nn::ReLU{}, alpha),
+            tensor::EpilogueAct::kReLU);
+  EXPECT_EQ(nn::activation_epilogue(nn::Identity{}, alpha),
+            tensor::EpilogueAct::kNone);
+  EXPECT_EQ(nn::activation_epilogue(nn::Sigmoid{}, alpha),
+            tensor::EpilogueAct::kSigmoid);
+  EXPECT_EQ(nn::activation_epilogue(nn::Tanh{}, alpha),
+            tensor::EpilogueAct::kTanh);
+  EXPECT_EQ(nn::activation_epilogue(nn::LeakyReLU{0.07f}, alpha),
+            tensor::EpilogueAct::kLeakyReLU);
+  EXPECT_FLOAT_EQ(alpha, 0.07f);
+  common::Pcg32 rng(40);
+  nn::Dense dense(3, 2, rng);
+  EXPECT_EQ(nn::activation_epilogue(dense, alpha), std::nullopt);
+}
+
+}  // namespace

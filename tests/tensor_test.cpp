@@ -369,5 +369,28 @@ TEST(OpsTest, ConcatRows) {
   EXPECT_THROW((void)concat_rows({a, Tensor({1, 3})}), std::invalid_argument);
 }
 
+TEST(OpsTest, ConcatRowsRejectsMalformedInput) {
+  EXPECT_THROW((void)concat_rows({}), std::invalid_argument);
+  // Rank mismatches anywhere in the list, including the first part.
+  EXPECT_THROW((void)concat_rows({Tensor::from({1, 2, 3})}),
+               std::invalid_argument);
+  const Tensor a = Tensor::from2d({{1, 2}});
+  EXPECT_THROW((void)concat_rows({a, Tensor::from({1, 2})}),
+               std::invalid_argument);
+}
+
+TEST(OpsTest, StackRowsRejectsMalformedInput) {
+  EXPECT_THROW((void)stack_rows({}), std::invalid_argument);
+  EXPECT_THROW((void)stack_rows({Tensor{}}), std::invalid_argument);
+  const Tensor a = Tensor::from({1, 2, 3});
+  // Width mismatch and a rank-2 multi-row part are both rejected.
+  EXPECT_THROW((void)stack_rows({a, Tensor::from({1, 2})}),
+               std::invalid_argument);
+  EXPECT_THROW((void)stack_rows({a, Tensor({2, 3})}), std::invalid_argument);
+  const Tensor s = stack_rows({a, Tensor::from({4, 5, 6})});
+  EXPECT_EQ(s.dim(0), 2u);
+  EXPECT_EQ(s.at(1, 2), 6.0f);
+}
+
 }  // namespace
 }  // namespace orco::tensor

@@ -48,6 +48,26 @@ void BM_GemmBlocked(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmBlocked)->Arg(64)->Arg(256)->Arg(512);
 
+void BM_GemmPrepackedSmallBatch(benchmark::State& state) {
+  // The serving decode shape (batch x 128 -> 784) with the decoder weight
+  // prepacked once, vs re-packing panels inside every gemm call.
+  const auto m = static_cast<std::size_t>(state.range(0));
+  common::Pcg32 rng(12);
+  const Tensor a = Tensor::randn({m, 128}, rng);
+  const Tensor w = Tensor::randn({784, 128}, rng);  // (out, in) dense layout
+  const Tensor bias = Tensor::randn({784}, rng);
+  const tensor::Backend& be = tensor::blocked_backend();
+  tensor::BackendScope scope(&be);
+  const tensor::PackedWeights packed =
+      be.pack_b(w.data().data(), 128, 784, /*transpose_b=*/true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::gemm_bias_act_prepacked(a, packed, bias));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * m * 128 * 784));
+}
+BENCHMARK(BM_GemmPrepackedSmallBatch)->Arg(1)->Arg(4)->Arg(32);
+
 void BM_DenseForward(benchmark::State& state) {
   common::Pcg32 rng(2);
   nn::Dense dense(784, 128, rng);
@@ -203,6 +223,36 @@ double gemm_gflops(const tensor::Backend& be, const GemmShape& s) {
   return flop * static_cast<double>(iters) / elapsed / 1e9;
 }
 
+/// Fused Dense-layout GEMM (x·Wᵀ + bias) GFLOP/s on the blocked backend,
+/// with the weight either prepacked once outside the loop or panel-packed
+/// inside every call.
+double fused_gflops(const GemmShape& s, bool prepacked) {
+  common::Pcg32 rng(13);
+  const Tensor a = Tensor::randn({s.m, s.k}, rng);
+  const Tensor w = Tensor::randn({s.n, s.k}, rng);
+  const Tensor bias = Tensor::randn({s.n}, rng);
+  const tensor::Backend& be = tensor::blocked_backend();
+  tensor::BackendScope scope(&be);
+  const tensor::PackedWeights packed =
+      be.pack_b(w.data().data(), s.k, s.n, /*transpose_b=*/true);
+  const double flop = 2.0 * static_cast<double>(s.m) *
+                      static_cast<double>(s.k) * static_cast<double>(s.n);
+  auto call = [&] {
+    return prepacked ? tensor::gemm_bias_act_prepacked(a, packed, bias)
+                     : tensor::gemm_bias_act(a, w, bias);
+  };
+  (void)call();  // warm-up
+  std::size_t iters = 0;
+  common::Stopwatch sw;
+  double elapsed = 0.0;
+  while (elapsed < 0.2 || iters < 3) {
+    (void)call();
+    ++iters;
+    elapsed = sw.seconds();
+  }
+  return flop * static_cast<double>(iters) / elapsed / 1e9;
+}
+
 void emit_bench_gemm_json() {
   using common::Table;
   const GemmShape shapes[] = {
@@ -228,8 +278,40 @@ void emit_bench_gemm_json() {
          << ", \"blocked_vs_reference\": " << ratio << "}"
          << (i + 1 < count ? "," : "") << "\n";
   }
+  json << "  ],\n";
+
+  // Small-batch serving decode: the per-call B-panel packing dominates when
+  // m <= 4, so the prepacked path (pack once, reuse) must beat the plain
+  // blocked fused path. Rows land in the same BENCH_gemm.json under
+  // "prepacked_small_batch".
+  const GemmShape decode_shapes[] = {
+      {1, 128, 784}, {2, 128, 784}, {4, 128, 784}, {8, 128, 784},
+      {4, 456, 784},
+  };
+  common::print_section(std::cout,
+                        "Prepacked decode GEMM (blocked backend) GFLOP/s");
+  Table ptable({"m", "k", "n", "blocked fused", "prepacked",
+                "prepacked/fused"});
+  json << "  \"prepacked_small_batch\": [\n";
+  const std::size_t pcount = sizeof(decode_shapes) / sizeof(decode_shapes[0]);
+  for (std::size_t i = 0; i < pcount; ++i) {
+    const GemmShape& s = decode_shapes[i];
+    const double fused = fused_gflops(s, /*prepacked=*/false);
+    const double pre = fused_gflops(s, /*prepacked=*/true);
+    const double ratio = pre / fused;
+    ptable.add_row({std::to_string(s.m), std::to_string(s.k),
+                    std::to_string(s.n), Table::num(fused, 2),
+                    Table::num(pre, 2), Table::num(ratio, 2)});
+    json << "    {\"m\": " << s.m << ", \"k\": " << s.k << ", \"n\": " << s.n
+         << ", \"blocked_fused_gflops\": " << fused
+         << ", \"prepacked_gflops\": " << pre
+         << ", \"prepacked_vs_fused\": " << ratio << "}"
+         << (i + 1 < pcount ? "," : "") << "\n";
+  }
   json << "  ]\n}\n";
   table.print(std::cout);
+  std::cout << "\n";
+  ptable.print(std::cout);
   std::cout << "\nwrote BENCH_gemm.json\n\n";
 }
 

@@ -48,6 +48,15 @@ struct OrcoConfig {
   // default (set_backend() / ORCO_BACKEND).
   std::string backend;
 
+  // Cache the decoder's backend-packed weight panels across decodes
+  // (Layer::set_weight_prepack): packing the weight dominates small-batch
+  // steady-state decode, and a serving decoder's weights are immutable
+  // between training rounds. EdgeServer invalidates the cache after every
+  // train_step, so the cache is always coherent within the orchestration
+  // protocol; disable only when mutating decoder weights behind
+  // EdgeServer's back without calling invalidate_weight_cache().
+  bool prepack_decoder = true;
+
   std::size_t decoder_hidden() const {
     return decoder_hidden_dim != 0 ? decoder_hidden_dim
                                    : (input_dim + latent_dim) / 2;

@@ -20,6 +20,10 @@ EdgeServer::EdgeServer(std::unique_ptr<nn::Sequential> decoder,
   optimizer_ = std::make_unique<nn::Sgd>(decoder_->params(),
                                          config.learning_rate,
                                          config.momentum);
+  // Steady-state decode reuses backend-packed decoder weights; train_step
+  // invalidates the cache after each optimizer step, so decodes between
+  // rounds never see stale panels.
+  if (config.prepack_decoder) decoder_->set_weight_prepack(true);
 }
 
 ReconstructionMsg EdgeServer::reconstruct(const LatentBatchMsg& msg,
@@ -78,6 +82,9 @@ LatentGradMsg EdgeServer::train_step(const ResidualMsg& msg) {
   tensor::BackendScope scope(backend_);
   Tensor latent_grad = decoder_->backward(grad);
   optimizer_->step();
+  // The step mutated the decoder weights through ParamView pointers the
+  // layers cannot observe: drop every cached weight pack.
+  decoder_->invalidate_weight_cache();
   round_open_ = false;
   return LatentGradMsg{msg.round, loss, std::move(latent_grad)};
 }

@@ -3,10 +3,27 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "common/check.h"
 
 namespace orco::core {
+
+namespace {
+
+double code_max(LatentPrecision precision) {
+  return precision == LatentPrecision::kFixed16 ? 65535.0 : 255.0;
+}
+
+void write_f32(std::uint8_t* dst, float v) { std::memcpy(dst, &v, 4); }
+
+float read_f32(const std::uint8_t* src) {
+  float v;
+  std::memcpy(&v, src, 4);
+  return v;
+}
+
+}  // namespace
 
 std::size_t bytes_per_value(LatentPrecision precision) {
   switch (precision) {
@@ -17,66 +34,90 @@ std::size_t bytes_per_value(LatentPrecision precision) {
   throw std::invalid_argument("unknown precision");
 }
 
+std::size_t quantization_header_bytes(LatentPrecision precision) {
+  return precision == LatentPrecision::kFloat32 ? 0 : 8;
+}
+
+std::size_t quantized_payload_bytes(std::size_t numel,
+                                    LatentPrecision precision) {
+  return quantization_header_bytes(precision) +
+         numel * bytes_per_value(precision);
+}
+
 std::vector<std::uint8_t> quantize_latents(const tensor::Tensor& latents,
                                            LatentPrecision precision) {
   const auto data = latents.data();
   std::vector<std::uint8_t> out;
-  switch (precision) {
-    case LatentPrecision::kFloat32: {
-      out.resize(data.size() * 4);
-      std::memcpy(out.data(), data.data(), out.size());
-      return out;
-    }
-    case LatentPrecision::kFixed16: {
-      out.resize(data.size() * 2);
-      for (std::size_t i = 0; i < data.size(); ++i) {
-        const float v = std::clamp(data[i], 0.0f, 1.0f);
-        const auto q = static_cast<std::uint16_t>(
-            std::lround(v * 65535.0f));
-        out[2 * i] = static_cast<std::uint8_t>(q & 0xff);
-        out[2 * i + 1] = static_cast<std::uint8_t>(q >> 8);
-      }
-      return out;
-    }
-    case LatentPrecision::kFixed8: {
-      out.resize(data.size());
-      for (std::size_t i = 0; i < data.size(); ++i) {
-        const float v = std::clamp(data[i], 0.0f, 1.0f);
-        out[i] = static_cast<std::uint8_t>(std::lround(v * 255.0f));
-      }
-      return out;
+  if (precision == LatentPrecision::kFloat32) {
+    out.resize(data.size() * 4);
+    std::memcpy(out.data(), data.data(), out.size());
+    return out;
+  }
+
+  // Per-batch affine header: lo = min, hi = max. Codes map [lo, hi] onto
+  // the full code range so arbitrary-range latents round-trip within the
+  // documented bound instead of being clamped to [0, 1].
+  float lo = 0.0f, hi = 0.0f;
+  if (!data.empty()) {
+    lo = std::numeric_limits<float>::max();
+    hi = std::numeric_limits<float>::lowest();
+    for (const float v : data) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
     }
   }
-  throw std::invalid_argument("unknown precision");
+  const double maxq = code_max(precision);
+  const double range = static_cast<double>(hi) - static_cast<double>(lo);
+  out.resize(quantized_payload_bytes(data.size(), precision));
+  write_f32(out.data(), lo);
+  write_f32(out.data() + 4, hi);
+  std::uint8_t* payload = out.data() + 8;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double unit =
+        range > 0.0 ? (static_cast<double>(data[i]) - lo) / range : 0.0;
+    const auto q = static_cast<std::uint32_t>(std::min(
+        maxq, std::max(0.0, std::round(unit * maxq))));
+    if (precision == LatentPrecision::kFixed16) {
+      payload[2 * i] = static_cast<std::uint8_t>(q & 0xff);
+      payload[2 * i + 1] = static_cast<std::uint8_t>(q >> 8);
+    } else {
+      payload[i] = static_cast<std::uint8_t>(q);
+    }
+  }
+  return out;
 }
 
 tensor::Tensor dequantize_latents(const std::vector<std::uint8_t>& bytes,
                                   const tensor::Shape& shape,
                                   LatentPrecision precision) {
   const std::size_t n = tensor::shape_numel(shape);
-  ORCO_CHECK(bytes.size() == n * bytes_per_value(precision),
-             "quantised buffer size mismatch: " << bytes.size() << " vs "
-                                                << n * bytes_per_value(precision));
+  ORCO_CHECK(bytes.size() == quantized_payload_bytes(n, precision),
+             "quantised buffer size mismatch: "
+                 << bytes.size() << " vs "
+                 << quantized_payload_bytes(n, precision));
   tensor::Tensor out(shape);
   auto data = out.data();
-  switch (precision) {
-    case LatentPrecision::kFloat32:
-      std::memcpy(data.data(), bytes.data(), bytes.size());
-      return out;
-    case LatentPrecision::kFixed16:
-      for (std::size_t i = 0; i < n; ++i) {
-        const std::uint16_t q = static_cast<std::uint16_t>(
-            bytes[2 * i] | (bytes[2 * i + 1] << 8));
-        data[i] = static_cast<float>(q) / 65535.0f;
-      }
-      return out;
-    case LatentPrecision::kFixed8:
-      for (std::size_t i = 0; i < n; ++i) {
-        data[i] = static_cast<float>(bytes[i]) / 255.0f;
-      }
-      return out;
+  if (precision == LatentPrecision::kFloat32) {
+    std::memcpy(data.data(), bytes.data(), bytes.size());
+    return out;
   }
-  throw std::invalid_argument("unknown precision");
+  const float lo = read_f32(bytes.data());
+  const float hi = read_f32(bytes.data() + 4);
+  const double maxq = code_max(precision);
+  const double range = static_cast<double>(hi) - static_cast<double>(lo);
+  const std::uint8_t* payload = bytes.data() + 8;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t q;
+    if (precision == LatentPrecision::kFixed16) {
+      q = static_cast<std::uint32_t>(payload[2 * i]) |
+          (static_cast<std::uint32_t>(payload[2 * i + 1]) << 8);
+    } else {
+      q = payload[i];
+    }
+    data[i] = static_cast<float>(
+        static_cast<double>(lo) + static_cast<double>(q) / maxq * range);
+  }
+  return out;
 }
 
 float quantization_error_bound(LatentPrecision precision) {

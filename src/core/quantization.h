@@ -1,9 +1,14 @@
 // Latent quantisation — an uplink-compression extension beyond the paper.
 //
-// OrcoDCS latents live in (0, 1) (sigmoid output), so uniform fixed-point
-// quantisation to 8 or 16 bits is near-lossless for reconstruction while
-// cutting the steady-state uplink by 4x / 2x on top of the latent-dimension
-// savings the paper claims. Round-trip error is bounded by half a step.
+// OrcoDCS latents usually live in (0, 1) (sigmoid output), but intermediate
+// representations and drifted encoders can leave that range, so fixed-point
+// payloads carry a per-batch affine header: quantize_latents records the
+// batch's [min, max] as two float32s and maps values onto the full code
+// range, and dequantize_latents inverts the map. Round-trip error is
+// bounded by half a step of the batch's value range — near-lossless for
+// in-(0,1) latents while cutting the steady-state uplink by 4x / 2x on top
+// of the latent-dimension savings the paper claims, and exact (not
+// silently clamped) for arbitrary-range latents.
 #pragma once
 
 #include <cstdint>
@@ -15,10 +20,20 @@ namespace orco::core {
 
 enum class LatentPrecision { kFloat32, kFixed16, kFixed8 };
 
-/// Bytes per latent value at a precision.
+/// Bytes per latent value at a precision (excluding the payload header).
 std::size_t bytes_per_value(LatentPrecision precision);
 
-/// Quantises values in [0, 1] to fixed point; values are clamped first.
+/// Bytes of per-batch affine header (min + max float32) the fixed-point
+/// payloads carry; kFloat32 payloads are raw and header-free.
+std::size_t quantization_header_bytes(LatentPrecision precision);
+
+/// Total payload size for `numel` values at a precision.
+std::size_t quantized_payload_bytes(std::size_t numel,
+                                    LatentPrecision precision);
+
+/// Quantises values of any range to fixed point: the payload starts with
+/// the batch's [min, max] affine header, followed by codes mapping that
+/// range onto the full code space.
 std::vector<std::uint8_t> quantize_latents(const tensor::Tensor& latents,
                                            LatentPrecision precision);
 
@@ -27,7 +42,9 @@ tensor::Tensor dequantize_latents(const std::vector<std::uint8_t>& bytes,
                                   const tensor::Shape& shape,
                                   LatentPrecision precision);
 
-/// Max |x - dequant(quant(x))| bound for in-range inputs: half a step.
+/// Max |x - dequant(quant(x))| per unit of the batch's value range: half a
+/// step. The absolute bound for a batch is this value times (max - min) of
+/// the quantised batch (<= this value for latents inside [0, 1]).
 float quantization_error_bound(LatentPrecision precision);
 
 }  // namespace orco::core

@@ -40,15 +40,36 @@ Tensor Conv2d::infer_fused(const Tensor& input, tensor::EpilogueAct act,
                                        << tensor::shape_to_string(input.shape()));
   const std::size_t batch = input.dim(0);
   const std::size_t oh = geom_.out_h(), ow = geom_.out_w();
+  std::shared_ptr<const tensor::PackedWeights> packed;
+  if (prepack_) packed = packed_weights();
   Tensor out({batch, out_channels_ * oh * ow});
   for (std::size_t s = 0; s < batch; ++s) {
     const Tensor cols = tensor::im2col(input.row(s), geom_);
     // (outC, OH*OW) with the per-channel bias and activation applied in the
     // same pass as the GEMM.
-    const Tensor y = tensor::gemm_rowbias_act(w_, cols, b_, act, leaky_alpha);
+    const Tensor y =
+        packed != nullptr
+            ? tensor::gemm_rowbias_act_prepacked(*packed, cols, b_, act,
+                                                 leaky_alpha)
+            : tensor::gemm_rowbias_act(w_, cols, b_, act, leaky_alpha);
     out.set_outer(s, y.reshaped({out_channels_ * oh * ow}));
   }
   return out;
+}
+
+std::shared_ptr<const tensor::PackedWeights> Conv2d::packed_weights() const {
+  const tensor::Backend& backend = tensor::current_backend();
+  const std::uint64_t version =
+      weight_version_.load(std::memory_order_acquire);
+  std::lock_guard lock(pack_mu_);
+  if (packed_ == nullptr || packed_->owner != &backend ||
+      packed_version_ != version) {
+    packed_ = std::make_shared<tensor::PackedWeights>(backend.pack_a(
+        w_.data().data(), out_channels_,
+        geom_.in_channels * geom_.kernel_h * geom_.kernel_w));
+    packed_version_ = version;
+  }
+  return packed_;
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
@@ -78,6 +99,9 @@ Tensor Conv2d::backward(const Tensor& grad_output) {
 }
 
 std::vector<ParamView> Conv2d::params() {
+  // The views hand out mutable weight pointers (optimizers, model_io
+  // loading); conservatively drop any cached pack.
+  invalidate_weight_cache();
   return {{"weight", &w_, &gw_}, {"bias", &b_, &gb_}};
 }
 

@@ -5,6 +5,11 @@
 // the layer owns its spatial geometry and validates feature counts.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
 #include "nn/layer.h"
 #include "tensor/backend.h"
 #include "tensor/im2col.h"
@@ -27,6 +32,15 @@ class Conv2d : public Layer {
   Tensor infer_fused(const Tensor& input, tensor::EpilogueAct act,
                      float leaky_alpha = 0.01f) const override;
 
+  /// When enabled, infer()/infer_fused() cache the current backend's
+  /// packed filter-matrix panels keyed on a weight version (see
+  /// Layer::set_weight_prepack for the invalidation contract). The filter
+  /// is the GEMM's left operand, reused across every sample and call.
+  void set_weight_prepack(bool enabled) override { prepack_ = enabled; }
+  void invalidate_weight_cache() override {
+    weight_version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
   std::vector<ParamView> params() override;
   std::string name() const override { return "Conv2d"; }
   std::size_t output_features(std::size_t input_features) const override;
@@ -40,12 +54,21 @@ class Conv2d : public Layer {
   std::size_t out_channels() const noexcept { return out_channels_; }
 
  private:
+  /// Current backend's packed filter panels, repacked lazily whenever the
+  /// weight version or the selected backend changed since the last call.
+  std::shared_ptr<const tensor::PackedWeights> packed_weights() const;
+
   tensor::Conv2dGeometry geom_;
   std::size_t out_channels_;
   Tensor w_;   // (outC, inC*KH*KW)
   Tensor b_;   // (outC)
   Tensor gw_, gb_;
   Tensor input_;  // cached (B, inC*H*W); im2col recomputed in backward
+  bool prepack_ = false;
+  std::atomic<std::uint64_t> weight_version_{1};
+  mutable std::mutex pack_mu_;  // guards the two fields below
+  mutable std::shared_ptr<const tensor::PackedWeights> packed_;
+  mutable std::uint64_t packed_version_ = 0;
 };
 
 }  // namespace orco::nn

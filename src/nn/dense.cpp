@@ -34,7 +34,27 @@ Tensor Dense::infer_fused(const Tensor& input, tensor::EpilogueAct act,
   ORCO_CHECK(input.rank() == 2 && input.dim(1) == in_,
              "Dense expects (batch, " << in_ << "), got "
                                       << tensor::shape_to_string(input.shape()));
+  if (prepack_) {
+    const auto packed = packed_weights();
+    return tensor::gemm_bias_act_prepacked(input, *packed, b_, act,
+                                           leaky_alpha);  // (B, out)
+  }
   return tensor::gemm_bias_act(input, w_, b_, act, leaky_alpha);  // (B, out)
+}
+
+std::shared_ptr<const tensor::PackedWeights> Dense::packed_weights() const {
+  const tensor::Backend& backend = tensor::current_backend();
+  const std::uint64_t version =
+      weight_version_.load(std::memory_order_acquire);
+  std::lock_guard lock(pack_mu_);
+  if (packed_ == nullptr || packed_->owner != &backend ||
+      packed_version_ != version) {
+    // y = x·Wᵀ with W stored (out, in): W is the transposed-B operand.
+    packed_ = std::make_shared<tensor::PackedWeights>(
+        backend.pack_b(w_.data().data(), in_, out_, /*transpose_b=*/true));
+    packed_version_ = version;
+  }
+  return packed_;
 }
 
 Tensor Dense::backward(const Tensor& grad_output) {
@@ -51,6 +71,9 @@ Tensor Dense::backward(const Tensor& grad_output) {
 }
 
 std::vector<ParamView> Dense::params() {
+  // The views hand out mutable weight pointers (optimizers, model_io
+  // loading); conservatively drop any cached pack.
+  invalidate_weight_cache();
   return {{"weight", &w_, &gw_}, {"bias", &b_, &gb_}};
 }
 

@@ -5,6 +5,11 @@
 // the weight matrix (see core/encoder_share.h).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
 #include "nn/layer.h"
 #include "tensor/backend.h"
 
@@ -26,6 +31,14 @@ class Dense : public Layer {
   Tensor infer_fused(const Tensor& input, tensor::EpilogueAct act,
                      float leaky_alpha = 0.01f) const override;
 
+  /// When enabled, infer()/infer_fused() cache the current backend's
+  /// packed weight panels keyed on a weight version and reuse them across
+  /// calls (see Layer::set_weight_prepack for the invalidation contract).
+  void set_weight_prepack(bool enabled) override { prepack_ = enabled; }
+  void invalidate_weight_cache() override {
+    weight_version_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
   std::vector<ParamView> params() override;
   std::string name() const override { return "Dense"; }
   std::size_t output_features(std::size_t input_features) const override;
@@ -37,18 +50,35 @@ class Dense : public Layer {
   std::size_t out_features() const noexcept { return out_; }
 
   /// Direct access for the orchestrator, which splits the encoder weight
-  /// into per-device columns and reassembles gradients.
-  Tensor& weight() noexcept { return w_; }
+  /// into per-device columns and reassembles gradients. The non-const
+  /// accessors conservatively invalidate the packed-weight cache — a
+  /// caller asking for a mutable weight may be about to edit it.
+  Tensor& weight() noexcept {
+    invalidate_weight_cache();
+    return w_;
+  }
   const Tensor& weight() const noexcept { return w_; }
-  Tensor& bias() noexcept { return b_; }
+  Tensor& bias() noexcept {
+    invalidate_weight_cache();
+    return b_;
+  }
   const Tensor& bias() const noexcept { return b_; }
   Tensor& weight_grad() noexcept { return gw_; }
   Tensor& bias_grad() noexcept { return gb_; }
 
  private:
+  /// Current backend's packed weight panels, repacked lazily whenever the
+  /// weight version or the selected backend changed since the last call.
+  std::shared_ptr<const tensor::PackedWeights> packed_weights() const;
+
   std::size_t in_, out_;
   Tensor w_, b_, gw_, gb_;
   Tensor input_;  // cached for backward
+  bool prepack_ = false;
+  std::atomic<std::uint64_t> weight_version_{1};
+  mutable std::mutex pack_mu_;  // guards the two fields below
+  mutable std::shared_ptr<const tensor::PackedWeights> packed_;
+  mutable std::uint64_t packed_version_ = 0;
 };
 
 }  // namespace orco::nn

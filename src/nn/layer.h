@@ -72,6 +72,20 @@ class Layer {
     return out;
   }
 
+  /// Opt-in weight prepacking for the inference path: layers whose infer()
+  /// is a GEMM against an immutable weight (Dense, Conv2d) cache the
+  /// current backend's packed panels and reuse them across calls, which
+  /// removes the packing cost that dominates small-batch serving decode.
+  /// Off by default because any weight mutation that bypasses the layer's
+  /// own API (an optimizer stepping through ParamView pointers) must be
+  /// followed by invalidate_weight_cache() — EdgeServer does exactly that
+  /// after train_step. Stateless layers ignore both calls.
+  virtual void set_weight_prepack(bool enabled) { (void)enabled; }
+
+  /// Drops cached packed weights after an external weight mutation. Cheap
+  /// (bumps a version; repacking is lazy on the next infer).
+  virtual void invalidate_weight_cache() {}
+
   /// Trainable parameters (empty for stateless layers).
   virtual std::vector<ParamView> params() { return {}; }
 

@@ -40,6 +40,14 @@ Tensor Sequential::infer(const Tensor& input) const {
   return x;
 }
 
+void Sequential::set_weight_prepack(bool enabled) {
+  for (auto& l : layers_) l->set_weight_prepack(enabled);
+}
+
+void Sequential::invalidate_weight_cache() {
+  for (auto& l : layers_) l->invalidate_weight_cache();
+}
+
 Tensor Sequential::backward(const Tensor& grad_output) {
   Tensor g = grad_output;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {

@@ -28,6 +28,8 @@ class Sequential : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   Tensor infer(const Tensor& input) const override;
+  void set_weight_prepack(bool enabled) override;
+  void invalidate_weight_cache() override;
   std::vector<ParamView> params() override;
   std::string name() const override { return "Sequential"; }
 

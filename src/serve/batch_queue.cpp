@@ -1,5 +1,7 @@
 #include "serve/batch_queue.h"
 
+#include <limits>
+
 #include "common/check.h"
 
 namespace orco::serve {
@@ -9,37 +11,129 @@ BatchQueue::BatchQueue(const BatchQueueConfig& config) : config_(config) {
   ORCO_CHECK(config.max_batch > 0, "BatchQueue max_batch must be positive");
 }
 
-PushResult BatchQueue::push(PendingRequest&& pending) {
+BatchQueue::Lane& BatchQueue::lane_for(ClusterId cluster) {
+  const auto it = lanes_.find(cluster);
+  if (it != lanes_.end()) return it->second;
+  Lane& lane = lanes_[cluster];
+  lane.policy = config_.default_policy;
+  return lane;
+}
+
+void BatchQueue::set_policy(ClusterId cluster, const TenantPolicy& policy) {
+  std::lock_guard lock(mu_);
+  lane_for(cluster).policy = policy;
+}
+
+TenantPolicy BatchQueue::policy(ClusterId cluster) const {
+  std::lock_guard lock(mu_);
+  const auto it = lanes_.find(cluster);
+  return it == lanes_.end() ? config_.default_policy : it->second.policy;
+}
+
+PushResult BatchQueue::push(PendingRequest&& pending,
+                            std::vector<PendingRequest>* evicted) {
+  PendingRequest self_answered_eviction;
+  bool have_self_answered = false;
   {
     std::lock_guard lock(mu_);
     if (closed_) return PushResult::kClosed;
-    if (pending_.size() >= config_.capacity) return PushResult::kShed;
-    pending_.push_back(std::move(pending));
+    Lane& lane = lane_for(pending.request.cluster);
+    const std::size_t quota = lane.policy.queue_quota;
+    if (quota > 0 && lane.entries.size() >= quota) return PushResult::kShed;
+    if (total_ >= config_.capacity) {
+      // At capacity: shed low-priority work first. Find the lowest-priority
+      // lane strictly below the arriving request's class (largest backlog
+      // breaks ties) and evict its newest entry; the oldest requests keep
+      // their positions so eviction never reorders surviving work.
+      Lane* victim = nullptr;
+      for (auto& [id, candidate] : lanes_) {
+        if (candidate.entries.empty()) continue;
+        if (candidate.policy.priority <= lane.policy.priority) continue;
+        if (victim == nullptr ||
+            candidate.policy.priority > victim->policy.priority ||
+            (candidate.policy.priority == victim->policy.priority &&
+             candidate.entries.size() > victim->entries.size())) {
+          victim = &candidate;
+        }
+      }
+      if (victim == nullptr) return PushResult::kShed;
+      Entry dropped = std::move(victim->entries.back());
+      victim->entries.pop_back();
+      --total_;
+      if (evicted != nullptr) {
+        evicted->push_back(std::move(dropped.pending));
+      } else {
+        self_answered_eviction = std::move(dropped.pending);
+        have_self_answered = true;  // answer outside the lock
+      }
+    }
+    Entry entry;
+    entry.pending = std::move(pending);
+    entry.seq = next_seq_++;
+    entry.queued_at = std::chrono::steady_clock::now();
+    lane.entries.push_back(std::move(entry));
+    ++total_;
   }
-  cv_.notify_one();
+  // notify_all, not notify_one: with multiple consumers, one of them may be
+  // lingering in a coalescing window for a *different* cluster and would
+  // absorb a single notification without extracting this request, leaving a
+  // top-level waiter asleep and the request stalled (the MPMC lost-wakeup).
+  // Waking every waiter guarantees an eligible consumer sees it.
+  cv_.notify_all();
+  // Safety net for direct queue users that passed no out-vector (the
+  // runtime always does): answer the evicted promise here.
+  if (have_self_answered) {
+    resolve_with_status(self_answered_eviction, ResponseStatus::kShed);
+  }
   return PushResult::kAccepted;
+}
+
+ClusterId BatchQueue::pick_cluster() const {
+  const auto now = std::chrono::steady_clock::now();
+  ClusterId best = 0;
+  double best_score = -1.0;
+  std::uint64_t best_seq = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& [cluster, lane] : lanes_) {
+    if (lane.entries.empty()) continue;
+    const Entry& head = lane.entries.front();
+    double aging = 1.0;
+    if (config_.aging_us > 0) {
+      const double age_us =
+          std::chrono::duration<double, std::micro>(now - head.queued_at)
+              .count();
+      aging += age_us / static_cast<double>(config_.aging_us);
+    }
+    const double score = lane.policy.schedule_weight() * aging;
+    if (score > best_score ||
+        (score == best_score && head.seq < best_seq)) {
+      best = cluster;
+      best_score = score;
+      best_seq = head.seq;
+    }
+  }
+  ORCO_CHECK(best_score >= 0.0, "pick_cluster on an empty queue");
+  return best;
 }
 
 void BatchQueue::extract_cluster(ClusterId cluster, std::size_t limit,
                                  std::vector<PendingRequest>& out) {
-  for (auto it = pending_.begin();
-       it != pending_.end() && out.size() < limit;) {
-    if (it->request.cluster == cluster) {
-      out.push_back(std::move(*it));
-      it = pending_.erase(it);
-    } else {
-      ++it;
-    }
+  const auto it = lanes_.find(cluster);
+  if (it == lanes_.end()) return;
+  std::deque<Entry>& entries = it->second.entries;
+  while (!entries.empty() && out.size() < limit) {
+    out.push_back(std::move(entries.front().pending));
+    entries.pop_front();
+    --total_;
   }
 }
 
 std::vector<PendingRequest> BatchQueue::pop_batch() {
   std::vector<PendingRequest> batch;
   std::unique_lock lock(mu_);
-  cv_.wait(lock, [this] { return closed_ || !pending_.empty(); });
-  if (pending_.empty()) return batch;  // closed and drained
+  cv_.wait(lock, [this] { return closed_ || total_ > 0; });
+  if (total_ == 0) return batch;  // closed and drained
 
-  const ClusterId target = pending_.front().request.cluster;
+  const ClusterId target = pick_cluster();
   extract_cluster(target, config_.max_batch, batch);
 
   // Coalescing window: once we own the batch's first request, linger up to
@@ -73,7 +167,13 @@ bool BatchQueue::closed() const {
 
 std::size_t BatchQueue::size() const {
   std::lock_guard lock(mu_);
-  return pending_.size();
+  return total_;
+}
+
+std::size_t BatchQueue::size(ClusterId cluster) const {
+  std::lock_guard lock(mu_);
+  const auto it = lanes_.find(cluster);
+  return it == lanes_.end() ? 0 : it->second.entries.size();
 }
 
 }  // namespace orco::serve

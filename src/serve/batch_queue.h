@@ -1,11 +1,16 @@
 // BatchQueue — a bounded MPMC queue that coalesces same-cluster decode
-// requests into batches.
+// requests into batches, with per-tenant QoS.
 //
-// Producers push from any thread; push never blocks — when the queue is at
-// capacity the request is shed (backpressure is explicit, callers answer
-// the request with kShed). A consumer pops a *batch*: all requests in it
-// belong to one cluster (hence one decoder model), so the shard can decode
-// them with a single batched GEMM. pop_batch waits up to max_wait for
+// Producers push from any thread; push never blocks — admission is governed
+// by each tenant's TenantPolicy: a tenant over its queue quota is shed, and
+// when the whole queue is at capacity an arriving request evicts the newest
+// pending request of a strictly lower-priority tenant (handed back to the
+// caller to answer kShed) before being shed itself. A consumer pops a
+// *batch*: all requests in it belong to one cluster (hence one decoder
+// model), so the shard can decode them with a single batched GEMM. The
+// cluster is chosen by weighted priority with an aging term — high-priority
+// tenants go first, but a waiting head request's score grows with its age so
+// low-priority tenants cannot starve. pop_batch waits up to max_wait for
 // stragglers of the same cluster once the first request is in hand, trading
 // a bounded latency hit for batch occupancy.
 #pragma once
@@ -14,10 +19,12 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <vector>
 
 #include "serve/request.h"
+#include "serve/tenant_policy.h"
 
 namespace orco::serve {
 
@@ -25,6 +32,12 @@ struct BatchQueueConfig {
   std::size_t capacity = 1024;   // pending requests before shedding
   std::size_t max_batch = 32;    // coalescing ceiling per pop
   std::uint64_t max_wait_us = 200;  // coalescing window after first request
+  /// Microseconds of head-of-line wait that double a cluster's scheduling
+  /// score. Smaller values age faster (fairer, less strict priority);
+  /// 0 disables aging (pure weighted priority + FIFO tie-break).
+  std::uint64_t aging_us = 1000;
+  /// Policy applied to clusters that were never given one via set_policy.
+  TenantPolicy default_policy;
 };
 
 enum class PushResult { kAccepted, kShed, kClosed };
@@ -33,26 +46,55 @@ class BatchQueue {
  public:
   explicit BatchQueue(const BatchQueueConfig& config);
 
-  /// Thread-safe, non-blocking. kShed when full, kClosed after close().
-  PushResult push(PendingRequest&& pending);
+  /// Thread-safe, non-blocking. kShed when the tenant is over quota or the
+  /// queue is full of same-or-higher-priority work; kClosed after close().
+  /// When admission at capacity evicts a lower-priority pending request, it
+  /// is appended to `evicted` for the caller to answer kShed (and count in
+  /// telemetry); with a null `evicted` the queue answers the promise itself.
+  PushResult push(PendingRequest&& pending,
+                  std::vector<PendingRequest>* evicted = nullptr);
 
   /// Blocks until at least one request is available (or the queue is closed
   /// and drained — then returns empty). Returns up to max_batch requests,
   /// all for the same cluster, preserving per-cluster FIFO order. Other
-  /// clusters' requests keep their positions.
+  /// clusters' requests keep their positions. The cluster is picked by
+  /// schedule_weight() x an aging factor of its head request's wait.
   std::vector<PendingRequest> pop_batch();
 
   /// Stops intake and wakes consumers; queued requests remain poppable so a
   /// graceful shutdown can drain in-flight work.
   void close();
 
+  /// Installs (or replaces) a tenant's QoS policy. Applies to requests
+  /// already queued for that cluster as well.
+  void set_policy(ClusterId cluster, const TenantPolicy& policy);
+  TenantPolicy policy(ClusterId cluster) const;
+
   bool closed() const;
   std::size_t size() const;
+  std::size_t size(ClusterId cluster) const;
   std::size_t capacity() const noexcept { return config_.capacity; }
   const BatchQueueConfig& config() const noexcept { return config_; }
 
  private:
-  /// Moves up to `limit` requests for `cluster` out of pending_ into out.
+  struct Entry {
+    PendingRequest pending;
+    std::uint64_t seq = 0;  // global arrival order, for FIFO tie-breaks
+    std::chrono::steady_clock::time_point queued_at;
+  };
+  /// One tenant's FIFO lane plus its policy. Lanes are created on first
+  /// push or set_policy and persist (tenant counts are small and stable).
+  struct Lane {
+    TenantPolicy policy;
+    std::deque<Entry> entries;
+  };
+
+  /// Caller holds mu_. Creates the lane with the default policy if new.
+  Lane& lane_for(ClusterId cluster);
+  /// Picks the non-empty lane with the highest aged score. Caller holds
+  /// mu_; at least one lane must be non-empty.
+  ClusterId pick_cluster() const;
+  /// Moves up to `limit` requests for `cluster` out of its lane into out.
   /// Caller holds mu_.
   void extract_cluster(ClusterId cluster, std::size_t limit,
                        std::vector<PendingRequest>& out);
@@ -60,7 +102,9 @@ class BatchQueue {
   BatchQueueConfig config_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<PendingRequest> pending_;
+  std::map<ClusterId, Lane> lanes_;
+  std::size_t total_ = 0;
+  std::uint64_t next_seq_ = 0;
   bool closed_ = false;
 };
 

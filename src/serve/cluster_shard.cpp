@@ -16,13 +16,50 @@ double elapsed_us(std::chrono::steady_clock::time_point since) {
       .count();
 }
 
-void respond_error(PendingRequest& pending, ResponseStatus status) {
+void respond_error(PendingRequest& pending, ResponseStatus status,
+                   std::string detail = {}) {
   DecodeResponse response;
   response.id = pending.request.id;
   response.status = status;
+  response.detail = std::move(detail);
   response.latency_us = elapsed_us(pending.request.enqueued_at);
   pending.promise.set_value(std::move(response));
+  pending.answered = true;
 }
+
+/// Scope guard over a batch: whatever unwinds out of serve_batch — an
+/// allocation failure, a poisoned promise mid-fan-out — every request still
+/// unanswered when the guard runs is answered kInternalError, so callers
+/// never see a std::future_error broken_promise from the shard dropping a
+/// batch.
+class AnswerAllGuard {
+ public:
+  AnswerAllGuard(std::vector<PendingRequest>& batch, Telemetry& telemetry,
+                 ClusterId cluster)
+      : batch_(batch), telemetry_(telemetry), cluster_(cluster) {}
+
+  ~AnswerAllGuard() {
+    for (auto& pending : batch_) {
+      if (pending.answered) continue;
+      try {
+        respond_error(pending, ResponseStatus::kInternalError,
+                      "serve_batch aborted");
+        // Counted only after the answer lands: a promise consumed without
+        // the flag being set (the set_value that threw mid-fan-out) was
+        // already counted on its original path and must not be counted
+        // twice.
+        telemetry_.record_rejected(cluster_);
+      } catch (const std::future_error&) {
+        // Nothing left to answer.
+      }
+    }
+  }
+
+ private:
+  std::vector<PendingRequest>& batch_;
+  Telemetry& telemetry_;
+  ClusterId cluster_;
+};
 
 }  // namespace
 
@@ -39,11 +76,18 @@ ClusterShard::ClusterShard(std::size_t index,
 
 void ClusterShard::add_cluster(ClusterId cluster,
                                std::shared_ptr<core::OrcoDcsSystem> system) {
+  add_cluster(cluster, std::move(system), queue_.config().default_policy);
+}
+
+void ClusterShard::add_cluster(ClusterId cluster,
+                               std::shared_ptr<core::OrcoDcsSystem> system,
+                               const TenantPolicy& policy) {
   ORCO_CHECK(system != nullptr, "cannot register a null tenant system");
   std::lock_guard lock(tenants_mu_);
   ORCO_CHECK(tenants_.emplace(cluster, std::move(system)).second,
              "cluster " << cluster << " already registered on shard "
                         << index_);
+  queue_.set_policy(cluster, policy);
 }
 
 bool ClusterShard::has_cluster(ClusterId cluster) const {
@@ -70,9 +114,9 @@ void ClusterShard::run() {
     try {
       serve_batch(std::move(batch));
     } catch (const std::exception& e) {
-      // serve_batch answers per-request failures itself; anything escaping
-      // it (e.g. allocation failure) must not kill the shard worker. The
-      // affected batch's promises break, the shard keeps serving.
+      // serve_batch's scope guard has already answered the affected batch
+      // with kInternalError; anything escaping it (e.g. allocation failure)
+      // must not kill the shard worker — it keeps serving.
       ORCO_LOG_ERROR("shard " << index_ << " dropped a batch: " << e.what());
     }
   }
@@ -85,35 +129,37 @@ void ClusterShard::serve_batch(std::vector<PendingRequest> batch) {
   // decode_inference (most specific wins).
   tensor::BackendScope scope(backend_);
   const ClusterId cluster = batch.front().request.cluster;
+  AnswerAllGuard guard(batch, *telemetry_, cluster);
   const auto system = find_cluster(cluster);
   if (system == nullptr) {
     for (auto& pending : batch) {
       // Telemetry strictly before the promise resolves: a caller who sees
       // the future ready must also see the counters updated.
-      telemetry_->record_rejected();
+      telemetry_->record_rejected(cluster);
       respond_error(pending, ResponseStatus::kUnknownCluster);
     }
     return;
   }
 
   // Validate shapes up front; only well-formed latents join the GEMM batch.
+  // Requests stay in `batch` (the guard owns them); `good` holds indices.
   const std::size_t latent_dim = system->config().orco.latent_dim;
-  std::vector<PendingRequest> good;
+  std::vector<std::size_t> good;
   good.reserve(batch.size());
   std::vector<Tensor> latents;
   latents.reserve(batch.size());
-  for (auto& pending : batch) {
-    const Tensor& latent = pending.request.latent;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Tensor& latent = batch[i].request.latent;
     const bool well_formed =
         (latent.rank() == 1 || (latent.rank() == 2 && latent.dim(0) == 1)) &&
         latent.numel() == latent_dim;
     if (!well_formed) {
-      telemetry_->record_rejected();
-      respond_error(pending, ResponseStatus::kBadRequest);
+      telemetry_->record_rejected(cluster);
+      respond_error(batch[i], ResponseStatus::kBadRequest);
       continue;
     }
     latents.push_back(latent);
-    good.push_back(std::move(pending));
+    good.push_back(i);
   }
   if (good.empty()) return;
 
@@ -123,30 +169,27 @@ void ClusterShard::serve_batch(std::vector<PendingRequest> batch) {
   try {
     decoded = system->edge().decode_inference(tensor::stack_rows(latents));
   } catch (const std::exception& e) {
-    for (auto& pending : good) {
-      telemetry_->record_rejected();
-      DecodeResponse response;
-      response.id = pending.request.id;
-      response.status = ResponseStatus::kInternalError;
-      response.detail = e.what();
-      response.latency_us = elapsed_us(pending.request.enqueued_at);
-      pending.promise.set_value(std::move(response));
+    for (const std::size_t i : good) {
+      telemetry_->record_rejected(cluster);
+      respond_error(batch[i], ResponseStatus::kInternalError, e.what());
     }
     return;
   }
   telemetry_->record_batch(good.size());
 
   const std::size_t output_dim = decoded.dim(1);
-  for (std::size_t i = 0; i < good.size(); ++i) {
+  for (std::size_t row = 0; row < good.size(); ++row) {
+    PendingRequest& pending = batch[good[row]];
     DecodeResponse response;
-    response.id = good[i].request.id;
+    response.id = pending.request.id;
     response.status = ResponseStatus::kOk;
     response.reconstruction =
-        decoded.slice_rows(i, i + 1).reshaped({output_dim});
+        decoded.slice_rows(row, row + 1).reshaped({output_dim});
     response.batch_size = good.size();
-    response.latency_us = elapsed_us(good[i].request.enqueued_at);
-    telemetry_->record_completed(response.latency_us);
-    good[i].promise.set_value(std::move(response));
+    response.latency_us = elapsed_us(pending.request.enqueued_at);
+    telemetry_->record_completed(cluster, response.latency_us);
+    pending.promise.set_value(std::move(response));
+    pending.answered = true;
   }
 }
 

@@ -43,12 +43,18 @@ class ClusterShard {
   std::size_t index() const noexcept { return index_; }
   BatchQueue& queue() noexcept { return queue_; }
 
-  /// Registers a tenant. The system is shared so callers can keep training
-  /// or monitoring it between serve batches (same-shard serialization makes
-  /// that safe only from the shard worker; external mutation should pause
-  /// traffic first).
+  /// Registers a tenant under the queue's default policy. The system is
+  /// shared so callers can keep training or monitoring it between serve
+  /// batches (same-shard serialization makes that safe only from the shard
+  /// worker; external mutation should pause traffic first).
   void add_cluster(ClusterId cluster,
                    std::shared_ptr<core::OrcoDcsSystem> system);
+
+  /// Registers a tenant with an explicit QoS policy, installed on the
+  /// shard's BatchQueue (admission quota + weighted-priority scheduling).
+  void add_cluster(ClusterId cluster,
+                   std::shared_ptr<core::OrcoDcsSystem> system,
+                   const TenantPolicy& policy);
 
   bool has_cluster(ClusterId cluster) const;
   std::size_t cluster_count() const;

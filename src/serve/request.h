@@ -63,6 +63,9 @@ struct DecodeResponse {
 struct PendingRequest {
   DecodeRequest request;
   std::promise<DecodeResponse> promise;
+  /// Set by whoever resolves the promise; the shard's answer-all scope
+  /// guard uses it to find requests left unanswered by an exception.
+  bool answered = false;
 
   PendingRequest() = default;
   PendingRequest(DecodeRequest req, std::promise<DecodeResponse> prom)
@@ -72,5 +75,16 @@ struct PendingRequest {
   PendingRequest(const PendingRequest&) = delete;
   PendingRequest& operator=(const PendingRequest&) = delete;
 };
+
+/// Resolves a pending request's promise with a bare status (no payload) —
+/// the shared answer for shed/evicted requests.
+inline void resolve_with_status(PendingRequest& pending,
+                                ResponseStatus status) {
+  DecodeResponse response;
+  response.id = pending.request.id;
+  response.status = status;
+  pending.promise.set_value(std::move(response));
+  pending.answered = true;
+}
 
 }  // namespace orco::serve

@@ -24,7 +24,14 @@ ServerRuntime::~ServerRuntime() { shutdown(); }
 
 void ServerRuntime::register_cluster(
     ClusterId cluster, std::shared_ptr<core::OrcoDcsSystem> system) {
-  shards_[shard_of(cluster)]->add_cluster(cluster, std::move(system));
+  register_cluster(cluster, std::move(system),
+                   config_.queue.default_policy);
+}
+
+void ServerRuntime::register_cluster(
+    ClusterId cluster, std::shared_ptr<core::OrcoDcsSystem> system,
+    const TenantPolicy& policy) {
+  shards_[shard_of(cluster)]->add_cluster(cluster, std::move(system), policy);
 }
 
 std::future<DecodeResponse> ServerRuntime::immediate_response(
@@ -41,11 +48,23 @@ std::future<DecodeResponse> ServerRuntime::immediate_response(
 std::future<DecodeResponse> ServerRuntime::submit(ClusterId cluster,
                                                   Tensor latent) {
   const RequestId id = next_request_id_.fetch_add(1);
-  telemetry_.record_submitted();
   if (!accepting_.load()) {
+    telemetry_.record_submitted();
     telemetry_.record_rejected();
     return immediate_response(id, ResponseStatus::kShutdown);
   }
+  ClusterShard& shard = *shards_[shard_of(cluster)];
+  if (!shard.has_cluster(cluster)) {
+    // Answer unregistered ids up front: they must not allocate queue lanes
+    // or per-tenant telemetry rows (both live for the runtime's lifetime),
+    // and must not carry the default policy's power to evict registered
+    // low-priority tenants' queued work. Counted in the global counters
+    // only, so arbitrary bogus ids cannot grow memory.
+    telemetry_.record_submitted();
+    telemetry_.record_rejected();
+    return immediate_response(id, ResponseStatus::kUnknownCluster);
+  }
+  telemetry_.record_submitted(cluster);
 
   PendingRequest pending;
   pending.request.cluster = cluster;
@@ -54,15 +73,24 @@ std::future<DecodeResponse> ServerRuntime::submit(ClusterId cluster,
   pending.request.enqueued_at = std::chrono::steady_clock::now();
   std::future<DecodeResponse> future = pending.promise.get_future();
 
-  switch (shards_[shard_of(cluster)]->queue().push(std::move(pending))) {
+  std::vector<PendingRequest> evicted;
+  const PushResult result = shard.queue().push(std::move(pending), &evicted);
+  // Queue-full admission may bump lower-priority pending work to make room;
+  // answer each bumped request kShed before returning so its caller's
+  // future resolves as promptly as a directly-shed one.
+  for (auto& bumped : evicted) {
+    telemetry_.record_shed(bumped.request.cluster);
+    resolve_with_status(bumped, ResponseStatus::kShed);
+  }
+  switch (result) {
     case PushResult::kAccepted:
       return future;
     case PushResult::kShed: {
-      telemetry_.record_shed();
+      telemetry_.record_shed(cluster);
       return immediate_response(id, ResponseStatus::kShed);
     }
     case PushResult::kClosed:
-      telemetry_.record_rejected();
+      telemetry_.record_rejected(cluster);
       return immediate_response(id, ResponseStatus::kShutdown);
   }
   return future;  // unreachable

@@ -21,7 +21,8 @@ namespace orco::serve {
 
 struct ServeConfig {
   std::size_t shard_count = 4;
-  BatchQueueConfig queue;  // applied per shard
+  BatchQueueConfig queue;  // applied per shard; queue.default_policy is the
+                           // QoS policy for tenants registered without one
   // Kernel backend (tensor/backend.h) every shard worker decodes on:
   // "reference", "blocked", or empty to inherit the process default. A
   // tenant whose OrcoConfig names its own backend overrides this per
@@ -39,16 +40,26 @@ class ServerRuntime {
   ServerRuntime(const ServerRuntime&) = delete;
   ServerRuntime& operator=(const ServerRuntime&) = delete;
 
-  /// Registers a tenant on its home shard. Allowed before start() and while
-  /// running; re-registering an id throws.
+  /// Registers a tenant on its home shard under the config's default QoS
+  /// policy. Allowed before start() and while running; re-registering an id
+  /// throws.
   void register_cluster(ClusterId cluster,
                         std::shared_ptr<core::OrcoDcsSystem> system);
+
+  /// Registers a tenant with an explicit per-tenant QoS policy (priority
+  /// class, queue quota, scheduling weight) installed on its shard queue.
+  void register_cluster(ClusterId cluster,
+                        std::shared_ptr<core::OrcoDcsSystem> system,
+                        const TenantPolicy& policy);
 
   /// Enqueues one latent for decoding. Always returns a future that will be
   /// fulfilled: kOk with the reconstruction, kShed under backpressure,
   /// kShutdown after shutdown(), kUnknownCluster / kBadRequest on invalid
-  /// traffic. Requests may be submitted before start(); they queue up and
-  /// are served once workers run (subject to queue capacity).
+  /// traffic. Unregistered cluster ids are answered kUnknownCluster
+  /// immediately — they get no queue slot, no per-tenant telemetry row and
+  /// no QoS standing, so bogus ids cannot grow state or displace real
+  /// tenants' work. Requests may be submitted before start(); they queue up
+  /// and are served once workers run (subject to queue capacity).
   std::future<DecodeResponse> submit(ClusterId cluster, Tensor latent);
 
   /// Launches one worker per shard. Idempotent until shutdown().

@@ -83,6 +83,75 @@ void Telemetry::record_completed(double latency_us) {
   latency_.record(latency_us);
 }
 
+Telemetry::TenantStats& Telemetry::tenant_stats(ClusterId cluster) {
+  return tenants_[cluster];
+}
+
+void Telemetry::record_submitted(ClusterId cluster) {
+  std::lock_guard lock(mu_);
+  ++submitted_;
+  ++tenant_stats(cluster).submitted;
+}
+
+void Telemetry::record_shed(ClusterId cluster) {
+  std::lock_guard lock(mu_);
+  ++shed_;
+  ++tenant_stats(cluster).shed;
+}
+
+void Telemetry::record_rejected(ClusterId cluster) {
+  std::lock_guard lock(mu_);
+  ++rejected_;
+  ++tenant_stats(cluster).rejected;
+}
+
+void Telemetry::record_completed(ClusterId cluster, double latency_us) {
+  std::lock_guard lock(mu_);
+  latency_.record(latency_us);
+  tenant_stats(cluster).latency.record(latency_us);
+}
+
+TenantSnapshot Telemetry::snapshot_of(const TenantStats& stats) {
+  TenantSnapshot s;
+  s.submitted = stats.submitted;
+  s.completed = stats.latency.count();
+  s.shed = stats.shed;
+  s.rejected = stats.rejected;
+  s.p50_us = stats.latency.quantile(0.50);
+  s.p99_us = stats.latency.quantile(0.99);
+  s.mean_latency_us = stats.latency.mean_us();
+  s.max_latency_us = stats.latency.max_us();
+  return s;
+}
+
+TenantSnapshot Telemetry::tenant_snapshot(ClusterId cluster) const {
+  std::lock_guard lock(mu_);
+  const auto it = tenants_.find(cluster);
+  return it == tenants_.end() ? TenantSnapshot{} : snapshot_of(it->second);
+}
+
+std::map<ClusterId, TenantSnapshot> Telemetry::tenant_snapshots() const {
+  std::lock_guard lock(mu_);
+  std::map<ClusterId, TenantSnapshot> out;
+  for (const auto& [cluster, stats] : tenants_) {
+    out.emplace(cluster, snapshot_of(stats));
+  }
+  return out;
+}
+
+common::Table Telemetry::tenant_report() const {
+  const auto snapshots = tenant_snapshots();
+  common::Table t({"cluster", "submitted", "completed", "shed", "rejected",
+                   "p50 us", "p99 us"});
+  for (const auto& [cluster, s] : snapshots) {
+    t.add_row({std::to_string(cluster), std::to_string(s.submitted),
+               std::to_string(s.completed), std::to_string(s.shed),
+               std::to_string(s.rejected), common::Table::num(s.p50_us, 1),
+               common::Table::num(s.p99_us, 1)});
+  }
+  return t;
+}
+
 TelemetrySnapshot Telemetry::snapshot() const {
   std::lock_guard lock(mu_);
   TelemetrySnapshot s;

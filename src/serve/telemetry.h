@@ -5,14 +5,21 @@
 // memory stays constant under million-request loads; quantiles are
 // interpolated inside the winning bucket (a few percent of resolution,
 // plenty for p50/p95/p99 reporting).
+//
+// Counters exist at two grains: the runtime-wide totals (the PR-1 snapshot)
+// and per-tenant rows keyed on ClusterId — submitted/shed/rejected counts
+// plus a full latency histogram per tenant, so QoS policies are observable
+// (a high-priority tenant's p99 vs a low-priority one's under overload).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <vector>
 
 #include "common/table.h"
+#include "serve/request.h"
 
 namespace orco::serve {
 
@@ -54,8 +61,19 @@ struct TelemetrySnapshot {
   }
 };
 
+/// One tenant's view of the counters.
+struct TenantSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t rejected = 0;
+  double p50_us = 0.0, p99_us = 0.0;
+  double mean_latency_us = 0.0, max_latency_us = 0.0;
+};
+
 class Telemetry {
  public:
+  // Runtime-wide counters (kept for callers that have no tenant in hand).
   void record_submitted();
   void record_shed();
   void record_rejected();
@@ -64,13 +82,35 @@ class Telemetry {
   /// One request answered kOk after `latency_us`.
   void record_completed(double latency_us);
 
+  // Per-tenant variants: update the tenant's row AND the runtime totals.
+  void record_submitted(ClusterId cluster);
+  void record_shed(ClusterId cluster);
+  void record_rejected(ClusterId cluster);
+  void record_completed(ClusterId cluster, double latency_us);
+
   TelemetrySnapshot snapshot() const;
+  TenantSnapshot tenant_snapshot(ClusterId cluster) const;
+  std::map<ClusterId, TenantSnapshot> tenant_snapshots() const;
 
   /// Renders the snapshot as the repo-standard aligned table; pass wall
   /// time to get a throughput row.
   common::Table report(double elapsed_s) const;
+  /// One row per tenant: cluster | submitted | completed | shed | rejected |
+  /// p50 us | p99 us.
+  common::Table tenant_report() const;
 
  private:
+  struct TenantStats {
+    std::uint64_t submitted = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t rejected = 0;
+    LatencyHistogram latency;
+  };
+
+  static TenantSnapshot snapshot_of(const TenantStats& stats);
+  /// Caller holds mu_.
+  TenantStats& tenant_stats(ClusterId cluster);
+
   mutable std::mutex mu_;
   std::uint64_t submitted_ = 0;
   std::uint64_t shed_ = 0;
@@ -79,6 +119,7 @@ class Telemetry {
   std::uint64_t batch_requests_ = 0;
   std::size_t max_occupancy_ = 0;
   LatencyHistogram latency_;
+  std::map<ClusterId, TenantStats> tenants_;
 };
 
 }  // namespace orco::serve

@@ -1,0 +1,58 @@
+// Per-tenant quality-of-service policy for the serving runtime.
+//
+// A TenantPolicy travels from ServeConfig (the default for unregistered
+// tenants) through ServerRuntime::register_cluster into the shard's
+// BatchQueue, where it drives two decisions:
+//   admission — each tenant gets its own queue quota, and when the queue is
+//   at capacity an arriving higher-priority request evicts the newest
+//   pending request of a strictly lower-priority tenant instead of being
+//   shed itself;
+//   scheduling — pop_batch picks the next cluster by weighted priority with
+//   an aging term, so high-priority tenants are served first but a
+//   low-priority tenant's head-of-line request grows in score with its wait
+//   and can never starve.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+namespace orco::serve {
+
+enum class Priority { kHigh, kNormal, kLow };
+
+inline const char* to_string(Priority priority) {
+  switch (priority) {
+    case Priority::kHigh: return "high";
+    case Priority::kNormal: return "normal";
+    case Priority::kLow: return "low";
+  }
+  return "invalid";
+}
+
+struct TenantPolicy {
+  Priority priority = Priority::kNormal;
+  /// Max pending requests this tenant may hold in its shard queue; pushes
+  /// beyond it are shed even when the queue has global headroom. 0 means
+  /// "bounded only by the queue capacity".
+  std::size_t queue_quota = 0;
+  /// Relative scheduling share within a priority class (e.g. a weight-2
+  /// tenant is picked twice as readily as a weight-1 peer of the same
+  /// class). Clamped to a small positive floor so a zero weight cannot
+  /// starve a tenant outright.
+  double weight = 1.0;
+
+  /// Static scheduling weight: the priority-class base (high 4, normal 2,
+  /// low 1) scaled by the tenant weight. pop_batch multiplies this by an
+  /// aging factor of the head request's wait time.
+  double schedule_weight() const {
+    double base = 1.0;
+    switch (priority) {
+      case Priority::kHigh: base = 4.0; break;
+      case Priority::kNormal: base = 2.0; break;
+      case Priority::kLow: base = 1.0; break;
+    }
+    return base * std::max(weight, 1e-6);
+  }
+};
+
+}  // namespace orco::serve

@@ -123,8 +123,8 @@ constexpr std::size_t round_up(std::size_t v, std::size_t t) {
 // Packs A[i0:i0+mc, p0:p0+kc] (or the transpose-source equivalent when
 // `trans`, with `a` stored (k×m)) into kMr-interleaved panels: panel ip
 // holds kMr consecutive rows laid out [p][ii], zero-padded past mc.
-void pack_a(const float* a, std::size_t lda, bool trans, std::size_t i0,
-            std::size_t p0, std::size_t mc, std::size_t kc, float* ap) {
+void pack_a_panel(const float* a, std::size_t lda, bool trans, std::size_t i0,
+                  std::size_t p0, std::size_t mc, std::size_t kc, float* ap) {
   for (std::size_t ip = 0; ip < mc; ip += kMr) {
     float* dst = ap + (ip / kMr) * (kMr * kc);
     for (std::size_t ii = 0; ii < kMr; ++ii) {
@@ -148,8 +148,8 @@ void pack_a(const float* a, std::size_t lda, bool trans, std::size_t i0,
 // Packs B[p0:p0+kc, j0:j0+nc] (or the transpose-source equivalent when
 // `trans`, with `b` stored (n×k)) into kNr-interleaved panels: panel jp
 // holds kNr consecutive columns laid out [p][jj], zero-padded past nc.
-void pack_b(const float* b, std::size_t ldb, bool trans, std::size_t p0,
-            std::size_t j0, std::size_t kc, std::size_t nc, float* bp) {
+void pack_b_panel(const float* b, std::size_t ldb, bool trans, std::size_t p0,
+                  std::size_t j0, std::size_t kc, std::size_t nc, float* bp) {
   for (std::size_t jp = 0; jp < nc; jp += kNr) {
     float* dst = bp + (jp / kNr) * (kNr * kc);
     if (trans) {
@@ -237,17 +237,17 @@ class BlockedBackend final : public Backend {
 
   void gemm(const float* a, const float* b, float* c, std::size_t m,
             std::size_t k, std::size_t n) const override {
-    run(a, k, false, b, n, false, c, m, k, n, nullptr);
+    run(a, k, false, b, n, false, c, m, k, n, nullptr, nullptr, nullptr);
   }
 
   void gemm_nt(const float* a, const float* b, float* c, std::size_t m,
                std::size_t k, std::size_t n) const override {
-    run(a, k, false, b, k, true, c, m, k, n, nullptr);
+    run(a, k, false, b, k, true, c, m, k, n, nullptr, nullptr, nullptr);
   }
 
   void gemm_tn(const float* a, const float* b, float* c, std::size_t m,
                std::size_t k, std::size_t n) const override {
-    run(a, m, true, b, n, false, c, m, k, n, nullptr);
+    run(a, m, true, b, n, false, c, m, k, n, nullptr, nullptr, nullptr);
   }
 
   void gemm_fused(const float* a, const float* b, float* c, std::size_t m,
@@ -255,27 +255,116 @@ class BlockedBackend final : public Backend {
                   const Epilogue& epilogue) const override {
     std::fill(c, c + m * n, 0.0f);
     run(a, k, false, b, transpose_b ? k : n, transpose_b, c, m, k, n,
-        &epilogue);
+        &epilogue, nullptr, nullptr);
+  }
+
+  // Prepacking walks the exact (pc, jc) / (pc, blk) panel order of run(),
+  // so gemm_prepacked streams the stored panels at the offsets run() would
+  // have packed them to — the micro-kernel sees identical bytes and the
+  // result matches the pack-on-the-fly path bitwise.
+  PackedWeights pack_b(const float* b, std::size_t k, std::size_t n,
+                       bool transpose_b) const override {
+    PackedWeights packed;
+    packed.owner = this;
+    packed.side = 'B';
+    packed.rows = k;
+    packed.cols = n;
+    const std::size_t ldb = transpose_b ? k : n;
+    std::size_t total = 0;
+    for (std::size_t pc = 0; pc < k; pc += kKc) {
+      const std::size_t kc = std::min(kKc, k - pc);
+      for (std::size_t jc = 0; jc < n; jc += kNc) {
+        total += round_up(std::min(kNc, n - jc), kNr) * kc;
+      }
+    }
+    packed.data.resize(total);
+    std::size_t off = 0;
+    for (std::size_t pc = 0; pc < k; pc += kKc) {
+      const std::size_t kc = std::min(kKc, k - pc);
+      for (std::size_t jc = 0; jc < n; jc += kNc) {
+        const std::size_t nc = std::min(kNc, n - jc);
+        pack_b_panel(b, ldb, transpose_b, pc, jc, kc, nc,
+                     packed.data.data() + off);
+        off += round_up(nc, kNr) * kc;
+      }
+    }
+    return packed;
+  }
+
+  PackedWeights pack_a(const float* a, std::size_t m,
+                       std::size_t k) const override {
+    PackedWeights packed;
+    packed.owner = this;
+    packed.side = 'A';
+    packed.rows = m;
+    packed.cols = k;
+    std::size_t total = 0;
+    for (std::size_t pc = 0; pc < k; pc += kKc) {
+      total += round_up(m, kMr) * std::min(kKc, k - pc);
+    }
+    packed.data.resize(total);
+    std::size_t off = 0;
+    for (std::size_t pc = 0; pc < k; pc += kKc) {
+      const std::size_t kc = std::min(kKc, k - pc);
+      for (std::size_t ic = 0; ic < m; ic += kMc) {
+        const std::size_t mc = std::min(kMc, m - ic);
+        pack_a_panel(a, k, false, ic, pc, mc, kc, packed.data.data() + off);
+        off += round_up(mc, kMr) * kc;
+      }
+    }
+    return packed;
+  }
+
+  void gemm_prepacked(const float* other, const PackedWeights& packed,
+                      float* c, std::size_t m, std::size_t k, std::size_t n,
+                      const Epilogue& epilogue) const override {
+    ORCO_CHECK(packed.owner == this,
+               "PackedWeights were packed by a different backend");
+    std::fill(c, c + m * n, 0.0f);
+    if (packed.side == 'B') {
+      ORCO_CHECK(packed.rows == k && packed.cols == n,
+                 "prepacked B is " << packed.rows << "x" << packed.cols
+                                   << ", GEMM wants " << k << "x" << n);
+      run(other, k, false, nullptr, 0, false, c, m, k, n, &epilogue, nullptr,
+          packed.data.data());
+    } else {
+      ORCO_CHECK(packed.rows == m && packed.cols == k,
+                 "prepacked A is " << packed.rows << "x" << packed.cols
+                                   << ", GEMM wants " << m << "x" << k);
+      run(nullptr, 0, false, other, n, false, c, m, k, n, &epilogue,
+          packed.data.data(), nullptr);
+    }
   }
 
  private:
+  // packed_a / packed_b point at panel data laid out by pack_a/pack_b;
+  // non-null skips the corresponding per-call packing.
   static void run(const float* a, std::size_t lda, bool ta, const float* b,
                   std::size_t ldb, bool tb, float* c, std::size_t m,
-                  std::size_t k, std::size_t n, const Epilogue* epi) {
+                  std::size_t k, std::size_t n, const Epilogue* epi,
+                  const float* packed_a, const float* packed_b) {
     if (m == 0 || n == 0) return;
     if (k == 0) {
       if (epi) apply_epilogue(c, m, n, *epi);
       return;
     }
     thread_local std::vector<float> bp_buf;
+    std::size_t b_off = 0;   // walk of the prepacked B panels (pc-major)
+    std::size_t a_base = 0;  // prepacked A offset of the current k panel
     for (std::size_t pc = 0; pc < k; pc += kKc) {
       const std::size_t kc = std::min(kKc, k - pc);
       const bool last_panel = pc + kc == k;
       for (std::size_t jc = 0; jc < n; jc += kNc) {
         const std::size_t nc = std::min(kNc, n - jc);
-        bp_buf.resize(round_up(nc, kNr) * kc);
-        pack_b(b, ldb, tb, pc, jc, kc, nc, bp_buf.data());
-        const float* bp = bp_buf.data();
+        const float* bp;
+        if (packed_b != nullptr) {
+          bp = packed_b + b_off;
+        } else {
+          bp_buf.resize(round_up(nc, kNr) * kc);
+          pack_b_panel(b, ldb, tb, pc, jc, kc, nc, bp_buf.data());
+          bp = bp_buf.data();
+        }
+        b_off += round_up(nc, kNr) * kc;
 
         const std::size_t row_blocks = (m + kMc - 1) / kMc;
         common::parallel_for(
@@ -285,8 +374,17 @@ class BlockedBackend final : public Backend {
               for (std::size_t blk = blk0; blk < blk1; ++blk) {
                 const std::size_t ic = blk * kMc;
                 const std::size_t mc = std::min(kMc, m - ic);
-                ap_buf.resize(round_up(mc, kMr) * kc);
-                pack_a(a, lda, ta, ic, pc, mc, kc, ap_buf.data());
+                const float* apan;
+                if (packed_a != nullptr) {
+                  // Block `blk` starts ic rows into the panel; full blocks
+                  // are kMr-aligned (kMc % kMr == 0), so its offset is
+                  // exactly ic*kc floats past the panel base.
+                  apan = packed_a + a_base + ic * kc;
+                } else {
+                  ap_buf.resize(round_up(mc, kMr) * kc);
+                  pack_a_panel(a, lda, ta, ic, pc, mc, kc, ap_buf.data());
+                  apan = ap_buf.data();
+                }
                 for (std::size_t jr = 0; jr < nc; jr += kNr) {
                   const float* bpan = bp + (jr / kNr) * (kNr * kc);
                   const std::size_t cols = std::min(kNr, nc - jr);
@@ -295,8 +393,8 @@ class BlockedBackend final : public Backend {
                     float* ctile = c + (ic + ir) * n + jc + jr;
                     float acc[kMr][kNr];
                     load_tile(ctile, n, rows, cols, acc);
-                    micro_kernel(ap_buf.data() + (ir / kMr) * (kMr * kc),
-                                 bpan, kc, acc);
+                    micro_kernel(apan + (ir / kMr) * (kMr * kc), bpan, kc,
+                                 acc);
                     store_tile(ctile, n, acc, rows, cols,
                                (epi && last_panel) ? epi : nullptr, ic + ir,
                                jc + jr);
@@ -305,6 +403,7 @@ class BlockedBackend final : public Backend {
               }
             });
       }
+      a_base += round_up(m, kMr) * kc;
     }
   }
 };
@@ -357,6 +456,61 @@ void Backend::gemm_fused(const float* a, const float* b, float* c,
     }
   }
   apply_epilogue(c, m, n, epilogue);
+}
+
+// Base prepacking: materialise the operand row-major so the prepacked GEMM
+// is a plain gemm_fused with transpose_b == false. For the reference
+// backend this is already bitwise-faithful (its NT path materialises the
+// same transpose per call) and removes that per-call transpose.
+PackedWeights Backend::pack_b(const float* b, std::size_t k, std::size_t n,
+                              bool transpose_b) const {
+  PackedWeights packed;
+  packed.owner = this;
+  packed.side = 'B';
+  packed.rows = k;
+  packed.cols = n;
+  packed.data.resize(k * n);
+  if (transpose_b) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t p = 0; p < k; ++p) {
+        packed.data[p * n + j] = b[j * k + p];
+      }
+    }
+  } else {
+    std::copy(b, b + k * n, packed.data.begin());
+  }
+  return packed;
+}
+
+PackedWeights Backend::pack_a(const float* a, std::size_t m,
+                              std::size_t k) const {
+  PackedWeights packed;
+  packed.owner = this;
+  packed.side = 'A';
+  packed.rows = m;
+  packed.cols = k;
+  packed.data.assign(a, a + m * k);
+  return packed;
+}
+
+void Backend::gemm_prepacked(const float* other, const PackedWeights& packed,
+                             float* c, std::size_t m, std::size_t k,
+                             std::size_t n, const Epilogue& epilogue) const {
+  ORCO_CHECK(packed.owner == this,
+             "PackedWeights were packed by a different backend");
+  if (packed.side == 'B') {
+    ORCO_CHECK(packed.rows == k && packed.cols == n,
+               "prepacked B is " << packed.rows << "x" << packed.cols
+                                 << ", GEMM wants " << k << "x" << n);
+    gemm_fused(other, packed.data.data(), c, m, k, n, /*transpose_b=*/false,
+               epilogue);
+  } else {
+    ORCO_CHECK(packed.rows == m && packed.cols == k,
+               "prepacked A is " << packed.rows << "x" << packed.cols
+                                 << ", GEMM wants " << m << "x" << k);
+    gemm_fused(packed.data.data(), other, c, m, k, n, /*transpose_b=*/false,
+               epilogue);
+  }
 }
 
 const Backend& reference_backend() {

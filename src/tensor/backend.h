@@ -41,6 +41,23 @@ struct Epilogue {
   float leaky_alpha = 0.01f;    // only read when act == kLeakyReLU
 };
 
+class Backend;
+
+/// Weight panels prepacked into a backend's internal GEMM layout, produced
+/// by Backend::pack_b / pack_a and consumed by Backend::gemm_prepacked.
+/// The layout is backend-specific, so a PackedWeights may only be used with
+/// the backend that created it (`owner`). Packing is worth it exactly when
+/// one immutable matrix (a serving decoder's weights) meets many small
+/// activation batches: the per-call panel-packing cost — which dominates
+/// batch<=4 decode — is paid once instead of per GEMM.
+struct PackedWeights {
+  const Backend* owner = nullptr;
+  char side = 'B';       // 'B': packed right operand; 'A': packed left operand
+  std::size_t rows = 0;  // logical rows of the packed matrix (k for B, m for A)
+  std::size_t cols = 0;  // logical cols of the packed matrix (n for B, k for A)
+  std::vector<float> data;
+};
+
 /// A kernel backend. All matrices are dense row-major float32; the gemm*
 /// kernels ACCUMULATE into c (callers zero it for a plain product), while
 /// gemm_fused OVERWRITES c with act(a·b + bias) in one pass.
@@ -76,6 +93,29 @@ class Backend {
   virtual void gemm_fused(const float* a, const float* b, float* c,
                           std::size_t m, std::size_t k, std::size_t n,
                           bool transpose_b, const Epilogue& epilogue) const;
+
+  /// Packs the right-hand GEMM operand — b (k×n) row-major, or (n×k)
+  /// row-major when transpose_b (the Dense weight layout) — into this
+  /// backend's panel format for repeated gemm_prepacked calls against
+  /// varying left operands. The base implementation materialises plain
+  /// row-major (k×n), which already removes the per-call transpose of the
+  /// reference NT path.
+  virtual PackedWeights pack_b(const float* b, std::size_t k, std::size_t n,
+                               bool transpose_b) const;
+
+  /// Packs the left-hand GEMM operand a (m×k row-major) — the im2col
+  /// convolution layout, where the filter matrix is the reused operand.
+  virtual PackedWeights pack_a(const float* a, std::size_t m,
+                               std::size_t k) const;
+
+  /// c (m×n) = act(A·B + bias) with one operand prepacked by THIS backend:
+  /// `other` is the unpacked operand — A (m×k) when packed.side == 'B',
+  /// B (k×n) when packed.side == 'A'. Overwrites c. Bitwise identical to
+  /// the equivalent gemm_fused call on the unpacked weight: packing only
+  /// reorders memory, never the per-element reduction.
+  virtual void gemm_prepacked(const float* other, const PackedWeights& packed,
+                              float* c, std::size_t m, std::size_t k,
+                              std::size_t n, const Epilogue& epilogue) const;
 };
 
 /// The original ikj streaming kernel (always available).

@@ -112,6 +112,56 @@ Tensor gemm_rowbias_act(const Tensor& a, const Tensor& b, const Tensor& bias,
   return c;
 }
 
+Tensor gemm_bias_act_prepacked(const Tensor& a, const PackedWeights& w,
+                               const Tensor& bias, EpilogueAct act,
+                               float leaky_alpha) {
+  ORCO_CHECK(a.rank() == 2, "gemm_bias_act_prepacked requires rank-2 input, "
+                                << "got " << shape_to_string(a.shape()));
+  ORCO_CHECK(w.side == 'B', "gemm_bias_act_prepacked wants a pack_b weight");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = w.cols;
+  ORCO_CHECK(w.rows == k, "gemm_bias_act_prepacked inner dim mismatch: "
+                              << shape_to_string(a.shape()) << " x packed "
+                              << w.rows << "x" << w.cols);
+  ORCO_CHECK(bias.rank() == 1 && bias.dim(0) == n,
+             "gemm_bias_act_prepacked bias must be rank-1 of length "
+                 << n << ", got " << shape_to_string(bias.shape()));
+  Tensor c({m, n});
+  Epilogue epi;
+  epi.bias = bias.data().data();
+  epi.bias_per_row = false;
+  epi.act = act;
+  epi.leaky_alpha = leaky_alpha;
+  current_backend().gemm_prepacked(a.data().data(), w, c.data().data(), m, k,
+                                   n, epi);
+  return c;
+}
+
+Tensor gemm_rowbias_act_prepacked(const PackedWeights& w, const Tensor& b,
+                                  const Tensor& bias, EpilogueAct act,
+                                  float leaky_alpha) {
+  ORCO_CHECK(b.rank() == 2, "gemm_rowbias_act_prepacked requires rank-2 "
+                                << "input, got "
+                                << shape_to_string(b.shape()));
+  ORCO_CHECK(w.side == 'A', "gemm_rowbias_act_prepacked wants a pack_a "
+                                << "weight");
+  const std::size_t m = w.rows, k = w.cols, n = b.dim(1);
+  ORCO_CHECK(b.dim(0) == k, "gemm_rowbias_act_prepacked inner dim mismatch: "
+                                << "packed " << w.rows << "x" << w.cols
+                                << " x " << shape_to_string(b.shape()));
+  ORCO_CHECK(bias.rank() == 1 && bias.dim(0) == m,
+             "gemm_rowbias_act_prepacked bias must be rank-1 of length "
+                 << m << ", got " << shape_to_string(bias.shape()));
+  Tensor c({m, n});
+  Epilogue epi;
+  epi.bias = bias.data().data();
+  epi.bias_per_row = true;
+  epi.act = act;
+  epi.leaky_alpha = leaky_alpha;
+  current_backend().gemm_prepacked(b.data().data(), w, c.data().data(), m, k,
+                                   n, epi);
+  return c;
+}
+
 Tensor matvec(const Tensor& w, const Tensor& x) {
   ORCO_CHECK(w.rank() == 2 && x.rank() == 1, "matvec wants (m x n) * (n)");
   const std::size_t m = w.dim(0), n = w.dim(1);

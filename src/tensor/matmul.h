@@ -38,6 +38,23 @@ Tensor gemm_rowbias_act(const Tensor& a, const Tensor& b, const Tensor& bias,
                         EpilogueAct act = EpilogueAct::kNone,
                         float leaky_alpha = 0.01f);
 
+/// C = act(A (m x k) * W + bias) with W prepacked by pack_b on the current
+/// backend (logical k x n) — the Dense serving path without the per-call
+/// panel packing. Bitwise identical to gemm_bias_act on the unpacked
+/// weight. Throws if the pack came from a different backend.
+Tensor gemm_bias_act_prepacked(const Tensor& a, const PackedWeights& w,
+                               const Tensor& bias,
+                               EpilogueAct act = EpilogueAct::kNone,
+                               float leaky_alpha = 0.01f);
+
+/// C = act(W * B (k x n) + bias) with W prepacked by pack_a on the current
+/// backend (logical m x k) and bias of length m per output row — the
+/// im2col convolution with a prepacked filter matrix.
+Tensor gemm_rowbias_act_prepacked(const PackedWeights& w, const Tensor& b,
+                                  const Tensor& bias,
+                                  EpilogueAct act = EpilogueAct::kNone,
+                                  float leaky_alpha = 0.01f);
+
 /// y = W (m x n) * x (n) as rank-1 tensors.
 Tensor matvec(const Tensor& w, const Tensor& x);
 

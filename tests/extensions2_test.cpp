@@ -98,21 +98,45 @@ TEST_P(FixedPointSuite, RoundTripWithinErrorBound) {
   const Tensor latents = Tensor::uniform({8, 32}, rng);
   const auto bytes = core::quantize_latents(latents, precision);
   EXPECT_EQ(bytes.size(),
-            latents.numel() * core::bytes_per_value(precision));
+            core::quantized_payload_bytes(latents.numel(), precision));
   const Tensor back =
       core::dequantize_latents(bytes, latents.shape(), precision);
+  // In-[0,1) data: range < 1, so the per-unit-range bound is also the
+  // absolute bound, as before the affine header existed.
   const float bound = core::quantization_error_bound(precision);
   EXPECT_LE((back - latents).abs_max(), bound + 1e-7f);
 }
 
-TEST_P(FixedPointSuite, OutOfRangeValuesClampGracefully) {
+TEST_P(FixedPointSuite, AffineHeaderRoundTripsArbitraryRangeLatents) {
+  // Pre-affine payloads clamped everything to [0, 1], so negative or large
+  // latents came back wrong by far more than the documented bound. The
+  // per-batch [min, max] header must round-trip them within
+  // bound x (max - min).
   const auto precision = GetParam();
-  const Tensor latents = Tensor::from({-0.5f, 0.0f, 1.0f, 2.0f});
+  const Tensor latents =
+      Tensor::from({-53.5f, -0.5f, 0.0f, 0.25f, 1.0f, 2.0f, 977.25f});
   const auto bytes = core::quantize_latents(latents, precision);
   const Tensor back =
       core::dequantize_latents(bytes, latents.shape(), precision);
-  EXPECT_FLOAT_EQ(back[0], 0.0f);
-  EXPECT_FLOAT_EQ(back[3], 1.0f);
+  const float range = 977.25f - (-53.5f);
+  const float bound = core::quantization_error_bound(precision) * range;
+  for (std::size_t i = 0; i < latents.numel(); ++i) {
+    EXPECT_NEAR(back[i], latents[i], bound + 1e-3f) << "element " << i;
+  }
+  // The extremes are exact code points (0 and the max code).
+  EXPECT_FLOAT_EQ(back[0], -53.5f);
+  EXPECT_FLOAT_EQ(back[6], 977.25f);
+}
+
+TEST_P(FixedPointSuite, ConstantBatchRoundTripsExactly) {
+  const auto precision = GetParam();
+  const Tensor latents = Tensor::from({3.25f, 3.25f, 3.25f});
+  const auto bytes = core::quantize_latents(latents, precision);
+  const Tensor back =
+      core::dequantize_latents(bytes, latents.shape(), precision);
+  for (std::size_t i = 0; i < latents.numel(); ++i) {
+    EXPECT_FLOAT_EQ(back[i], 3.25f);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Precisions, FixedPointSuite,
@@ -139,7 +163,12 @@ TEST(QuantizationTest, Fixed8CutsUplinkBytes4x) {
       core::quantize_latents(latents, core::LatentPrecision::kFloat32);
   const auto small =
       core::quantize_latents(latents, core::LatentPrecision::kFixed8);
-  EXPECT_EQ(full.size(), small.size() * 4);
+  // 4x per value; the fixed payload additionally carries the 8-byte
+  // per-batch affine header.
+  EXPECT_EQ(full.size(),
+            (small.size() -
+             core::quantization_header_bytes(core::LatentPrecision::kFixed8)) *
+                4);
 }
 
 }  // namespace

@@ -1,9 +1,13 @@
 // Tests for the multi-cluster serving runtime (src/serve): shard routing,
 // batch coalescing, batched-vs-sequential decode equality, backpressure,
-// and graceful shutdown.
+// per-tenant QoS (quota admission, priority eviction, weighted-aging
+// scheduling), MPMC wakeup delivery, exception-safe batch fan-out, and
+// graceful shutdown.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
@@ -121,6 +125,202 @@ TEST(BatchQueueTest, ShedsAtCapacityAndClosedAfterClose) {
   EXPECT_TRUE(queue.pop_batch().empty());
 }
 
+TEST(BatchQueueTest, WeightedPriorityPicksHighFirstAndAgingUnblocksLow) {
+  BatchQueueConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_wait_us = 0;
+  cfg.aging_us = 1000;  // 1 ms of head wait doubles a lane's score
+  BatchQueue queue(cfg);
+  TenantPolicy high;
+  high.priority = Priority::kHigh;
+  TenantPolicy low;
+  low.priority = Priority::kLow;
+  queue.set_policy(1, high);
+  queue.set_policy(2, low);
+
+  auto push = [&](ClusterId cluster, RequestId id) {
+    PendingRequest p;
+    p.request.cluster = cluster;
+    p.request.id = id;
+    ASSERT_EQ(queue.push(std::move(p)), PushResult::kAccepted);
+  };
+  // Low arrives first, high a hair later: priority outweighs a small age
+  // gap, so the high-priority lane is served first.
+  push(2, 20);
+  push(1, 10);
+  auto batch = queue.pop_batch();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].request.cluster, 1u);
+
+  // The low request keeps aging. After ~25 ms its score (1 x ~26) beats a
+  // freshly-pushed high request (4 x ~1): aging prevents starvation.
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  push(1, 11);
+  batch = queue.pop_batch();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].request.cluster, 2u);
+  batch = queue.pop_batch();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].request.cluster, 1u);
+}
+
+TEST(BatchQueueTest, PerTenantQuotaShedsBeforeGlobalCapacity) {
+  BatchQueueConfig cfg;
+  cfg.capacity = 100;
+  BatchQueue queue(cfg);
+  TenantPolicy capped;
+  capped.queue_quota = 2;
+  queue.set_policy(1, capped);
+
+  auto push = [&](ClusterId cluster, RequestId id) {
+    PendingRequest p;
+    p.request.cluster = cluster;
+    p.request.id = id;
+    return queue.push(std::move(p));
+  };
+  EXPECT_EQ(push(1, 10), PushResult::kAccepted);
+  EXPECT_EQ(push(1, 11), PushResult::kAccepted);
+  EXPECT_EQ(push(1, 12), PushResult::kShed);  // over its own quota
+  EXPECT_EQ(push(2, 20), PushResult::kAccepted);  // other tenants unaffected
+  EXPECT_EQ(queue.size(1), 2u);
+  EXPECT_EQ(queue.size(2), 1u);
+}
+
+TEST(BatchQueueTest, HighPriorityPushEvictsNewestLowPriorityAtCapacity) {
+  BatchQueueConfig cfg;
+  cfg.capacity = 2;
+  cfg.max_wait_us = 0;
+  BatchQueue queue(cfg);
+  TenantPolicy high;
+  high.priority = Priority::kHigh;
+  TenantPolicy low;
+  low.priority = Priority::kLow;
+  queue.set_policy(1, high);
+  queue.set_policy(2, low);
+
+  auto push = [&](ClusterId cluster, RequestId id,
+                  std::vector<PendingRequest>* evicted) {
+    PendingRequest p;
+    p.request.cluster = cluster;
+    p.request.id = id;
+    return queue.push(std::move(p), evicted);
+  };
+  std::vector<PendingRequest> evicted;
+  EXPECT_EQ(push(2, 20, &evicted), PushResult::kAccepted);
+  EXPECT_EQ(push(2, 21, &evicted), PushResult::kAccepted);
+  // At capacity: the high-priority arrival bumps the NEWEST low-priority
+  // pending request (oldest work keeps its position).
+  EXPECT_EQ(push(1, 10, &evicted), PushResult::kAccepted);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].request.id, 21u);
+  EXPECT_EQ(push(1, 11, &evicted), PushResult::kAccepted);
+  ASSERT_EQ(evicted.size(), 2u);
+  EXPECT_EQ(evicted[1].request.id, 20u);
+  // Only same-priority work left: the next high push is shed itself.
+  EXPECT_EQ(push(1, 12, &evicted), PushResult::kShed);
+  EXPECT_EQ(evicted.size(), 2u);
+
+  auto batch = queue.pop_batch();
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].request.id, 10u);
+  EXPECT_EQ(batch[1].request.id, 11u);
+}
+
+TEST(BatchQueueTest, CloseDuringCoalescingWindowDrainsPartialBatches) {
+  BatchQueueConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_wait_us = 500000;  // 500 ms window
+  BatchQueue queue(cfg);
+  auto push = [&](ClusterId cluster, RequestId id) {
+    PendingRequest p;
+    p.request.cluster = cluster;
+    p.request.id = id;
+    ASSERT_EQ(queue.push(std::move(p)), PushResult::kAccepted);
+  };
+  push(1, 10);
+  push(2, 20);
+
+  std::vector<std::size_t> batch_sizes;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread consumer([&] {
+    for (;;) {
+      auto batch = queue.pop_batch();
+      if (batch.empty()) return;
+      batch_sizes.push_back(batch.size());
+    }
+  });
+  // The consumer is lingering in the coalescing window of its first batch;
+  // close() must cut the window short and drain the partial batches.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  queue.close();
+  consumer.join();
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_EQ(batch_sizes.size(), 2u);
+  EXPECT_EQ(batch_sizes[0], 1u);
+  EXPECT_EQ(batch_sizes[1], 1u);
+  // Both single-request batches must drain well before the 500 ms window
+  // (one window alone would run past it, two sequential windows past 1 s).
+  EXPECT_LT(elapsed_ms, 400.0);
+}
+
+TEST(BatchQueueTest, PushWakesSecondConsumerDuringCoalescingWindow) {
+  // MPMC lost-wakeup regression: consumer 1 lingers in the coalescing
+  // window for cluster 1; consumer 2 starts waiting afterwards (so a FIFO
+  // single wakeup would land on consumer 1, which cannot extract cluster
+  // 2's work). A push for cluster 2 must still reach consumer 2 promptly
+  // instead of stalling until consumer 1's window expires.
+  BatchQueueConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_wait_us = 400000;  // 400 ms window
+  BatchQueue queue(cfg);
+  auto push = [&](ClusterId cluster, RequestId id) {
+    PendingRequest p;
+    p.request.cluster = cluster;
+    p.request.id = id;
+    ASSERT_EQ(queue.push(std::move(p)), PushResult::kAccepted);
+  };
+
+  auto consume = [&] {
+    for (;;) {
+      if (queue.pop_batch().empty()) return;
+    }
+  };
+
+  push(1, 10);
+  std::thread c1(consume);  // grabs cluster 1, lingers in the window
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  std::thread c2(consume);  // arrives at the top-level wait second
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+
+  const auto push_b_at = std::chrono::steady_clock::now();
+  push(2, 20);
+  // Poll until cluster 2's request leaves the queue: post-fix, consumer 2
+  // extracts it within milliseconds of the push; pre-fix, the single
+  // notification is absorbed by lingering consumer 1 and the request sits
+  // queued until consumer 1's ~400 ms window expires.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  double extracted_after_ms = -1.0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (queue.size() == 0) {
+      extracted_after_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - push_b_at)
+                               .count();
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  queue.close();
+  c1.join();
+  c2.join();
+  ASSERT_GE(extracted_after_ms, 0.0)
+      << "cluster 2's request was never extracted";
+  EXPECT_LT(extracted_after_ms, 150.0);
+}
+
 TEST(ServeTest, BatchedDecodeBitwiseEqualsSequentialDecode) {
   const std::size_t latent_dim = 16;
   auto tenant = make_tenant(64, latent_dim);
@@ -210,7 +410,113 @@ TEST(ServeTest, UnknownClusterAndBadLatentAreRejected) {
 
   const auto snapshot = runtime.telemetry().snapshot();
   EXPECT_EQ(snapshot.rejected, 2u);
+  // Bogus ids must not leave state behind: no per-tenant telemetry row, no
+  // queue lane (both would otherwise live for the runtime's lifetime).
+  EXPECT_EQ(runtime.telemetry().tenant_snapshots().count(999), 0u);
+  EXPECT_EQ(runtime.shard(runtime.shard_of(999)).queue().size(999), 0u);
   runtime.shutdown();
+}
+
+TEST(ServeTest, ServeBatchAnswersRemainingRequestsWhenFanOutThrows) {
+  // Broken-promise regression: when serve_batch throws mid-flight, every
+  // request in the moved-in batch whose promise is still unanswered must be
+  // answered kInternalError — pre-fix, the promises were destroyed and
+  // callers' future.get() threw std::future_error instead of returning.
+  ServeConfig cfg;
+  cfg.shard_count = 1;
+  ServerRuntime runtime(cfg);
+  runtime.register_cluster(1, make_tenant(64, 16));
+
+  common::Pcg32 rng(21);
+  std::vector<PendingRequest> batch;
+  PendingRequest first;
+  first.request.cluster = 1;
+  first.request.id = 1;
+  first.request.latent = random_latent(16, rng);
+  std::future<DecodeResponse> first_future = first.promise.get_future();
+
+  // A poisoned promise: set_value during the success fan-out throws
+  // std::future_error, unwinding serve_batch between answered requests.
+  PendingRequest poisoned;
+  poisoned.request.cluster = 1;
+  poisoned.request.id = 2;
+  poisoned.request.latent = random_latent(16, rng);
+  poisoned.promise.set_value(DecodeResponse{});
+
+  PendingRequest last;
+  last.request.cluster = 1;
+  last.request.id = 3;
+  last.request.latent = random_latent(16, rng);
+  std::future<DecodeResponse> last_future = last.promise.get_future();
+
+  batch.push_back(std::move(first));
+  batch.push_back(std::move(poisoned));
+  batch.push_back(std::move(last));
+  EXPECT_THROW(runtime.shard(0).serve_batch(std::move(batch)),
+               std::future_error);
+
+  EXPECT_EQ(first_future.get().status, ResponseStatus::kOk);
+  DecodeResponse last_response = last_future.get();  // must not throw
+  EXPECT_EQ(last_response.status, ResponseStatus::kInternalError);
+}
+
+TEST(ServeTest, TenantPolicyEvictsLowPriorityAndTracksPerTenantTelemetry) {
+  ServeConfig cfg;
+  cfg.shard_count = 1;
+  cfg.queue.capacity = 2;
+  cfg.queue.max_wait_us = 0;
+  ServerRuntime runtime(cfg);
+  TenantPolicy high;
+  high.priority = Priority::kHigh;
+  TenantPolicy low;
+  low.priority = Priority::kLow;
+  runtime.register_cluster(1, make_tenant(64, 16, 1), high);
+  runtime.register_cluster(2, make_tenant(64, 16, 2), low);
+
+  // Workers not started: fill the queue with low-priority work, then let a
+  // high-priority submit bump the newest low request.
+  common::Pcg32 rng(13);
+  auto low_a = runtime.submit(2, random_latent(16, rng));
+  auto low_b = runtime.submit(2, random_latent(16, rng));
+  auto high_a = runtime.submit(1, random_latent(16, rng));
+  // The bumped request's future resolves kShed immediately.
+  ASSERT_EQ(low_b.wait_for(std::chrono::seconds(1)),
+            std::future_status::ready);
+  EXPECT_EQ(low_b.get().status, ResponseStatus::kShed);
+
+  runtime.shutdown();  // drains the surviving two requests inline
+  EXPECT_EQ(high_a.get().status, ResponseStatus::kOk);
+  EXPECT_EQ(low_a.get().status, ResponseStatus::kOk);
+
+  const auto high_snapshot = runtime.telemetry().tenant_snapshot(1);
+  EXPECT_EQ(high_snapshot.submitted, 1u);
+  EXPECT_EQ(high_snapshot.completed, 1u);
+  EXPECT_EQ(high_snapshot.shed, 0u);
+  const auto low_snapshot = runtime.telemetry().tenant_snapshot(2);
+  EXPECT_EQ(low_snapshot.submitted, 2u);
+  EXPECT_EQ(low_snapshot.completed, 1u);
+  EXPECT_EQ(low_snapshot.shed, 1u);
+  // Per-tenant rows roll up into the runtime-wide counters.
+  const auto totals = runtime.telemetry().snapshot();
+  EXPECT_EQ(totals.submitted, 3u);
+  EXPECT_EQ(totals.completed, 2u);
+  EXPECT_EQ(totals.shed, 1u);
+  EXPECT_EQ(runtime.telemetry().tenant_report().rows(), 2u);
+}
+
+TEST(ServeTest, DefaultPolicyFromConfigAppliesQuota) {
+  ServeConfig cfg;
+  cfg.shard_count = 1;
+  cfg.queue.default_policy.queue_quota = 1;
+  ServerRuntime runtime(cfg);
+  runtime.register_cluster(1, make_tenant());
+
+  common::Pcg32 rng(17);
+  auto kept = runtime.submit(1, random_latent(16, rng));
+  auto over_quota = runtime.submit(1, random_latent(16, rng));
+  runtime.shutdown();
+  EXPECT_EQ(kept.get().status, ResponseStatus::kOk);
+  EXPECT_EQ(over_quota.get().status, ResponseStatus::kShed);
 }
 
 TEST(ServeTest, BackpressureShedsBeyondQueueCapacity) {
@@ -321,6 +627,38 @@ TEST(TelemetryTest, QuantilesBracketRecordedLatencies) {
   EXPECT_LE(s.p99_us, 1000.0);
   EXPECT_NEAR(s.mean_latency_us, 500.5, 1.0);
   EXPECT_EQ(s.max_latency_us, 1000.0);
+}
+
+TEST(TelemetryTest, QuantileEdgeCases) {
+  LatencyHistogram empty;
+  EXPECT_EQ(empty.quantile(0.0), 0.0);
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_EQ(empty.quantile(1.0), 0.0);
+  EXPECT_THROW((void)empty.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)empty.quantile(1.1), std::invalid_argument);
+
+  LatencyHistogram single;
+  single.record(100.0);
+  // Every quantile of one sample lands inside its bucket, capped at the
+  // recorded maximum.
+  EXPECT_GT(single.quantile(0.0), 0.0);
+  EXPECT_LE(single.quantile(0.0), 100.0);
+  EXPECT_EQ(single.quantile(1.0), 100.0);
+  EXPECT_LE(single.quantile(0.5), 100.0);
+
+  LatencyHistogram one_bucket;
+  for (int i = 0; i < 1000; ++i) one_bucket.record(64.0);  // exact 2^6 edge
+  // All mass in one bucket: interpolation stays within [64, next edge) and
+  // the max cap pins every quantile to the recorded value.
+  EXPECT_EQ(one_bucket.quantile(0.0), 64.0);
+  EXPECT_EQ(one_bucket.quantile(0.5), 64.0);
+  EXPECT_EQ(one_bucket.quantile(1.0), 64.0);
+
+  LatencyHistogram zeros;
+  zeros.record(0.0);
+  zeros.record(0.0);
+  EXPECT_EQ(zeros.quantile(1.0), 0.0);
+  EXPECT_EQ(zeros.max_us(), 0.0);
 }
 
 TEST(TelemetryTest, ReportIncludesThroughput) {

@@ -277,6 +277,132 @@ TEST(FusedEpilogueTest, BatchedRowsMatchSingleRowDecodeBitwise) {
   }
 }
 
+TEST(PrepackedTest, GemmPrepackedMatchesGemmFusedBitwiseOnBothBackends) {
+  common::Pcg32 rng(41);
+  for (const auto& s : kShapes) {
+    const Tensor x = Tensor::randn({s.m, s.k}, rng);
+    const Tensor w = Tensor::randn({s.n, s.k}, rng);  // (out, in) dense layout
+    const Tensor bias = Tensor::randn({s.n}, rng);
+    Tensor ref_fused;
+    for (const char* name : {"reference", "blocked"}) {
+      const tensor::Backend* backend = tensor::find_backend(name);
+      tensor::BackendScope scope(backend);
+      const Tensor fused =
+          tensor::gemm_bias_act(x, w, bias, tensor::EpilogueAct::kSigmoid);
+      const tensor::PackedWeights packed =
+          backend->pack_b(w.data().data(), s.k, s.n, /*transpose_b=*/true);
+      const Tensor prepacked = tensor::gemm_bias_act_prepacked(
+          x, packed, bias, tensor::EpilogueAct::kSigmoid);
+      // Packing reorders memory, never the reduction: bitwise equal to the
+      // pack-on-the-fly fused path...
+      ExpectBitwiseEqual(prepacked, fused, "gemm_prepacked", s);
+      // ...and across backends (the serving parity contract).
+      if (ref_fused.numel() == 0) {
+        ref_fused = fused;
+      } else {
+        ExpectBitwiseEqual(fused, ref_fused, "cross-backend prepacked", s);
+      }
+    }
+  }
+}
+
+TEST(PrepackedTest, RowBiasPrepackedMatchesUnpackedBitwise) {
+  common::Pcg32 rng(42);
+  const Tensor w = Tensor::randn({13, 27}, rng);     // (outC, inC*K*K)
+  const Tensor cols = Tensor::randn({27, 50}, rng);  // (inC*K*K, OH*OW)
+  const Tensor bias = Tensor::randn({13}, rng);
+  const Shape s{13, 27, 50};
+  for (const char* name : {"reference", "blocked"}) {
+    const tensor::Backend* backend = tensor::find_backend(name);
+    tensor::BackendScope scope(backend);
+    const Tensor fused =
+        tensor::gemm_rowbias_act(w, cols, bias, tensor::EpilogueAct::kReLU);
+    const tensor::PackedWeights packed =
+        backend->pack_a(w.data().data(), 13, 27);
+    const Tensor prepacked = tensor::gemm_rowbias_act_prepacked(
+        packed, cols, bias, tensor::EpilogueAct::kReLU);
+    ExpectBitwiseEqual(prepacked, fused, "rowbias prepacked", s);
+  }
+}
+
+TEST(PrepackedTest, DensePrepackCachesAcrossBackendsAndTracksMutation) {
+  common::Pcg32 rng(43);
+  nn::Dense dense(32, 16, rng);
+  const Tensor x = Tensor::randn({4, 32}, rng);
+  const Shape s{4, 32, 16};
+
+  for (const char* name : {"reference", "blocked"}) {
+    tensor::BackendScope scope(tensor::find_backend(name));
+    dense.set_weight_prepack(false);
+    const Tensor baseline = dense.infer(x);
+    dense.set_weight_prepack(true);
+    ExpectBitwiseEqual(dense.infer(x), baseline, "prepacked dense", s);
+    // Cache hit on repeat.
+    ExpectBitwiseEqual(dense.infer(x), baseline, "cached dense", s);
+  }
+
+  // Mutating through the non-const accessor invalidates the cache: the
+  // next infer must see the new weights, not stale panels.
+  tensor::BackendScope scope(&tensor::blocked_backend());
+  dense.set_weight_prepack(true);
+  (void)dense.infer(x);  // populate the cache
+  dense.weight().fill(0.25f);
+  const nn::Dense& const_dense = dense;
+  const Tensor expected = tensor::gemm_bias_act(x, const_dense.weight(),
+                                                const_dense.bias());
+  ExpectBitwiseEqual(dense.infer(x), expected, "post-mutation dense", s);
+  // invalidate_weight_cache() alone must also force a repack.
+  dense.invalidate_weight_cache();
+  ExpectBitwiseEqual(dense.infer(x), expected, "post-invalidate dense", s);
+}
+
+TEST(PrepackedTest, Conv2dPrepackMatchesUnpackedBitwise) {
+  common::Pcg32 rng(44);
+  nn::Conv2d conv(2, 5, 3, 1, 1, 8, 8, rng);
+  const Tensor x = Tensor::randn({3, 2 * 8 * 8}, rng);
+  const Shape s{5, 18, 64};
+  for (const char* name : {"reference", "blocked"}) {
+    tensor::BackendScope scope(tensor::find_backend(name));
+    conv.set_weight_prepack(false);
+    const Tensor baseline = conv.infer(x);
+    conv.set_weight_prepack(true);
+    ExpectBitwiseEqual(conv.infer(x), baseline, "prepacked conv", s);
+  }
+}
+
+TEST(PrepackedTest, SequentialInferWithPrepackMatchesUnpackedBitwise) {
+  common::Pcg32 rng(45);
+  nn::Sequential model;
+  model.emplace<nn::Dense>(24, 48, rng);
+  model.emplace<nn::ReLU>();
+  model.emplace<nn::Dense>(48, 36, rng);
+  model.emplace<nn::Sigmoid>();
+  const Tensor x = Tensor::randn({2, 24}, rng);
+  const Shape s{2, 24, 36};
+  for (const char* name : {"reference", "blocked"}) {
+    tensor::BackendScope scope(tensor::find_backend(name));
+    model.set_weight_prepack(false);
+    const Tensor baseline = model.infer(x);
+    model.set_weight_prepack(true);
+    ExpectBitwiseEqual(model.infer(x), baseline, "prepacked sequential", s);
+    model.invalidate_weight_cache();
+    ExpectBitwiseEqual(model.infer(x), baseline, "invalidated sequential", s);
+  }
+}
+
+TEST(PrepackedTest, MismatchedBackendPackIsRejected) {
+  common::Pcg32 rng(46);
+  const Tensor x = Tensor::randn({2, 8}, rng);
+  const Tensor w = Tensor::randn({4, 8}, rng);
+  const Tensor bias = Tensor::randn({4}, rng);
+  const tensor::PackedWeights packed =
+      tensor::blocked_backend().pack_b(w.data().data(), 8, 4, true);
+  tensor::BackendScope scope(&tensor::reference_backend());
+  EXPECT_THROW(
+      (void)tensor::gemm_bias_act_prepacked(x, packed, bias),
+      std::invalid_argument);
+}
+
 TEST(FusedEpilogueTest, ActivationEpilogueMapping) {
   float alpha = 0.0f;
   EXPECT_EQ(nn::activation_epilogue(nn::ReLU{}, alpha),

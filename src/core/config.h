@@ -37,9 +37,14 @@ struct OrcoConfig {
 
   // Fine-tuning monitor (§III-D): relaunch training when the monitored
   // reconstruction error exceeds `relaunch_factor` x the post-training
-  // baseline error.
+  // baseline error, sustained over a full `monitor_window` of
+  // observations. After a trigger, the next `monitor_cooldown`
+  // observations are swallowed while the relaunch is in flight so one
+  // drift episode cannot fire a second relaunch before the first lands
+  // (0 keeps the historical behaviour: no automatic re-arm delay).
   float relaunch_factor = 2.0f;
   std::size_t monitor_window = 8;
+  std::size_t monitor_cooldown = 0;
 
   std::uint64_t seed = 42;
 

@@ -83,8 +83,11 @@ LatentGradMsg EdgeServer::train_step(const ResidualMsg& msg) {
   Tensor latent_grad = decoder_->backward(grad);
   optimizer_->step();
   // The step mutated the decoder weights through ParamView pointers the
-  // layers cannot observe: drop every cached weight pack.
+  // layers cannot observe: drop every cached weight pack and advance the
+  // decoder generation (release-ordered so a reader that sees the new
+  // version also sees the invalidated cache).
   decoder_->invalidate_weight_cache();
+  model_version_.fetch_add(1, std::memory_order_acq_rel);
   round_open_ = false;
   return LatentGradMsg{msg.round, loss, std::move(latent_grad)};
 }

@@ -6,6 +6,8 @@
 // aggregator can update its encoder.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 
 #include "core/config.h"
@@ -45,6 +47,15 @@ class EdgeServer {
   /// nullptr means "inherit the caller's selection".
   const tensor::Backend* backend() const noexcept { return backend_; }
 
+  /// Monotonically increasing decoder generation: starts at 1 and bumps on
+  /// every applied train_step. The training runtime stamps exported
+  /// ModelRegistry snapshots with this value, so "model version" means the
+  /// same thing on the training side, in the registry and in serve
+  /// telemetry. Atomic: serving threads read it concurrently with training.
+  std::uint64_t model_version() const noexcept {
+    return model_version_.load(std::memory_order_acquire);
+  }
+
  private:
   const tensor::Backend* backend_ = nullptr;
   std::unique_ptr<nn::Sequential> decoder_;
@@ -52,6 +63,7 @@ class EdgeServer {
   ReconLoss loss_kind_;
   float huber_delta_;
   std::uint64_t pending_round_ = 0;
+  std::atomic<std::uint64_t> model_version_{1};
   bool round_open_ = false;
   std::size_t batch_in_flight_ = 0;
   std::size_t latent_dim_, output_dim_;

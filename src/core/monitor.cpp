@@ -6,8 +6,9 @@
 
 namespace orco::core {
 
-FineTuningMonitor::FineTuningMonitor(float relaunch_factor, std::size_t window)
-    : relaunch_factor_(relaunch_factor), window_(window) {
+FineTuningMonitor::FineTuningMonitor(float relaunch_factor, std::size_t window,
+                                     std::size_t cooldown)
+    : relaunch_factor_(relaunch_factor), window_(window), cooldown_(cooldown) {
   ORCO_CHECK(relaunch_factor > 1.0f, "relaunch factor must exceed 1");
   ORCO_CHECK(window > 0, "monitor window must be positive");
 }
@@ -21,11 +22,22 @@ void FineTuningMonitor::set_baseline(float loss) {
 bool FineTuningMonitor::observe(float loss) {
   ORCO_CHECK(has_baseline_, "observe() before set_baseline()");
   ORCO_CHECK(loss >= 0.0f, "loss must be non-negative");
+  if (cooldown_remaining_ > 0) {
+    --cooldown_remaining_;
+    return false;
+  }
   recent_.push_back(loss);
   if (recent_.size() > window_) recent_.pop_front();
   if (recent_.size() < window_) return false;
   if (rolling_mean() > relaunch_factor_ * baseline_) {
     ++relaunches_;
+    if (cooldown_ > 0) {
+      // Re-arm delay: drop the drifted window and swallow the next
+      // `cooldown_` observations — they describe the same episode the
+      // just-fired relaunch is already fixing.
+      recent_.clear();
+      cooldown_remaining_ = cooldown_;
+    }
     return true;
   }
   return false;
@@ -37,6 +49,9 @@ float FineTuningMonitor::rolling_mean() const {
   return sum / static_cast<float>(recent_.size());
 }
 
-void FineTuningMonitor::reset_observations() { recent_.clear(); }
+void FineTuningMonitor::reset_observations() {
+  recent_.clear();
+  cooldown_remaining_ = 0;
+}
 
 }  // namespace orco::core

@@ -11,7 +11,16 @@ namespace orco::core {
 
 class FineTuningMonitor {
  public:
-  FineTuningMonitor(float relaunch_factor, std::size_t window);
+  /// `cooldown` observations after a trigger are swallowed (and the window
+  /// cleared) before the monitor re-arms, so a sustained drift episode
+  /// fires one relaunch, not one per observation, while the fine-tune job
+  /// it triggered is still running. 0 preserves the historical behaviour
+  /// (callers re-arm manually via reset_observations()). All three knobs
+  /// come from OrcoConfig (relaunch_factor / monitor_window /
+  /// monitor_cooldown) when constructed by the system facade or the
+  /// training runtime.
+  FineTuningMonitor(float relaunch_factor, std::size_t window,
+                    std::size_t cooldown = 0);
 
   /// Sets the healthy reference error (typically the final training loss).
   void set_baseline(float loss);
@@ -35,6 +44,8 @@ class FineTuningMonitor {
  private:
   float relaunch_factor_;
   std::size_t window_;
+  std::size_t cooldown_;
+  std::size_t cooldown_remaining_ = 0;
   float baseline_ = 0.0f;
   bool has_baseline_ = false;
   std::deque<float> recent_;

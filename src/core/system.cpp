@@ -109,6 +109,28 @@ float OrcoDcsSystem::evaluate_loss(const data::Dataset& dataset) {
 
 namespace {
 constexpr std::uint32_t kCheckpointMagic = 0x4f444353u;  // "ODCS"
+
+/// Rebuilds `build(config)`'s layer chain and copies `source`'s parameters
+/// into it via the model_io round-trip (names/shapes validated there).
+std::unique_ptr<nn::Sequential> clone_model(
+    nn::Sequential& source, const OrcoConfig& config,
+    std::unique_ptr<nn::Sequential> (*build)(const OrcoConfig&,
+                                             common::Pcg32&)) {
+  // The clone's random init is immediately overwritten by load_params; the
+  // rng only has to exist.
+  common::Pcg32 scratch_rng(config.seed ^ 0x636c6f6eULL);  // "clon"
+  auto clone = build(config, scratch_rng);
+  nn::load_params(*clone, nn::save_params(source));
+  return clone;
+}
+}
+
+std::unique_ptr<nn::Sequential> OrcoDcsSystem::export_decoder_clone() {
+  return clone_model(edge_->decoder(), config_.orco, &build_decoder);
+}
+
+std::unique_ptr<nn::Sequential> OrcoDcsSystem::export_encoder_clone() {
+  return clone_model(aggregator_->encoder(), config_.orco, &build_encoder);
 }
 
 void OrcoDcsSystem::save_checkpoint(const std::string& path) {

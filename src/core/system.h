@@ -71,6 +71,22 @@ class OrcoDcsSystem {
   void save_checkpoint(const std::string& path);
   void load_checkpoint(const std::string& path);
 
+  /// Deep-copies the current decoder / encoder into a freshly built model
+  /// with identical weights (bitwise: parameters are copied through the
+  /// model_io round-trip, and build_* reconstructs the exact layer chain).
+  /// This is the export side of the serve-while-retraining hot swap: the
+  /// training runtime clones here, freezes the clone into a
+  /// train::ModelSnapshot and publishes it, so serving never shares
+  /// mutable weights with training. Callers must not run these
+  /// concurrently with training rounds on this system.
+  std::unique_ptr<nn::Sequential> export_decoder_clone();
+  std::unique_ptr<nn::Sequential> export_encoder_clone();
+
+  /// Current decoder generation (EdgeServer::model_version).
+  std::uint64_t model_version() const noexcept {
+    return edge_->model_version();
+  }
+
   // -- component access ---------------------------------------------------
   DataAggregator& aggregator() noexcept { return *aggregator_; }
   EdgeServer& edge() noexcept { return *edge_; }
@@ -87,7 +103,7 @@ class OrcoDcsSystem {
  private:
   struct MonitorShim {
     explicit MonitorShim(const OrcoConfig& c)
-        : inner(c.relaunch_factor, c.monitor_window) {}
+        : inner(c.relaunch_factor, c.monitor_window, c.monitor_cooldown) {}
     bool should(OrcoDcsSystem&, float loss) {
       return inner.has_baseline() ? inner.observe(loss) : false;
     }

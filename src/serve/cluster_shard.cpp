@@ -66,11 +66,15 @@ class AnswerAllGuard {
 ClusterShard::ClusterShard(std::size_t index,
                            const BatchQueueConfig& queue_config,
                            Telemetry* telemetry,
-                           const tensor::Backend* backend)
+                           const tensor::Backend* backend,
+                           std::shared_ptr<train::ModelRegistry> registry,
+                           const ReconstructionCacheConfig& cache_config)
     : index_(index),
       queue_(queue_config),
       telemetry_(telemetry),
-      backend_(backend) {
+      backend_(backend),
+      registry_(std::move(registry)),
+      cache_(cache_config) {
   ORCO_CHECK(telemetry != nullptr, "ClusterShard needs a telemetry registry");
 }
 
@@ -83,8 +87,13 @@ void ClusterShard::add_cluster(ClusterId cluster,
                                std::shared_ptr<core::OrcoDcsSystem> system,
                                const TenantPolicy& policy) {
   ORCO_CHECK(system != nullptr, "cannot register a null tenant system");
+  TenantEntry entry;
+  entry.system = std::move(system);
+  // The swap slot is grabbed once here; the serve path then pays exactly
+  // one atomic snapshot load per batch, never a registry map lookup.
+  if (registry_ != nullptr) entry.model = registry_->entry(cluster);
   std::lock_guard lock(tenants_mu_);
-  ORCO_CHECK(tenants_.emplace(cluster, std::move(system)).second,
+  ORCO_CHECK(tenants_.emplace(cluster, std::move(entry)).second,
              "cluster " << cluster << " already registered on shard "
                         << index_);
   queue_.set_policy(cluster, policy);
@@ -100,11 +109,12 @@ std::size_t ClusterShard::cluster_count() const {
   return tenants_.size();
 }
 
-std::shared_ptr<core::OrcoDcsSystem> ClusterShard::find_cluster(
-    ClusterId cluster) const {
+ClusterShard::TenantEntry* ClusterShard::find_cluster(ClusterId cluster) {
   std::lock_guard lock(tenants_mu_);
   const auto it = tenants_.find(cluster);
-  return it == tenants_.end() ? nullptr : it->second;
+  // Map nodes are stable: the pointer outlives the lock, and registration
+  // never mutates an existing entry.
+  return it == tenants_.end() ? nullptr : &it->second;
 }
 
 void ClusterShard::run() {
@@ -126,12 +136,13 @@ void ClusterShard::serve_batch(std::vector<PendingRequest> batch) {
   if (batch.empty()) return;
   // Per-ServeConfig kernel backend for everything this batch computes; a
   // tenant with its own OrcoConfig::backend still overrides inside
-  // decode_inference (most specific wins).
+  // decode_inference / via the snapshot's recorded backend (most specific
+  // wins).
   tensor::BackendScope scope(backend_);
   const ClusterId cluster = batch.front().request.cluster;
   AnswerAllGuard guard(batch, *telemetry_, cluster);
-  const auto system = find_cluster(cluster);
-  if (system == nullptr) {
+  TenantEntry* tenant = find_cluster(cluster);
+  if (tenant == nullptr) {
     for (auto& pending : batch) {
       // Telemetry strictly before the promise resolves: a caller who sees
       // the future ready must also see the counters updated.
@@ -141,13 +152,43 @@ void ClusterShard::serve_batch(std::vector<PendingRequest> batch) {
     return;
   }
 
-  // Validate shapes up front; only well-formed latents join the GEMM batch.
-  // Requests stay in `batch` (the guard owns them); `good` holds indices.
-  const std::size_t latent_dim = system->config().orco.latent_dim;
+  // Pin one coherent model generation for the whole batch: the snapshot's
+  // shared_ptr keeps it alive through the fan-out even if the trainer
+  // publishes a newer one mid-flight; requests popped after this batch see
+  // the swap. Without a registry entry (or before its first publish), fall
+  // back to the tenant's live EdgeServer.
+  const std::shared_ptr<const train::ModelSnapshot> snapshot =
+      tenant->model != nullptr ? tenant->model->load() : nullptr;
+  const std::uint64_t version =
+      snapshot != nullptr ? snapshot->version
+                          : tenant->system->edge().model_version();
+  const std::size_t latent_dim =
+      snapshot != nullptr ? snapshot->latent_dim
+                          : tenant->system->config().orco.latent_dim;
+  const double staleness_us =
+      snapshot != nullptr ? snapshot->age_us(std::chrono::steady_clock::now())
+                          : 0.0;
+  telemetry_->record_model_version(cluster, version, staleness_us);
+  // Swap-coherent cache invalidation: the version is part of every cache
+  // key, so a stale hit is impossible by construction — invalidating at
+  // the observed swap edge additionally returns the dead generation's LRU
+  // capacity immediately.
+  if (cache_.enabled() && tenant->last_version != 0 &&
+      tenant->last_version != version) {
+    cache_.invalidate(cluster);
+  }
+  tenant->last_version = version;
+
+  // Validate shapes up front; only well-formed cache misses join the GEMM
+  // batch. Requests stay in `batch` (the guard owns them); `good` holds
+  // indices and `keys` the miss requests' cache keys (computed once here,
+  // reused by the post-decode insert; nullopt = uncacheable latent).
   std::vector<std::size_t> good;
   good.reserve(batch.size());
   std::vector<Tensor> latents;
   latents.reserve(batch.size());
+  std::vector<std::optional<std::string>> keys;
+  if (cache_.enabled()) keys.reserve(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const Tensor& latent = batch[i].request.latent;
     const bool well_formed =
@@ -158,6 +199,29 @@ void ClusterShard::serve_batch(std::vector<PendingRequest> batch) {
       respond_error(batch[i], ResponseStatus::kBadRequest);
       continue;
     }
+    if (cache_.enabled()) {
+      std::optional<std::string> key =
+          cache_.key_for(cluster, version, latent);
+      if (key.has_value()) {
+        if (const Tensor* hit = cache_.lookup(*key)) {
+          DecodeResponse response;
+          response.id = batch[i].request.id;
+          response.status = ResponseStatus::kOk;
+          response.reconstruction = *hit;
+          response.batch_size = 1;
+          response.model_version = version;
+          response.cache_hit = true;
+          response.latency_us = elapsed_us(batch[i].request.enqueued_at);
+          telemetry_->record_cache_hit(cluster);
+          telemetry_->record_completed(cluster, response.latency_us);
+          batch[i].promise.set_value(std::move(response));
+          batch[i].answered = true;
+          continue;
+        }
+        telemetry_->record_cache_miss(cluster);
+      }
+      keys.push_back(std::move(key));
+    }
     latents.push_back(latent);
     good.push_back(i);
   }
@@ -167,7 +231,13 @@ void ClusterShard::serve_batch(std::vector<PendingRequest> batch) {
   // stream through cache once instead of once per request.
   Tensor decoded;
   try {
-    decoded = system->edge().decode_inference(tensor::stack_rows(latents));
+    const Tensor stacked = tensor::stack_rows(latents);
+    if (snapshot != nullptr) {
+      tensor::BackendScope tenant_scope(snapshot->backend);
+      decoded = snapshot->decoder->infer(stacked);
+    } else {
+      decoded = tenant->system->edge().decode_inference(stacked);
+    }
   } catch (const std::exception& e) {
     for (const std::size_t i : good) {
       telemetry_->record_rejected(cluster);
@@ -186,7 +256,11 @@ void ClusterShard::serve_batch(std::vector<PendingRequest> batch) {
     response.reconstruction =
         decoded.slice_rows(row, row + 1).reshaped({output_dim});
     response.batch_size = good.size();
+    response.model_version = version;
     response.latency_us = elapsed_us(pending.request.enqueued_at);
+    if (cache_.enabled() && keys[row].has_value()) {
+      cache_.insert(cluster, *std::move(keys[row]), response.reconstruction);
+    }
     telemetry_->record_completed(cluster, response.latency_us);
     pending.promise.set_value(std::move(response));
     pending.answered = true;

@@ -6,6 +6,15 @@
 // shard's BatchQueue hands the worker same-cluster batches which are
 // decoded with a single batched decode_inference call and fanned back out
 // to the per-request futures.
+//
+// Serve-while-retraining: when a train::ModelRegistry is attached, the
+// shard decodes through the tenant's current immutable ModelSnapshot — one
+// atomic load per batch picks up hot swaps published by the background
+// TrainerRuntime, the snapshot's shared_ptr pins exactly one coherent model
+// for the whole fan-out, and an observed version change invalidates the
+// tenant's entries in the shard's latent-keyed ReconstructionCache. Without
+// a registry the shard falls back to decoding on the tenant's live
+// EdgeServer (fine as long as nothing trains it concurrently).
 #pragma once
 
 #include <cstddef>
@@ -16,9 +25,11 @@
 
 #include "core/system.h"
 #include "serve/batch_queue.h"
+#include "serve/reconstruction_cache.h"
 #include "serve/request.h"
 #include "serve/telemetry.h"
 #include "tensor/backend.h"
+#include "train/model_registry.h"
 
 namespace orco::serve {
 
@@ -36,17 +47,23 @@ class ClusterShard {
  public:
   /// `backend` (nullable) pins this shard's decode GEMMs to one kernel
   /// backend (tensor/backend.h); null inherits the process default.
+  /// `registry` (nullable) enables the hot-swap path for tenants published
+  /// there; `cache_config.capacity > 0` enables the shard's
+  /// ReconstructionCache.
   ClusterShard(std::size_t index, const BatchQueueConfig& queue_config,
                Telemetry* telemetry,
-               const tensor::Backend* backend = nullptr);
+               const tensor::Backend* backend = nullptr,
+               std::shared_ptr<train::ModelRegistry> registry = nullptr,
+               const ReconstructionCacheConfig& cache_config = {});
 
   std::size_t index() const noexcept { return index_; }
   BatchQueue& queue() noexcept { return queue_; }
 
   /// Registers a tenant under the queue's default policy. The system is
   /// shared so callers can keep training or monitoring it between serve
-  /// batches (same-shard serialization makes that safe only from the shard
-  /// worker; external mutation should pause traffic first).
+  /// batches: with a model registry attached the trainer may mutate it
+  /// freely (the serve path only reads registry snapshots); without one,
+  /// external mutation should pause traffic first.
   void add_cluster(ClusterId cluster,
                    std::shared_ptr<core::OrcoDcsSystem> system);
 
@@ -67,15 +84,33 @@ class ClusterShard {
   /// Exposed for tests; normally called from run().
   void serve_batch(std::vector<PendingRequest> batch);
 
+  /// Worker-thread-owned cache stats; read from other threads only after
+  /// the worker has stopped (e.g. post-shutdown reporting).
+  const ReconstructionCache::Stats& recon_cache_stats() const noexcept {
+    return cache_.stats();
+  }
+
  private:
-  std::shared_ptr<core::OrcoDcsSystem> find_cluster(ClusterId cluster) const;
+  /// One registered tenant: the live system plus (when a registry is
+  /// attached) its swap slot and the last decoder generation this shard
+  /// served for it — the edge that triggers swap-coherent cache
+  /// invalidation. `last_version` is only touched by the shard worker.
+  struct TenantEntry {
+    std::shared_ptr<core::OrcoDcsSystem> system;
+    std::shared_ptr<train::ModelRegistry::Entry> model;  // null: direct path
+    std::uint64_t last_version = 0;
+  };
+
+  TenantEntry* find_cluster(ClusterId cluster);
 
   std::size_t index_;
   BatchQueue queue_;
   Telemetry* telemetry_;  // runtime-owned; never null
   const tensor::Backend* backend_;  // nullable: inherit process default
+  std::shared_ptr<train::ModelRegistry> registry_;  // nullable
+  ReconstructionCache cache_;  // worker-thread-owned
   mutable std::mutex tenants_mu_;  // guards registration vs. lookup only
-  std::map<ClusterId, std::shared_ptr<core::OrcoDcsSystem>> tenants_;
+  std::map<ClusterId, TenantEntry> tenants_;
 };
 
 }  // namespace orco::serve

@@ -1,0 +1,143 @@
+#include "serve/reconstruction_cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <utility>
+
+#include "common/check.h"
+
+namespace orco::serve {
+
+ReconstructionCache::ReconstructionCache(
+    const ReconstructionCacheConfig& config)
+    : config_(config) {}
+
+std::optional<std::string> ReconstructionCache::key_for(
+    ClusterId cluster, std::uint64_t version, const Tensor& latent) const {
+  // (cluster, version) prefix, then the quantized latent codes. See the
+  // header: the affine range is snapped outward to a fixed 1/64 grid so
+  // noise on the extreme elements does not perturb the header bytes —
+  // keying on core/quantization's exact-min/max wire payload would make
+  // near-identical latents never collide.
+  if (!enabled()) return std::nullopt;
+  const std::span<const float> values = latent.data();
+  // Non-finite latents are uncacheable: an Inf extreme degenerates the
+  // affine scale to 0 and NaN codes are undefined through lround, which
+  // would alias arbitrary latents onto one key (a wrong cached answer,
+  // not just a miss).
+  for (const float v : values) {
+    if (!std::isfinite(v)) return std::nullopt;
+  }
+  std::string key;
+  key.reserve(2 * sizeof(std::uint64_t) + 2 * sizeof(float) +
+              values.size() * core::bytes_per_value(config_.key_precision));
+  const auto append = [&key](const void* bytes, std::size_t n) {
+    key.append(static_cast<const char*>(bytes), n);
+  };
+  append(&cluster, sizeof(cluster));
+  append(&version, sizeof(version));
+  if (config_.key_precision == core::LatentPrecision::kFloat32) {
+    append(values.data(), values.size() * sizeof(float));
+    return key;
+  }
+  float mn = values.empty() ? 0.0f : values[0];
+  float mx = mn;
+  for (const float v : values) {
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  constexpr float kGrid = 64.0f;  // snap range endpoints to 1/64 steps
+  const float lo = std::floor(mn * kGrid) / kGrid;
+  float hi = std::ceil(mx * kGrid) / kGrid;
+  if (hi - lo < 1.0f / kGrid) hi = lo + 1.0f / kGrid;
+  // Finite inputs can still overflow the snapped range (|v| ~ 1e37 pushes
+  // mn*kGrid or hi-lo to inf), which would zero the scale and alias
+  // arbitrary latents onto one key — same wrong-hit hazard the isfinite
+  // guard above exists for. Such latents are garbage for a sigmoid-range
+  // decoder anyway; just don't cache them.
+  if (!std::isfinite(lo) || !std::isfinite(hi) || !std::isfinite(hi - lo)) {
+    return std::nullopt;
+  }
+  append(&lo, sizeof(lo));
+  append(&hi, sizeof(hi));
+  const std::uint32_t max_code =
+      config_.key_precision == core::LatentPrecision::kFixed16 ? 65535u
+                                                               : 255u;
+  const float scale = static_cast<float>(max_code) / (hi - lo);
+  for (const float v : values) {
+    const long rounded = std::lround((v - lo) * scale);
+    const std::uint32_t code = static_cast<std::uint32_t>(
+        std::clamp<long>(rounded, 0, static_cast<long>(max_code)));
+    if (config_.key_precision == core::LatentPrecision::kFixed16) {
+      const std::uint16_t code16 = static_cast<std::uint16_t>(code);
+      append(&code16, sizeof(code16));
+    } else {
+      const std::uint8_t code8 = static_cast<std::uint8_t>(code);
+      append(&code8, sizeof(code8));
+    }
+  }
+  return key;
+}
+
+const Tensor* ReconstructionCache::lookup(const std::string& key) {
+  if (!enabled()) return nullptr;
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return &it->second->reconstruction;
+}
+
+void ReconstructionCache::insert(ClusterId cluster, std::string key,
+                                 Tensor reconstruction) {
+  if (!enabled()) return;
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    it->second->reconstruction = std::move(reconstruction);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  while (entries_.size() >= config_.capacity) {
+    entries_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{key, cluster, std::move(reconstruction)});
+  entries_.emplace(std::move(key), lru_.begin());
+  ++stats_.insertions;
+}
+
+const Tensor* ReconstructionCache::lookup(ClusterId cluster,
+                                          std::uint64_t version,
+                                          const Tensor& latent) {
+  const auto key = key_for(cluster, version, latent);
+  return key.has_value() ? lookup(*key) : nullptr;
+}
+
+void ReconstructionCache::insert(ClusterId cluster, std::uint64_t version,
+                                 const Tensor& latent, Tensor reconstruction) {
+  auto key = key_for(cluster, version, latent);
+  if (key.has_value()) insert(cluster, *std::move(key), std::move(reconstruction));
+}
+
+void ReconstructionCache::invalidate(ClusterId cluster) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->cluster != cluster) {
+      ++it;
+      continue;
+    }
+    entries_.erase(it->key);
+    it = lru_.erase(it);
+    ++stats_.invalidated;
+  }
+}
+
+void ReconstructionCache::clear() {
+  entries_.clear();
+  lru_.clear();
+}
+
+}  // namespace orco::serve

@@ -1,0 +1,121 @@
+// ReconstructionCache — latent-keyed LRU memo of decoded reconstructions.
+//
+// Steady-state IoT traffic repeats itself: a cluster whose sensing field is
+// quiet uplinks near-identical latents round after round, and decoding each
+// copy re-runs the same GEMM. The cache keys on the tenant, the serving
+// model version and the *quantized* latent bytes. The key quantizer is
+// deliberately not core/quantization's wire format: that payload embeds the
+// batch's exact float min/max, so 1e-6 of sensor noise on the extreme
+// element would change the header bytes and degenerate the cache to
+// exact-match. Instead the key snaps [min, max] outward to a fixed 1/64
+// grid and quantizes every value against the snapped range — two latents
+// hit the same entry iff every element rounds to the same code against the
+// same snapped range, i.e. they differ elementwise by less than one code
+// step (unless their extremes straddle a grid line, which only costs a
+// miss, never a wrong hit... of a *different* key's entry). The served
+// reconstruction can therefore differ from a fresh decode by at most the
+// decoder's response to a sub-code-step latent perturbation; pick
+// kFixed16 (default) for near-exact matching, kFixed8 for higher hit
+// rates on noisy repeat traffic, kFloat32 for bitwise-exact-match-only.
+//
+// Coherence: the model version is part of the key, so a hot-swapped model
+// can never serve a stale reconstruction; ClusterShard additionally calls
+// invalidate() on the swapped tenant so dead-version entries stop occupying
+// LRU capacity the moment the swap is observed.
+//
+// Threading: intentionally unsynchronized — each ClusterShard owns one
+// cache, touched only by its worker thread (the serve path's "no locks on
+// decode" rule). Cross-thread observability goes through serve::Telemetry's
+// cache-hit/miss counters instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/quantization.h"
+#include "serve/request.h"
+
+namespace orco::serve {
+
+struct ReconstructionCacheConfig {
+  /// Max cached reconstructions (across all tenants of the shard);
+  /// 0 disables the cache entirely.
+  std::size_t capacity = 0;
+  /// Precision of the quantized-latent key. Coarser keys trade bounded
+  /// reconstruction error for a higher hit rate on noisy repeat traffic.
+  core::LatentPrecision key_precision = core::LatentPrecision::kFixed16;
+};
+
+class ReconstructionCache {
+ public:
+  explicit ReconstructionCache(const ReconstructionCacheConfig& config);
+
+  bool enabled() const noexcept { return config_.capacity > 0; }
+
+  /// Computes the cache key for (cluster, version, latent), or nullopt
+  /// when the latent is not cacheable (disabled cache, or non-finite
+  /// values — NaN/Inf would degenerate the affine range and alias
+  /// arbitrary latents onto one key). The serve path computes the key
+  /// once and reuses it for the miss-then-insert round trip.
+  std::optional<std::string> key_for(ClusterId cluster, std::uint64_t version,
+                                     const Tensor& latent) const;
+
+  /// Returns the cached reconstruction for a key_for() key and refreshes
+  /// its LRU position, or nullptr on miss. The pointer is valid until the
+  /// next mutating call.
+  const Tensor* lookup(const std::string& key);
+
+  /// Inserts a decoded reconstruction under a key_for() key, evicting the
+  /// least-recently-used entry when at capacity. Overwrites an existing
+  /// entry for the key. `cluster` must be the key's cluster (it drives
+  /// invalidate()).
+  void insert(ClusterId cluster, std::string key, Tensor reconstruction);
+
+  /// Convenience wrappers over key_for + the key-based calls.
+  const Tensor* lookup(ClusterId cluster, std::uint64_t version,
+                       const Tensor& latent);
+  void insert(ClusterId cluster, std::uint64_t version, const Tensor& latent,
+              Tensor reconstruction);
+
+  /// Drops every entry of one tenant (all versions) — the swap-coherence
+  /// hook ClusterShard fires when it observes a model-version change.
+  void invalidate(ClusterId cluster);
+
+  void clear();
+
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;      // LRU-capacity evictions only
+    std::uint64_t invalidated = 0;    // entries dropped by invalidate()
+
+    double hit_rate() const {
+      const std::uint64_t total = hits + misses;
+      return total > 0 ? static_cast<double>(hits) /
+                             static_cast<double>(total)
+                       : 0.0;
+    }
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    ClusterId cluster = 0;
+    Tensor reconstruction;
+  };
+
+  ReconstructionCacheConfig config_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> entries_;
+  Stats stats_;
+};
+
+}  // namespace orco::serve

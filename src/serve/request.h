@@ -57,6 +57,15 @@ struct DecodeResponse {
   std::string detail;           // human-readable cause on kInternalError
   double latency_us = 0.0;      // enqueue -> response
   std::size_t batch_size = 0;   // occupancy of the batch that served it
+  /// Decoder generation that produced the reconstruction: the registry
+  /// snapshot's version on the hot-swap path, or the live tenant's
+  /// EdgeServer::model_version() on the legacy direct path. 0 on errors.
+  /// Exactly one version answers any request — a batch pins its snapshot
+  /// for its whole fan-out, swaps land only between batches.
+  std::uint64_t model_version = 0;
+  /// True when the reconstruction came from the shard's latent-keyed
+  /// ReconstructionCache instead of a decode.
+  bool cache_hit = false;
 };
 
 /// A queued request plus the promise that fulfils its caller's future.

@@ -15,12 +15,16 @@
 //
 // Layering: tensor -> nn -> wsn -> core -> serve. The runtime multiplexes
 // many independent core::OrcoDcsSystem tenants behind one batched,
-// sharded, bounded-queue front door.
+// sharded, bounded-queue front door. train/model_registry.h sits below
+// serve (nn-level: immutable snapshot handoff); train/trainer_runtime.h
+// sits above it (background fine-tuning that publishes into the registry).
 #pragma once
 
-#include "serve/batch_queue.h"     // IWYU pragma: export
-#include "serve/tenant_policy.h"   // IWYU pragma: export
-#include "serve/cluster_shard.h"   // IWYU pragma: export
-#include "serve/request.h"         // IWYU pragma: export
-#include "serve/server_runtime.h"  // IWYU pragma: export
-#include "serve/telemetry.h"       // IWYU pragma: export
+#include "serve/batch_queue.h"            // IWYU pragma: export
+#include "serve/tenant_policy.h"          // IWYU pragma: export
+#include "serve/cluster_shard.h"          // IWYU pragma: export
+#include "serve/reconstruction_cache.h"   // IWYU pragma: export
+#include "serve/request.h"                // IWYU pragma: export
+#include "serve/server_runtime.h"         // IWYU pragma: export
+#include "serve/telemetry.h"              // IWYU pragma: export
+#include "train/model_registry.h"         // IWYU pragma: export

@@ -15,8 +15,9 @@ ServerRuntime::ServerRuntime(const ServeConfig& config)
   const tensor::Backend* backend = tensor::resolve_backend(config.backend);
   shards_.reserve(config.shard_count);
   for (std::size_t i = 0; i < config.shard_count; ++i) {
-    shards_.push_back(
-        std::make_unique<ClusterShard>(i, config.queue, &telemetry_, backend));
+    shards_.push_back(std::make_unique<ClusterShard>(
+        i, config.queue, &telemetry_, backend, config.model_registry,
+        config.recon_cache));
   }
 }
 

@@ -28,6 +28,13 @@ struct ServeConfig {
   // tenant whose OrcoConfig names its own backend overrides this per
   // decode (most specific wins).
   std::string backend;
+  // Serve-while-retraining: when set (typically TrainerRuntime::registry()),
+  // shards decode registered tenants through the registry's immutable
+  // versioned snapshots and pick up hot swaps between batches; when null,
+  // shards decode on the tenant's live EdgeServer as before.
+  std::shared_ptr<train::ModelRegistry> model_registry;
+  // Per-shard latent-keyed reconstruction cache (capacity 0 = off).
+  ReconstructionCacheConfig recon_cache;
 };
 
 class ServerRuntime {
@@ -81,6 +88,11 @@ class ServerRuntime {
   Telemetry& telemetry() noexcept { return telemetry_; }
   const Telemetry& telemetry() const noexcept { return telemetry_; }
   const ServeConfig& config() const noexcept { return config_; }
+  /// The hot-swap registry shards read from; null when serving live models.
+  const std::shared_ptr<train::ModelRegistry>& model_registry()
+      const noexcept {
+    return config_.model_registry;
+  }
 
  private:
   std::future<DecodeResponse> immediate_response(RequestId id,

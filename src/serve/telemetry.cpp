@@ -111,12 +111,40 @@ void Telemetry::record_completed(ClusterId cluster, double latency_us) {
   tenant_stats(cluster).latency.record(latency_us);
 }
 
+void Telemetry::record_cache_hit(ClusterId cluster) {
+  std::lock_guard lock(mu_);
+  ++cache_hits_;
+  ++tenant_stats(cluster).cache_hits;
+}
+
+void Telemetry::record_cache_miss(ClusterId cluster) {
+  std::lock_guard lock(mu_);
+  ++cache_misses_;
+  ++tenant_stats(cluster).cache_misses;
+}
+
+void Telemetry::record_model_version(ClusterId cluster, std::uint64_t version,
+                                     double staleness_us) {
+  std::lock_guard lock(mu_);
+  TenantStats& stats = tenant_stats(cluster);
+  if (stats.model_version != 0 && stats.model_version != version) {
+    ++stats.model_swaps;
+  }
+  stats.model_version = version;
+  stats.model_staleness_us = staleness_us;
+}
+
 TenantSnapshot Telemetry::snapshot_of(const TenantStats& stats) {
   TenantSnapshot s;
   s.submitted = stats.submitted;
   s.completed = stats.latency.count();
   s.shed = stats.shed;
   s.rejected = stats.rejected;
+  s.cache_hits = stats.cache_hits;
+  s.cache_misses = stats.cache_misses;
+  s.model_version = stats.model_version;
+  s.model_swaps = stats.model_swaps;
+  s.model_staleness_us = stats.model_staleness_us;
   s.p50_us = stats.latency.quantile(0.50);
   s.p99_us = stats.latency.quantile(0.99);
   s.mean_latency_us = stats.latency.mean_us();
@@ -142,12 +170,20 @@ std::map<ClusterId, TenantSnapshot> Telemetry::tenant_snapshots() const {
 common::Table Telemetry::tenant_report() const {
   const auto snapshots = tenant_snapshots();
   common::Table t({"cluster", "submitted", "completed", "shed", "rejected",
-                   "p50 us", "p99 us"});
+                   "p50 us", "p99 us", "cache hit%", "model ver", "swaps",
+                   "staleness ms"});
   for (const auto& [cluster, s] : snapshots) {
+    const std::uint64_t looked_up = s.cache_hits + s.cache_misses;
+    const double hit_pct =
+        looked_up > 0 ? 100.0 * static_cast<double>(s.cache_hits) /
+                            static_cast<double>(looked_up)
+                      : 0.0;
     t.add_row({std::to_string(cluster), std::to_string(s.submitted),
                std::to_string(s.completed), std::to_string(s.shed),
                std::to_string(s.rejected), common::Table::num(s.p50_us, 1),
-               common::Table::num(s.p99_us, 1)});
+               common::Table::num(s.p99_us, 1), common::Table::num(hit_pct, 1),
+               std::to_string(s.model_version), std::to_string(s.model_swaps),
+               common::Table::num(s.model_staleness_us / 1000.0, 1)});
   }
   return t;
 }
@@ -160,6 +196,8 @@ TelemetrySnapshot Telemetry::snapshot() const {
   s.shed = shed_;
   s.rejected = rejected_;
   s.batches = batches_;
+  s.cache_hits = cache_hits_;
+  s.cache_misses = cache_misses_;
   s.mean_batch_occupancy =
       batches_ > 0 ? static_cast<double>(batch_requests_) /
                          static_cast<double>(batches_)
@@ -181,6 +219,11 @@ common::Table Telemetry::report(double elapsed_s) const {
   t.add_row({"shed", std::to_string(s.shed)});
   t.add_row({"rejected", std::to_string(s.rejected)});
   t.add_row({"batches", std::to_string(s.batches)});
+  if (s.cache_hits + s.cache_misses > 0) {
+    t.add_row({"cache hits", std::to_string(s.cache_hits)});
+    t.add_row(
+        {"cache hit rate", common::Table::num(s.cache_hit_rate() * 100.0, 1)});
+  }
   t.add_row({"mean batch occupancy", common::Table::num(s.mean_batch_occupancy, 2)});
   t.add_row({"max batch occupancy", std::to_string(s.max_batch_occupancy)});
   t.add_row({"p50 latency (us)", common::Table::num(s.p50_us, 1)});

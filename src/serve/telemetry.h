@@ -50,10 +50,19 @@ struct TelemetrySnapshot {
   std::uint64_t shed = 0;
   std::uint64_t rejected = 0;  // kUnknownCluster/kBadRequest/kShutdown/kInternalError
   std::uint64_t batches = 0;
+  std::uint64_t cache_hits = 0;    // answered from the ReconstructionCache
+  std::uint64_t cache_misses = 0;  // looked up but decoded
   double mean_batch_occupancy = 0.0;
   std::size_t max_batch_occupancy = 0;
   double p50_us = 0.0, p95_us = 0.0, p99_us = 0.0;
   double mean_latency_us = 0.0, max_latency_us = 0.0;
+
+  double cache_hit_rate() const {
+    const std::uint64_t total = cache_hits + cache_misses;
+    return total > 0
+               ? static_cast<double>(cache_hits) / static_cast<double>(total)
+               : 0.0;
+  }
 
   /// Completed requests per second over `elapsed_s` of wall time.
   double throughput_rps(double elapsed_s) const {
@@ -67,6 +76,18 @@ struct TenantSnapshot {
   std::uint64_t completed = 0;
   std::uint64_t shed = 0;
   std::uint64_t rejected = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  /// Decoder generation that served the tenant's most recent batch (0 when
+  /// nothing has been served yet) and how many version changes this
+  /// tenant's shard has observed — i.e. hot swaps that actually reached the
+  /// serve path.
+  std::uint64_t model_version = 0;
+  std::uint64_t model_swaps = 0;
+  /// Age of the serving snapshot when it last served (us since its
+  /// publish): the model-staleness gauge for the online-fine-tuning loop.
+  /// 0 on the legacy direct path (the live model is never stale).
+  double model_staleness_us = 0.0;
   double p50_us = 0.0, p99_us = 0.0;
   double mean_latency_us = 0.0, max_latency_us = 0.0;
 };
@@ -87,6 +108,13 @@ class Telemetry {
   void record_shed(ClusterId cluster);
   void record_rejected(ClusterId cluster);
   void record_completed(ClusterId cluster, double latency_us);
+  void record_cache_hit(ClusterId cluster);
+  void record_cache_miss(ClusterId cluster);
+  /// Called once per served batch with the decoder generation that served
+  /// it and the snapshot's age (0 for the live, non-snapshot path). Version
+  /// changes increment the tenant's swap counter.
+  void record_model_version(ClusterId cluster, std::uint64_t version,
+                            double staleness_us);
 
   TelemetrySnapshot snapshot() const;
   TenantSnapshot tenant_snapshot(ClusterId cluster) const;
@@ -104,6 +132,11 @@ class Telemetry {
     std::uint64_t submitted = 0;
     std::uint64_t shed = 0;
     std::uint64_t rejected = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t model_version = 0;
+    std::uint64_t model_swaps = 0;
+    double model_staleness_us = 0.0;
     LatencyHistogram latency;
   };
 
@@ -115,6 +148,8 @@ class Telemetry {
   std::uint64_t submitted_ = 0;
   std::uint64_t shed_ = 0;
   std::uint64_t rejected_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t batch_requests_ = 0;
   std::size_t max_occupancy_ = 0;

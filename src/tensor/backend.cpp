@@ -14,12 +14,13 @@ namespace orco::tensor {
 namespace {
 
 std::atomic<bool> g_parallel{true};
+thread_local bool t_parallel = true;
 
 // Minimum row*col product before we bother waking the thread pool.
 constexpr std::size_t kParallelThreshold = 64 * 1024;
 
 common::ThreadPool* gemm_pool(std::size_t m, std::size_t n) {
-  return (g_parallel.load() && m * n >= kParallelThreshold)
+  return (g_parallel.load() && t_parallel && m * n >= kParallelThreshold)
              ? &common::ThreadPool::global()
              : nullptr;
 }
@@ -595,5 +596,8 @@ void apply_epilogue(float* c, std::size_t m, std::size_t n,
 
 void set_gemm_parallelism(bool enabled) { g_parallel.store(enabled); }
 bool gemm_parallelism() { return g_parallel.load(); }
+
+void set_thread_gemm_parallelism(bool enabled) { t_parallel = enabled; }
+bool thread_gemm_parallelism() { return t_parallel; }
 
 }  // namespace orco::tensor

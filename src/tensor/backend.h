@@ -173,4 +173,15 @@ void apply_epilogue(float* c, std::size_t m, std::size_t n,
 void set_gemm_parallelism(bool enabled);
 bool gemm_parallelism();
 
+/// Per-thread opt-out from pooled GEMM parallelism: kernels invoked from a
+/// thread that disabled it run inline on that thread instead of borrowing
+/// the shared pool's workers. train::TrainerRuntime turns this off on its
+/// (deprioritized) worker threads so background fine-tuning compute
+/// inherits their scheduling priority — routed through the normal-priority
+/// pool it would preempt serve decode batches and head-of-line-block the
+/// pool queue. Values are unchanged either way (row partitioning never
+/// alters a reduction). Default on.
+void set_thread_gemm_parallelism(bool enabled);
+bool thread_gemm_parallelism();
+
 }  // namespace orco::tensor

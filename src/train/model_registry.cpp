@@ -1,0 +1,59 @@
+#include "train/model_registry.h"
+
+#include "common/check.h"
+
+namespace orco::train {
+
+std::shared_ptr<ModelRegistry::Entry> ModelRegistry::entry(ClusterId cluster) {
+  std::lock_guard lock(mu_);
+  auto& slot = entries_[cluster];
+  if (slot == nullptr) slot = std::make_shared<Entry>();
+  return slot;
+}
+
+std::shared_ptr<ModelRegistry::Entry> ModelRegistry::find(
+    ClusterId cluster) const {
+  std::lock_guard lock(mu_);
+  const auto it = entries_.find(cluster);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const ModelSnapshot> ModelRegistry::current(
+    ClusterId cluster) const {
+  const auto slot = find(cluster);
+  return slot == nullptr ? nullptr : slot->load();
+}
+
+std::uint64_t ModelRegistry::publish(ClusterId cluster,
+                                     std::shared_ptr<ModelSnapshot> snapshot) {
+  ORCO_CHECK(snapshot != nullptr, "cannot publish a null snapshot");
+  ORCO_CHECK(snapshot->decoder != nullptr,
+             "snapshot for cluster " << cluster << " has no decoder");
+  ORCO_CHECK(snapshot->latent_dim > 0 && snapshot->output_dim > 0,
+             "snapshot dims must be positive");
+  // Serialize publishers per registry (publishes are rare — one per
+  // fine-tune job) so the version check and the swap are one step; readers
+  // never take this lock.
+  std::lock_guard lock(mu_);
+  auto& slot = entries_[cluster];
+  if (slot == nullptr) slot = std::make_shared<Entry>();
+  const auto previous = slot->load();
+  ORCO_CHECK(previous == nullptr || snapshot->version > previous->version,
+             "non-monotonic publish for cluster "
+                 << cluster << ": version " << snapshot->version
+                 << " after " << previous->version);
+  snapshot->published_at = std::chrono::steady_clock::now();
+  const std::uint64_t version = snapshot->version;
+  slot->snapshot_.store(std::shared_ptr<const ModelSnapshot>(std::move(snapshot)),
+                        std::memory_order_release);
+  slot->swaps_.fetch_add(1, std::memory_order_relaxed);
+  total_published_.fetch_add(1, std::memory_order_relaxed);
+  return version;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace orco::train

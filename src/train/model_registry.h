@@ -1,0 +1,104 @@
+// ModelRegistry — versioned, immutable model snapshots with atomic hot-swap.
+//
+// The serve-while-retraining loop needs two worlds that never block each
+// other: shard workers decoding at full rate, and trainer threads mutating
+// decoder weights. The registry is the handoff point. A ModelSnapshot is an
+// immutable (encoder, decoder) pair stamped with the EdgeServer's
+// monotonically increasing model version; publishing swaps one
+// std::atomic<std::shared_ptr> per tenant, so a shard picks up the new
+// model between batches with a single acquire load — no lock on the decode
+// path, and a batch already in flight keeps its snapshot alive (and
+// coherent) through its own shared_ptr until the fan-out completes.
+//
+// Layering: this header depends on nn/ only, so serve/ can hold registry
+// entries while train/'s TrainerRuntime (which depends on core/ and serve/)
+// produces them.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "nn/sequential.h"
+#include "tensor/backend.h"
+
+namespace orco::train {
+
+/// Same id space as serve::ClusterId (both are the tenant's cluster id).
+using ClusterId = std::uint64_t;
+
+/// One immutable model generation. The decoder (and optional encoder — the
+/// §III-C broadcast package a client refreshes after a swap) must never be
+/// mutated after publication: shard workers call infer() on them
+/// concurrently with later generations being trained.
+struct ModelSnapshot {
+  std::uint64_t version = 0;  // EdgeServer::model_version() at export time
+  std::shared_ptr<const nn::Sequential> decoder;
+  std::shared_ptr<const nn::Sequential> encoder;  // may be null
+  std::size_t latent_dim = 0;
+  std::size_t output_dim = 0;
+  /// Kernel backend the exporting tenant pinned (OrcoConfig::backend);
+  /// nullptr inherits the serving shard's selection.
+  const tensor::Backend* backend = nullptr;
+  std::chrono::steady_clock::time_point published_at;
+
+  /// Age of this snapshot (how stale the served model is) in microseconds.
+  double age_us(std::chrono::steady_clock::time_point now) const {
+    return std::chrono::duration<double, std::micro>(now - published_at)
+        .count();
+  }
+};
+
+class ModelRegistry {
+ public:
+  /// One tenant's swap slot. Entries are created once and never destroyed
+  /// while the registry lives, so a shard can cache the Entry pointer at
+  /// tenant registration and pay exactly one atomic load per batch.
+  class Entry {
+   public:
+    std::shared_ptr<const ModelSnapshot> load() const {
+      return snapshot_.load(std::memory_order_acquire);
+    }
+    std::uint64_t swap_count() const noexcept {
+      return swaps_.load(std::memory_order_relaxed);
+    }
+
+   private:
+    friend class ModelRegistry;
+    std::atomic<std::shared_ptr<const ModelSnapshot>> snapshot_;
+    std::atomic<std::uint64_t> swaps_{0};
+  };
+
+  /// Get-or-create the tenant's swap slot (empty until the first publish).
+  std::shared_ptr<Entry> entry(ClusterId cluster);
+
+  /// Lookup without creating; null when the tenant was never seen.
+  std::shared_ptr<Entry> find(ClusterId cluster) const;
+
+  /// Latest snapshot for the tenant, or null before the first publish.
+  std::shared_ptr<const ModelSnapshot> current(ClusterId cluster) const;
+
+  /// Atomically installs `snapshot` as the tenant's serving model. Versions
+  /// must be strictly increasing per tenant (they mirror the tenant
+  /// EdgeServer's train-step counter); a stale or duplicate version throws
+  /// and leaves the current snapshot in place. `published_at` is stamped
+  /// here. Returns the published version.
+  std::uint64_t publish(ClusterId cluster,
+                        std::shared_ptr<ModelSnapshot> snapshot);
+
+  std::size_t size() const;
+  /// Total snapshots published across all tenants.
+  std::uint64_t total_published() const noexcept {
+    return total_published_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mu_;  // guards the map only; swaps are per-entry atomics
+  std::map<ClusterId, std::shared_ptr<Entry>> entries_;
+  std::atomic<std::uint64_t> total_published_{0};
+};
+
+}  // namespace orco::train

@@ -1,0 +1,452 @@
+#include "train/trainer_runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "data/dataloader.h"
+
+#ifdef __linux__
+#include <sched.h>
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+namespace orco::train {
+
+namespace {
+
+/// Drops the calling thread to background scheduling (no-op off Linux or
+/// when nice_level is 0). SCHED_IDLE is the real background class — the
+/// thread runs only on otherwise-idle cycles and a waking decode thread
+/// preempts it immediately, which is what keeps serve p99 flat while a
+/// multi-millisecond training round is in flight on a shared core. Safe
+/// here because trainer threads never hold a lock the serve path takes
+/// (registry snapshot reads are a single atomic load). Falls back to plain
+/// niceness where SCHED_IDLE is unavailable; lowering priority never needs
+/// privileges.
+void background_current_thread(int nice_level) {
+  if (nice_level == 0) return;
+#ifdef __linux__
+  const sched_param param{};
+  if (sched_setscheduler(static_cast<pid_t>(gettid()), SCHED_IDLE, &param) ==
+      0) {
+    return;
+  }
+  if (setpriority(PRIO_PROCESS, static_cast<id_t>(gettid()), nice_level) !=
+      0) {
+    ORCO_LOG_ERROR("could not renice trainer thread to " << nice_level);
+  }
+#else
+  (void)nice_level;
+#endif
+}
+
+}  // namespace
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       since)
+      .count();
+}
+
+}  // namespace
+
+TrainerRuntime::Tenant::Tenant(std::shared_ptr<core::OrcoDcsSystem> sys,
+                               const serve::TenantPolicy& pol,
+                               const TrainBudget& bud)
+    : system(std::move(sys)),
+      policy(pol),
+      budget(bud),
+      monitor(system->config().orco.relaunch_factor,
+              system->config().orco.monitor_window,
+              system->config().orco.monitor_cooldown) {}
+
+TrainerRuntime::TrainerRuntime(const TrainerConfig& config)
+    : config_(config), registry_(std::make_shared<ModelRegistry>()) {
+  ORCO_CHECK(config.worker_threads > 0,
+             "TrainerRuntime needs at least one worker thread");
+  ORCO_CHECK(config.queue_capacity > 0, "job queue capacity must be positive");
+}
+
+TrainerRuntime::~TrainerRuntime() { shutdown(); }
+
+void TrainerRuntime::register_tenant(
+    ClusterId cluster, std::shared_ptr<core::OrcoDcsSystem> system) {
+  register_tenant(cluster, std::move(system), config_.default_policy,
+                  config_.default_budget);
+}
+
+void TrainerRuntime::register_tenant(
+    ClusterId cluster, std::shared_ptr<core::OrcoDcsSystem> system,
+    const serve::TenantPolicy& policy, const TrainBudget& budget) {
+  ORCO_CHECK(system != nullptr, "cannot register a null tenant system");
+  ORCO_CHECK(budget.duty_cycle > 0.0 && budget.duty_cycle <= 1.0,
+             "duty cycle must be in (0, 1], got " << budget.duty_cycle);
+  auto tenant = std::make_unique<Tenant>(std::move(system), policy, budget);
+  Tenant* inserted = tenant.get();
+  {
+    std::lock_guard lock(tenants_mu_);
+    ORCO_CHECK(tenants_.emplace(cluster, std::move(tenant)).second,
+               "tenant " << cluster << " already registered with the trainer");
+  }
+  if (config_.publish_on_register) {
+    std::lock_guard train_lock(inserted->train_mu);
+    (void)export_and_publish(cluster, *inserted);
+  }
+}
+
+TrainerRuntime::Tenant* TrainerRuntime::find_tenant(ClusterId cluster) const {
+  std::lock_guard lock(tenants_mu_);
+  const auto it = tenants_.find(cluster);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+std::future<TrainResult> TrainerRuntime::reject(ClusterId cluster,
+                                                JobOutcome outcome) {
+  std::promise<TrainResult> promise;
+  std::future<TrainResult> future = promise.get_future();
+  TrainResult result;
+  result.cluster = cluster;
+  result.outcome = outcome;
+  if (outcome == JobOutcome::kRejected) {
+    jobs_rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  promise.set_value(std::move(result));
+  return future;
+}
+
+std::future<TrainResult> TrainerRuntime::enqueue(TrainJob&& job) {
+  PendingJob pending;
+  pending.job = std::move(job);
+  pending.queued_at = std::chrono::steady_clock::now();
+  std::future<TrainResult> future = pending.promise.get_future();
+  {
+    std::lock_guard lock(mu_);
+    if (closed_) {
+      TrainResult result;
+      result.cluster = pending.job.cluster;
+      result.outcome = JobOutcome::kShutdown;
+      pending.promise.set_value(std::move(result));
+      return future;
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      TrainResult result;
+      result.cluster = pending.job.cluster;
+      result.outcome = JobOutcome::kRejected;
+      jobs_rejected_.fetch_add(1, std::memory_order_relaxed);
+      pending.promise.set_value(std::move(result));
+      return future;
+    }
+    pending.seq = next_seq_++;
+    queue_.push_back(std::move(pending));
+    jobs_submitted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  cv_.notify_one();
+  return future;
+}
+
+std::future<TrainResult> TrainerRuntime::submit_job(ClusterId cluster,
+                                                    data::Dataset dataset,
+                                                    std::size_t epochs) {
+  const Tenant* tenant = find_tenant(cluster);
+  if (tenant == nullptr || epochs == 0 || dataset.size() == 0 ||
+      dataset.geometry().features() !=
+          tenant->system->config().orco.input_dim) {
+    return reject(cluster, JobOutcome::kRejected);
+  }
+  TrainJob job;
+  job.cluster = cluster;
+  job.dataset = std::make_shared<const data::Dataset>(std::move(dataset));
+  job.epochs = epochs;
+  return enqueue(std::move(job));
+}
+
+void TrainerRuntime::update_stream(ClusterId cluster, data::Dataset dataset) {
+  Tenant* tenant = find_tenant(cluster);
+  ORCO_CHECK(tenant != nullptr, "unknown tenant " << cluster);
+  ORCO_CHECK(dataset.size() > 0 &&
+                 dataset.geometry().features() ==
+                     tenant->system->config().orco.input_dim,
+             "stream for tenant " << cluster
+                                  << " does not match its input_dim");
+  auto shared = std::make_shared<const data::Dataset>(std::move(dataset));
+  std::lock_guard lock(tenant->monitor_mu);
+  tenant->stream = std::move(shared);
+}
+
+void TrainerRuntime::set_baseline(ClusterId cluster, float loss) {
+  Tenant* tenant = find_tenant(cluster);
+  ORCO_CHECK(tenant != nullptr, "unknown tenant " << cluster);
+  std::lock_guard lock(tenant->monitor_mu);
+  tenant->monitor.set_baseline(loss);
+  tenant->monitor.reset_observations();
+}
+
+bool TrainerRuntime::observe_loss(ClusterId cluster, float loss) {
+  Tenant* tenant = find_tenant(cluster);
+  ORCO_CHECK(tenant != nullptr, "unknown tenant " << cluster);
+  bool triggered = false;
+  std::optional<TrainJob> auto_job;
+  {
+    std::lock_guard lock(tenant->monitor_mu);
+    if (!tenant->monitor.has_baseline()) return false;
+    triggered = tenant->monitor.observe(loss);
+    if (triggered) {
+      drift_triggers_.fetch_add(1, std::memory_order_relaxed);
+      if (tenant->stream != nullptr &&
+          !tenant->drift_job_inflight.exchange(true)) {
+        TrainJob job;
+        job.cluster = cluster;
+        job.dataset = tenant->stream;  // aliased, not copied: O(1) trigger
+        job.epochs = std::max<std::size_t>(1, config_.drift_epochs);
+        job.drift_triggered = true;
+        auto_job = std::move(job);
+      }
+    }
+  }
+  if (auto_job.has_value()) {
+    std::future<TrainResult> future = enqueue(std::move(*auto_job));
+    // Re-arm only when the queue actually refused the job (full/closed).
+    // Readiness alone is not refusal: a fast worker can have completed the
+    // job already — clearing the flag then would cancel the suppression a
+    // *newer* in-flight drift job re-armed, letting duplicates pile up.
+    if (future.wait_for(std::chrono::seconds(0)) ==
+        std::future_status::ready) {
+      const TrainResult result = future.get();
+      if (result.outcome == JobOutcome::kRejected ||
+          result.outcome == JobOutcome::kShutdown) {
+        tenant->drift_job_inflight.store(false);
+      }
+    }
+  }
+  return triggered;
+}
+
+std::uint64_t TrainerRuntime::publish_now(ClusterId cluster) {
+  Tenant* tenant = find_tenant(cluster);
+  ORCO_CHECK(tenant != nullptr, "unknown tenant " << cluster);
+  std::lock_guard train_lock(tenant->train_mu);
+  return export_and_publish(cluster, *tenant);
+}
+
+std::uint64_t TrainerRuntime::export_and_publish(ClusterId cluster,
+                                                 Tenant& tenant) {
+  core::OrcoDcsSystem& system = *tenant.system;
+  const core::OrcoConfig& orco = system.config().orco;
+  auto snapshot = std::make_shared<ModelSnapshot>();
+  snapshot->version = system.edge().model_version();
+  const auto current = registry_->current(cluster);
+  if (current != nullptr && current->version >= snapshot->version) {
+    // Nothing trained since the last publish (e.g. a zero-round job):
+    // re-publishing the same generation would only churn caches.
+    return 0;
+  }
+  std::unique_ptr<nn::Sequential> decoder = system.export_decoder_clone();
+  if (orco.prepack_decoder) {
+    decoder->set_weight_prepack(true);
+    // Warm the packed-panel cache before the swap, under the backend the
+    // serving shards will decode on, so the first post-swap decode pays no
+    // packing cost — repacking inline on the serve path is a tail-latency
+    // spike exactly at the swap edge. Precedence mirrors serve_batch's
+    // scope nesting (most specific wins): the tenant's own backend
+    // overrides the shard-level one, which overrides the process default.
+    const tensor::Backend* warm = system.edge().backend();
+    if (warm == nullptr) warm = tensor::resolve_backend(config_.serve_backend);
+    tensor::BackendScope scope(warm);
+    (void)decoder->infer(tensor::Tensor({1, orco.latent_dim}));
+  }
+  snapshot->decoder =
+      std::shared_ptr<const nn::Sequential>(std::move(decoder));
+  snapshot->encoder =
+      std::shared_ptr<const nn::Sequential>(system.export_encoder_clone());
+  snapshot->latent_dim = orco.latent_dim;
+  snapshot->output_dim = orco.input_dim;
+  snapshot->backend = system.edge().backend();
+  return registry_->publish(cluster, std::move(snapshot));
+}
+
+std::size_t TrainerRuntime::pick_job() const {
+  // Aged weighted priority, same scheme as serve::BatchQueue::pick_cluster:
+  // score = schedule_weight x (1 + wait / aging_us), FIFO on ties.
+  const auto now = std::chrono::steady_clock::now();
+  std::size_t best = 0;
+  double best_score = -1.0;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const Tenant* tenant = find_tenant(queue_[i].job.cluster);
+    const serve::TenantPolicy policy =
+        tenant != nullptr ? tenant->policy : config_.default_policy;
+    double score = policy.schedule_weight();
+    if (config_.aging_us > 0) {
+      const double wait_us = std::chrono::duration<double, std::micro>(
+                                 now - queue_[i].queued_at)
+                                 .count();
+      score *= 1.0 + wait_us / static_cast<double>(config_.aging_us);
+    }
+    if (score > best_score ||
+        (score == best_score && queue_[i].seq < queue_[best].seq)) {
+      best = i;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+void TrainerRuntime::worker_loop() {
+  background_current_thread(config_.background_nice);
+  if (config_.inline_kernels) tensor::set_thread_gemm_parallelism(false);
+  for (;;) {
+    PendingJob pending;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+      if (closed_) return;  // still-queued jobs are resolved by shutdown()
+      const std::size_t i = pick_job();
+      pending = std::move(queue_[i]);
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    TrainResult result = run_job(pending.job);
+    pending.promise.set_value(std::move(result));
+  }
+}
+
+TrainResult TrainerRuntime::run_job(const TrainJob& job) {
+  TrainResult result;
+  result.cluster = job.cluster;
+  Tenant* tenant = find_tenant(job.cluster);
+  if (tenant == nullptr || job.dataset == nullptr) {
+    result.outcome = JobOutcome::kRejected;
+    return result;
+  }
+  std::lock_guard train_lock(tenant->train_mu);
+  core::OrcoDcsSystem& system = *tenant->system;
+  const core::OrcoConfig& orco = system.config().orco;
+  const std::size_t max_rounds = tenant->budget.max_rounds_per_job;
+  const double duty = tenant->budget.duty_cycle;
+
+  // Salt the shuffle with rounds_completed like train_online: repeated jobs
+  // see fresh sample orders, deterministically.
+  common::Pcg32 loader_rng(orco.seed ^
+                           (0x7261696eULL +
+                            system.orchestrator().rounds_completed()));
+  const data::Dataset& dataset = *job.dataset;
+  data::DataLoader loader(dataset, orco.batch_size, /*shuffle=*/true,
+                          loader_rng);
+  result.outcome = JobOutcome::kCompleted;
+  bool capped = false;
+  try {
+    for (std::size_t epoch = 0; epoch < job.epochs && !capped; ++epoch) {
+      loader.reshuffle();
+      for (std::size_t b = 0; b < loader.batch_count() && !capped; ++b) {
+        const auto round_start = std::chrono::steady_clock::now();
+        const core::RoundRecord record =
+            system.orchestrator().train_round(loader.batch(b).images);
+        result.final_loss = record.loss;
+        ++result.rounds_run;
+        rounds_run_.fetch_add(1, std::memory_order_relaxed);
+        const double round_s = seconds_since(round_start);
+        result.train_seconds += round_s;
+        if (max_rounds > 0 && result.rounds_run >= max_rounds) {
+          capped = true;
+          break;
+        }
+        if (duty < 1.0) {
+          // Duty-cycle budget: sleeping (1 - duty)/duty of each round's
+          // wall time caps this job at `duty` of one trainer thread, so
+          // serving shards keep their cores under sustained fine-tuning.
+          const double sleep_s = round_s * (1.0 - duty) / duty;
+          result.throttle_seconds += sleep_s;
+          std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    ORCO_LOG_ERROR("fine-tune job for tenant " << job.cluster
+                                               << " failed: " << e.what());
+    result.outcome = JobOutcome::kFailed;
+  }
+  if (capped) result.outcome = JobOutcome::kBudgetExhausted;
+
+  if (result.rounds_run > 0 && result.outcome != JobOutcome::kFailed) {
+    try {
+      // The clean eval loss on the data just trained on is the §III-D
+      // baseline for the next drift watch (same rule as train_online).
+      result.eval_loss = system.evaluate_loss(dataset);
+      {
+        std::lock_guard lock(tenant->monitor_mu);
+        tenant->monitor.set_baseline(result.eval_loss);
+        tenant->monitor.reset_observations();
+      }
+      result.published_version = export_and_publish(job.cluster, *tenant);
+    } catch (const std::exception& e) {
+      ORCO_LOG_ERROR("publishing tenant " << job.cluster
+                                          << " snapshot failed: " << e.what());
+      result.outcome = JobOutcome::kFailed;
+    }
+  }
+  if (job.drift_triggered) tenant->drift_job_inflight.store(false);
+  jobs_completed_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+void TrainerRuntime::start() {
+  ORCO_CHECK(!stopped_.load(), "cannot restart a shut-down TrainerRuntime");
+  if (running_.exchange(true)) return;
+  workers_.reserve(config_.worker_threads);
+  for (std::size_t i = 0; i < config_.worker_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void TrainerRuntime::shutdown() {
+  if (stopped_.exchange(true)) return;
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  running_.store(false);
+  // Resolve whatever never ran; callers' futures must not dangle.
+  std::deque<PendingJob> leftover;
+  {
+    std::lock_guard lock(mu_);
+    leftover.swap(queue_);
+  }
+  for (auto& pending : leftover) {
+    TrainResult result;
+    result.cluster = pending.job.cluster;
+    result.outcome = JobOutcome::kShutdown;
+    pending.promise.set_value(std::move(result));
+  }
+}
+
+std::size_t TrainerRuntime::tenant_count() const {
+  std::lock_guard lock(tenants_mu_);
+  return tenants_.size();
+}
+
+std::size_t TrainerRuntime::queued_jobs() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+TrainerRuntime::Stats TrainerRuntime::stats() const {
+  Stats s;
+  s.jobs_submitted = jobs_submitted_.load(std::memory_order_relaxed);
+  s.jobs_rejected = jobs_rejected_.load(std::memory_order_relaxed);
+  s.jobs_completed = jobs_completed_.load(std::memory_order_relaxed);
+  s.drift_triggers = drift_triggers_.load(std::memory_order_relaxed);
+  s.rounds_run = rounds_run_.load(std::memory_order_relaxed);
+  s.snapshots_published = registry_->total_published();
+  return s;
+}
+
+}  // namespace orco::train

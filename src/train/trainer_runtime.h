@@ -1,0 +1,222 @@
+// TrainerRuntime — online background fine-tuning concurrently with serving.
+//
+// The paper's central loop (§III-B + §III-D) is serve-while-retraining: the
+// edge keeps reconstructing from live latents while the orchestrated
+// training protocol adapts the per-cluster autoencoder to drift. PR 1-3
+// could serve OR train; this runtime does both at once:
+//
+//   * worker threads pop TrainJobs (explicit submit_job, or enqueued by the
+//     per-tenant FineTuningMonitor when observed reconstruction error
+//     drifts past its threshold) and run the §III-B protocol rounds on the
+//     tenant's OrcoDcsSystem — which serving no longer touches;
+//   * each tenant has a TrainBudget (rounds cap + duty cycle) and a
+//     serve::TenantPolicy whose priority orders the job queue, so
+//     fine-tuning cannot starve either the serving shards or other
+//     tenants' jobs;
+//   * when a job finishes, the freshly trained encoder/decoder pair is
+//     cloned into an immutable ModelSnapshot stamped with the EdgeServer's
+//     model version and atomically published to the ModelRegistry — the
+//     serving shards hot-swap to it between batches, with prepacked weight
+//     panels already warmed so the first post-swap decode pays no packing
+//     cost.
+//
+// Ownership rule: once a tenant is registered here, its OrcoDcsSystem is
+// mutated only by trainer threads; serving must go through the registry
+// snapshots (register the tenant with a ServerRuntime whose
+// ServeConfig::model_registry is this runtime's registry()).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/monitor.h"
+#include "core/system.h"
+#include "serve/tenant_policy.h"
+#include "train/model_registry.h"
+#include "train/train_job.h"
+
+namespace orco::train {
+
+struct TrainerConfig {
+  /// Background trainer threads. Keep this well below the serving shard
+  /// count: a trainer thread runs full protocol rounds and is the main CPU
+  /// competitor of the decode path.
+  std::size_t worker_threads = 1;
+  std::size_t queue_capacity = 16;  // pending jobs; beyond -> kRejected
+  TrainBudget default_budget;
+  /// Priority/weight ordering of queued jobs (queue_quota is unused here).
+  serve::TenantPolicy default_policy;
+  /// Epochs a drift-triggered job runs over the tenant's current stream.
+  std::size_t drift_epochs = 2;
+  /// Microseconds of queue wait that double a pending job's scheduling
+  /// score (same aging scheme as serve::BatchQueue; 0 disables aging).
+  std::uint64_t aging_us = 100000;
+  /// Background scheduling for trainer worker threads (Linux; ignored
+  /// elsewhere, 0 disables). The duty cycle bounds *how much* CPU a job
+  /// takes; scheduling class bounds *when* — workers move to SCHED_IDLE
+  /// (run on idle cycles only, preempted instantly by a waking decode
+  /// thread), falling back to this nice level where that fails. This is
+  /// what keeps serve tail latency flat on core-starved boxes: a training
+  /// round can outlast the whole p99 budget.
+  int background_nice = 19;
+  /// Run training kernels inline on the worker thread instead of the
+  /// shared GEMM pool (tensor::set_thread_gemm_parallelism). Default on:
+  /// pooled training GEMM chunks execute at the pool workers' normal
+  /// priority and head-of-line-block serve decode batches, defeating both
+  /// budgets above. Turn off only for offline bulk training where trainer
+  /// throughput matters more than serve tails.
+  bool inline_kernels = true;
+  /// Publish a snapshot of the tenant's current weights at register_tenant
+  /// time, so serving flips to the lock-free registry path immediately.
+  bool publish_on_register = true;
+  /// Kernel backend published snapshots are pre-warmed (pre-packed) for —
+  /// set it to the consuming ServeConfig::backend so the first post-swap
+  /// decode pays no packing cost (the pack cache keeps one backend's
+  /// panels). Empty: the tenant's own backend, else the process default.
+  std::string serve_backend;
+};
+
+class TrainerRuntime {
+ public:
+  explicit TrainerRuntime(const TrainerConfig& config = {});
+
+  /// Calls shutdown(); queued jobs resolve kShutdown.
+  ~TrainerRuntime();
+
+  TrainerRuntime(const TrainerRuntime&) = delete;
+  TrainerRuntime& operator=(const TrainerRuntime&) = delete;
+
+  /// Registers a tenant under the default policy and budget.
+  void register_tenant(ClusterId cluster,
+                       std::shared_ptr<core::OrcoDcsSystem> system);
+  void register_tenant(ClusterId cluster,
+                       std::shared_ptr<core::OrcoDcsSystem> system,
+                       const serve::TenantPolicy& policy,
+                       const TrainBudget& budget);
+
+  /// The registry serving shards should read snapshots from (wire it into
+  /// ServeConfig::model_registry).
+  const std::shared_ptr<ModelRegistry>& registry() const noexcept {
+    return registry_;
+  }
+
+  /// Queues one fine-tuning job. The future always resolves: kRejected
+  /// immediately when the queue is full / the tenant is unknown / the
+  /// dataset does not match the tenant's input_dim, kShutdown if the
+  /// runtime stops first, otherwise the job's TrainResult.
+  std::future<TrainResult> submit_job(ClusterId cluster, data::Dataset dataset,
+                                      std::size_t epochs = 1);
+
+  /// Installs the tenant's latest sensed window — the dataset a
+  /// drift-triggered job fine-tunes on. Cheap to call repeatedly.
+  void update_stream(ClusterId cluster, data::Dataset dataset);
+
+  /// Seeds the tenant's drift monitor baseline (e.g. the post-training
+  /// evaluation loss) without running a job. Jobs refresh it automatically.
+  void set_baseline(ClusterId cluster, float loss);
+
+  /// Feeds one reconstruction-error observation to the tenant's
+  /// FineTuningMonitor (§III-D; thresholds from the tenant's OrcoConfig).
+  /// Returns true when drift triggered; if a stream is installed and no
+  /// drift job for this tenant is already queued or running, a fine-tune
+  /// job over the stream is enqueued automatically. Observations before a
+  /// baseline exists are ignored (returns false).
+  bool observe_loss(ClusterId cluster, float loss);
+
+  /// Exports the tenant's current weights and publishes them immediately
+  /// (no training). Returns the published version.
+  std::uint64_t publish_now(ClusterId cluster);
+
+  /// Launches the worker threads. Idempotent until shutdown().
+  void start();
+
+  /// Stops intake, resolves still-queued jobs kShutdown, joins workers. The
+  /// job currently running finishes its round loop and publishes normally.
+  void shutdown();
+
+  bool running() const noexcept { return running_.load(); }
+  std::size_t tenant_count() const;
+  std::size_t queued_jobs() const;
+
+  struct Stats {
+    std::uint64_t jobs_submitted = 0;
+    std::uint64_t jobs_rejected = 0;
+    std::uint64_t jobs_completed = 0;  // includes kBudgetExhausted/kFailed
+    std::uint64_t drift_triggers = 0;
+    std::uint64_t rounds_run = 0;
+    std::uint64_t snapshots_published = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Tenant {
+    std::shared_ptr<core::OrcoDcsSystem> system;
+    serve::TenantPolicy policy;
+    TrainBudget budget;
+    core::FineTuningMonitor monitor;
+    std::shared_ptr<const data::Dataset> stream;  // latest sensed window
+    /// Guards monitor + stream (fed from caller threads, consumed and
+    /// re-baselined from trainer threads).
+    std::mutex monitor_mu;
+    /// Serializes jobs per tenant: the tenant's OrcoDcsSystem is
+    /// single-writer.
+    std::mutex train_mu;
+    /// A drift-triggered job is queued or running; suppresses duplicate
+    /// auto-enqueues while the relaunch is still in flight.
+    std::atomic<bool> drift_job_inflight{false};
+
+    Tenant(std::shared_ptr<core::OrcoDcsSystem> sys,
+           const serve::TenantPolicy& pol, const TrainBudget& bud);
+  };
+
+  struct PendingJob {
+    TrainJob job;
+    std::promise<TrainResult> promise;
+    std::uint64_t seq = 0;
+    std::chrono::steady_clock::time_point queued_at;
+  };
+
+  Tenant* find_tenant(ClusterId cluster) const;
+  std::future<TrainResult> reject(ClusterId cluster, JobOutcome outcome);
+  std::future<TrainResult> enqueue(TrainJob&& job);
+  /// Highest aged-score pending job; caller holds mu_, queue non-empty.
+  std::size_t pick_job() const;
+  void worker_loop();
+  TrainResult run_job(const TrainJob& job);
+  /// Clones + warms + publishes the tenant's current weights. Caller must
+  /// hold the tenant's train_mu (or otherwise be the only system writer).
+  std::uint64_t export_and_publish(ClusterId cluster, Tenant& tenant);
+
+  TrainerConfig config_;
+  std::shared_ptr<ModelRegistry> registry_;
+
+  mutable std::mutex tenants_mu_;  // registration vs. lookup only
+  std::map<ClusterId, std::unique_ptr<Tenant>> tenants_;
+
+  mutable std::mutex mu_;  // guards queue_
+  std::condition_variable cv_;
+  std::deque<PendingJob> queue_;
+  std::uint64_t next_seq_ = 0;
+  bool closed_ = false;
+
+  std::vector<std::thread> workers_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopped_{false};
+
+  std::atomic<std::uint64_t> jobs_submitted_{0};
+  std::atomic<std::uint64_t> jobs_rejected_{0};
+  std::atomic<std::uint64_t> jobs_completed_{0};
+  std::atomic<std::uint64_t> drift_triggers_{0};
+  std::atomic<std::uint64_t> rounds_run_{0};
+};
+
+}  // namespace orco::train

@@ -85,6 +85,41 @@ TEST(MonitorTest, ResetClearsObservationsKeepsBaseline) {
   EXPECT_TRUE(monitor.observe(10.0f));
 }
 
+TEST(MonitorTest, CooldownSwallowsObservationsAfterTrigger) {
+  // cooldown 3 (OrcoConfig::monitor_cooldown): after a relaunch fires, the
+  // drifted window is dropped and the next 3 observations are swallowed —
+  // one drift episode, one relaunch.
+  FineTuningMonitor monitor(2.0f, 2, 3);
+  monitor.set_baseline(0.1f);
+  EXPECT_FALSE(monitor.observe(1.0f));
+  EXPECT_TRUE(monitor.observe(1.0f));
+  EXPECT_EQ(monitor.relaunch_count(), 1u);
+  // Cooldown: even huge losses are swallowed for 3 observations.
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(monitor.observe(10.0f));
+  // Re-armed: a fresh full window of sustained drift triggers again.
+  EXPECT_FALSE(monitor.observe(1.0f));
+  EXPECT_TRUE(monitor.observe(1.0f));
+  EXPECT_EQ(monitor.relaunch_count(), 2u);
+
+  // reset_observations also clears an active cooldown.
+  FineTuningMonitor reset_monitor(2.0f, 1, 5);
+  reset_monitor.set_baseline(0.1f);
+  EXPECT_TRUE(reset_monitor.observe(1.0f));
+  reset_monitor.reset_observations();
+  EXPECT_TRUE(reset_monitor.observe(1.0f));
+}
+
+TEST(MonitorTest, ZeroCooldownKeepsHistoricalRetriggerBehaviour) {
+  FineTuningMonitor monitor(2.0f, 2);
+  monitor.set_baseline(0.1f);
+  EXPECT_FALSE(monitor.observe(1.0f));
+  EXPECT_TRUE(monitor.observe(1.0f));
+  // Without a cooldown the window is kept: the next observation still sees
+  // a drifted rolling mean and fires again (callers reset manually).
+  EXPECT_TRUE(monitor.observe(1.0f));
+  EXPECT_EQ(monitor.relaunch_count(), 2u);
+}
+
 TEST(MonitorTest, RejectsNegativeLosses) {
   FineTuningMonitor monitor(2.0f, 2);
   EXPECT_THROW(monitor.set_baseline(-0.1f), std::invalid_argument);

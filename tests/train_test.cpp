@@ -1,0 +1,480 @@
+// Tests for the online background fine-tuning runtime (src/train) and its
+// serving-side integration: versioned ModelRegistry publish/hot-swap,
+// TrainerRuntime job lifecycle (budgets, rejection, drift triggering), the
+// latent-keyed ReconstructionCache, and a swap-while-serving stress test
+// asserting every request is answered by exactly one coherent model
+// generation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "serve/serve.h"
+#include "train/train.h"
+
+namespace orco::train {
+namespace {
+
+using serve::DecodeResponse;
+using serve::ResponseStatus;
+using tensor::Tensor;
+
+constexpr std::size_t kInputDim = 64;
+constexpr std::size_t kLatentDim = 16;
+
+core::SystemConfig small_config(std::uint64_t seed = 42) {
+  core::SystemConfig cfg;
+  cfg.orco.input_dim = kInputDim;
+  cfg.orco.latent_dim = kLatentDim;
+  cfg.orco.decoder_layers = 2;
+  cfg.orco.batch_size = 32;
+  cfg.orco.seed = seed;
+  cfg.field.device_count = 8;
+  cfg.field.radio_range_m = 60.0;
+  return cfg;
+}
+
+std::shared_ptr<core::OrcoDcsSystem> make_tenant(std::uint64_t seed = 42) {
+  return std::make_shared<core::OrcoDcsSystem>(small_config(seed));
+}
+
+data::Dataset small_dataset(std::size_t count, std::uint64_t seed) {
+  common::Pcg32 rng(seed);
+  Tensor images = Tensor::uniform({count, kInputDim}, rng);
+  return data::Dataset("tiny", data::ImageGeometry{1, 8, 8},
+                       /*num_classes=*/1, std::move(images),
+                       std::vector<std::size_t>(count, 0));
+}
+
+/// Freezes `system`'s current weights into a snapshot at an explicit
+/// version (tests drive versions by hand; TrainerRuntime stamps the
+/// EdgeServer's real model_version).
+std::shared_ptr<ModelSnapshot> snapshot_of(core::OrcoDcsSystem& system,
+                                           std::uint64_t version) {
+  auto snapshot = std::make_shared<ModelSnapshot>();
+  snapshot->version = version;
+  auto decoder = system.export_decoder_clone();
+  decoder->set_weight_prepack(true);  // the stress test must cover prepack
+  snapshot->decoder = std::shared_ptr<const nn::Sequential>(std::move(decoder));
+  snapshot->encoder =
+      std::shared_ptr<const nn::Sequential>(system.export_encoder_clone());
+  snapshot->latent_dim = kLatentDim;
+  snapshot->output_dim = kInputDim;
+  return snapshot;
+}
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  if (a.numel() != b.numel()) return false;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+TEST(ModelRegistryTest, PublishIsVersionedAndMonotonic) {
+  auto system = make_tenant();
+  ModelRegistry registry;
+  EXPECT_EQ(registry.current(1), nullptr);
+  EXPECT_EQ(registry.find(1), nullptr);
+
+  EXPECT_EQ(registry.publish(1, snapshot_of(*system, 5)), 5u);
+  const auto current = registry.current(1);
+  ASSERT_NE(current, nullptr);
+  EXPECT_EQ(current->version, 5u);
+  EXPECT_EQ(current->latent_dim, kLatentDim);
+  ASSERT_NE(current->decoder, nullptr);
+
+  // Same and older versions are refused; the current snapshot survives.
+  EXPECT_THROW((void)registry.publish(1, snapshot_of(*system, 5)),
+               std::invalid_argument);
+  EXPECT_THROW((void)registry.publish(1, snapshot_of(*system, 4)),
+               std::invalid_argument);
+  EXPECT_EQ(registry.current(1)->version, 5u);
+
+  EXPECT_EQ(registry.publish(1, snapshot_of(*system, 6)), 6u);
+  EXPECT_EQ(registry.current(1)->version, 6u);
+  EXPECT_EQ(registry.entry(1)->swap_count(), 2u);
+  EXPECT_EQ(registry.total_published(), 2u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(ModelRegistryTest, EntryIsStableAcrossPublishes) {
+  auto system = make_tenant();
+  ModelRegistry registry;
+  // A shard grabs the entry once at registration; publishes must swap the
+  // snapshot inside that same entry, never replace the entry.
+  const auto slot = registry.entry(7);
+  EXPECT_EQ(slot->load(), nullptr);
+  (void)registry.publish(7, snapshot_of(*system, 1));
+  EXPECT_EQ(registry.entry(7), slot);
+  ASSERT_NE(slot->load(), nullptr);
+  EXPECT_EQ(slot->load()->version, 1u);
+}
+
+TEST(TrainerTest, FineTunesPublishesAndServingHotSwaps) {
+  auto system = make_tenant();
+  const auto dataset = small_dataset(96, 7);
+
+  TrainerRuntime trainer;
+  trainer.register_tenant(1, system);
+  // Registration published the untrained weights at the edge's initial
+  // model version, so serving starts on the lock-free snapshot path.
+  const auto initial = trainer.registry()->current(1);
+  ASSERT_NE(initial, nullptr);
+  EXPECT_EQ(initial->version, system->model_version());
+
+  serve::ServeConfig scfg;
+  scfg.shard_count = 1;
+  scfg.queue.max_wait_us = 100;
+  scfg.model_registry = trainer.registry();
+  serve::ServerRuntime runtime(scfg);
+  runtime.register_cluster(1, system);
+  runtime.start();
+  trainer.start();
+
+  common::Pcg32 rng(3);
+  const Tensor latent = Tensor::randn({kLatentDim}, rng);
+  const DecodeResponse before = runtime.submit(1, latent).get();
+  ASSERT_EQ(before.status, ResponseStatus::kOk);
+  EXPECT_EQ(before.model_version, initial->version);
+
+  // Fine-tune in the background while the server keeps running.
+  const TrainResult result = trainer.submit_job(1, dataset, 2).get();
+  EXPECT_EQ(result.outcome, JobOutcome::kCompleted);
+  // 96 samples at batch 32 over 2 epochs.
+  EXPECT_EQ(result.rounds_run, 6u);
+  EXPECT_GT(result.eval_loss, 0.0f);
+  // Every train_round bumped the edge's generation; the published version
+  // is the post-job generation, shared verbatim with the registry.
+  EXPECT_EQ(result.published_version, initial->version + result.rounds_run);
+  EXPECT_EQ(result.published_version, system->model_version());
+  ASSERT_NE(trainer.registry()->current(1), nullptr);
+  EXPECT_EQ(trainer.registry()->current(1)->version, result.published_version);
+
+  // The very next request decodes on the swapped-in snapshot, bitwise
+  // identical to the live (now idle) decoder that produced it.
+  const DecodeResponse after = runtime.submit(1, latent).get();
+  ASSERT_EQ(after.status, ResponseStatus::kOk);
+  EXPECT_EQ(after.model_version, result.published_version);
+  const Tensor expected =
+      system->edge().decode_inference(latent.reshaped({1, kLatentDim}));
+  EXPECT_TRUE(bitwise_equal(after.reconstruction,
+                            expected.reshaped({kInputDim})));
+  // Fine-tuning actually changed the model the server answers with.
+  EXPECT_FALSE(bitwise_equal(before.reconstruction, after.reconstruction));
+
+  // The shard observed the swap and stamped the telemetry row.
+  const auto row = runtime.telemetry().tenant_snapshot(1);
+  EXPECT_EQ(row.model_version, result.published_version);
+  EXPECT_EQ(row.model_swaps, 1u);
+
+  const auto stats = trainer.stats();
+  EXPECT_EQ(stats.jobs_submitted, 1u);
+  EXPECT_EQ(stats.jobs_completed, 1u);
+  EXPECT_EQ(stats.rounds_run, 6u);
+  EXPECT_EQ(stats.snapshots_published, 2u);  // register + job
+
+  runtime.shutdown();
+  trainer.shutdown();
+}
+
+TEST(TrainerTest, RoundsBudgetCapsJobAndDutyCycleThrottles) {
+  auto system = make_tenant();
+  TrainerConfig tcfg;
+  tcfg.default_budget.max_rounds_per_job = 2;
+  tcfg.default_budget.duty_cycle = 0.5;
+  TrainerRuntime trainer(tcfg);
+  trainer.register_tenant(1, system);
+  trainer.start();
+
+  const TrainResult result =
+      trainer.submit_job(1, small_dataset(96, 9), /*epochs=*/10).get();
+  EXPECT_EQ(result.outcome, JobOutcome::kBudgetExhausted);
+  EXPECT_EQ(result.rounds_run, 2u);
+  // duty 0.5: one round's worth of sleep per round, except after the round
+  // that hit the cap.
+  EXPECT_GT(result.throttle_seconds, 0.0);
+  // A capped job still publishes what it learned.
+  EXPECT_EQ(result.published_version, system->model_version());
+  trainer.shutdown();
+}
+
+TEST(TrainerTest, RejectsInvalidJobsAndResolvesQueuedJobsOnShutdown) {
+  auto system = make_tenant();
+  TrainerConfig tcfg;
+  tcfg.queue_capacity = 1;
+  TrainerRuntime trainer(tcfg);
+  trainer.register_tenant(1, system);
+
+  // Unknown tenant and mismatched dataset resolve kRejected immediately.
+  EXPECT_EQ(trainer.submit_job(99, small_dataset(8, 1)).get().outcome,
+            JobOutcome::kRejected);
+  common::Pcg32 rng(5);
+  data::Dataset wrong("wrong", data::ImageGeometry{1, 4, 4}, 1,
+                      Tensor::uniform({8, 16}, rng),
+                      std::vector<std::size_t>(8, 0));
+  EXPECT_EQ(trainer.submit_job(1, wrong).get().outcome, JobOutcome::kRejected);
+
+  // Workers never started: the first job camps in the queue, the second
+  // overflows the capacity-1 queue, and shutdown resolves the first.
+  auto queued = trainer.submit_job(1, small_dataset(32, 2));
+  EXPECT_EQ(trainer.submit_job(1, small_dataset(32, 3)).get().outcome,
+            JobOutcome::kRejected);
+  EXPECT_EQ(trainer.queued_jobs(), 1u);
+  trainer.shutdown();
+  EXPECT_EQ(queued.get().outcome, JobOutcome::kShutdown);
+  EXPECT_EQ(trainer.submit_job(1, small_dataset(32, 4)).get().outcome,
+            JobOutcome::kShutdown);
+  EXPECT_EQ(trainer.stats().jobs_rejected, 3u);
+}
+
+TEST(TrainerTest, DriftTriggerEnqueuesOneJobAndRecoversBaseline) {
+  core::SystemConfig cfg = small_config();
+  cfg.orco.monitor_window = 2;
+  cfg.orco.relaunch_factor = 1.5f;
+  cfg.orco.monitor_cooldown = 8;
+  auto system = std::make_shared<core::OrcoDcsSystem>(cfg);
+
+  TrainerRuntime trainer;
+  trainer.register_tenant(1, system);
+  trainer.start();
+  const std::uint64_t version_before =
+      trainer.registry()->current(1)->version;
+
+  // No baseline yet: observations are ignored, nothing triggers.
+  EXPECT_FALSE(trainer.observe_loss(1, 10.0f));
+  trainer.set_baseline(1, 0.1f);
+  trainer.update_stream(1, small_dataset(64, 11));
+
+  EXPECT_FALSE(trainer.observe_loss(1, 1.0f));  // window not yet full
+  EXPECT_TRUE(trainer.observe_loss(1, 1.0f));   // sustained drift -> trigger
+  // Cooldown: the same episode must not fire a second relaunch while the
+  // first job is still in flight.
+  EXPECT_FALSE(trainer.observe_loss(1, 1.0f));
+  EXPECT_EQ(trainer.stats().drift_triggers, 1u);
+
+  // The auto-enqueued job runs in the background and publishes.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (trainer.registry()->current(1)->version == version_before &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GT(trainer.registry()->current(1)->version, version_before);
+  EXPECT_EQ(trainer.stats().jobs_submitted, 1u);
+  trainer.shutdown();
+  // The completed job re-baselined the monitor on the fine-tuned data.
+  EXPECT_EQ(trainer.stats().jobs_completed, 1u);
+}
+
+TEST(ReconstructionCacheTest, LruEvictionVersionKeysAndInvalidate) {
+  serve::ReconstructionCacheConfig cfg;
+  cfg.capacity = 2;
+  serve::ReconstructionCache cache(cfg);
+  EXPECT_TRUE(cache.enabled());
+
+  common::Pcg32 rng(1);
+  const Tensor l1 = Tensor::randn({kLatentDim}, rng);
+  const Tensor l2 = Tensor::randn({kLatentDim}, rng);
+  const Tensor l3 = Tensor::randn({kLatentDim}, rng);
+  const Tensor r1 = Tensor::full({kInputDim}, 1.0f);
+  const Tensor r2 = Tensor::full({kInputDim}, 2.0f);
+  const Tensor r3 = Tensor::full({kInputDim}, 3.0f);
+
+  EXPECT_EQ(cache.lookup(1, 1, l1), nullptr);  // cold miss
+  cache.insert(1, 1, l1, r1);
+  const Tensor* hit = cache.lookup(1, 1, l1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(bitwise_equal(*hit, r1));
+  // The model version is part of the key: a swapped model never sees the
+  // old generation's reconstruction.
+  EXPECT_EQ(cache.lookup(1, 2, l1), nullptr);
+  // So is the tenant.
+  EXPECT_EQ(cache.lookup(2, 1, l1), nullptr);
+
+  cache.insert(1, 1, l2, r2);
+  ASSERT_NE(cache.lookup(1, 1, l1), nullptr);  // refresh l1 -> l2 is LRU
+  cache.insert(1, 1, l3, r3);                  // capacity 2: evicts l2
+  EXPECT_EQ(cache.lookup(1, 1, l2), nullptr);
+  ASSERT_NE(cache.lookup(1, 1, l1), nullptr);
+  ASSERT_NE(cache.lookup(1, 1, l3), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  cache.invalidate(1);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.lookup(1, 1, l1), nullptr);
+  EXPECT_EQ(cache.stats().invalidated, 2u);
+  EXPECT_GT(cache.stats().hits, 0u);
+  EXPECT_GT(cache.stats().misses, 0u);
+  EXPECT_EQ(cache.stats().insertions, 3u);
+}
+
+TEST(ReconstructionCacheTest, NoisyRepeatLatentsCollideAtKeyPrecision) {
+  // The cache exists for near-identical repeat traffic: keys must snap the
+  // affine range so sub-code-step noise — including on the min/max
+  // elements, which would perturb an exact-range header — still lands on
+  // the same entry at kFixed8.
+  serve::ReconstructionCacheConfig cfg;
+  cfg.capacity = 8;
+  cfg.key_precision = core::LatentPrecision::kFixed8;
+  serve::ReconstructionCache cache(cfg);
+
+  // Values constructed away from code boundaries so the assertion is
+  // deterministic: extremes 0.1/0.9 snap the range to [6/64, 58/64]
+  // (stable under ±1e-4), and interior elements sit exactly on code
+  // points — maximally far from the rounding boundaries a half code step
+  // away (~1.6e-3 >> 1e-4 noise).
+  const float lo = 6.0f / 64.0f, hi = 58.0f / 64.0f;
+  const float step = (hi - lo) / 255.0f;
+  Tensor base({kLatentDim});
+  base[0] = 0.1f;
+  base[kLatentDim - 1] = 0.9f;
+  for (std::size_t i = 1; i + 1 < kLatentDim; ++i) {
+    base[i] = lo + static_cast<float>(8 * i) * step;
+  }
+  Tensor noisy = base;
+  for (std::size_t i = 0; i < noisy.numel(); ++i) {
+    noisy[i] += (i % 2 == 0 ? 1e-4f : -1e-4f);
+  }
+  cache.insert(1, 1, base, Tensor::full({kInputDim}, 5.0f));
+  const Tensor* hit = cache.lookup(1, 1, noisy);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_FLOAT_EQ((*hit)[0], 5.0f);
+
+  // A genuinely different latent must not collide.
+  common::Pcg32 rng(33);
+  const Tensor other = Tensor::uniform({kLatentDim}, rng, 0.1f, 0.9f);
+  EXPECT_EQ(cache.lookup(1, 1, other), nullptr);
+}
+
+TEST(ReconstructionCacheTest, RepeatLatentServedFromCacheUntilSwap) {
+  auto system = make_tenant(5);
+  auto registry = std::make_shared<ModelRegistry>();
+  (void)registry->publish(1, snapshot_of(*system, 1));
+
+  serve::ServeConfig scfg;
+  scfg.shard_count = 1;
+  scfg.queue.max_wait_us = 100;
+  scfg.model_registry = registry;
+  scfg.recon_cache.capacity = 64;
+  serve::ServerRuntime runtime(scfg);
+  runtime.register_cluster(1, system);
+  runtime.start();
+
+  common::Pcg32 rng(17);
+  const Tensor latent = Tensor::randn({kLatentDim}, rng);
+  const DecodeResponse miss = runtime.submit(1, latent).get();
+  ASSERT_EQ(miss.status, ResponseStatus::kOk);
+  EXPECT_FALSE(miss.cache_hit);
+
+  const DecodeResponse hit = runtime.submit(1, latent).get();
+  ASSERT_EQ(hit.status, ResponseStatus::kOk);
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.model_version, 1u);
+  EXPECT_TRUE(bitwise_equal(hit.reconstruction, miss.reconstruction));
+
+  // Hot-swap to a different model: the same latent must decode fresh on
+  // the new generation, not replay the stale reconstruction.
+  auto other = make_tenant(6);
+  (void)registry->publish(1, snapshot_of(*other, 2));
+  const DecodeResponse after_swap = runtime.submit(1, latent).get();
+  ASSERT_EQ(after_swap.status, ResponseStatus::kOk);
+  EXPECT_FALSE(after_swap.cache_hit);
+  EXPECT_EQ(after_swap.model_version, 2u);
+  EXPECT_FALSE(
+      bitwise_equal(after_swap.reconstruction, miss.reconstruction));
+
+  const auto snapshot = runtime.telemetry().snapshot();
+  EXPECT_EQ(snapshot.cache_hits, 1u);
+  EXPECT_EQ(snapshot.cache_misses, 2u);
+  const auto row = runtime.telemetry().tenant_snapshot(1);
+  EXPECT_EQ(row.cache_hits, 1u);
+  EXPECT_EQ(row.model_swaps, 1u);
+  runtime.shutdown();
+}
+
+TEST(SwapStressTest, EveryRequestAnsweredByExactlyOneCoherentVersion) {
+  // Two weight sets A and B; a swapper thread hot-publishes alternating
+  // generations while client threads hammer one latent. Every kOk response
+  // must bitwise-match exactly one generation's reference decode AND carry
+  // that generation's version — no torn weights, no stale prepacked panel,
+  // no cache entry crossing a swap. Snapshots have prepacking enabled
+  // (snapshot_of), so a stale packed panel would show up as a mismatch.
+  auto sys_a = make_tenant(101);
+  auto sys_b = make_tenant(202);
+
+  common::Pcg32 rng(99);
+  const Tensor latent = Tensor::randn({kLatentDim}, rng);
+  const Tensor expected_a =
+      sys_a->edge()
+          .decode_inference(latent.reshaped({1, kLatentDim}))
+          .reshaped({kInputDim});
+  const Tensor expected_b =
+      sys_b->edge()
+          .decode_inference(latent.reshaped({1, kLatentDim}))
+          .reshaped({kInputDim});
+  ASSERT_FALSE(bitwise_equal(expected_a, expected_b));
+
+  auto registry = std::make_shared<ModelRegistry>();
+  // Odd versions carry A's weights, even versions B's.
+  (void)registry->publish(1, snapshot_of(*sys_a, 1));
+
+  serve::ServeConfig scfg;
+  scfg.shard_count = 1;
+  scfg.queue.capacity = 4096;
+  scfg.queue.max_wait_us = 50;
+  scfg.model_registry = registry;
+  scfg.recon_cache.capacity = 128;  // the cache must stay swap-coherent too
+  serve::ServerRuntime runtime(scfg);
+  runtime.register_cluster(1, sys_a);
+  runtime.start();
+
+  std::atomic<bool> stop{false};
+  std::thread swapper([&] {
+    std::uint64_t version = 2;
+    while (!stop.load()) {
+      auto& source = (version % 2 == 1) ? *sys_a : *sys_b;
+      (void)registry->publish(1, snapshot_of(source, version));
+      ++version;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  constexpr std::size_t kClients = 3;
+  constexpr std::size_t kPerClient = 200;
+  std::atomic<std::size_t> ok_count{0};
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (std::size_t i = 0; i < kPerClient; ++i) {
+        DecodeResponse response = runtime.submit(1, latent).get();
+        if (response.status != ResponseStatus::kOk) continue;
+        ok_count.fetch_add(1);
+        const bool is_a = bitwise_equal(response.reconstruction, expected_a);
+        const bool is_b = bitwise_equal(response.reconstruction, expected_b);
+        // Exactly one generation produced it, and the stamped version
+        // agrees with which one.
+        const bool version_says_a = response.model_version % 2 == 1;
+        if (!(is_a != is_b) || (is_a && !version_says_a) ||
+            (is_b && version_says_a)) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  stop.store(true);
+  swapper.join();
+  runtime.shutdown();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(ok_count.load(), kClients * kPerClient);
+  // The shard must actually have observed swaps for this to mean anything.
+  EXPECT_GT(runtime.telemetry().tenant_snapshot(1).model_swaps, 0u);
+}
+
+}  // namespace
+}  // namespace orco::train

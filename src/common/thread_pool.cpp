@@ -87,14 +87,4 @@ ThreadPool& ThreadPool::global() {
   return *pool;
 }
 
-void parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
-                  std::size_t grain,
-                  const std::function<void(std::size_t, std::size_t)>& fn) {
-  if (pool == nullptr || end - begin < grain) {
-    if (begin < end) fn(begin, end);
-    return;
-  }
-  pool->parallel_for(begin, end, fn);
-}
-
 }  // namespace orco::common

@@ -76,10 +76,21 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Serial-or-parallel loop helper. If `pool` is null or the trip count is
-/// below `grain`, runs serially on the calling thread.
+/// Dispatch helper for optional pools: a null pool or a sub-grain range
+/// runs `fn` inline. A template rather than a std::function signature on
+/// purpose — type-erasing the lambda would heap-allocate its capture on
+/// every call, and this sits on the steady-state decode path whose
+/// zero-allocation contract (tensor/workspace.h) forbids exactly that.
+/// The pooled branch still erases (ThreadPool::parallel_for submits
+/// chunks), which is fine: crossing threads allocates regardless.
+template <typename F>
 void parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
-                  std::size_t grain,
-                  const std::function<void(std::size_t, std::size_t)>& fn);
+                  std::size_t grain, F&& fn) {
+  if (pool == nullptr || end - begin < grain) {
+    if (begin < end) fn(begin, end);
+    return;
+  }
+  pool->parallel_for(begin, end, fn);
+}
 
 }  // namespace orco::common

@@ -98,6 +98,13 @@ Tensor EdgeServer::decode_inference(const Tensor& latents) const {
   return decoder_->infer(latents);
 }
 
+void EdgeServer::decode_inference(const Tensor& latents, Tensor& out,
+                                  nn::InferContext& ctx) const {
+  ORCO_CHECK(!round_open_, "cannot run inference with an open round");
+  tensor::BackendScope scope(backend_);
+  decoder_->infer_into(latents, out, ctx);
+}
+
 std::size_t EdgeServer::train_flops(std::size_t batch) const {
   return 3 * decoder_->forward_flops(batch);
 }

@@ -37,6 +37,14 @@ class EdgeServer {
   /// batched read-only decode traffic without perturbing training state.
   Tensor decode_inference(const Tensor& latents) const;
 
+  /// Zero-allocation variant: decodes into `out` using the caller's
+  /// long-lived InferContext (nn::Layer::infer_into path). The serving
+  /// shards and the background trainer's validation loop call this so a
+  /// steady-state decode touches no allocator after warmup. Same
+  /// concurrency contract as above, with one context per calling thread.
+  void decode_inference(const Tensor& latents, Tensor& out,
+                        nn::InferContext& ctx) const;
+
   nn::Sequential& decoder() noexcept { return *decoder_; }
   const nn::Sequential& decoder() const noexcept { return *decoder_; }
 

@@ -118,20 +118,36 @@ double Orchestrator::aggregate_batch(const Tensor& batch) {
 }
 
 Tensor Orchestrator::reconstruct(const Tensor& batch) {
+  nn::InferContext ctx;
+  Tensor out;
+  reconstruct_into(batch, out, ctx);
+  return out;
+}
+
+void Orchestrator::reconstruct_into(const Tensor& batch, Tensor& out,
+                                    nn::InferContext& ctx) {
   tensor::BackendScope scope(backend_);
   const Tensor latents = aggregator_->encode_inference(batch);
-  return edge_->decode_inference(latents);
+  edge_->decode_inference(latents, out, ctx);
 }
 
 float Orchestrator::evaluate_loss(const data::Dataset& dataset,
                                   std::size_t batch_size) {
+  nn::InferContext ctx;
+  return evaluate_loss(dataset, batch_size, ctx);
+}
+
+float Orchestrator::evaluate_loss(const data::Dataset& dataset,
+                                  std::size_t batch_size,
+                                  nn::InferContext& ctx) {
   nn::HuberLoss loss(1.0f);
   double acc = 0.0;
   std::size_t batches = 0;
+  Tensor xr;  // decode target, reused (capacity-preserving) across batches
   for (std::size_t begin = 0; begin < dataset.size(); begin += batch_size) {
     const std::size_t end = std::min(begin + batch_size, dataset.size());
     const Tensor x = dataset.images().slice_rows(begin, end);
-    const Tensor xr = reconstruct(x);
+    reconstruct_into(x, xr, ctx);
     acc += loss.value(xr, x);
     ++batches;
   }

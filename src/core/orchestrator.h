@@ -54,9 +54,22 @@ class Orchestrator {
   /// Noise-free end-to-end reconstruction (no wire traffic).
   Tensor reconstruct(const Tensor& batch);
 
+  /// reconstruct() decoding into `out` through the caller's context — the
+  /// one encode-then-decode pipeline both overloads share.
+  void reconstruct_into(const Tensor& batch, Tensor& out,
+                        nn::InferContext& ctx);
+
   /// Mean Huber-equivalent evaluation loss over a dataset (no wire traffic,
   /// no parameter updates).
   float evaluate_loss(const data::Dataset& dataset, std::size_t batch_size);
+
+  /// evaluate_loss with the decode half running through the caller's
+  /// long-lived InferContext (the background trainer passes its per-tenant
+  /// context so repeated validation sweeps stop hammering the allocator).
+  /// The encode half still runs the training-path forward — it caches
+  /// activations by design and is not part of the zero-allocation contract.
+  float evaluate_loss(const data::Dataset& dataset, std::size_t batch_size,
+                      nn::InferContext& ctx);
 
   std::uint64_t rounds_completed() const noexcept { return next_round_; }
   wsn::SimClock& clock() noexcept { return *clock_; }

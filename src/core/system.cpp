@@ -107,6 +107,11 @@ float OrcoDcsSystem::evaluate_loss(const data::Dataset& dataset) {
   return orchestrator_->evaluate_loss(dataset, config_.orco.batch_size);
 }
 
+float OrcoDcsSystem::evaluate_loss(const data::Dataset& dataset,
+                                   nn::InferContext& ctx) {
+  return orchestrator_->evaluate_loss(dataset, config_.orco.batch_size, ctx);
+}
+
 namespace {
 constexpr std::uint32_t kCheckpointMagic = 0x4f444353u;  // "ODCS"
 

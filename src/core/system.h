@@ -62,6 +62,11 @@ class OrcoDcsSystem {
   /// Mean evaluation loss over a dataset.
   float evaluate_loss(const data::Dataset& dataset);
 
+  /// evaluate_loss decoding through a caller-owned InferContext (see
+  /// Orchestrator::evaluate_loss): the TrainerRuntime's validation path
+  /// reuses one context per tenant across jobs.
+  float evaluate_loss(const data::Dataset& dataset, nn::InferContext& ctx);
+
   /// §III-D: feed a periodic reconstruction-error observation; returns true
   /// when the monitor demands a training relaunch.
   bool monitor_observe(float loss) { return monitor_.should(*this, loss); }

@@ -6,13 +6,29 @@
 
 namespace orco::nn {
 
+namespace {
+
+/// Shared elementwise infer_into body: resizes `out` (no-op at steady
+/// state) and maps `f` index-aligned, which is alias-safe — activations may
+/// compute in place when the caller ping-pongs onto the same buffer.
+template <typename F>
+void map_into(const Tensor& input, Tensor& out, F&& f) {
+  out.resize_like(input);
+  const auto in = input.data();
+  auto od = out.data();
+  for (std::size_t i = 0; i < in.size(); ++i) od[i] = f(in[i]);
+}
+
+}  // namespace
+
 Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
   input_ = input;
   return infer(input);
 }
 
-Tensor ReLU::infer(const Tensor& input) const {
-  return input.map([](float v) { return v > 0.0f ? v : 0.0f; });
+void ReLU::infer_into(const Tensor& input, Tensor& out,
+                      InferContext& /*ctx*/) const {
+  map_into(input, out, [](float v) { return v > 0.0f ? v : 0.0f; });
 }
 
 Tensor ReLU::backward(const Tensor& grad_output) {
@@ -35,9 +51,10 @@ Tensor LeakyReLU::forward(const Tensor& input, bool /*training*/) {
   return infer(input);
 }
 
-Tensor LeakyReLU::infer(const Tensor& input) const {
+void LeakyReLU::infer_into(const Tensor& input, Tensor& out,
+                           InferContext& /*ctx*/) const {
   const float a = alpha_;
-  return input.map([a](float v) { return v > 0.0f ? v : a * v; });
+  map_into(input, out, [a](float v) { return v > 0.0f ? v : a * v; });
 }
 
 Tensor LeakyReLU::backward(const Tensor& grad_output) {
@@ -57,8 +74,9 @@ Tensor Sigmoid::forward(const Tensor& input, bool /*training*/) {
   return output_;
 }
 
-Tensor Sigmoid::infer(const Tensor& input) const {
-  return input.map([](float v) { return 1.0f / (1.0f + std::exp(-v)); });
+void Sigmoid::infer_into(const Tensor& input, Tensor& out,
+                         InferContext& /*ctx*/) const {
+  map_into(input, out, [](float v) { return 1.0f / (1.0f + std::exp(-v)); });
 }
 
 Tensor Sigmoid::backward(const Tensor& grad_output) {
@@ -76,8 +94,9 @@ Tensor Tanh::forward(const Tensor& input, bool /*training*/) {
   return output_;
 }
 
-Tensor Tanh::infer(const Tensor& input) const {
-  return input.map([](float v) { return std::tanh(v); });
+void Tanh::infer_into(const Tensor& input, Tensor& out,
+                      InferContext& /*ctx*/) const {
+  map_into(input, out, [](float v) { return std::tanh(v); });
 }
 
 Tensor Tanh::backward(const Tensor& grad_output) {
@@ -93,7 +112,10 @@ Tensor Identity::forward(const Tensor& input, bool /*training*/) {
   return input;
 }
 
-Tensor Identity::infer(const Tensor& input) const { return input; }
+void Identity::infer_into(const Tensor& input, Tensor& out,
+                          InferContext& /*ctx*/) const {
+  map_into(input, out, [](float v) { return v; });
+}
 
 Tensor Identity::backward(const Tensor& grad_output) { return grad_output; }
 

@@ -12,7 +12,8 @@ class ReLU : public Layer {
  public:
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
-  Tensor infer(const Tensor& input) const override;
+  void infer_into(const Tensor& input, Tensor& out,
+                  InferContext& ctx) const override;
   std::string name() const override { return "ReLU"; }
   std::size_t output_features(std::size_t f) const override { return f; }
 
@@ -25,7 +26,8 @@ class LeakyReLU : public Layer {
   explicit LeakyReLU(float alpha = 0.01f);
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
-  Tensor infer(const Tensor& input) const override;
+  void infer_into(const Tensor& input, Tensor& out,
+                  InferContext& ctx) const override;
   std::string name() const override { return "LeakyReLU"; }
   std::size_t output_features(std::size_t f) const override { return f; }
 
@@ -40,7 +42,8 @@ class Sigmoid : public Layer {
  public:
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
-  Tensor infer(const Tensor& input) const override;
+  void infer_into(const Tensor& input, Tensor& out,
+                  InferContext& ctx) const override;
   std::string name() const override { return "Sigmoid"; }
   std::size_t output_features(std::size_t f) const override { return f; }
 
@@ -52,7 +55,8 @@ class Tanh : public Layer {
  public:
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
-  Tensor infer(const Tensor& input) const override;
+  void infer_into(const Tensor& input, Tensor& out,
+                  InferContext& ctx) const override;
   std::string name() const override { return "Tanh"; }
   std::size_t output_features(std::size_t f) const override { return f; }
 
@@ -65,7 +69,10 @@ class Identity : public Layer {
  public:
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
-  Tensor infer(const Tensor& input) const override;
+  void infer_into(const Tensor& input, Tensor& out,
+                  InferContext& ctx) const override;
+  /// Pass-through at inference: Sequential::infer_into skips it entirely.
+  bool infer_is_identity() const override { return true; }
   std::string name() const override { return "Identity"; }
   std::size_t output_features(std::size_t f) const override { return f; }
 };

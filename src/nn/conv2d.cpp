@@ -28,33 +28,51 @@ Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
   return infer(input);
 }
 
-Tensor Conv2d::infer(const Tensor& input) const {
-  return infer_fused(input, tensor::EpilogueAct::kNone);
+void Conv2d::infer_into(const Tensor& input, Tensor& out,
+                        InferContext& ctx) const {
+  infer_fused_into(input, out, tensor::EpilogueAct::kNone, 0.01f, ctx);
 }
 
-Tensor Conv2d::infer_fused(const Tensor& input, tensor::EpilogueAct act,
-                           float leaky_alpha) const {
+void Conv2d::infer_fused_into(const Tensor& input, Tensor& out,
+                              tensor::EpilogueAct act, float leaky_alpha,
+                              InferContext& ctx) const {
   const std::size_t in_feats = geom_.in_channels * geom_.in_h * geom_.in_w;
   ORCO_CHECK(input.rank() == 2 && input.dim(1) == in_feats,
              "Conv2d expects (batch, " << in_feats << "), got "
                                        << tensor::shape_to_string(input.shape()));
+  ORCO_CHECK(&out != &input, "Conv2d cannot infer in place");
   const std::size_t batch = input.dim(0);
   const std::size_t oh = geom_.out_h(), ow = geom_.out_w();
+  const std::size_t col_rows =
+      geom_.in_channels * geom_.kernel_h * geom_.kernel_w;
+  const std::size_t spatial = oh * ow;
   std::shared_ptr<const tensor::PackedWeights> packed;
   if (prepack_) packed = packed_weights();
-  Tensor out({batch, out_channels_ * oh * ow});
+  out.resize(batch, out_channels_ * spatial);
+  tensor::Epilogue epi;
+  epi.bias = b_.data().data();
+  epi.bias_per_row = true;  // one bias per output channel row
+  epi.act = act;
+  epi.leaky_alpha = leaky_alpha;
+  const tensor::Backend& backend = tensor::current_backend();
+  // One arena slab of column scratch, reused for every sample in the batch
+  // and released on scope exit; the (outC, OH*OW) GEMM result lands
+  // directly in the sample's output row — no per-sample Tensor, no
+  // set_outer copy.
+  tensor::WorkspaceScope scope(ctx.scratch());
+  const std::size_t col_floats = col_rows * spatial;
+  float* cols = ctx.scratch().alloc(col_floats);
   for (std::size_t s = 0; s < batch; ++s) {
-    const Tensor cols = tensor::im2col(input.row(s), geom_);
-    // (outC, OH*OW) with the per-channel bias and activation applied in the
-    // same pass as the GEMM.
-    const Tensor y =
-        packed != nullptr
-            ? tensor::gemm_rowbias_act_prepacked(*packed, cols, b_, act,
-                                                 leaky_alpha)
-            : tensor::gemm_rowbias_act(w_, cols, b_, act, leaky_alpha);
-    out.set_outer(s, y.reshaped({out_channels_ * oh * ow}));
+    tensor::im2col_into(input.row(s), geom_, {cols, col_floats});
+    float* y = out.row(s).data();
+    if (packed != nullptr) {
+      backend.gemm_prepacked(cols, *packed, y, out_channels_, col_rows,
+                             spatial, epi);
+    } else {
+      backend.gemm_fused(w_.data().data(), cols, y, out_channels_, col_rows,
+                         spatial, /*transpose_b=*/false, epi);
+    }
   }
-  return out;
 }
 
 std::shared_ptr<const tensor::PackedWeights> Conv2d::packed_weights() const {

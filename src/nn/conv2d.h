@@ -24,13 +24,17 @@ class Conv2d : public Layer {
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
-  Tensor infer(const Tensor& input) const override;
+  void infer_into(const Tensor& input, Tensor& out,
+                  InferContext& ctx) const override;
 
   /// act(W·cols + b) per sample in one fused backend pass (bias per output
-  /// channel row). infer() is infer_fused(kNone); Sequential::infer
+  /// channel row), the im2col columns living in the context's scratch
+  /// arena and the GEMM writing each sample's output row in place.
+  /// infer_into() is infer_fused_into(kNone); Sequential::infer_into
   /// peepholes a following activation layer into `act`.
-  Tensor infer_fused(const Tensor& input, tensor::EpilogueAct act,
-                     float leaky_alpha = 0.01f) const override;
+  void infer_fused_into(const Tensor& input, Tensor& out,
+                        tensor::EpilogueAct act, float leaky_alpha,
+                        InferContext& ctx) const override;
 
   /// When enabled, infer()/infer_fused() cache the current backend's
   /// packed filter-matrix panels keyed on a weight version (see

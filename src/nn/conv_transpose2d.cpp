@@ -1,5 +1,7 @@
 #include "nn/conv_transpose2d.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "nn/init.h"
 #include "tensor/matmul.h"
@@ -38,36 +40,43 @@ Tensor ConvTranspose2d::forward(const Tensor& input, bool /*training*/) {
   return infer(input);
 }
 
-Tensor ConvTranspose2d::infer(const Tensor& input) const {
+void ConvTranspose2d::infer_into(const Tensor& input, Tensor& out,
+                                 InferContext& ctx) const {
   const std::size_t in_feats = in_channels_ * in_h_ * in_w_;
   ORCO_CHECK(input.rank() == 2 && input.dim(1) == in_feats,
              "ConvTranspose2d expects (batch, " << in_feats << "), got "
                                                 << tensor::shape_to_string(
                                                        input.shape()));
+  ORCO_CHECK(&out != &input, "ConvTranspose2d cannot infer in place");
   const std::size_t batch = input.dim(0);
   const std::size_t out_feats = out_channels_ * out_h_ * out_w_;
   const std::size_t spatial = in_h_ * in_w_;
   const std::size_t col_rows = w_.dim(1);  // outC*K*K
-  Tensor out({batch, out_feats});
+  out.resize(batch, out_feats);
   const auto& backend = tensor::current_backend();
+  // Column scratch from the context arena, reused across the batch. The
+  // bias sweep stays AFTER col2im (not folded into the zero-fill) so the
+  // per-element summation order — and therefore every bit of the result —
+  // matches the training-path forward exactly.
+  tensor::WorkspaceScope scope(ctx.scratch());
+  const std::size_t col_floats = col_rows * spatial;
+  float* cols = ctx.scratch().alloc(col_floats);
   for (std::size_t s = 0; s < batch; ++s) {
     // cols = Wᵀ·x with x the sample row viewed as (inC, H*W) — straight off
     // the input span, no per-sample copy or materialised transpose.
-    Tensor cols({col_rows, spatial});
-    backend.gemm_tn(w_.data().data(), input.row(s).data(), cols.data().data(),
-                    col_rows, in_channels_, spatial);
-    Tensor y({out_feats});
-    tensor::col2im(cols, geom_, y.data());
-    auto yd = y.data();
+    std::fill(cols, cols + col_floats, 0.0f);  // gemm_tn accumulates
+    backend.gemm_tn(w_.data().data(), input.row(s).data(), cols, col_rows,
+                    in_channels_, spatial);
+    auto yd = out.row(s);
+    std::fill(yd.begin(), yd.end(), 0.0f);  // col2im accumulates
+    tensor::col2im({cols, col_floats}, geom_, yd);
     for (std::size_t oc = 0; oc < out_channels_; ++oc) {
       const float bias = b_[oc];
       for (std::size_t p = 0; p < out_h_ * out_w_; ++p) {
         yd[oc * out_h_ * out_w_ + p] += bias;
       }
     }
-    out.set_outer(s, y);
   }
-  return out;
 }
 
 Tensor ConvTranspose2d::backward(const Tensor& grad_output) {

@@ -20,7 +20,8 @@ class ConvTranspose2d : public Layer {
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
-  Tensor infer(const Tensor& input) const override;
+  void infer_into(const Tensor& input, Tensor& out,
+                  InferContext& ctx) const override;
   std::vector<ParamView> params() override;
   std::string name() const override { return "ConvTranspose2d"; }
   std::size_t output_features(std::size_t input_features) const override;

@@ -25,21 +25,35 @@ Tensor Dense::forward(const Tensor& input, bool /*training*/) {
   return infer(input);
 }
 
-Tensor Dense::infer(const Tensor& input) const {
-  return infer_fused(input, tensor::EpilogueAct::kNone);
+void Dense::infer_into(const Tensor& input, Tensor& out,
+                       InferContext& ctx) const {
+  infer_fused_into(input, out, tensor::EpilogueAct::kNone, 0.01f, ctx);
 }
 
-Tensor Dense::infer_fused(const Tensor& input, tensor::EpilogueAct act,
-                          float leaky_alpha) const {
+void Dense::infer_fused_into(const Tensor& input, Tensor& out,
+                             tensor::EpilogueAct act, float leaky_alpha,
+                             InferContext& /*ctx*/) const {
   ORCO_CHECK(input.rank() == 2 && input.dim(1) == in_,
              "Dense expects (batch, " << in_ << "), got "
                                       << tensor::shape_to_string(input.shape()));
+  ORCO_CHECK(&out != &input, "Dense cannot infer in place");
+  const std::size_t batch = input.dim(0);
+  out.resize(batch, out_);
+  tensor::Epilogue epi;
+  epi.bias = b_.data().data();
+  epi.bias_per_row = false;
+  epi.act = act;
+  epi.leaky_alpha = leaky_alpha;
+  const tensor::Backend& backend = tensor::current_backend();
   if (prepack_) {
     const auto packed = packed_weights();
-    return tensor::gemm_bias_act_prepacked(input, *packed, b_, act,
-                                           leaky_alpha);  // (B, out)
+    backend.gemm_prepacked(input.data().data(), *packed, out.data().data(),
+                           batch, in_, out_, epi);  // (B, out)
+    return;
   }
-  return tensor::gemm_bias_act(input, w_, b_, act, leaky_alpha);  // (B, out)
+  // y = x·Wᵀ with W stored (out, in): W is the transposed-B operand.
+  backend.gemm_fused(input.data().data(), w_.data().data(), out.data().data(),
+                     batch, in_, out_, /*transpose_b=*/true, epi);  // (B, out)
 }
 
 std::shared_ptr<const tensor::PackedWeights> Dense::packed_weights() const {

@@ -23,13 +23,16 @@ class Dense : public Layer {
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
-  Tensor infer(const Tensor& input) const override;
+  void infer_into(const Tensor& input, Tensor& out,
+                  InferContext& ctx) const override;
 
   /// act(x·Wᵀ + b) in one fused backend pass — GEMM, bias and activation
-  /// applied while output tiles are hot. infer() is infer_fused(kNone);
-  /// Sequential::infer peepholes a following activation layer into `act`.
-  Tensor infer_fused(const Tensor& input, tensor::EpilogueAct act,
-                     float leaky_alpha = 0.01f) const override;
+  /// applied while output tiles are hot, written straight into `out`.
+  /// infer_into() is infer_fused_into(kNone); Sequential::infer_into
+  /// peepholes a following activation layer into `act`.
+  void infer_fused_into(const Tensor& input, Tensor& out,
+                        tensor::EpilogueAct act, float leaky_alpha,
+                        InferContext& ctx) const override;
 
   /// When enabled, infer()/infer_fused() cache the current backend's
   /// packed weight panels keyed on a weight version and reuse them across

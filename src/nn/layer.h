@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/infer_context.h"
 #include "tensor/backend.h"
 #include "tensor/tensor.h"
 
@@ -42,25 +43,33 @@ class Layer {
   /// dL/d(input). Must be called after forward on the same batch.
   virtual Tensor backward(const Tensor& grad_output) = 0;
 
-  /// Inference-only forward pass: no activation caching, no train-only
-  /// behaviour, no mutation — safe to call concurrently from readers that
-  /// share one trained model (the serving runtime's batched decode path).
-  /// Layers that only ever run in training pipelines may leave the default,
-  /// which throws.
-  virtual Tensor infer(const Tensor& input) const {
+  /// Inference-only forward pass into a caller-owned output tensor: no
+  /// activation caching, no train-only behaviour, no mutation of the layer
+  /// — safe to call concurrently from readers that share one trained model
+  /// (the serving runtime's batched decode path), each with its own
+  /// context. Implementations resize `out` (capacity-preserving) and write
+  /// it fully; transient scratch comes from `ctx`. `out` must not alias
+  /// `input` unless the layer is elementwise. Layers that only ever run in
+  /// training pipelines may leave the default, which throws.
+  virtual void infer_into(const Tensor& input, Tensor& out,
+                          InferContext& ctx) const {
     (void)input;
+    (void)out;
+    (void)ctx;
     throw std::logic_error("Layer " + name() +
                            " does not implement const inference");
   }
 
-  /// infer() with an elementwise activation applied on top — the hook
-  /// Sequential::infer uses to fuse a layer with its following activation
-  /// layer. GEMM-backed layers (Dense, Conv2d) override this to push the
-  /// activation into the kernel epilogue; the default computes infer() and
-  /// applies the activation in a second pass, which is always equivalent.
-  virtual Tensor infer_fused(const Tensor& input, tensor::EpilogueAct act,
-                             float leaky_alpha = 0.01f) const {
-    Tensor out = infer(input);
+  /// infer_into() with an elementwise activation applied on top — the hook
+  /// Sequential::infer_into uses to fuse a layer with its following
+  /// activation layer. GEMM-backed layers (Dense, Conv2d) override this to
+  /// push the activation into the kernel epilogue; the default computes
+  /// infer_into() and applies the activation in a second pass, which is
+  /// always equivalent.
+  virtual void infer_fused_into(const Tensor& input, Tensor& out,
+                                tensor::EpilogueAct act, float leaky_alpha,
+                                InferContext& ctx) const {
+    infer_into(input, out, ctx);
     tensor::Epilogue epilogue;
     epilogue.act = act;
     epilogue.leaky_alpha = leaky_alpha;
@@ -69,6 +78,30 @@ class Layer {
       tensor::apply_epilogue(out.data().data(), rows, out.numel() / rows,
                              epilogue);
     }
+  }
+
+  /// True when inference through this layer is the identity (noise layers,
+  /// Identity): Sequential::infer_into skips such layers instead of paying
+  /// a buffer copy per batch.
+  virtual bool infer_is_identity() const { return false; }
+
+  /// Compatibility wrapper over infer_into(): allocates a context (and the
+  /// result) on the fly. Correct everywhere; hot paths that care about
+  /// steady-state allocations hold a long-lived InferContext and call
+  /// infer_into() instead.
+  Tensor infer(const Tensor& input) const {
+    InferContext ctx;
+    Tensor out;
+    infer_into(input, out, ctx);
+    return out;
+  }
+
+  /// Compatibility wrapper over infer_fused_into() (same contract).
+  Tensor infer_fused(const Tensor& input, tensor::EpilogueAct act,
+                     float leaky_alpha = 0.01f) const {
+    InferContext ctx;
+    Tensor out;
+    infer_fused_into(input, out, act, leaky_alpha, ctx);
     return out;
   }
 

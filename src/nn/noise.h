@@ -5,6 +5,8 @@
 // the parameters), which is exactly how denoising autoencoders train.
 #pragma once
 
+#include <algorithm>
+
 #include "common/rng.h"
 #include "nn/layer.h"
 
@@ -18,7 +20,14 @@ class GaussianNoise : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
   /// Identity at inference, like forward(training=false).
-  Tensor infer(const Tensor& input) const override { return input; }
+  void infer_into(const Tensor& input, Tensor& out,
+                  InferContext& /*ctx*/) const override {
+    if (&out == &input) return;
+    out.resize_like(input);
+    std::copy(input.data().begin(), input.data().end(), out.data().begin());
+  }
+  /// Noise is train-only: Sequential::infer_into skips the layer outright.
+  bool infer_is_identity() const override { return true; }
   std::string name() const override { return "GaussianNoise"; }
   std::size_t output_features(std::size_t f) const override { return f; }
 

@@ -21,23 +21,26 @@ MaxPool2d::MaxPool2d(std::size_t channels, std::size_t in_h, std::size_t in_w,
 }
 
 Tensor MaxPool2d::forward(const Tensor& input, bool /*training*/) {
-  Tensor out = compute(input, &argmax_);
+  Tensor out;
+  compute_into(input, out, &argmax_);
   batch_ = input.dim(0);
   return out;
 }
 
-Tensor MaxPool2d::infer(const Tensor& input) const {
-  return compute(input, nullptr);
+void MaxPool2d::infer_into(const Tensor& input, Tensor& out,
+                           InferContext& /*ctx*/) const {
+  ORCO_CHECK(&out != &input, "MaxPool2d cannot infer in place");
+  compute_into(input, out, nullptr);
 }
 
-Tensor MaxPool2d::compute(const Tensor& input,
-                          std::vector<std::size_t>* argmax) const {
+void MaxPool2d::compute_into(const Tensor& input, Tensor& out,
+                             std::vector<std::size_t>* argmax) const {
   const std::size_t in_feats = channels_ * in_h_ * in_w_;
   ORCO_CHECK(input.rank() == 2 && input.dim(1) == in_feats,
              "MaxPool2d expects (batch, " << in_feats << ")");
   const std::size_t batch = input.dim(0);
   const std::size_t out_feats = channels_ * out_h_ * out_w_;
-  Tensor out({batch, out_feats});
+  out.resize(batch, out_feats);
   if (argmax != nullptr) argmax->assign(batch * out_feats, 0);
 
   for (std::size_t s = 0; s < batch; ++s) {
@@ -67,7 +70,6 @@ Tensor MaxPool2d::compute(const Tensor& input,
       }
     }
   }
-  return out;
 }
 
 Tensor MaxPool2d::backward(const Tensor& grad_output) {

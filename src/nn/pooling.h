@@ -13,7 +13,8 @@ class MaxPool2d : public Layer {
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
-  Tensor infer(const Tensor& input) const override;
+  void infer_into(const Tensor& input, Tensor& out,
+                  InferContext& ctx) const override;
   std::string name() const override { return "MaxPool2d"; }
   std::size_t output_features(std::size_t input_features) const override;
 
@@ -21,9 +22,10 @@ class MaxPool2d : public Layer {
   std::size_t out_w() const noexcept { return out_w_; }
 
  private:
-  /// Shared forward compute; records winner indices only when `argmax` is
-  /// non-null (training path).
-  Tensor compute(const Tensor& input, std::vector<std::size_t>* argmax) const;
+  /// Shared forward compute writing into `out`; records winner indices only
+  /// when `argmax` is non-null (training path).
+  void compute_into(const Tensor& input, Tensor& out,
+                    std::vector<std::size_t>* argmax) const;
 
   std::size_t channels_, in_h_, in_w_, kernel_, stride_;
   std::size_t out_h_, out_w_;

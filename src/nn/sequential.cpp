@@ -1,5 +1,8 @@
 #include "nn/sequential.h"
 
+#include <algorithm>
+#include <optional>
+
 #include "common/check.h"
 #include "nn/activations.h"
 
@@ -17,27 +20,64 @@ Tensor Sequential::forward(const Tensor& input, bool training) {
   return x;
 }
 
-Tensor Sequential::infer(const Tensor& input) const {
-  // Peephole fusion: a layer followed by an elementwise activation becomes
-  // one infer_fused() call — GEMM-backed layers (Dense, Conv2d) push the
-  // activation into the kernel epilogue, halving the memory traffic of the
-  // serving decode path; everything else falls back to infer()-then-apply,
-  // which is always equivalent. The training-mode forward() stays unfused
-  // because backward needs the pre-activation.
-  Tensor x = input;
+void Sequential::infer_into(const Tensor& input, Tensor& out,
+                            InferContext& ctx) const {
+  ORCO_CHECK(&out != &input,
+             "Sequential::infer_into output may not alias its input");
+  // Index of the last layer that actually computes at inference; identity
+  // layers (noise, Identity) after it are skipped, so the step containing
+  // it is the one that writes `out` directly.
+  std::size_t last_real = layers_.size();
   for (std::size_t i = 0; i < layers_.size(); ++i) {
-    if (i + 1 < layers_.size()) {
-      float leaky_alpha = 0.01f;
-      const auto epi = activation_epilogue(*layers_[i + 1], leaky_alpha);
-      if (epi) {
-        x = layers_[i]->infer_fused(x, *epi, leaky_alpha);
-        ++i;
-        continue;
-      }
-    }
-    x = layers_[i]->infer(x);
+    if (!layers_[i]->infer_is_identity()) last_real = i;
   }
-  return x;
+  if (last_real == layers_.size()) {
+    // Empty chain or all-identity: the pass is a copy.
+    out.resize_like(input);
+    std::copy(input.data().begin(), input.data().end(), out.data().begin());
+    return;
+  }
+  // Nested-Sequential escape hatch: when `out` is one of the context's
+  // ping-pong buffers (an outer Sequential handed us its intermediate), a
+  // multi-step chain has at most one buffer left to alternate through —
+  // not enough. Fall back to the allocating compat path; a flat model
+  // (every model this repository builds) never takes this branch.
+  if (ctx.owns(out) && last_real > 0) {
+    Tensor result = infer(input);
+    out.resize_like(result);
+    std::copy(result.data().begin(), result.data().end(), out.data().begin());
+    return;
+  }
+
+  // Peephole fusion, ping-pong buffer plan: a layer followed by an
+  // elementwise activation becomes one infer_fused_into() call —
+  // GEMM-backed layers (Dense, Conv2d) push the activation into the kernel
+  // epilogue, halving the memory traffic of the serving decode path;
+  // everything else falls back to compute-then-apply, which is always
+  // equivalent. Each step reads the previous step's buffer and writes the
+  // context's other buffer (the final step writes `out`), so after warmup
+  // a whole pass touches no allocator. The training-mode forward() stays
+  // unfused because backward needs the pre-activation.
+  const Tensor* cur = &input;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (layers_[i]->infer_is_identity()) continue;
+    std::size_t step_end = i;
+    float leaky_alpha = 0.01f;
+    std::optional<tensor::EpilogueAct> epi;
+    if (i + 1 < layers_.size()) {
+      epi = activation_epilogue(*layers_[i + 1], leaky_alpha);
+      if (epi) step_end = i + 1;
+    }
+    const bool last = last_real <= step_end;
+    Tensor& dst = last ? out : ctx.other_than(*cur);
+    if (epi) {
+      layers_[i]->infer_fused_into(*cur, dst, *epi, leaky_alpha, ctx);
+    } else {
+      layers_[i]->infer_into(*cur, dst, ctx);
+    }
+    cur = &dst;
+    i = step_end;
+  }
 }
 
 void Sequential::set_weight_prepack(bool enabled) {

@@ -27,7 +27,15 @@ class Sequential : public Layer {
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
-  Tensor infer(const Tensor& input) const override;
+
+  /// Whole-chain inference into `out`: plans the buffer ping-pong once
+  /// (layer i reads one context buffer, writes the other; the final layer
+  /// writes `out` directly), keeps the fused layer+activation peephole, and
+  /// skips inference-identity layers (noise) outright. After warmup —
+  /// one pass at the workload's largest batch — repeat passes through the
+  /// same context perform zero heap allocations.
+  void infer_into(const Tensor& input, Tensor& out,
+                  InferContext& ctx) const override;
   void set_weight_prepack(bool enabled) override;
   void invalidate_weight_cache() override;
   std::vector<ParamView> params() override;

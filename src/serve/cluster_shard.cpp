@@ -1,10 +1,10 @@
 #include "serve/cluster_shard.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/check.h"
 #include "common/logging.h"
-#include "tensor/ops.h"
 
 namespace orco::serve {
 
@@ -185,8 +185,6 @@ void ClusterShard::serve_batch(std::vector<PendingRequest> batch) {
   // reused by the post-decode insert; nullopt = uncacheable latent).
   std::vector<std::size_t> good;
   good.reserve(batch.size());
-  std::vector<Tensor> latents;
-  latents.reserve(batch.size());
   std::vector<std::optional<std::string>> keys;
   if (cache_.enabled()) keys.reserve(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -222,21 +220,29 @@ void ClusterShard::serve_batch(std::vector<PendingRequest> batch) {
       }
       keys.push_back(std::move(key));
     }
-    latents.push_back(latent);
     good.push_back(i);
   }
   if (good.empty()) return;
 
   // One batched decode for the whole coalesced batch: the decoder weights
-  // stream through cache once instead of once per request.
-  Tensor decoded;
+  // stream through cache once instead of once per request. The coalesced
+  // latents are written straight into the shard's reusable InferContext
+  // input buffer (one sized row copy each — no stack_rows, no per-request
+  // Tensor), and the decode lands in the worker-owned output buffer: after
+  // warmup this whole block performs zero heap allocations.
+  Tensor& stacked = infer_ctx_.input();
+  stacked.resize(good.size(), latent_dim);
+  for (std::size_t row = 0; row < good.size(); ++row) {
+    const auto src = batch[good[row]].request.latent.data();
+    std::copy(src.begin(), src.end(), stacked.row(row).begin());
+  }
   try {
-    const Tensor stacked = tensor::stack_rows(latents);
     if (snapshot != nullptr) {
       tensor::BackendScope tenant_scope(snapshot->backend);
-      decoded = snapshot->decoder->infer(stacked);
+      snapshot->decoder->infer_into(stacked, decode_out_, infer_ctx_);
     } else {
-      decoded = tenant->system->edge().decode_inference(stacked);
+      tenant->system->edge().decode_inference(stacked, decode_out_,
+                                              infer_ctx_);
     }
   } catch (const std::exception& e) {
     for (const std::size_t i : good) {
@@ -245,16 +251,22 @@ void ClusterShard::serve_batch(std::vector<PendingRequest> batch) {
     }
     return;
   }
+  // Every layer scope has rewound, so the arena is empty: reset() here
+  // coalesces a warmup spill into one slab (a no-op from the second
+  // steady-state batch on).
+  infer_ctx_.scratch().reset();
   telemetry_->record_batch(good.size());
 
-  const std::size_t output_dim = decoded.dim(1);
   for (std::size_t row = 0; row < good.size(); ++row) {
     PendingRequest& pending = batch[good[row]];
     DecodeResponse response;
     response.id = pending.request.id;
     response.status = ResponseStatus::kOk;
-    response.reconstruction =
-        decoded.slice_rows(row, row + 1).reshaped({output_dim});
+    // One sized allocation + one memcpy per response, straight out of the
+    // shared decode buffer (the response tensor must own its storage — it
+    // outlives this batch and the context's buffers are about to be
+    // recycled).
+    response.reconstruction = decode_out_.row_copy(row);
     response.batch_size = good.size();
     response.model_version = version;
     response.latency_us = elapsed_us(pending.request.enqueued_at);

@@ -109,6 +109,15 @@ class ClusterShard {
   const tensor::Backend* backend_;  // nullable: inherit process default
   std::shared_ptr<train::ModelRegistry> registry_;  // nullable
   ReconstructionCache cache_;  // worker-thread-owned
+  /// Worker-thread-owned inference memory, reused across batches and sized
+  /// to the shard's high-water mark: batch assembly writes the coalesced
+  /// latents straight into infer_ctx_'s input buffer (no stack_rows), the
+  /// decoder ping-pongs through the context, and the decode lands in
+  /// decode_out_, out of which responses are filled by row copies. After
+  /// the first batch at the largest shapes, a steady-state decode performs
+  /// zero heap allocations.
+  nn::InferContext infer_ctx_;
+  Tensor decode_out_;
   mutable std::mutex tenants_mu_;  // guards registration vs. lookup only
   std::map<ClusterId, TenantEntry> tenants_;
 };

@@ -15,13 +15,23 @@ std::size_t Conv2dGeometry::out_w() const {
 }
 
 Tensor im2col(std::span<const float> image, const Conv2dGeometry& g) {
+  const std::size_t rows = g.in_channels * g.kernel_h * g.kernel_w;
+  Tensor cols({rows, g.out_h() * g.out_w()});
+  im2col_into(image, g, cols.data());
+  return cols;
+}
+
+void im2col_into(std::span<const float> image, const Conv2dGeometry& g,
+                 std::span<float> columns) {
   ORCO_CHECK(image.size() == g.in_channels * g.in_h * g.in_w,
              "im2col image size mismatch: " << image.size() << " vs "
                                             << g.in_channels * g.in_h * g.in_w);
   const std::size_t oh = g.out_h(), ow = g.out_w();
   const std::size_t rows = g.in_channels * g.kernel_h * g.kernel_w;
-  Tensor cols({rows, oh * ow});
-  auto out = cols.data();
+  ORCO_CHECK(columns.size() == rows * oh * ow,
+             "im2col column scratch is " << columns.size() << " floats, want "
+                                         << rows * oh * ow);
+  auto out = columns;
 
   std::size_t r = 0;
   for (std::size_t c = 0; c < g.in_channels; ++c) {
@@ -49,7 +59,6 @@ Tensor im2col(std::span<const float> image, const Conv2dGeometry& g) {
       }
     }
   }
-  return cols;
 }
 
 void col2im(const Tensor& columns, const Conv2dGeometry& g,
@@ -59,9 +68,19 @@ void col2im(const Tensor& columns, const Conv2dGeometry& g,
   ORCO_CHECK(columns.rank() == 2 && columns.dim(0) == rows &&
                  columns.dim(1) == oh * ow,
              "col2im shape mismatch: " << shape_to_string(columns.shape()));
+  col2im(std::span<const float>(columns.data()), g, image_grad);
+}
+
+void col2im(std::span<const float> columns, const Conv2dGeometry& g,
+            std::span<float> image_grad) {
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  const std::size_t rows = g.in_channels * g.kernel_h * g.kernel_w;
+  ORCO_CHECK(columns.size() == rows * oh * ow,
+             "col2im column scratch is " << columns.size() << " floats, want "
+                                         << rows * oh * ow);
   ORCO_CHECK(image_grad.size() == g.in_channels * g.in_h * g.in_w,
              "col2im image size mismatch");
-  const auto src = columns.data();
+  const auto src = columns;
 
   std::size_t r = 0;
   for (std::size_t c = 0; c < g.in_channels; ++c) {

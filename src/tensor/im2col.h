@@ -26,10 +26,20 @@ struct Conv2dGeometry {
 /// (C*KH*KW) x (OH*OW) column matrix.
 Tensor im2col(std::span<const float> image, const Conv2dGeometry& g);
 
+/// im2col writing into caller-owned scratch of (C*KH*KW) * (OH*OW) floats —
+/// the zero-allocation inference path hands a Workspace slab here instead
+/// of materialising a Tensor per sample.
+void im2col_into(std::span<const float> image, const Conv2dGeometry& g,
+                 std::span<float> columns);
+
 /// Folds a (C*KH*KW) x (OH*OW) column matrix back into an image gradient,
 /// accumulating overlapping patches. `image_grad` must hold C*H*W floats and
 /// is accumulated into (callers zero it first).
 void col2im(const Tensor& columns, const Conv2dGeometry& g,
+            std::span<float> image_grad);
+
+/// col2im over caller-owned column scratch (same layout contract).
+void col2im(std::span<const float> columns, const Conv2dGeometry& g,
             std::span<float> image_grad);
 
 }  // namespace orco::tensor

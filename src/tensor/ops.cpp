@@ -102,6 +102,16 @@ Tensor stack_rows(const std::vector<Tensor>& parts) {
   const std::size_t cols = parts.front().numel();
   ORCO_CHECK(cols > 0, "stack_rows: part 0 is empty (shape "
                            << shape_to_string(parts.front().shape()) << ")");
+  if (parts.size() == 1) {
+    // Single-part fast path: one copy straight off the sole tensor (the
+    // general path below zero-initialises a fresh buffer first and then
+    // copies over it). An un-coalesced serve batch hits this per request.
+    const Tensor& p = parts.front();
+    ORCO_CHECK(p.rank() == 1 || (p.rank() == 2 && p.dim(0) == 1),
+               "stack_rows: part 0 has shape " << shape_to_string(p.shape())
+                                               << ", want a single row");
+    return p.reshaped({1, cols});
+  }
   Tensor out({parts.size(), cols});
   std::size_t r = 0;
   for (const auto& p : parts) {

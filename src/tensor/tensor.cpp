@@ -92,6 +92,25 @@ void Tensor::reshape(Shape new_shape) {
   shape_ = std::move(new_shape);
 }
 
+void Tensor::resize(Shape new_shape) {
+  data_.resize(shape_numel(new_shape));
+  shape_ = std::move(new_shape);
+}
+
+void Tensor::resize(std::size_t rows, std::size_t cols) {
+  data_.resize(rows * cols);
+  shape_.resize(2);  // allocation-free once the vector has ever held rank 2
+  shape_[0] = rows;
+  shape_[1] = cols;
+}
+
+void Tensor::resize_like(const Tensor& other) {
+  data_.resize(other.numel());
+  const Shape& src = other.shape();
+  shape_.resize(src.size());
+  std::copy(src.begin(), src.end(), shape_.begin());
+}
+
 float& Tensor::at(std::size_t i, std::size_t j) {
   ORCO_CHECK(rank() == 2, "at(i,j) requires rank 2, got "
                               << shape_to_string(shape_));
@@ -137,6 +156,15 @@ Tensor Tensor::slice_rows(std::size_t begin, std::size_t end) const {
   std::vector<float> out(data_.begin() + static_cast<std::ptrdiff_t>(begin * cols),
                          data_.begin() + static_cast<std::ptrdiff_t>(end * cols));
   return Tensor({end - begin, cols}, std::move(out));
+}
+
+Tensor Tensor::row_copy(std::size_t i) const {
+  ORCO_CHECK(rank() == 2, "row_copy requires rank 2");
+  ORCO_CHECK(i < shape_[0], "row " << i << " out of " << shape_[0]);
+  const std::size_t cols = shape_[1];
+  std::vector<float> out(data_.begin() + static_cast<std::ptrdiff_t>(i * cols),
+                         data_.begin() + static_cast<std::ptrdiff_t>((i + 1) * cols));
+  return Tensor({cols}, std::move(out));
 }
 
 Tensor Tensor::slice_outer(std::size_t n) const {

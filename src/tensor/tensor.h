@@ -75,6 +75,26 @@ class Tensor {
   /// In-place reshape (same numel required).
   void reshape(Shape new_shape);
 
+  /// Re-shapes to `new_shape`, changing numel if needed. Existing storage
+  /// capacity is reused — no heap traffic unless numel grows beyond the
+  /// high-water mark — which makes this the buffer-recycling primitive of
+  /// the zero-allocation inference path (InferContext's ping-pong
+  /// activation buffers). Element values are unspecified after a size
+  /// change (grown elements are zero, kept elements retain old data);
+  /// callers overwrite the whole buffer. NOTE: the Shape parameter itself
+  /// is a heap-backed vector — steady-state hot paths use the rank-2 /
+  /// resize_like overloads below, whose arguments never allocate.
+  void resize(Shape new_shape);
+
+  /// Rank-2 resize without constructing a Shape: the layer-kernel form
+  /// (every infer_into output is (batch, features)). Reuses the shape
+  /// vector's storage, so a warmed tensor resizes with zero allocations.
+  void resize(std::size_t rows, std::size_t cols);
+
+  /// Resizes to `other`'s shape, reusing the shape vector's storage when
+  /// the ranks already agree (the elementwise-layer case).
+  void resize_like(const Tensor& other);
+
   // -- element access ---------------------------------------------------
 
   std::span<float> data() noexcept { return data_; }
@@ -97,6 +117,11 @@ class Tensor {
 
   /// Copies rows [begin, end) of a rank-2 tensor into a new tensor.
   Tensor slice_rows(std::size_t begin, std::size_t end) const;
+
+  /// Copies row i of a rank-2 tensor into a new rank-1 tensor — one sized
+  /// allocation + one memcpy (slice_rows(i, i+1).reshaped(...) costs two of
+  /// each). The serve fan-out unpacks batched decodes with this.
+  Tensor row_copy(std::size_t i) const;
 
   /// Copies the n-th outermost slice (e.g. one image of an (N,C,H,W) batch),
   /// dropping the leading dimension.

@@ -258,7 +258,9 @@ std::uint64_t TrainerRuntime::export_and_publish(ClusterId cluster,
     const tensor::Backend* warm = system.edge().backend();
     if (warm == nullptr) warm = tensor::resolve_backend(config_.serve_backend);
     tensor::BackendScope scope(warm);
-    (void)decoder->infer(tensor::Tensor({1, orco.latent_dim}));
+    const tensor::Tensor warm_latent({1, orco.latent_dim});
+    tensor::Tensor warm_out;
+    decoder->infer_into(warm_latent, warm_out, tenant.infer_ctx);
   }
   snapshot->decoder =
       std::shared_ptr<const nn::Sequential>(std::move(decoder));
@@ -374,8 +376,10 @@ TrainResult TrainerRuntime::run_job(const TrainJob& job) {
   if (result.rounds_run > 0 && result.outcome != JobOutcome::kFailed) {
     try {
       // The clean eval loss on the data just trained on is the §III-D
-      // baseline for the next drift watch (same rule as train_online).
-      result.eval_loss = system.evaluate_loss(dataset);
+      // baseline for the next drift watch (same rule as train_online). The
+      // decode half of the sweep runs through the tenant's reusable
+      // context (we hold train_mu, so the context is ours).
+      result.eval_loss = system.evaluate_loss(dataset, tenant->infer_ctx);
       {
         std::lock_guard lock(tenant->monitor_mu);
         tenant->monitor.set_baseline(result.eval_loss);

@@ -173,6 +173,11 @@ class TrainerRuntime {
     /// A drift-triggered job is queued or running; suppresses duplicate
     /// auto-enqueues while the relaunch is still in flight.
     std::atomic<bool> drift_job_inflight{false};
+    /// Inference memory for the validation/export path (evaluate_loss
+    /// sweeps, snapshot warm-up decodes), reused across this tenant's jobs
+    /// so repeat fine-tunes stop hammering the allocator. Guarded by
+    /// train_mu like the system itself.
+    nn::InferContext infer_ctx;
 
     Tenant(std::shared_ptr<core::OrcoDcsSystem> sys,
            const serve::TenantPolicy& pol, const TrainBudget& bud);

@@ -1,0 +1,355 @@
+// Tests for the zero-allocation inference substrate: the tensor::Workspace
+// bump arena (growth, mark/rewind, coalesce-on-reset), InferContext buffer
+// ping-pong reuse, and — via a counting global operator new — proof that a
+// steady-state decode through a warmed context performs zero heap
+// allocations (the acceptance bar for the serving shard's decode stage).
+//
+// This TU owns the test binary's global operator new/delete replacement;
+// counting is scoped per thread so gtest's own allocations never leak into
+// a measurement.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "core/system.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/conv_transpose2d.h"
+#include "nn/dense.h"
+#include "nn/infer_context.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "tensor/backend.h"
+#include "tensor/workspace.h"
+
+namespace {
+
+thread_local bool t_count_allocs = false;
+thread_local std::uint64_t t_alloc_count = 0;
+
+void* counted_alloc(std::size_t size) {
+  if (t_count_allocs) ++t_alloc_count;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+// Global replacements: every operator new in the test binary funnels
+// through the counter (only armed on the measuring thread, inside a scope).
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace orco {
+namespace {
+
+using nn::InferContext;
+using tensor::Tensor;
+using tensor::Workspace;
+
+/// Arms the allocation counter for the current thread for its scope.
+class CountAllocs {
+ public:
+  CountAllocs() {
+    t_alloc_count = 0;
+    t_count_allocs = true;
+  }
+  ~CountAllocs() { t_count_allocs = false; }
+  static std::uint64_t count() { return t_alloc_count; }
+};
+
+/// Serial, blocked-backend kernels for deterministic measurements: no pool
+/// futures, no reference-backend transpose temporaries.
+class SerialBlockedScope {
+ public:
+  SerialBlockedScope() : scope_(&tensor::blocked_backend()) {
+    tensor::set_gemm_parallelism(false);
+  }
+  ~SerialBlockedScope() { tensor::set_gemm_parallelism(true); }
+
+ private:
+  tensor::BackendScope scope_;
+};
+
+TEST(WorkspaceTest, BumpAllocatesAlignedAndTracksUsage) {
+  Workspace ws;
+  EXPECT_EQ(ws.capacity(), 0u);
+  float* a = ws.alloc(10);
+  float* b = ws.alloc(100);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 64, 0u);
+  // Both allocations rounded up to the 16-float alignment grain.
+  EXPECT_EQ(ws.used(), 16u + 112u);
+  EXPECT_GE(ws.high_water(), ws.used());
+  // Writable across the whole request.
+  for (int i = 0; i < 10; ++i) a[i] = 1.0f;
+  for (int i = 0; i < 100; ++i) b[i] = 2.0f;
+  EXPECT_EQ(a[9], 1.0f);
+  EXPECT_EQ(b[99], 2.0f);
+}
+
+TEST(WorkspaceTest, MarkRewindRecyclesWithoutGrowth) {
+  Workspace ws(1024);
+  const std::size_t cap = ws.capacity();
+  const Workspace::Mark m = ws.mark();
+  float* first = ws.alloc(256);
+  ws.rewind(m);
+  EXPECT_EQ(ws.used(), 0u);
+  float* second = ws.alloc(256);
+  EXPECT_EQ(first, second);  // same storage handed back
+  EXPECT_EQ(ws.capacity(), cap);
+}
+
+TEST(WorkspaceTest, WorkspaceScopeRewindsOnExit) {
+  Workspace ws(512);
+  float* outer = ws.alloc(32);
+  (void)outer;
+  const std::size_t used_before = ws.used();
+  {
+    tensor::WorkspaceScope scope(ws);
+    (void)ws.alloc(64);
+    (void)ws.alloc(64);
+    EXPECT_GT(ws.used(), used_before);
+  }
+  EXPECT_EQ(ws.used(), used_before);
+}
+
+TEST(WorkspaceTest, OverflowGrowsThenResetCoalescesToOneSlab) {
+  Workspace ws;
+  (void)ws.alloc(100);
+  (void)ws.alloc(5000);   // overflows the first block
+  (void)ws.alloc(20000);  // and the second
+  EXPECT_GT(ws.block_count(), 1u);
+  const std::size_t high = ws.high_water();
+  ws.reset();
+  EXPECT_EQ(ws.used(), 0u);
+  EXPECT_EQ(ws.block_count(), 1u);  // coalesced
+  EXPECT_GE(ws.capacity(), high);
+  // The same sequence now fits without opening a second block.
+  (void)ws.alloc(100);
+  (void)ws.alloc(5000);
+  (void)ws.alloc(20000);
+  EXPECT_EQ(ws.block_count(), 1u);
+}
+
+TEST(WorkspaceTest, RewindValidatesLifoOrder) {
+  Workspace ws(256);
+  const Workspace::Mark early = ws.mark();
+  (void)ws.alloc(16);
+  const Workspace::Mark late = ws.mark();
+  ws.rewind(late);
+  ws.rewind(early);
+  (void)ws.alloc(16);
+  const Workspace::Mark after = ws.mark();
+  ws.rewind(after);
+  EXPECT_THROW(ws.rewind(Workspace::Mark{0, 9999}), std::invalid_argument);
+}
+
+TEST(InferContextTest, PingPongBuffersAlternate) {
+  InferContext ctx;
+  Tensor& b0 = ctx.buffer(0);
+  Tensor& b1 = ctx.buffer(1);
+  EXPECT_NE(&b0, &b1);
+  EXPECT_EQ(&ctx.input(), &b0);
+  EXPECT_EQ(&ctx.other_than(b0), &b1);
+  EXPECT_EQ(&ctx.other_than(b1), &b0);
+  Tensor outside({4});
+  EXPECT_EQ(&ctx.other_than(outside), &b0);
+  EXPECT_TRUE(ctx.owns(b0));
+  EXPECT_TRUE(ctx.owns(b1));
+  EXPECT_FALSE(ctx.owns(outside));
+}
+
+TEST(InferContextTest, SequentialInferIntoMatchesInferBitwise) {
+  common::Pcg32 rng(7);
+  nn::Sequential model;
+  model.emplace<nn::Dense>(16, 48, rng);
+  model.emplace<nn::ReLU>();
+  model.emplace<nn::Dense>(48, 48, rng);
+  model.emplace<nn::LeakyReLU>(0.05f);
+  model.emplace<nn::Dense>(48, 64, rng);
+  model.emplace<nn::Sigmoid>();
+
+  InferContext ctx;
+  Tensor out;
+  // Varying batch sizes through ONE context: buffers shrink and regrow
+  // within capacity without perturbing values.
+  for (const std::size_t batch : {8u, 1u, 5u, 8u}) {
+    const Tensor x = Tensor::randn({batch, 16}, rng);
+    const Tensor expected = model.infer(x);
+    model.infer_into(x, out, ctx);
+    ASSERT_EQ(out.shape(), expected.shape());
+    for (std::size_t i = 0; i < out.numel(); ++i) {
+      ASSERT_EQ(out[i], expected[i]) << "batch " << batch << " elem " << i;
+    }
+  }
+}
+
+TEST(InferContextTest, ConvChainInferIntoMatchesInferBitwise) {
+  common::Pcg32 rng(21);
+  nn::Sequential model;
+  // 1x8x8 -> conv 4ch -> ReLU -> pool -> convT back up -> Sigmoid.
+  model.emplace<nn::Conv2d>(1, 4, 3, 1, 1, 8, 8, rng);
+  model.emplace<nn::ReLU>();
+  model.emplace<nn::MaxPool2d>(4, 8, 8, 2, 2);
+  model.emplace<nn::ConvTranspose2d>(4, 1, 2, 2, 0, 4, 4, rng);
+  model.emplace<nn::Sigmoid>();
+
+  InferContext ctx;
+  Tensor out;
+  for (const std::size_t batch : {3u, 1u, 3u}) {
+    const Tensor x = Tensor::randn({batch, 64}, rng);
+    const Tensor expected = model.infer(x);
+    model.infer_into(x, out, ctx);
+    ASSERT_EQ(out.shape(), expected.shape());
+    for (std::size_t i = 0; i < out.numel(); ++i) {
+      ASSERT_EQ(out[i], expected[i]) << "batch " << batch << " elem " << i;
+    }
+  }
+}
+
+TEST(InferContextTest, InputMayAliasAContextBuffer) {
+  // The ClusterShard pattern: assemble the batch in ctx.input(), infer out
+  // of it. The planner must ping-pong away from the aliased buffer.
+  common::Pcg32 rng(3);
+  nn::Sequential model;
+  model.emplace<nn::Dense>(8, 24, rng);
+  model.emplace<nn::ReLU>();
+  model.emplace<nn::Dense>(24, 32, rng);
+  model.emplace<nn::Sigmoid>();
+
+  InferContext ctx;
+  const Tensor x = Tensor::randn({4, 8}, rng);
+  const Tensor expected = model.infer(x);
+
+  Tensor& assembled = ctx.input();
+  assembled.resize(4, 8);
+  std::copy(x.data().begin(), x.data().end(), assembled.data().begin());
+  Tensor out;
+  model.infer_into(assembled, out, ctx);
+  ASSERT_EQ(out.shape(), expected.shape());
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    ASSERT_EQ(out[i], expected[i]);
+  }
+}
+
+TEST(ZeroAllocTest, WarmedSequentialDecodeMakesNoHeapAllocations) {
+  SerialBlockedScope kernels;
+  common::Pcg32 rng(11);
+  nn::Sequential model;
+  model.emplace<nn::Dense>(16, 64, rng);
+  model.emplace<nn::ReLU>();
+  model.emplace<nn::Dense>(64, 64, rng);
+  model.emplace<nn::Sigmoid>();
+  model.set_weight_prepack(true);
+
+  InferContext ctx;
+  Tensor out;
+  const Tensor x = Tensor::randn({8, 16}, rng);
+  // Warmup: grows the context buffers to their high-water mark and packs
+  // the weight panels.
+  model.infer_into(x, out, ctx);
+  model.infer_into(x, out, ctx);
+
+  std::uint64_t allocs = 0;
+  {
+    CountAllocs counter;
+    for (int i = 0; i < 16; ++i) model.infer_into(x, out, ctx);
+    allocs = CountAllocs::count();
+  }
+  EXPECT_EQ(allocs, 0u);
+
+  // Smaller batches recycle the same (capacity-preserving) buffers.
+  const Tensor small = Tensor::randn({2, 16}, rng);
+  model.infer_into(small, out, ctx);  // shape warmup outside the counter
+  std::uint64_t small_allocs = 0;
+  {
+    CountAllocs counter;
+    for (int i = 0; i < 16; ++i) model.infer_into(small, out, ctx);
+    small_allocs = CountAllocs::count();
+  }
+  EXPECT_EQ(small_allocs, 0u);
+}
+
+TEST(ZeroAllocTest, WarmedConvDecodeMakesNoHeapAllocations) {
+  SerialBlockedScope kernels;
+  common::Pcg32 rng(13);
+  nn::Sequential model;
+  model.emplace<nn::Conv2d>(1, 4, 3, 1, 1, 8, 8, rng);
+  model.emplace<nn::ReLU>();
+  model.emplace<nn::ConvTranspose2d>(4, 1, 2, 2, 0, 8, 8, rng);
+  model.emplace<nn::Sigmoid>();
+  model.set_weight_prepack(true);
+
+  InferContext ctx;
+  Tensor out;
+  const Tensor x = Tensor::randn({4, 64}, rng);
+  model.infer_into(x, out, ctx);
+  model.infer_into(x, out, ctx);
+
+  std::uint64_t allocs = 0;
+  {
+    CountAllocs counter;
+    for (int i = 0; i < 8; ++i) model.infer_into(x, out, ctx);
+    allocs = CountAllocs::count();
+  }
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(ZeroAllocTest, ClusterShardStyleSteadyStateDecodeIsAllocationFree) {
+  // The exact decode stage ClusterShard::serve_batch runs per batch:
+  // assemble coalesced latents into the context's input buffer (one sized
+  // row copy each), decode through the tenant's real exported decoder into
+  // the worker-owned output buffer. After warmup the whole stage must not
+  // touch the allocator — the acceptance bar for this PR.
+  SerialBlockedScope kernels;
+  core::SystemConfig cfg;
+  cfg.orco.input_dim = 64;
+  cfg.orco.latent_dim = 16;
+  cfg.orco.decoder_layers = 3;
+  cfg.orco.seed = 5;
+  cfg.orco.prepack_decoder = true;
+  cfg.field.device_count = 8;
+  cfg.field.radio_range_m = 60.0;
+  core::OrcoDcsSystem system(cfg);
+
+  common::Pcg32 rng(17);
+  std::vector<Tensor> latents;
+  for (int i = 0; i < 8; ++i) latents.push_back(Tensor::randn({16}, rng));
+
+  nn::InferContext ctx;
+  Tensor decode_out;
+  const auto decode_batch = [&](std::size_t count) {
+    Tensor& stacked = ctx.input();
+    stacked.resize(count, 16);
+    for (std::size_t r = 0; r < count; ++r) {
+      const auto src = latents[r].data();
+      std::copy(src.begin(), src.end(), stacked.row(r).begin());
+    }
+    system.edge().decode_inference(stacked, decode_out, ctx);
+  };
+
+  decode_batch(8);  // warmup at the high-water batch
+  decode_batch(8);
+  std::uint64_t allocs = 0;
+  {
+    CountAllocs counter;
+    for (int i = 0; i < 16; ++i) decode_batch(8);
+    for (int i = 0; i < 16; ++i) decode_batch(3);  // partial batches too
+    allocs = CountAllocs::count();
+  }
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_EQ(decode_out.dim(1), 64u);
+}
+
+}  // namespace
+}  // namespace orco

@@ -275,5 +275,80 @@ TEST(SequentialTest, RejectsNullLayer) {
   EXPECT_THROW((void)model.layer(0), std::invalid_argument);
 }
 
+TEST(LayerInferIntoTest, MatchesInferAcrossLayerKinds) {
+  common::Pcg32 rng(31);
+  const Tensor x = Tensor::randn({3, 16}, rng);
+  Dense dense(16, 8, rng);
+  MaxPool2d pool(1, 4, 4, 2, 2);
+  LeakyReLU leaky(0.2f);
+  const Layer* layers[] = {&dense, &pool, &leaky};
+  for (const Layer* layer : layers) {
+    InferContext ctx;
+    Tensor out;
+    layer->infer_into(x, out, ctx);
+    const Tensor expected = layer->infer(x);
+    ASSERT_EQ(out.shape(), expected.shape()) << layer->name();
+    for (std::size_t i = 0; i < out.numel(); ++i) {
+      ASSERT_EQ(out[i], expected[i]) << layer->name() << " elem " << i;
+    }
+  }
+}
+
+TEST(LayerInferIntoTest, FusedIntoMatchesUnfusedActivation) {
+  common::Pcg32 rng(32);
+  Dense dense(6, 10, rng);
+  Sigmoid sigmoid;
+  const Tensor x = Tensor::randn({4, 6}, rng);
+  InferContext ctx;
+  Tensor fused;
+  dense.infer_fused_into(x, fused, tensor::EpilogueAct::kSigmoid, 0.01f, ctx);
+  const Tensor expected = sigmoid.infer(dense.infer(x));
+  ASSERT_EQ(fused.shape(), expected.shape());
+  for (std::size_t i = 0; i < fused.numel(); ++i) {
+    ASSERT_EQ(fused[i], expected[i]);
+  }
+}
+
+TEST(SequentialTest, InferIntoSkipsInferenceIdentityLayers) {
+  // Noise and Identity are pass-through at inference: the planner skips
+  // them outright (no buffer copy), and the result matches the compat
+  // infer() path bitwise, including when they trail the last real layer.
+  common::Pcg32 rng(33);
+  Sequential model;
+  model.emplace<GaussianNoise>(0.5f, common::Pcg32(1));
+  model.emplace<Dense>(4, 6, rng);
+  model.emplace<ReLU>();
+  model.emplace<Identity>();
+  model.emplace<GaussianNoise>(0.25f, common::Pcg32(2));
+  EXPECT_TRUE(model.layer(0).infer_is_identity());
+  EXPECT_FALSE(model.layer(1).infer_is_identity());
+
+  const Tensor x = Tensor::randn({2, 4}, rng);
+  const Tensor expected = model.infer(x);
+  InferContext ctx;
+  Tensor out;
+  model.infer_into(x, out, ctx);
+  ASSERT_EQ(out.shape(), expected.shape());
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    ASSERT_EQ(out[i], expected[i]);
+  }
+
+  // All-identity chain: the pass is a straight copy.
+  Sequential passthrough;
+  passthrough.emplace<GaussianNoise>(1.0f, common::Pcg32(3));
+  passthrough.infer_into(x, out, ctx);
+  ASSERT_EQ(out.shape(), x.shape());
+  for (std::size_t i = 0; i < out.numel(); ++i) ASSERT_EQ(out[i], x[i]);
+}
+
+TEST(SequentialTest, InferIntoRejectsAliasedOutput) {
+  common::Pcg32 rng(34);
+  Sequential model;
+  model.emplace<Dense>(4, 4, rng);
+  Tensor x = Tensor::randn({2, 4}, rng);
+  InferContext ctx;
+  EXPECT_THROW(model.infer_into(x, x, ctx), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace orco::nn

@@ -379,6 +379,55 @@ TEST(OpsTest, ConcatRowsRejectsMalformedInput) {
                std::invalid_argument);
 }
 
+TEST(OpsTest, StackRowsSingleInputFastPath) {
+  // Regression for the single-part fast path: the sole tensor is copied
+  // straight through (no zero-init + overwrite), for both accepted ranks,
+  // and malformed single parts are still rejected.
+  const Tensor flat = Tensor::from({1, 2, 3});
+  const Tensor s1 = stack_rows({flat});
+  ASSERT_EQ(s1.rank(), 2u);
+  EXPECT_EQ(s1.dim(0), 1u);
+  EXPECT_EQ(s1.dim(1), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(s1[i], flat[i]);
+
+  const Tensor row = Tensor::from2d({{4, 5, 6}});
+  const Tensor s2 = stack_rows({row});
+  ASSERT_EQ(s2.rank(), 2u);
+  EXPECT_EQ(s2.dim(0), 1u);
+  EXPECT_EQ(s2.dim(1), 3u);
+  EXPECT_EQ(s2.at(0, 2), 6.0f);
+
+  // A rank-2 multi-row sole part is malformed, same as on the general path.
+  EXPECT_THROW((void)stack_rows({Tensor({2, 3})}), std::invalid_argument);
+}
+
+TEST(TensorTest, RowCopyExtractsOneRow) {
+  const Tensor t = Tensor::from2d({{1, 2, 3}, {4, 5, 6}});
+  const Tensor r = t.row_copy(1);
+  ASSERT_EQ(r.rank(), 1u);
+  ASSERT_EQ(r.numel(), 3u);
+  EXPECT_EQ(r[0], 4.0f);
+  EXPECT_EQ(r[2], 6.0f);
+  EXPECT_THROW((void)t.row_copy(2), std::invalid_argument);
+  EXPECT_THROW((void)Tensor::from({1, 2}).row_copy(0), std::invalid_argument);
+}
+
+TEST(TensorTest, ResizeChangesNumelAndReusesCapacity) {
+  Tensor t({4, 8});
+  t.fill(7.0f);
+  const float* before = t.data().data();
+  t.resize({2, 8});  // shrink: storage kept
+  EXPECT_EQ(t.numel(), 16u);
+  EXPECT_EQ(t.data().data(), before);
+  EXPECT_EQ(t[0], 7.0f);
+  t.resize({4, 8});  // regrow within capacity: storage kept
+  EXPECT_EQ(t.numel(), 32u);
+  EXPECT_EQ(t.data().data(), before);
+  t.resize({16, 16});  // genuine growth
+  EXPECT_EQ(t.numel(), 256u);
+  EXPECT_EQ(t.dim(0), 16u);
+}
+
 TEST(OpsTest, StackRowsRejectsMalformedInput) {
   EXPECT_THROW((void)stack_rows({}), std::invalid_argument);
   EXPECT_THROW((void)stack_rows({Tensor{}}), std::invalid_argument);

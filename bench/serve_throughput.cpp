@@ -35,6 +35,8 @@
 #include <thread>
 
 #include "bench_common.h"
+#include "obs/config.h"
+#include "obs/trace.h"
 #include "serve/serve.h"
 #include "tensor/backend.h"
 #include "train/train.h"
@@ -336,6 +338,115 @@ OpenLoopResult open_loop_rps(
   return r;
 }
 
+constexpr double kObsTraceSampleRate = 1.0 / 64.0;
+
+/// Closed-loop run that measures throughput without consulting Telemetry
+/// (whose counters are off when observability is disabled): requests /
+/// wall-clock, same 8-shard setup as the shard sweep. Used for the
+/// observability-overhead comparison, where both sides must be measured
+/// identically.
+double closed_loop_rps_counted(
+    const std::vector<std::shared_ptr<core::OrcoDcsSystem>>& tenants,
+    const std::vector<tensor::Tensor>& latents, std::size_t requests,
+    const obs::ExportConfig* export_cfg) {
+  serve::ServeConfig cfg;
+  cfg.shard_count = 8;
+  cfg.queue.capacity = 4096;
+  cfg.queue.max_batch = 32;
+  cfg.queue.max_wait_us = 200;
+  cfg.backend = bench_backend();
+  if (export_cfg != nullptr) cfg.obs_export = *export_cfg;
+  serve::ServerRuntime runtime(cfg);
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    runtime.register_cluster(t, tenants[t]);
+  }
+  runtime.start();
+
+  common::Stopwatch sw;
+  std::vector<std::thread> clients;
+  const std::size_t per_client = requests / kClientThreads;
+  for (std::size_t c = 0; c < kClientThreads; ++c) {
+    clients.emplace_back([&, c] {
+      constexpr std::size_t kWindow = 8;
+      std::vector<std::future<serve::DecodeResponse>> window;
+      for (std::size_t i = 0; i < per_client; ++i) {
+        const std::size_t g = c * per_client + i;
+        window.push_back(runtime.submit(g % kTenants,
+                                        latents[g % latents.size()]));
+        if (window.size() >= kWindow) {
+          for (auto& f : window) (void)f.get();
+          window.clear();
+        }
+      }
+      for (auto& f : window) (void)f.get();
+    });
+  }
+  for (auto& c : clients) c.join();
+  const double elapsed = sw.seconds();
+  runtime.shutdown();
+  return static_cast<double>(per_client * kClientThreads) / elapsed;
+}
+
+struct ObsOverheadResult {
+  double rps_off = 0.0;
+  double rps_on = 0.0;
+  double ratio() const { return rps_off > 0.0 ? rps_on / rps_off : 0.0; }
+};
+
+/// The overhead contract: the full serving path with metrics recording on
+/// and request tracing at 1/64 sampling must stay within 2% of the same
+/// binary with observability disabled. CI-class boxes time-share one core
+/// across all 16 client+shard threads, so individual windows wobble far
+/// more than the effect being measured: the comparison interleaves
+/// `repeats` pairs, alternates which side runs first (shedding
+/// first-run/turbo order bias), and keeps the best of each side — the
+/// max is each configuration's least-preempted window. The obs-on side of
+/// the last pair also exports metrics.json / metrics.prom / trace.json so
+/// the bench doubles as an exporter smoke test.
+ObsOverheadResult observability_overhead(
+    const std::vector<std::shared_ptr<core::OrcoDcsSystem>>& tenants,
+    const std::vector<tensor::Tensor>& latents, std::size_t requests,
+    std::size_t repeats = 5) {
+  obs::ObsConfig off;
+  off.metrics = false;
+  off.trace_sample_rate = 0.0;
+  obs::ObsConfig on;
+  on.metrics = true;
+  on.trace_sample_rate = kObsTraceSampleRate;
+
+  obs::ExportConfig export_cfg;
+  export_cfg.metrics_json_path = "metrics.json";
+  export_cfg.prometheus_path = "metrics.prom";
+  export_cfg.trace_path = "trace.json";
+
+  const auto run_off = [&] {
+    obs::configure(off);
+    return closed_loop_rps_counted(tenants, latents, requests, nullptr);
+  };
+  const auto run_on = [&](bool exporting) {
+    obs::configure(on);
+    return closed_loop_rps_counted(tenants, latents, requests,
+                                   exporting ? &export_cfg : nullptr);
+  };
+
+  ObsOverheadResult best;
+  for (std::size_t i = 0; i < repeats; ++i) {
+    const bool last = i + 1 == repeats;
+    double rps_off = 0.0, rps_on = 0.0;
+    if (i % 2 == 0) {
+      rps_off = run_off();
+      rps_on = run_on(last);
+    } else {
+      rps_on = run_on(last);
+      rps_off = run_off();
+    }
+    best.rps_off = std::max(best.rps_off, rps_off);
+    best.rps_on = std::max(best.rps_on, rps_on);
+  }
+  obs::configure(obs::ObsConfig{});
+  return best;
+}
+
 /// Shared 1-core CI-class boxes are timing-noisy; each open-loop scenario
 /// keeps the best (lowest-p99) of `repeats` back-to-back runs, which
 /// measures the runtime rather than the host's co-tenants.
@@ -518,6 +629,29 @@ int main() {
        << ", \"shed\": " << median.finetune.shed
        << ", \"train_rounds\": " << median.finetune.train_rounds
        << ", \"snapshots_published\": " << median.finetune.snapshots_published
-       << "}\n}\n";
+       << "},\n";
+
+  // -- observability overhead: metrics + 1/64 tracing vs everything off --
+  common::print_section(
+      std::cout, "Observability overhead, 8-shard closed loop, metrics on + "
+                 "1/64 trace sampling vs disabled");
+  // Double-length windows: the ~2% effect needs more signal per window
+  // than the shard sweep's runs.
+  const ObsOverheadResult obs_overhead =
+      observability_overhead(tenants, latents, requests * 2);
+  Table obstable({"observability", "req/s"});
+  obstable.add_row({"disabled", Table::num(obs_overhead.rps_off, 1)});
+  obstable.add_row({"metrics + trace 1/64", Table::num(obs_overhead.rps_on, 1)});
+  obstable.print(std::cout);
+  std::cout << "\nthroughput ratio (on/off): "
+            << Table::num(obs_overhead.ratio(), 3)
+            << (obs_overhead.ratio() >= 0.98 ? " (within the 2% budget)"
+                                             : " — OVER the 2% budget")
+            << "\nexported metrics.json, metrics.prom, trace.json from the "
+               "instrumented run\n";
+  json << "  \"observability\": {\"rps_obs_off\": " << obs_overhead.rps_off
+       << ", \"rps_obs_on\": " << obs_overhead.rps_on
+       << ", \"ratio\": " << obs_overhead.ratio()
+       << ", \"trace_sample\": " << kObsTraceSampleRate << "}\n}\n";
   return 0;
 }

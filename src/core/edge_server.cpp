@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/config.h"
+#include "obs/trace.h"
 
 namespace orco::core {
 
@@ -92,8 +94,22 @@ LatentGradMsg EdgeServer::train_step(const ResidualMsg& msg) {
   return LatentGradMsg{msg.round, loss, std::move(latent_grad)};
 }
 
+namespace {
+
+/// Sampled span decision for standalone decode calls (outside the serving
+/// runtime, which makes its own per-request decision and wraps this call in
+/// its "decode" stage span).
+bool sample_decode_span() {
+  return obs::trace_enabled() &&
+         obs::TraceCollector::instance().should_sample();
+}
+
+}  // namespace
+
 Tensor EdgeServer::decode_inference(const Tensor& latents) const {
   ORCO_CHECK(!round_open_, "cannot run inference with an open round");
+  obs::ScopedSpan span("edge.decode", "core", sample_decode_span(), /*id=*/0,
+                       /*tenant=*/0, latents.rank() > 0 ? latents.dim(0) : 0);
   tensor::BackendScope scope(backend_);
   return decoder_->infer(latents);
 }
@@ -101,6 +117,8 @@ Tensor EdgeServer::decode_inference(const Tensor& latents) const {
 void EdgeServer::decode_inference(const Tensor& latents, Tensor& out,
                                   nn::InferContext& ctx) const {
   ORCO_CHECK(!round_open_, "cannot run inference with an open round");
+  obs::ScopedSpan span("edge.decode", "core", sample_decode_span(), /*id=*/0,
+                       /*tenant=*/0, latents.rank() > 0 ? latents.dim(0) : 0);
   tensor::BackendScope scope(backend_);
   decoder_->infer_into(latents, out, ctx);
 }

@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "nn/init.h"
+#include "obs/profile.h"
 #include "tensor/matmul.h"
 
 namespace orco::nn {
@@ -62,13 +63,19 @@ void Conv2d::infer_fused_into(const Tensor& input, Tensor& out,
   tensor::WorkspaceScope scope(ctx.scratch());
   const std::size_t col_floats = col_rows * spatial;
   float* cols = ctx.scratch().alloc(col_floats);
+  const std::uint64_t flops = 2ull * out_channels_ * col_rows * spatial;
   for (std::size_t s = 0; s < batch; ++s) {
-    tensor::im2col_into(input.row(s), geom_, {cols, col_floats});
+    {
+      OBS_SCOPED_SPAN(obs::KernelOp::kIm2col, 0);
+      tensor::im2col_into(input.row(s), geom_, {cols, col_floats});
+    }
     float* y = out.row(s).data();
     if (packed != nullptr) {
+      OBS_SCOPED_SPAN(obs::KernelOp::kGemmPrepacked, flops);
       backend.gemm_prepacked(cols, *packed, y, out_channels_, col_rows,
                              spatial, epi);
     } else {
+      OBS_SCOPED_SPAN(obs::KernelOp::kGemmFused, flops);
       backend.gemm_fused(w_.data().data(), cols, y, out_channels_, col_rows,
                          spatial, /*transpose_b=*/false, epi);
     }

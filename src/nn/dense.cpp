@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "nn/init.h"
+#include "obs/profile.h"
 #include "tensor/matmul.h"
 
 namespace orco::nn {
@@ -45,13 +46,16 @@ void Dense::infer_fused_into(const Tensor& input, Tensor& out,
   epi.act = act;
   epi.leaky_alpha = leaky_alpha;
   const tensor::Backend& backend = tensor::current_backend();
+  const std::uint64_t flops = 2ull * batch * in_ * out_;
   if (prepack_) {
     const auto packed = packed_weights();
+    OBS_SCOPED_SPAN(obs::KernelOp::kGemmPrepacked, flops);
     backend.gemm_prepacked(input.data().data(), *packed, out.data().data(),
                            batch, in_, out_, epi);  // (B, out)
     return;
   }
   // y = x·Wᵀ with W stored (out, in): W is the transposed-B operand.
+  OBS_SCOPED_SPAN(obs::KernelOp::kGemmFused, flops);
   backend.gemm_fused(input.data().data(), w_.data().data(), out.data().data(),
                      batch, in_, out_, /*transpose_b=*/true, epi);  // (B, out)
 }

@@ -5,12 +5,14 @@
 
 #include "common/check.h"
 #include "nn/activations.h"
+#include "obs/profile.h"
 
 namespace orco::nn {
 
 Layer& Sequential::add(LayerPtr layer) {
   ORCO_CHECK(layer != nullptr, "cannot add null layer");
   layers_.push_back(std::move(layer));
+  layer_timers_.push_back(std::make_unique<LayerTimer>());
   return *layers_.back();
 }
 
@@ -58,6 +60,7 @@ void Sequential::infer_into(const Tensor& input, Tensor& out,
   // context's other buffer (the final step writes `out`), so after warmup
   // a whole pass touches no allocator. The training-mode forward() stays
   // unfused because backward needs the pre-activation.
+  const bool profile = obs::kernel_profiling_enabled();
   const Tensor* cur = &input;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     if (layers_[i]->infer_is_identity()) continue;
@@ -70,13 +73,45 @@ void Sequential::infer_into(const Tensor& input, Tensor& out,
     }
     const bool last = last_real <= step_end;
     Tensor& dst = last ? out : ctx.other_than(*cur);
+    const std::uint64_t t0 = profile ? obs::KernelTimer::now_ns() : 0;
     if (epi) {
       layers_[i]->infer_fused_into(*cur, dst, *epi, leaky_alpha, ctx);
     } else {
       layers_[i]->infer_into(*cur, dst, ctx);
     }
+    if (profile) {
+      LayerTimer& timer = *layer_timers_[i];
+      timer.ns.fetch_add(obs::KernelTimer::now_ns() - t0,
+                         std::memory_order_relaxed);
+      timer.calls.fetch_add(1, std::memory_order_relaxed);
+    }
     cur = &dst;
     i = step_end;
+  }
+}
+
+common::Table Sequential::layer_profile_table() const {
+  common::Table table({"layer", "name", "calls", "total ms", "mean us"});
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const std::uint64_t calls =
+        layer_timers_[i]->calls.load(std::memory_order_relaxed);
+    if (calls == 0) continue;
+    const std::uint64_t ns =
+        layer_timers_[i]->ns.load(std::memory_order_relaxed);
+    table.add_row({std::to_string(i), layers_[i]->name(),
+                   std::to_string(calls),
+                   common::Table::num(static_cast<double>(ns) / 1e6, 3),
+                   common::Table::num(static_cast<double>(ns) / 1e3 /
+                                          static_cast<double>(calls),
+                                      3)});
+  }
+  return table;
+}
+
+void Sequential::reset_layer_profile() const {
+  for (const auto& timer : layer_timers_) {
+    timer->ns.store(0, std::memory_order_relaxed);
+    timer->calls.store(0, std::memory_order_relaxed);
   }
 }
 

@@ -2,9 +2,12 @@
 // DCSNet and the classifier.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <utility>
 
+#include "common/table.h"
 #include "nn/layer.h"
 
 namespace orco::nn {
@@ -54,8 +57,27 @@ class Sequential : public Layer {
 
   std::size_t forward_flops(std::size_t batch) const override;
 
+  /// Per-layer inference time profile, accumulated by infer_into while
+  /// obs::kernel_profiling is enabled (zero cost otherwise): layer | name |
+  /// calls | total ms | mean us. A fused layer+activation step is
+  /// attributed to the compute layer. Rows with zero calls are omitted.
+  common::Table layer_profile_table() const;
+  /// Zeroes the per-layer profile accumulators.
+  void reset_layer_profile() const;
+
  private:
+  /// One layer's inference-time accumulator; padded so concurrent shard
+  /// workers timing a shared (snapshot) decoder never share a line.
+  struct alignas(64) LayerTimer {
+    std::atomic<std::uint64_t> ns{0};
+    std::atomic<std::uint64_t> calls{0};
+  };
+
   std::vector<LayerPtr> layers_;
+  // One timer per layer, created in add() (atomics are immovable, hence the
+  // unique_ptr); mutable because timing a const inference pass is still
+  // logically const.
+  mutable std::vector<std::unique_ptr<LayerTimer>> layer_timers_;
 };
 
 }  // namespace orco::nn

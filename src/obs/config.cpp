@@ -1,0 +1,58 @@
+#include "obs/config.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+
+#include "obs/trace.h"
+
+namespace orco::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics{true};
+std::atomic<bool> g_kernel_profiling{false};
+
+// Source-of-truth copy for config(); the atomics above are the hot-path
+// projections of it.
+std::mutex g_cfg_mu;
+ObsConfig g_cfg;
+
+std::uint32_t sample_every_for(double rate) {
+  if (rate <= 0.0) return 0;
+  if (rate >= 1.0) return 1;
+  return static_cast<std::uint32_t>(std::llround(1.0 / rate));
+}
+
+}  // namespace
+
+void configure(const ObsConfig& cfg) {
+  {
+    std::lock_guard lock(g_cfg_mu);
+    g_cfg = cfg;
+  }
+  g_metrics.store(cfg.metrics, std::memory_order_relaxed);
+  g_kernel_profiling.store(cfg.kernel_profiling, std::memory_order_relaxed);
+  TraceCollector::instance().set_sample_every(
+      sample_every_for(cfg.trace_sample_rate));
+}
+
+ObsConfig config() {
+  std::lock_guard lock(g_cfg_mu);
+  return g_cfg;
+}
+
+bool metrics_enabled() noexcept {
+  return g_metrics.load(std::memory_order_relaxed);
+}
+
+bool trace_enabled() noexcept {
+  return TraceCollector::instance().enabled();
+}
+
+bool kernel_profiling_enabled() noexcept {
+  return g_kernel_profiling.load(std::memory_order_relaxed);
+}
+
+}  // namespace orco::obs

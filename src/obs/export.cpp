@@ -1,0 +1,59 @@
+#include "obs/export.h"
+
+#include <fstream>
+#include <iostream>
+
+#include "obs/trace.h"
+
+namespace orco::obs {
+
+namespace {
+
+std::ofstream open_or_warn(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "[obs] cannot open " << path << " for export\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+bool write_metrics_json(const MetricsRegistry& registry,
+                        const std::string& path) {
+  std::ofstream out = open_or_warn(path);
+  if (!out) return false;
+  registry.write_json(out);
+  return static_cast<bool>(out);
+}
+
+bool write_prometheus(const MetricsRegistry& registry,
+                      const std::string& path) {
+  std::ofstream out = open_or_warn(path);
+  if (!out) return false;
+  registry.write_prometheus(out);
+  return static_cast<bool>(out);
+}
+
+bool write_trace_json(const std::string& path) {
+  std::ofstream out = open_or_warn(path);
+  if (!out) return false;
+  TraceCollector::instance().write_chrome_json(out);
+  return static_cast<bool>(out);
+}
+
+bool export_all(const MetricsRegistry& registry, const ExportConfig& cfg) {
+  bool ok = true;
+  if (!cfg.metrics_json_path.empty()) {
+    ok = write_metrics_json(registry, cfg.metrics_json_path) && ok;
+  }
+  if (!cfg.prometheus_path.empty()) {
+    ok = write_prometheus(registry, cfg.prometheus_path) && ok;
+  }
+  if (!cfg.trace_path.empty()) {
+    ok = write_trace_json(cfg.trace_path) && ok;
+  }
+  return ok;
+}
+
+}  // namespace orco::obs

@@ -1,0 +1,40 @@
+// File export for the observability pillars: metrics as JSON and
+// Prometheus text, traces as Chrome trace-event JSON. ServerRuntime wires
+// an ExportConfig through ServeConfig to get a periodic flush plus an
+// on-shutdown dump; benches and examples call the write_* helpers
+// directly.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace orco::obs {
+
+/// Destinations; empty path = that export is off.
+struct ExportConfig {
+  std::string metrics_json_path;  // registry JSON snapshot
+  std::string prometheus_path;    // text exposition format ("scrape file")
+  std::string trace_path;         // Chrome trace-event JSON
+  /// Period for the runtime's background flush; <= 0 flushes only at
+  /// shutdown.
+  double flush_period_s = 0.0;
+
+  bool any() const {
+    return !metrics_json_path.empty() || !prometheus_path.empty() ||
+           !trace_path.empty();
+  }
+};
+
+/// Each returns false (and logs to stderr) when the file can't be opened.
+bool write_metrics_json(const MetricsRegistry& registry,
+                        const std::string& path);
+bool write_prometheus(const MetricsRegistry& registry,
+                      const std::string& path);
+bool write_trace_json(const std::string& path);
+
+/// Runs the non-empty exports of `cfg` against `registry` + the global
+/// TraceCollector. Returns true when everything written succeeded.
+bool export_all(const MetricsRegistry& registry, const ExportConfig& cfg);
+
+}  // namespace orco::obs

@@ -1,0 +1,307 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace orco::obs {
+
+std::size_t hist_bucket_for(double us) {
+  if (us <= 1.0) return 0;
+  const double b = std::log2(us) * static_cast<double>(kHistBucketsPerOctave);
+  return std::min(kHistBucketCount - 1, static_cast<std::size_t>(b));
+}
+
+double hist_quantile(const std::uint64_t* buckets, std::size_t bucket_count,
+                     std::uint64_t count, double max_us, double q) {
+  ORCO_CHECK(q >= 0.0 && q <= 1.0, "quantile wants q in [0,1], got " << q);
+  if (count == 0) return 0.0;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < bucket_count; ++b) {
+    if (buckets[b] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += buckets[b];
+    if (static_cast<double>(seen) < target) continue;
+    // Interpolate within [lo, hi) = the bucket's microsecond span.
+    const double lo =
+        b == 0 ? 0.0
+               : std::exp2(static_cast<double>(b) / kHistBucketsPerOctave);
+    const double hi =
+        std::exp2(static_cast<double>(b + 1) / kHistBucketsPerOctave);
+    const double frac = std::clamp(
+        (target - before) / static_cast<double>(buckets[b]), 0.0, 1.0);
+    return std::min(lo + frac * (hi - lo), max_us);
+  }
+  return max_us;
+}
+
+namespace {
+
+/// Round-robin cell slot per recording thread: threads spread over the
+/// cells without hashing, and a thread always lands on the same cell so its
+/// increments never bounce between lines.
+std::size_t this_thread_cell() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return slot;
+}
+
+void atomic_add_double(std::atomic<double>& target, double delta) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_double(std::atomic<double>& target, double v) noexcept {
+  double cur = target.load(std::memory_order_relaxed);
+  while (cur < v && !target.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Counter::inc(std::uint64_t n) noexcept {
+  cells_[this_thread_cell()].v.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const Cell& cell : cells_) {
+    total += cell.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Gauge::add(double delta) noexcept { atomic_add_double(v_, delta); }
+
+void Gauge::max_of(double v) noexcept { atomic_max_double(v_, v); }
+
+Histogram::Histogram(std::size_t cell_count) {
+  ORCO_CHECK(cell_count > 0, "Histogram needs at least one cell");
+  cells_.reserve(cell_count);
+  for (std::size_t i = 0; i < cell_count; ++i) {
+    cells_.push_back(std::make_unique<Cell>());
+  }
+}
+
+void Histogram::record(double us) noexcept {
+  us = std::max(0.0, us);
+  Cell& cell = *cells_[this_thread_cell() % cells_.size()];
+  cell.buckets[hist_bucket_for(us)].fetch_add(1, std::memory_order_relaxed);
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(cell.sum_us, us);
+  atomic_max_double(cell.max_us, us);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  for (const auto& cell : cells_) {
+    for (std::size_t b = 0; b < kHistBucketCount; ++b) {
+      s.buckets[b] += cell->buckets[b].load(std::memory_order_relaxed);
+    }
+    s.count += cell->count.load(std::memory_order_relaxed);
+    s.sum_us += cell->sum_us.load(std::memory_order_relaxed);
+    s.max_us = std::max(s.max_us, cell->max_us.load(std::memory_order_relaxed));
+  }
+  return s;
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& cell : cells_) {
+    total += cell->count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::find_or_create(Kind kind,
+                                                        const std::string& name,
+                                                        const Labels& labels,
+                                                        std::size_t cells) {
+  std::lock_guard lock(mu_);
+  for (auto& entry : entries_) {
+    if (entry->name == name && entry->labels == labels) {
+      ORCO_CHECK(entry->kind == kind,
+                 "metric '" << name << "' already registered with a "
+                            << "different type");
+      return entry.get();
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->kind = kind;
+  entry->name = name;
+  entry->labels = labels;
+  switch (kind) {
+    case Kind::kCounter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      entry->histogram = std::make_unique<Histogram>(cells);
+      break;
+  }
+  entries_.push_back(std::move(entry));
+  return entries_.back().get();
+}
+
+Counter* MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  return find_or_create(Kind::kCounter, name, labels, 0)->counter.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  return find_or_create(Kind::kGauge, name, labels, 0)->gauge.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      const Labels& labels,
+                                      std::size_t cells) {
+  return find_or_create(Kind::kHistogram, name, labels, cells)
+      ->histogram.get();
+}
+
+namespace {
+
+/// Prometheus metric-name charset: [a-zA-Z0-9_:], dots become underscores.
+std::string prom_name(const std::string& name) {
+  std::string out = "orco_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string prom_labels(const Labels& labels, const char* extra_key = nullptr,
+                        const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key == nullptr) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    out += k + "=\"" + v + "\"";
+    first = false;
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ",";
+    out += std::string(extra_key) + "=\"" + extra_value + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// JSON object key: name with labels folded in, e.g. serve.shed{tenant=3}.
+std::string json_key(const std::string& name, const Labels& labels) {
+  std::string out = name;
+  if (!labels.empty()) {
+    out += "{";
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+      if (!first) out += ",";
+      out += k + "=" + v;
+      first = false;
+    }
+    out += "}";
+  }
+  return out;
+}
+
+/// Doubles rendered so the output is valid JSON (no inf/nan) and readable.
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  // One # TYPE line per family (first occurrence wins; labeled series of
+  // one family share the name and must not repeat the header).
+  std::vector<std::string> typed;
+  const auto emit_type = [&](const std::string& name, const char* type) {
+    const std::string pname = prom_name(name);
+    if (std::find(typed.begin(), typed.end(), pname) != typed.end()) return;
+    typed.push_back(pname);
+    os << "# TYPE " << pname << " " << type << "\n";
+  };
+  for (const auto& entry : entries_) {
+    const std::string pname = prom_name(entry->name);
+    switch (entry->kind) {
+      case Kind::kCounter:
+        emit_type(entry->name, "counter");
+        os << pname << prom_labels(entry->labels) << " "
+           << entry->counter->value() << "\n";
+        break;
+      case Kind::kGauge:
+        emit_type(entry->name, "gauge");
+        os << pname << prom_labels(entry->labels) << " "
+           << json_num(entry->gauge->value()) << "\n";
+        break;
+      case Kind::kHistogram: {
+        emit_type(entry->name, "summary");
+        const HistogramSnapshot s = entry->histogram->snapshot();
+        for (const double q : {0.5, 0.95, 0.99}) {
+          os << pname << prom_labels(entry->labels, "quantile", json_num(q))
+             << " " << json_num(s.quantile(q)) << "\n";
+        }
+        os << pname << "_sum" << prom_labels(entry->labels) << " "
+           << json_num(s.sum_us) << "\n";
+        os << pname << "_count" << prom_labels(entry->labels) << " "
+           << s.count << "\n";
+        break;
+      }
+    }
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  const auto emit_section = [&](Kind kind, const char* title, bool last) {
+    os << "  \"" << title << "\": {";
+    bool first = true;
+    for (const auto& entry : entries_) {
+      if (entry->kind != kind) continue;
+      if (!first) os << ",";
+      os << "\n    \"" << json_key(entry->name, entry->labels) << "\": ";
+      switch (kind) {
+        case Kind::kCounter:
+          os << entry->counter->value();
+          break;
+        case Kind::kGauge:
+          os << json_num(entry->gauge->value());
+          break;
+        case Kind::kHistogram: {
+          const HistogramSnapshot s = entry->histogram->snapshot();
+          os << "{\"count\": " << s.count << ", \"sum_us\": "
+             << json_num(s.sum_us) << ", \"max_us\": " << json_num(s.max_us)
+             << ", \"mean_us\": " << json_num(s.mean_us())
+             << ", \"p50_us\": " << json_num(s.quantile(0.5))
+             << ", \"p95_us\": " << json_num(s.quantile(0.95))
+             << ", \"p99_us\": " << json_num(s.quantile(0.99)) << "}";
+          break;
+        }
+      }
+      first = false;
+    }
+    os << (first ? "}" : "\n  }") << (last ? "\n" : ",\n");
+  };
+  os << "{\n";
+  emit_section(Kind::kCounter, "counters", false);
+  emit_section(Kind::kGauge, "gauges", false);
+  emit_section(Kind::kHistogram, "histograms", true);
+  os << "}\n";
+}
+
+}  // namespace orco::obs

@@ -1,0 +1,129 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace orco::obs {
+
+TraceCollector::TraceCollector() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceCollector& TraceCollector::instance() {
+  // Leaked intentionally: worker threads may retire rings during static
+  // destruction; a destroyed collector would dangle under them.
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+std::int64_t TraceCollector::now_us() const noexcept {
+  return to_trace_us(std::chrono::steady_clock::now());
+}
+
+std::int64_t TraceCollector::to_trace_us(
+    std::chrono::steady_clock::time_point tp) const noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(tp - epoch_)
+      .count();
+}
+
+bool TraceCollector::should_sample() noexcept {
+  const std::uint32_t every = sample_every();
+  if (every == 0) return false;
+  if (every == 1) return true;
+  thread_local std::uint32_t countdown = 0;
+  if (countdown == 0) {
+    countdown = every - 1;  // this call samples; the next every-1 don't
+    return true;
+  }
+  --countdown;
+  return false;
+}
+
+/// Owns the calling thread's ring while the thread lives; hands it to the
+/// collector's retired list on thread exit so shutdown-time dumps keep the
+/// events.
+struct TraceCollector::RingHolder {
+  std::unique_ptr<Ring> ring;
+  TraceCollector* collector;
+
+  explicit RingHolder(TraceCollector* tc)
+      : ring(std::make_unique<Ring>()), collector(tc) {
+    std::lock_guard lock(tc->mu_);
+    ring->tid = tc->next_tid_++;
+    tc->live_.push_back(ring.get());
+  }
+
+  ~RingHolder() {
+    std::lock_guard lock(collector->mu_);
+    const auto it = std::find(collector->live_.begin(),
+                              collector->live_.end(), ring.get());
+    if (it != collector->live_.end()) collector->live_.erase(it);
+    collector->retired_.push_back(std::move(ring));
+  }
+};
+
+TraceCollector::Ring& TraceCollector::local_ring() {
+  thread_local RingHolder holder(this);
+  return *holder.ring;
+}
+
+void TraceCollector::emit(const TraceEvent& event) noexcept {
+  Ring& ring = local_ring();
+  const std::uint64_t head = ring.head.load(std::memory_order_relaxed);
+  ring.events[head % kTraceRingCapacity] = event;
+  ring.head.store(head + 1, std::memory_order_release);
+}
+
+namespace {
+
+std::size_t ring_event_count(std::uint64_t head) {
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(head, kTraceRingCapacity));
+}
+
+}  // namespace
+
+std::size_t TraceCollector::event_count() const {
+  std::lock_guard lock(mu_);
+  std::size_t total = 0;
+  for (const Ring* ring : live_) {
+    total += ring_event_count(ring->head.load(std::memory_order_acquire));
+  }
+  for (const auto& ring : retired_) {
+    total += ring_event_count(ring->head.load(std::memory_order_acquire));
+  }
+  return total;
+}
+
+void TraceCollector::write_chrome_json(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  const auto dump_ring = [&](const Ring& ring) {
+    const std::uint64_t head = ring.head.load(std::memory_order_acquire);
+    const std::size_t count = ring_event_count(head);
+    // Oldest surviving event first (head - count .. head - 1).
+    for (std::size_t i = 0; i < count; ++i) {
+      const TraceEvent& ev =
+          ring.events[(head - count + i) % kTraceRingCapacity];
+      if (ev.name == nullptr) continue;  // torn slot, skip
+      os << (first ? "\n" : ",\n");
+      first = false;
+      os << "  {\"name\": \"" << ev.name << "\", \"cat\": \"" << ev.cat
+         << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << ring.tid
+         << ", \"ts\": " << ev.ts_us << ", \"dur\": " << ev.dur_us
+         << ", \"args\": {\"id\": " << ev.id << ", \"tenant\": " << ev.tenant
+         << ", \"n\": " << ev.n << "}}";
+    }
+  };
+  for (const Ring* ring : live_) dump_ring(*ring);
+  for (const auto& ring : retired_) dump_ring(*ring);
+  os << (first ? "]}\n" : "\n]}\n");
+}
+
+void TraceCollector::clear() {
+  std::lock_guard lock(mu_);
+  for (Ring* ring : live_) {
+    ring->head.store(0, std::memory_order_release);
+  }
+  retired_.clear();
+}
+
+}  // namespace orco::obs

@@ -1,0 +1,154 @@
+// Request-lifecycle tracing — a low-overhead span recorder exporting
+// Chrome trace-event JSON (open chrome://tracing or https://ui.perfetto.dev
+// and load the file).
+//
+// Design constraints, in order:
+//   1. Zero heap allocation on the record path. Each recording thread owns
+//      a fixed-size ring of POD TraceEvents; emitting a span is a clock
+//      read, a struct store and one release store of the ring head. The
+//      ring itself is heap-allocated ONCE per thread on its first emit (the
+//      warmup pass in any steady-state workload) and handed back to the
+//      collector on thread exit so post-join dumps still see the events.
+//   2. Sampled. ObsConfig::trace_sample_rate (0 = off) turns into a
+//      "1 in N" per-thread counter: should_sample() is a thread-local
+//      decrement — no RNG, no atomics. The serving runtime samples per
+//      REQUEST at submit time and carries the decision in the request, so
+//      a traced request produces its whole span tree (queue_wait, assembly,
+//      decode, respond nested under the request span) and an untraced one
+//      produces nothing.
+//   3. Names are static strings. TraceEvent stores const char* — callers
+//      pass literals. Dynamic context travels in the numeric id/tenant/n
+//      fields, which the exporter renders into Chrome trace "args".
+//
+// Timestamps are monotonic (steady_clock) microseconds since the
+// collector's construction; all threads share the epoch so spans from
+// client threads, shard workers and trainer workers line up on one
+// timeline.
+//
+// Concurrency: rings are single-writer (the owning thread); the dump walks
+// them with acquire loads. Dumping while traffic is in flight can observe a
+// partially overwritten wrapped slot — dump after shutdown (the runtime's
+// on-shutdown export does) or treat a torn tail event as cosmetic.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace orco::obs {
+
+/// Events each thread ring holds before wrapping (oldest overwritten).
+constexpr std::size_t kTraceRingCapacity = 4096;
+
+/// One complete ("ph":"X") span. POD: stored in the ring by value.
+struct TraceEvent {
+  const char* name = nullptr;  // static string
+  const char* cat = nullptr;   // static string ("serve", "train", "nn", ...)
+  std::int64_t ts_us = 0;      // span start, collector-epoch microseconds
+  std::int64_t dur_us = 0;
+  std::uint64_t id = 0;      // correlation id (request id); 0 = none
+  std::uint64_t tenant = 0;  // cluster id, when meaningful
+  std::uint64_t n = 0;       // generic magnitude (batch size, round index)
+};
+
+class TraceCollector {
+ public:
+  /// Process-global collector; the epoch is fixed at first use.
+  static TraceCollector& instance();
+
+  /// Installed by obs::configure(): 0 disables tracing, N samples 1-in-N.
+  void set_sample_every(std::uint32_t every) noexcept {
+    sample_every_.store(every, std::memory_order_relaxed);
+  }
+  std::uint32_t sample_every() const noexcept {
+    return sample_every_.load(std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept { return sample_every() != 0; }
+
+  /// Per-thread 1-in-N sampling decision; false whenever tracing is off.
+  bool should_sample() noexcept;
+
+  /// Microseconds since the collector epoch (monotonic).
+  std::int64_t now_us() const noexcept;
+  /// Converts an already-taken steady_clock stamp onto the trace timeline.
+  std::int64_t to_trace_us(
+      std::chrono::steady_clock::time_point tp) const noexcept;
+
+  /// Records one complete span into the calling thread's ring. Callers
+  /// gate on enabled()/their sampling decision — emit itself never checks.
+  void emit(const TraceEvent& event) noexcept;
+
+  /// Total events currently held across live and retired rings (wrapped
+  /// rings report their capacity).
+  std::size_t event_count() const;
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}).
+  void write_chrome_json(std::ostream& os) const;
+
+  /// Drops all recorded events (live rings rewind, retired rings free).
+  /// Test isolation helper — don't call concurrently with traffic.
+  void clear();
+
+ private:
+  struct Ring {
+    std::vector<TraceEvent> events;  // sized kTraceRingCapacity once
+    std::atomic<std::uint64_t> head{0};  // total events ever written
+    std::uint32_t tid = 0;
+
+    Ring() : events(kTraceRingCapacity) {}
+  };
+  /// Thread-exit hook: moves the ring into retired_ so its events survive.
+  struct RingHolder;
+
+  TraceCollector();
+  Ring& local_ring();
+
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint32_t> sample_every_{0};
+
+  mutable std::mutex mu_;  // ring registry only, never on the emit path
+  std::vector<Ring*> live_;
+  std::vector<std::unique_ptr<Ring>> retired_;
+  std::uint32_t next_tid_ = 1;
+};
+
+/// RAII complete-span helper: stamps the start at construction and emits at
+/// destruction when `active`. The inactive path is one branch — hot loops
+/// pass their precomputed per-request/per-batch sampling decision.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* cat, bool active,
+             std::uint64_t id = 0, std::uint64_t tenant = 0,
+             std::uint64_t n = 0) noexcept
+      : name_(name), cat_(cat), active_(active), id_(id), tenant_(tenant),
+        n_(n) {
+    if (active_) start_us_ = TraceCollector::instance().now_us();
+  }
+
+  ~ScopedSpan() {
+    if (!active_) return;
+    TraceCollector& tc = TraceCollector::instance();
+    tc.emit({name_, cat_, start_us_, tc.now_us() - start_us_, id_, tenant_,
+             n_});
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attach a magnitude discovered mid-span (e.g. decoded batch size).
+  void set_n(std::uint64_t n) noexcept { n_ = n; }
+
+ private:
+  const char* name_;
+  const char* cat_;
+  bool active_;
+  std::uint64_t id_, tenant_, n_;
+  std::int64_t start_us_ = 0;
+};
+
+}  // namespace orco::obs

@@ -120,8 +120,11 @@ void BatchQueue::extract_cluster(ClusterId cluster, std::size_t limit,
   const auto it = lanes_.find(cluster);
   if (it == lanes_.end()) return;
   std::deque<Entry>& entries = it->second.entries;
+  if (entries.empty()) return;
+  const auto popped_at = std::chrono::steady_clock::now();
   while (!entries.empty() && out.size() < limit) {
     out.push_back(std::move(entries.front().pending));
+    out.back().popped_at = popped_at;
     entries.pop_front();
     --total_;
   }

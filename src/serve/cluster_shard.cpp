@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "obs/config.h"
+#include "obs/trace.h"
 
 namespace orco::serve {
 
@@ -14,6 +16,11 @@ double elapsed_us(std::chrono::steady_clock::time_point since) {
   return std::chrono::duration<double, std::micro>(
              std::chrono::steady_clock::now() - since)
       .count();
+}
+
+double between_us(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
 }
 
 void respond_error(PendingRequest& pending, ResponseStatus status,
@@ -141,6 +148,33 @@ void ClusterShard::serve_batch(std::vector<PendingRequest> batch) {
   tensor::BackendScope scope(backend_);
   const ClusterId cluster = batch.front().request.cluster;
   AnswerAllGuard guard(batch, *telemetry_, cluster);
+
+  // Stage accounting + tracing. The sampling decision was made per request
+  // at submit time; a batch is traced when any member is, so a traced
+  // request always gets its full span tree. Queue wait (enqueue -> pop) is
+  // recorded retroactively from the stamps the queue left on the requests.
+  obs::TraceCollector& tc = obs::TraceCollector::instance();
+  const bool traced =
+      obs::trace_enabled() &&
+      std::any_of(batch.begin(), batch.end(), [](const PendingRequest& p) {
+        return p.request.traced;
+      });
+  double queue_wait_total_us = 0.0;
+  for (const PendingRequest& pending : batch) {
+    const double wait_us = std::max(
+        0.0, between_us(pending.request.enqueued_at, pending.popped_at));
+    queue_wait_total_us += wait_us;
+    if (traced && pending.request.traced) {
+      tc.emit({"queue_wait", "serve",
+               tc.to_trace_us(pending.request.enqueued_at),
+               static_cast<std::int64_t>(wait_us), pending.request.id,
+               cluster, 0});
+    }
+  }
+  telemetry_->record_stage(cluster, Telemetry::Stage::kQueueWait,
+                           queue_wait_total_us, batch.size());
+  const auto assembly_start = std::chrono::steady_clock::now();
+
   TenantEntry* tenant = find_cluster(cluster);
   if (tenant == nullptr) {
     for (auto& pending : batch) {
@@ -222,7 +256,20 @@ void ClusterShard::serve_batch(std::vector<PendingRequest> batch) {
     }
     good.push_back(i);
   }
-  if (good.empty()) return;
+  const auto record_assembly = [&](std::chrono::steady_clock::time_point
+                                       end) {
+    telemetry_->record_stage(cluster, Telemetry::Stage::kAssembly,
+                             between_us(assembly_start, end), batch.size());
+    if (traced) {
+      tc.emit({"assembly", "serve", tc.to_trace_us(assembly_start),
+               static_cast<std::int64_t>(between_us(assembly_start, end)), 0,
+               cluster, batch.size()});
+    }
+  };
+  if (good.empty()) {
+    record_assembly(std::chrono::steady_clock::now());
+    return;
+  }
 
   // One batched decode for the whole coalesced batch: the decoder weights
   // stream through cache once instead of once per request. The coalesced
@@ -236,6 +283,8 @@ void ClusterShard::serve_batch(std::vector<PendingRequest> batch) {
     const auto src = batch[good[row]].request.latent.data();
     std::copy(src.begin(), src.end(), stacked.row(row).begin());
   }
+  const auto decode_start = std::chrono::steady_clock::now();
+  record_assembly(decode_start);
   try {
     if (snapshot != nullptr) {
       tensor::BackendScope tenant_scope(snapshot->backend);
@@ -256,6 +305,16 @@ void ClusterShard::serve_batch(std::vector<PendingRequest> batch) {
   // steady-state batch on).
   infer_ctx_.scratch().reset();
   telemetry_->record_batch(good.size());
+  const auto respond_start = std::chrono::steady_clock::now();
+  telemetry_->record_stage(cluster, Telemetry::Stage::kDecode,
+                           between_us(decode_start, respond_start),
+                           good.size());
+  if (traced) {
+    tc.emit({"decode", "serve", tc.to_trace_us(decode_start),
+             static_cast<std::int64_t>(between_us(decode_start,
+                                                  respond_start)),
+             0, cluster, good.size()});
+  }
 
   for (std::size_t row = 0; row < good.size(); ++row) {
     PendingRequest& pending = batch[good[row]];
@@ -276,6 +335,28 @@ void ClusterShard::serve_batch(std::vector<PendingRequest> batch) {
     telemetry_->record_completed(cluster, response.latency_us);
     pending.promise.set_value(std::move(response));
     pending.answered = true;
+  }
+  const auto respond_end = std::chrono::steady_clock::now();
+  telemetry_->record_stage(cluster, Telemetry::Stage::kRespond,
+                           between_us(respond_start, respond_end),
+                           good.size());
+  if (traced) {
+    tc.emit({"respond", "serve", tc.to_trace_us(respond_start),
+             static_cast<std::int64_t>(between_us(respond_start,
+                                                  respond_end)),
+             0, cluster, good.size()});
+    // Retro "request" spans wrap the stages above: emitted last but
+    // starting at enqueue time, so each traced request's queue_wait /
+    // assembly / decode / respond nest inside its request span on this
+    // worker's track.
+    const std::int64_t end_us = tc.to_trace_us(respond_end);
+    for (const PendingRequest& pending : batch) {
+      if (!pending.request.traced) continue;
+      const std::int64_t start_us =
+          tc.to_trace_us(pending.request.enqueued_at);
+      tc.emit({"request", "serve", start_us, end_us - start_us,
+               pending.request.id, cluster, good.size()});
+    }
   }
 }
 

@@ -48,6 +48,10 @@ struct DecodeRequest {
   RequestId id = 0;
   Tensor latent;  // (M) or (1, M) for the tenant's latent dimension M
   std::chrono::steady_clock::time_point enqueued_at;
+  /// Sampling decision made once at submit time (obs tracing): a traced
+  /// request records its whole span tree (queue wait, assembly, decode,
+  /// respond under the request span); an untraced one records nothing.
+  bool traced = false;
 };
 
 struct DecodeResponse {
@@ -75,6 +79,9 @@ struct PendingRequest {
   /// Set by whoever resolves the promise; the shard's answer-all scope
   /// guard uses it to find requests left unanswered by an exception.
   bool answered = false;
+  /// Stamped by BatchQueue::extract_cluster when the request leaves the
+  /// queue: enqueued_at -> popped_at is the queue-wait stage.
+  std::chrono::steady_clock::time_point popped_at;
 
   PendingRequest() = default;
   PendingRequest(DecodeRequest req, std::promise<DecodeResponse> prom)

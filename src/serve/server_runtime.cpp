@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace orco::serve {
 
@@ -72,6 +73,9 @@ std::future<DecodeResponse> ServerRuntime::submit(ClusterId cluster,
   pending.request.id = id;
   pending.request.latent = std::move(latent);
   pending.request.enqueued_at = std::chrono::steady_clock::now();
+  // Per-request sampling decision, made once here so the whole span tree
+  // (queue wait through respond, recorded on the shard worker) is coherent.
+  pending.request.traced = obs::TraceCollector::instance().should_sample();
   std::future<DecodeResponse> future = pending.promise.get_future();
 
   std::vector<PendingRequest> evicted;
@@ -97,6 +101,36 @@ std::future<DecodeResponse> ServerRuntime::submit(ClusterId cluster,
   return future;  // unreachable
 }
 
+bool ServerRuntime::export_observability() const {
+  return obs::export_all(telemetry_.registry(), config_.obs_export);
+}
+
+void ServerRuntime::start_flusher() {
+  if (!config_.obs_export.any() || config_.obs_export.flush_period_s <= 0.0) {
+    return;
+  }
+  flusher_ = std::thread([this] {
+    const auto period = std::chrono::duration<double>(
+        config_.obs_export.flush_period_s);
+    std::unique_lock lock(flush_mu_);
+    while (!flush_stop_) {
+      if (flush_cv_.wait_for(lock, period, [this] { return flush_stop_; })) {
+        return;  // final export happens on the shutdown path
+      }
+      export_observability();
+    }
+  });
+}
+
+void ServerRuntime::stop_flusher() {
+  {
+    std::lock_guard lock(flush_mu_);
+    flush_stop_ = true;
+  }
+  flush_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
+
 void ServerRuntime::start() {
   ORCO_CHECK(!stopped_.load(), "cannot restart a shut-down ServerRuntime");
   if (running_.exchange(true)) return;
@@ -105,6 +139,7 @@ void ServerRuntime::start() {
     ClusterShard* s = shard.get();
     workers_.push_back(pool_.submit([s] { s->run(); }));
   }
+  start_flusher();
 }
 
 void ServerRuntime::shutdown() {
@@ -127,6 +162,10 @@ void ServerRuntime::shutdown() {
     // Never started: drain queues inline so every accepted future resolves.
     for (auto& shard : shards_) shard->run();
   }
+  stop_flusher();
+  // The authoritative dump: the workers' futures have resolved, so their
+  // trace rings are quiescent and the counters are final.
+  if (config_.obs_export.any()) export_observability();
 }
 
 }  // namespace orco::serve

@@ -9,12 +9,16 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <future>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "obs/export.h"
 #include "serve/cluster_shard.h"
 
 namespace orco::serve {
@@ -35,6 +39,11 @@ struct ServeConfig {
   std::shared_ptr<train::ModelRegistry> model_registry;
   // Per-shard latent-keyed reconstruction cache (capacity 0 = off).
   ReconstructionCacheConfig recon_cache;
+  // Observability export (obs/export.h): non-empty paths are written by a
+  // periodic background flush (flush_period_s > 0) and always once more
+  // after the workers join at shutdown — the shutdown dump is the complete
+  // one (all trace rings retired, counters final).
+  obs::ExportConfig obs_export;
 };
 
 class ServerRuntime {
@@ -85,6 +94,11 @@ class ServerRuntime {
     return shard_for(cluster, shards_.size());
   }
 
+  /// Writes the configured observability exports now (also runs
+  /// periodically and at shutdown when configured). Returns false when any
+  /// destination failed.
+  bool export_observability() const;
+
   Telemetry& telemetry() noexcept { return telemetry_; }
   const Telemetry& telemetry() const noexcept { return telemetry_; }
   const ServeConfig& config() const noexcept { return config_; }
@@ -97,6 +111,8 @@ class ServerRuntime {
  private:
   std::future<DecodeResponse> immediate_response(RequestId id,
                                                  ResponseStatus status);
+  void start_flusher();
+  void stop_flusher();
 
   ServeConfig config_;
   Telemetry telemetry_;
@@ -107,6 +123,12 @@ class ServerRuntime {
   std::atomic<bool> running_{false};
   std::atomic<bool> stopped_{false};
   std::atomic<RequestId> next_request_id_{1};
+
+  // Periodic observability flusher (only when obs_export asks for one).
+  std::thread flusher_;
+  std::mutex flush_mu_;
+  std::condition_variable flush_cv_;
+  bool flush_stop_ = false;
 };
 
 }  // namespace orco::serve

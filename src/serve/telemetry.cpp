@@ -2,25 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
-#include "common/check.h"
+#include "obs/config.h"
 
 namespace orco::serve {
 
-namespace {
-// Quarter-powers of two up to ~2^36 us (~19 hours): 4 buckets per octave
-// gives <=19% bucket width across the whole range.
-constexpr std::size_t kBucketsPerOctave = 4;
-constexpr std::size_t kBucketCount = 36 * kBucketsPerOctave;
-}  // namespace
-
-LatencyHistogram::LatencyHistogram() : buckets_(kBucketCount, 0) {}
-
-std::size_t LatencyHistogram::bucket_for(double us) const {
-  if (us <= 1.0) return 0;
-  const double b = std::log2(us) * static_cast<double>(kBucketsPerOctave);
-  return std::min(kBucketCount - 1, static_cast<std::size_t>(b));
-}
+LatencyHistogram::LatencyHistogram() : buckets_(obs::kHistBucketCount, 0) {}
 
 void LatencyHistogram::record(double us) {
   us = std::max(0.0, us);
@@ -30,139 +18,212 @@ void LatencyHistogram::record(double us) {
   max_us_ = std::max(max_us_, us);
 }
 
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    buckets_[b] += other.buckets_[b];
+  }
+  count_ += other.count_;
+  sum_us_ += other.sum_us_;
+  max_us_ = std::max(max_us_, other.max_us_);
+}
+
 double LatencyHistogram::mean_us() const {
   return count_ > 0 ? sum_us_ / static_cast<double>(count_) : 0.0;
 }
 
 double LatencyHistogram::quantile(double q) const {
-  ORCO_CHECK(q >= 0.0 && q <= 1.0, "quantile wants q in [0,1], got " << q);
-  if (count_ == 0) return 0.0;
-  const double target = q * static_cast<double>(count_);
-  std::uint64_t seen = 0;
-  for (std::size_t b = 0; b < buckets_.size(); ++b) {
-    if (buckets_[b] == 0) continue;
-    const double before = static_cast<double>(seen);
-    seen += buckets_[b];
-    if (static_cast<double>(seen) < target) continue;
-    // Interpolate within [lo, hi) = the bucket's microsecond span.
-    const double lo =
-        b == 0 ? 0.0
-               : std::exp2(static_cast<double>(b) / kBucketsPerOctave);
-    const double hi = std::exp2(static_cast<double>(b + 1) / kBucketsPerOctave);
-    const double frac =
-        std::clamp((target - before) / static_cast<double>(buckets_[b]), 0.0, 1.0);
-    return std::min(lo + frac * (hi - lo), max_us_);
+  return obs::hist_quantile(buckets_.data(), buckets_.size(), count_, max_us_,
+                            q);
+}
+
+namespace {
+
+constexpr const char* kStageNames[Telemetry::kStageCount] = {
+    "queue_wait", "assembly", "decode", "respond"};
+
+obs::Labels tenant_labels(ClusterId cluster) {
+  return {{"tenant", std::to_string(cluster)}};
+}
+
+}  // namespace
+
+Telemetry::Telemetry()
+    : submitted_(registry_.counter("serve.submitted")),
+      shed_(registry_.counter("serve.shed")),
+      rejected_(registry_.counter("serve.rejected")),
+      cache_hits_(registry_.counter("serve.cache_hits")),
+      cache_misses_(registry_.counter("serve.cache_misses")),
+      batches_(registry_.counter("serve.batches")),
+      batch_requests_(registry_.counter("serve.batch_requests")),
+      max_occupancy_(registry_.gauge("serve.max_batch_occupancy")),
+      latency_(registry_.histogram("serve.latency_us")) {}
+
+Telemetry::TenantCells& Telemetry::tenant_cells(ClusterId cluster) {
+  {
+    std::shared_lock lock(tenants_mu_);
+    const auto it = tenants_.find(cluster);
+    if (it != tenants_.end()) return *it->second;
   }
-  return max_us_;
+  std::unique_lock lock(tenants_mu_);
+  auto& slot = tenants_[cluster];
+  if (slot == nullptr) {
+    const obs::Labels labels = tenant_labels(cluster);
+    auto cells = std::make_unique<TenantCells>();
+    cells->submitted = registry_.counter("serve.tenant.submitted", labels);
+    cells->shed = registry_.counter("serve.tenant.shed", labels);
+    cells->rejected = registry_.counter("serve.tenant.rejected", labels);
+    cells->cache_hits = registry_.counter("serve.tenant.cache_hits", labels);
+    cells->cache_misses =
+        registry_.counter("serve.tenant.cache_misses", labels);
+    cells->latency =
+        registry_.histogram("serve.tenant.latency_us", labels, /*cells=*/1);
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      cells->stage_us[s] = registry_.counter(
+          std::string("serve.stage.") + kStageNames[s] + "_us", labels);
+      cells->stage_requests[s] = registry_.counter(
+          std::string("serve.stage.") + kStageNames[s] + "_requests", labels);
+    }
+    slot = std::move(cells);
+  }
+  return *slot;
+}
+
+const Telemetry::TenantCells* Telemetry::find_tenant(ClusterId cluster) const {
+  std::shared_lock lock(tenants_mu_);
+  const auto it = tenants_.find(cluster);
+  return it == tenants_.end() ? nullptr : it->second.get();
 }
 
 void Telemetry::record_submitted() {
-  std::lock_guard lock(mu_);
-  ++submitted_;
+  if (!obs::metrics_enabled()) return;
+  submitted_->inc();
 }
 
 void Telemetry::record_shed() {
-  std::lock_guard lock(mu_);
-  ++shed_;
+  if (!obs::metrics_enabled()) return;
+  shed_->inc();
 }
 
 void Telemetry::record_rejected() {
-  std::lock_guard lock(mu_);
-  ++rejected_;
+  if (!obs::metrics_enabled()) return;
+  rejected_->inc();
 }
 
 void Telemetry::record_batch(std::size_t occupancy) {
-  std::lock_guard lock(mu_);
-  ++batches_;
-  batch_requests_ += occupancy;
-  max_occupancy_ = std::max(max_occupancy_, occupancy);
+  if (!obs::metrics_enabled()) return;
+  batches_->inc();
+  batch_requests_->inc(occupancy);
+  max_occupancy_->max_of(static_cast<double>(occupancy));
 }
 
 void Telemetry::record_completed(double latency_us) {
-  std::lock_guard lock(mu_);
-  latency_.record(latency_us);
-}
-
-Telemetry::TenantStats& Telemetry::tenant_stats(ClusterId cluster) {
-  return tenants_[cluster];
+  if (!obs::metrics_enabled()) return;
+  latency_->record(latency_us);
 }
 
 void Telemetry::record_submitted(ClusterId cluster) {
-  std::lock_guard lock(mu_);
-  ++submitted_;
-  ++tenant_stats(cluster).submitted;
+  if (!obs::metrics_enabled()) return;
+  submitted_->inc();
+  tenant_cells(cluster).submitted->inc();
 }
 
 void Telemetry::record_shed(ClusterId cluster) {
-  std::lock_guard lock(mu_);
-  ++shed_;
-  ++tenant_stats(cluster).shed;
+  if (!obs::metrics_enabled()) return;
+  shed_->inc();
+  tenant_cells(cluster).shed->inc();
 }
 
 void Telemetry::record_rejected(ClusterId cluster) {
-  std::lock_guard lock(mu_);
-  ++rejected_;
-  ++tenant_stats(cluster).rejected;
+  if (!obs::metrics_enabled()) return;
+  rejected_->inc();
+  tenant_cells(cluster).rejected->inc();
 }
 
 void Telemetry::record_completed(ClusterId cluster, double latency_us) {
-  std::lock_guard lock(mu_);
-  latency_.record(latency_us);
-  tenant_stats(cluster).latency.record(latency_us);
+  if (!obs::metrics_enabled()) return;
+  latency_->record(latency_us);
+  tenant_cells(cluster).latency->record(latency_us);
 }
 
 void Telemetry::record_cache_hit(ClusterId cluster) {
-  std::lock_guard lock(mu_);
-  ++cache_hits_;
-  ++tenant_stats(cluster).cache_hits;
+  if (!obs::metrics_enabled()) return;
+  cache_hits_->inc();
+  tenant_cells(cluster).cache_hits->inc();
 }
 
 void Telemetry::record_cache_miss(ClusterId cluster) {
-  std::lock_guard lock(mu_);
-  ++cache_misses_;
-  ++tenant_stats(cluster).cache_misses;
+  if (!obs::metrics_enabled()) return;
+  cache_misses_->inc();
+  tenant_cells(cluster).cache_misses->inc();
 }
 
 void Telemetry::record_model_version(ClusterId cluster, std::uint64_t version,
                                      double staleness_us) {
-  std::lock_guard lock(mu_);
-  TenantStats& stats = tenant_stats(cluster);
-  if (stats.model_version != 0 && stats.model_version != version) {
-    ++stats.model_swaps;
+  if (!obs::metrics_enabled()) return;
+  TenantCells& cells = tenant_cells(cluster);
+  // Single writer per tenant (its shard worker): the load-compare-store is
+  // not a race, only the snapshot readers are concurrent.
+  const std::uint64_t prev =
+      cells.model_version.load(std::memory_order_relaxed);
+  if (prev != 0 && prev != version) {
+    cells.model_swaps.fetch_add(1, std::memory_order_relaxed);
   }
-  stats.model_version = version;
-  stats.model_staleness_us = staleness_us;
+  cells.model_version.store(version, std::memory_order_relaxed);
+  cells.model_staleness_us.store(staleness_us, std::memory_order_relaxed);
 }
 
-TenantSnapshot Telemetry::snapshot_of(const TenantStats& stats) {
+void Telemetry::record_stage(ClusterId cluster, Stage stage, double stage_us,
+                             std::uint64_t requests) {
+  if (!obs::metrics_enabled()) return;
+  TenantCells& cells = tenant_cells(cluster);
+  const std::size_t s = static_cast<std::size_t>(stage);
+  cells.stage_us[s]->inc(
+      static_cast<std::uint64_t>(std::llround(std::max(0.0, stage_us))));
+  cells.stage_requests[s]->inc(requests);
+}
+
+TenantSnapshot Telemetry::snapshot_of(const TenantCells& cells) {
   TenantSnapshot s;
-  s.submitted = stats.submitted;
-  s.completed = stats.latency.count();
-  s.shed = stats.shed;
-  s.rejected = stats.rejected;
-  s.cache_hits = stats.cache_hits;
-  s.cache_misses = stats.cache_misses;
-  s.model_version = stats.model_version;
-  s.model_swaps = stats.model_swaps;
-  s.model_staleness_us = stats.model_staleness_us;
-  s.p50_us = stats.latency.quantile(0.50);
-  s.p99_us = stats.latency.quantile(0.99);
-  s.mean_latency_us = stats.latency.mean_us();
-  s.max_latency_us = stats.latency.max_us();
+  const obs::HistogramSnapshot latency = cells.latency->snapshot();
+  s.submitted = cells.submitted->value();
+  s.completed = latency.count;
+  s.shed = cells.shed->value();
+  s.rejected = cells.rejected->value();
+  s.cache_hits = cells.cache_hits->value();
+  s.cache_misses = cells.cache_misses->value();
+  s.model_version = cells.model_version.load(std::memory_order_relaxed);
+  s.model_swaps = cells.model_swaps.load(std::memory_order_relaxed);
+  s.model_staleness_us =
+      cells.model_staleness_us.load(std::memory_order_relaxed);
+  s.p50_us = latency.quantile(0.50);
+  s.p99_us = latency.quantile(0.99);
+  s.mean_latency_us = latency.mean_us();
+  s.max_latency_us = latency.max_us;
   return s;
 }
 
 TenantSnapshot Telemetry::tenant_snapshot(ClusterId cluster) const {
-  std::lock_guard lock(mu_);
-  const auto it = tenants_.find(cluster);
-  return it == tenants_.end() ? TenantSnapshot{} : snapshot_of(it->second);
+  const TenantCells* cells = find_tenant(cluster);
+  return cells == nullptr ? TenantSnapshot{} : snapshot_of(*cells);
 }
 
 std::map<ClusterId, TenantSnapshot> Telemetry::tenant_snapshots() const {
-  std::lock_guard lock(mu_);
+  std::shared_lock lock(tenants_mu_);
   std::map<ClusterId, TenantSnapshot> out;
-  for (const auto& [cluster, stats] : tenants_) {
-    out.emplace(cluster, snapshot_of(stats));
+  for (const auto& [cluster, cells] : tenants_) {
+    out.emplace(cluster, snapshot_of(*cells));
+  }
+  return out;
+}
+
+std::array<Telemetry::StageSnapshot, Telemetry::kStageCount>
+Telemetry::stage_snapshot(ClusterId cluster) const {
+  std::array<StageSnapshot, kStageCount> out{};
+  const TenantCells* cells = find_tenant(cluster);
+  if (cells == nullptr) return out;
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    out[s].us = cells->stage_us[s]->value();
+    out[s].requests = cells->stage_requests[s]->value();
   }
   return out;
 }
@@ -188,26 +249,51 @@ common::Table Telemetry::tenant_report() const {
   return t;
 }
 
+common::Table Telemetry::stage_report() const {
+  common::Table t({"cluster", "queue wait us", "assembly us", "decode us",
+                   "respond us", "accounted us"});
+  std::vector<ClusterId> clusters;
+  {
+    std::shared_lock lock(tenants_mu_);
+    clusters.reserve(tenants_.size());
+    for (const auto& [cluster, cells] : tenants_) clusters.push_back(cluster);
+  }
+  for (const ClusterId cluster : clusters) {
+    const auto stages = stage_snapshot(cluster);
+    double accounted = 0.0;
+    std::vector<std::string> row{std::to_string(cluster)};
+    for (const StageSnapshot& s : stages) {
+      accounted += s.mean_us();
+      row.push_back(common::Table::num(s.mean_us(), 1));
+    }
+    row.push_back(common::Table::num(accounted, 1));
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
 TelemetrySnapshot Telemetry::snapshot() const {
-  std::lock_guard lock(mu_);
   TelemetrySnapshot s;
-  s.submitted = submitted_;
-  s.completed = latency_.count();
-  s.shed = shed_;
-  s.rejected = rejected_;
-  s.batches = batches_;
-  s.cache_hits = cache_hits_;
-  s.cache_misses = cache_misses_;
+  const obs::HistogramSnapshot latency = latency_->snapshot();
+  s.submitted = submitted_->value();
+  s.completed = latency.count;
+  s.shed = shed_->value();
+  s.rejected = rejected_->value();
+  s.batches = batches_->value();
+  s.cache_hits = cache_hits_->value();
+  s.cache_misses = cache_misses_->value();
+  const std::uint64_t batch_requests = batch_requests_->value();
   s.mean_batch_occupancy =
-      batches_ > 0 ? static_cast<double>(batch_requests_) /
-                         static_cast<double>(batches_)
-                   : 0.0;
-  s.max_batch_occupancy = max_occupancy_;
-  s.p50_us = latency_.quantile(0.50);
-  s.p95_us = latency_.quantile(0.95);
-  s.p99_us = latency_.quantile(0.99);
-  s.mean_latency_us = latency_.mean_us();
-  s.max_latency_us = latency_.max_us();
+      s.batches > 0 ? static_cast<double>(batch_requests) /
+                          static_cast<double>(s.batches)
+                    : 0.0;
+  s.max_batch_occupancy =
+      static_cast<std::size_t>(max_occupancy_->value());
+  s.p50_us = latency.quantile(0.50);
+  s.p95_us = latency.quantile(0.95);
+  s.p99_us = latency.quantile(0.99);
+  s.mean_latency_us = latency.mean_us();
+  s.max_latency_us = latency.max_us;
   return s;
 }
 

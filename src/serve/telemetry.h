@@ -1,33 +1,60 @@
 // Serving telemetry: request counters, latency quantiles and batch-occupancy
 // histograms, thread-safe for concurrent shard workers and submitters.
 //
+// Since PR 6 this is a typed facade over an obs::MetricsRegistry: every
+// counter/histogram the serving path records lives in the registry as a
+// named metric (so Prometheus/JSON export sees exactly what the reports
+// print), and the hot path is lock-free — each record_* is a handful of
+// relaxed atomics on sharded, cache-line-padded cells. The old design took
+// one global mutex on EVERY per-request record; under 8 shard workers plus
+// client threads that lock was the first thing TSan's contention profile
+// surfaced. The mutex that remains (inside the registry, plus a
+// shared_mutex over the tenant directory) is only taken on handle creation
+// and snapshot/export.
+//
 // Latencies land in log-spaced microsecond buckets so record() is O(1) and
 // memory stays constant under million-request loads; quantiles are
 // interpolated inside the winning bucket (a few percent of resolution,
-// plenty for p50/p95/p99 reporting).
+// plenty for p50/p95/p99 reporting). The bucket math is shared with
+// obs::Histogram (obs/metrics.h) — both sides are bitwise-identical for the
+// same samples.
 //
 // Counters exist at two grains: the runtime-wide totals (the PR-1 snapshot)
 // and per-tenant rows keyed on ClusterId — submitted/shed/rejected counts
 // plus a full latency histogram per tenant, so QoS policies are observable
 // (a high-priority tenant's p99 vs a low-priority one's under overload).
+// PR 6 adds a third grain: per-tenant per-STAGE accounting (queue wait,
+// batch assembly, decode, respond) so a latency regression can be localized
+// to the pipeline stage that grew.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <mutex>
+#include <memory>
+#include <shared_mutex>
 #include <vector>
 
 #include "common/table.h"
+#include "obs/metrics.h"
 #include "serve/request.h"
 
 namespace orco::serve {
 
+/// Single-writer log-bucketed histogram (the obs::Histogram bucket layout
+/// without the sharding/atomics). Kept for callers that aggregate privately
+/// — bench percentile tracks, tests — and as the reference implementation
+/// the sharded cells are pinned against.
 class LatencyHistogram {
  public:
   LatencyHistogram();
 
   void record(double us);
+  /// Element-wise accumulate of another histogram (bucket counts, count,
+  /// sum, max) — merging per-worker locals into one distribution.
+  void merge(const LatencyHistogram& other);
 
   std::uint64_t count() const noexcept { return count_; }
   double mean_us() const;
@@ -35,9 +62,11 @@ class LatencyHistogram {
   /// q in [0, 1]; returns an interpolated bucket position in microseconds.
   double quantile(double q) const;
 
- private:
-  std::size_t bucket_for(double us) const;
+  /// The canonical bucket index for a microsecond value (quarter-powers of
+  /// two; see obs::hist_bucket_for).
+  static std::size_t bucket_for(double us) { return obs::hist_bucket_for(us); }
 
+ private:
   std::vector<std::uint64_t> buckets_;  // bucket b covers [2^(b/4), 2^((b+1)/4)) us
   std::uint64_t count_ = 0;
   double sum_us_ = 0.0;
@@ -94,6 +123,29 @@ struct TenantSnapshot {
 
 class Telemetry {
  public:
+  /// The serve-pipeline stages the per-tenant breakdown accounts.
+  enum class Stage : std::size_t {
+    kQueueWait = 0,  // submit enqueue -> batch pop
+    kAssembly,       // shape validation + cache lookup + latent stacking
+    kDecode,         // decoder inference
+    kRespond,        // row copy + cache insert + promise fulfilment
+  };
+  static constexpr std::size_t kStageCount = 4;
+
+  /// One stage's accumulated totals for a tenant.
+  struct StageSnapshot {
+    std::uint64_t us = 0;        // total stage time
+    std::uint64_t requests = 0;  // requests that time was spent on
+
+    double mean_us() const {
+      return requests > 0
+                 ? static_cast<double>(us) / static_cast<double>(requests)
+                 : 0.0;
+    }
+  };
+
+  Telemetry();
+
   // Runtime-wide counters (kept for callers that have no tenant in hand).
   void record_submitted();
   void record_shed();
@@ -115,10 +167,19 @@ class Telemetry {
   /// changes increment the tenant's swap counter.
   void record_model_version(ClusterId cluster, std::uint64_t version,
                             double staleness_us);
+  /// Accounts `stage_us` of `stage` time spent on `requests` requests of
+  /// `cluster`. Batch-scoped stages (assembly/decode/respond) record the
+  /// batch duration once with requests = batch occupancy; queue wait is
+  /// per-request.
+  void record_stage(ClusterId cluster, Stage stage, double stage_us,
+                    std::uint64_t requests = 1);
 
   TelemetrySnapshot snapshot() const;
   TenantSnapshot tenant_snapshot(ClusterId cluster) const;
   std::map<ClusterId, TenantSnapshot> tenant_snapshots() const;
+  /// Per-stage totals for one tenant, indexed by Stage.
+  std::array<StageSnapshot, kStageCount> stage_snapshot(
+      ClusterId cluster) const;
 
   /// Renders the snapshot as the repo-standard aligned table; pass wall
   /// time to get a throughput row.
@@ -126,35 +187,55 @@ class Telemetry {
   /// One row per tenant: cluster | submitted | completed | shed | rejected |
   /// p50 us | p99 us.
   common::Table tenant_report() const;
+  /// Per-tenant stage breakdown: mean us/request spent in each pipeline
+  /// stage (cluster | queue wait us | assembly us | decode us | respond us
+  /// | accounted us).
+  common::Table stage_report() const;
+
+  /// The backing registry — for Prometheus/JSON export and for registering
+  /// adjacent metrics under the same scrape.
+  obs::MetricsRegistry& registry() noexcept { return registry_; }
+  const obs::MetricsRegistry& registry() const noexcept { return registry_; }
 
  private:
-  struct TenantStats {
-    std::uint64_t submitted = 0;
-    std::uint64_t shed = 0;
-    std::uint64_t rejected = 0;
-    std::uint64_t cache_hits = 0;
-    std::uint64_t cache_misses = 0;
-    std::uint64_t model_version = 0;
-    std::uint64_t model_swaps = 0;
-    double model_staleness_us = 0.0;
-    LatencyHistogram latency;
+  /// Handles for one tenant's metrics. Counter/histogram writes go through
+  /// registry cells; model-version fields are single-writer (the tenant's
+  /// shard worker) and read with relaxed loads by snapshots.
+  struct TenantCells {
+    obs::Counter* submitted;
+    obs::Counter* shed;
+    obs::Counter* rejected;
+    obs::Counter* cache_hits;
+    obs::Counter* cache_misses;
+    obs::Histogram* latency;  // 1 cell: one shard worker records per tenant
+    obs::Counter* stage_us[kStageCount];
+    obs::Counter* stage_requests[kStageCount];
+    std::atomic<std::uint64_t> model_version{0};
+    std::atomic<std::uint64_t> model_swaps{0};
+    std::atomic<double> model_staleness_us{0.0};
   };
 
-  static TenantSnapshot snapshot_of(const TenantStats& stats);
-  /// Caller holds mu_.
-  TenantStats& tenant_stats(ClusterId cluster);
+  static TenantSnapshot snapshot_of(const TenantCells& cells);
+  /// Shared-locks for the (overwhelmingly common) existing-tenant lookup,
+  /// upgrades to a unique lock only to create a new tenant's row.
+  TenantCells& tenant_cells(ClusterId cluster);
+  const TenantCells* find_tenant(ClusterId cluster) const;
 
-  mutable std::mutex mu_;
-  std::uint64_t submitted_ = 0;
-  std::uint64_t shed_ = 0;
-  std::uint64_t rejected_ = 0;
-  std::uint64_t cache_hits_ = 0;
-  std::uint64_t cache_misses_ = 0;
-  std::uint64_t batches_ = 0;
-  std::uint64_t batch_requests_ = 0;
-  std::size_t max_occupancy_ = 0;
-  LatencyHistogram latency_;
-  std::map<ClusterId, TenantStats> tenants_;
+  obs::MetricsRegistry registry_;
+
+  // Runtime-wide handles, resolved once at construction.
+  obs::Counter* submitted_;
+  obs::Counter* shed_;
+  obs::Counter* rejected_;
+  obs::Counter* cache_hits_;
+  obs::Counter* cache_misses_;
+  obs::Counter* batches_;
+  obs::Counter* batch_requests_;
+  obs::Gauge* max_occupancy_;
+  obs::Histogram* latency_;
+
+  mutable std::shared_mutex tenants_mu_;  // directory only, not the cells
+  std::map<ClusterId, std::unique_ptr<TenantCells>> tenants_;
 };
 
 }  // namespace orco::serve

@@ -1,8 +1,18 @@
 #include "tensor/matmul.h"
 
 #include "common/check.h"
+#include "obs/profile.h"
 
 namespace orco::tensor {
+
+namespace {
+
+/// FLOPs of an (m x k) * (k x n) multiply-accumulate GEMM.
+std::uint64_t gemm_flops(std::size_t m, std::size_t k, std::size_t n) {
+  return 2ull * m * k * n;
+}
+
+}  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   ORCO_CHECK(a.rank() == 2 && b.rank() == 2,
@@ -15,6 +25,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                                 << shape_to_string(b.shape()));
   const std::size_t n = b.dim(1);
   Tensor c({m, n});
+  OBS_SCOPED_SPAN(obs::KernelOp::kGemm, gemm_flops(m, k, n));
   current_backend().gemm(a.data().data(), b.data().data(), c.data().data(), m,
                          k, n);
   return c;
@@ -26,6 +37,7 @@ void matmul_accumulate(const Tensor& a, const Tensor& b, Tensor& out) {
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   ORCO_CHECK(b.dim(0) == k && out.dim(0) == m && out.dim(1) == n,
              "matmul_accumulate shape mismatch");
+  OBS_SCOPED_SPAN(obs::KernelOp::kGemm, gemm_flops(m, k, n));
   current_backend().gemm(a.data().data(), b.data().data(), out.data().data(),
                          m, k, n);
 }
@@ -41,6 +53,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
                                 << shape_to_string(b.shape()));
   const std::size_t n = b.dim(1);
   Tensor c({m, n});
+  OBS_SCOPED_SPAN(obs::KernelOp::kGemmTN, gemm_flops(m, k, n));
   current_backend().gemm_tn(a.data().data(), b.data().data(), c.data().data(),
                             m, k, n);
   return c;
@@ -57,6 +70,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
                                 << shape_to_string(b.shape()));
   const std::size_t n = b.dim(0);
   Tensor c({m, n});
+  OBS_SCOPED_SPAN(obs::KernelOp::kGemmNT, gemm_flops(m, k, n));
   current_backend().gemm_nt(a.data().data(), b.data().data(), c.data().data(),
                             m, k, n);
   return c;
@@ -81,6 +95,7 @@ Tensor gemm_bias_act(const Tensor& a, const Tensor& b, const Tensor& bias,
   epi.bias_per_row = false;
   epi.act = act;
   epi.leaky_alpha = leaky_alpha;
+  OBS_SCOPED_SPAN(obs::KernelOp::kGemmFused, gemm_flops(m, k, n));
   current_backend().gemm_fused(a.data().data(), b.data().data(),
                                c.data().data(), m, k, n,
                                /*transpose_b=*/true, epi);
@@ -106,6 +121,7 @@ Tensor gemm_rowbias_act(const Tensor& a, const Tensor& b, const Tensor& bias,
   epi.bias_per_row = true;
   epi.act = act;
   epi.leaky_alpha = leaky_alpha;
+  OBS_SCOPED_SPAN(obs::KernelOp::kGemmFused, gemm_flops(m, k, n));
   current_backend().gemm_fused(a.data().data(), b.data().data(),
                                c.data().data(), m, k, n,
                                /*transpose_b=*/false, epi);
@@ -131,6 +147,7 @@ Tensor gemm_bias_act_prepacked(const Tensor& a, const PackedWeights& w,
   epi.bias_per_row = false;
   epi.act = act;
   epi.leaky_alpha = leaky_alpha;
+  OBS_SCOPED_SPAN(obs::KernelOp::kGemmPrepacked, gemm_flops(m, k, n));
   current_backend().gemm_prepacked(a.data().data(), w, c.data().data(), m, k,
                                    n, epi);
   return c;
@@ -157,6 +174,7 @@ Tensor gemm_rowbias_act_prepacked(const PackedWeights& w, const Tensor& b,
   epi.bias_per_row = true;
   epi.act = act;
   epi.leaky_alpha = leaky_alpha;
+  OBS_SCOPED_SPAN(obs::KernelOp::kGemmPrepacked, gemm_flops(m, k, n));
   current_backend().gemm_prepacked(b.data().data(), w, c.data().data(), m, k,
                                    n, epi);
   return c;

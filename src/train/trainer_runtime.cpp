@@ -7,6 +7,8 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "data/dataloader.h"
+#include "obs/config.h"
+#include "obs/trace.h"
 
 #ifdef __linux__
 #include <sched.h>
@@ -236,6 +238,10 @@ std::uint64_t TrainerRuntime::publish_now(ClusterId cluster) {
 
 std::uint64_t TrainerRuntime::export_and_publish(ClusterId cluster,
                                                  Tenant& tenant) {
+  // Publishes are rare (one per completed job) — trace every one so a
+  // hot-swap window is findable in the timeline without sampling luck.
+  obs::ScopedSpan span("train.publish", "train", obs::trace_enabled(),
+                       /*id=*/0, /*tenant=*/cluster);
   core::OrcoDcsSystem& system = *tenant.system;
   const core::OrcoConfig& orco = system.config().orco;
   auto snapshot = std::make_shared<ModelSnapshot>();
@@ -325,6 +331,9 @@ TrainResult TrainerRuntime::run_job(const TrainJob& job) {
     return result;
   }
   std::lock_guard train_lock(tenant->train_mu);
+  const bool traced = obs::trace_enabled();
+  obs::ScopedSpan job_span("train.job", "train", traced, /*id=*/0,
+                           /*tenant=*/job.cluster);
   core::OrcoDcsSystem& system = *tenant->system;
   const core::OrcoConfig& orco = system.config().orco;
   const std::size_t max_rounds = tenant->budget.max_rounds_per_job;
@@ -345,8 +354,13 @@ TrainResult TrainerRuntime::run_job(const TrainJob& job) {
       loader.reshuffle();
       for (std::size_t b = 0; b < loader.batch_count() && !capped; ++b) {
         const auto round_start = std::chrono::steady_clock::now();
-        const core::RoundRecord record =
-            system.orchestrator().train_round(loader.batch(b).images);
+        core::RoundRecord record;
+        {
+          obs::ScopedSpan round_span("train.round", "train", traced,
+                                     /*id=*/0, /*tenant=*/job.cluster,
+                                     /*n=*/result.rounds_run + 1);
+          record = system.orchestrator().train_round(loader.batch(b).images);
+        }
         result.final_loss = record.loss;
         ++result.rounds_run;
         rounds_run_.fetch_add(1, std::memory_order_relaxed);
@@ -379,7 +393,11 @@ TrainResult TrainerRuntime::run_job(const TrainJob& job) {
       // baseline for the next drift watch (same rule as train_online). The
       // decode half of the sweep runs through the tenant's reusable
       // context (we hold train_mu, so the context is ours).
-      result.eval_loss = system.evaluate_loss(dataset, tenant->infer_ctx);
+      {
+        obs::ScopedSpan eval_span("train.eval", "train", traced, /*id=*/0,
+                                  /*tenant=*/job.cluster);
+        result.eval_loss = system.evaluate_loss(dataset, tenant->infer_ctx);
+      }
       {
         std::lock_guard lock(tenant->monitor_mu);
         tenant->monitor.set_baseline(result.eval_loss);

@@ -21,6 +21,8 @@
 #include "nn/infer_context.h"
 #include "nn/pooling.h"
 #include "nn/sequential.h"
+#include "obs/config.h"
+#include "obs/trace.h"
 #include "tensor/backend.h"
 #include "tensor/workspace.h"
 
@@ -349,6 +351,57 @@ TEST(ZeroAllocTest, ClusterShardStyleSteadyStateDecodeIsAllocationFree) {
   }
   EXPECT_EQ(allocs, 0u);
   EXPECT_EQ(decode_out.dim(1), 64u);
+}
+
+TEST(ZeroAllocTest, SteadyStateDecodeStaysAllocationFreeWithObservabilityOn) {
+  // Same acceptance bar as above with the full observability stack armed:
+  // metrics, tracing at rate 1.0 (every decode emits a span into the
+  // thread-local ring) and per-kernel/per-layer profiling. The ring and the
+  // layer timers are created during warmup; the steady-state record path is
+  // plain atomic adds and ring stores, so it must stay off the allocator.
+  SerialBlockedScope kernels;
+  obs::ObsConfig obs_cfg;
+  obs_cfg.trace_sample_rate = 1.0;
+  obs_cfg.kernel_profiling = true;
+  obs::configure(obs_cfg);
+
+  core::SystemConfig cfg;
+  cfg.orco.input_dim = 64;
+  cfg.orco.latent_dim = 16;
+  cfg.orco.decoder_layers = 3;
+  cfg.orco.seed = 5;
+  cfg.orco.prepack_decoder = true;
+  cfg.field.device_count = 8;
+  cfg.field.radio_range_m = 60.0;
+  core::OrcoDcsSystem system(cfg);
+
+  common::Pcg32 rng(23);
+  std::vector<Tensor> latents;
+  for (int i = 0; i < 8; ++i) latents.push_back(Tensor::randn({16}, rng));
+
+  nn::InferContext ctx;
+  Tensor decode_out;
+  const auto decode_batch = [&](std::size_t count) {
+    Tensor& stacked = ctx.input();
+    stacked.resize(count, 16);
+    for (std::size_t r = 0; r < count; ++r) {
+      const auto src = latents[r].data();
+      std::copy(src.begin(), src.end(), stacked.row(r).begin());
+    }
+    system.edge().decode_inference(stacked, decode_out, ctx);
+  };
+
+  decode_batch(8);  // warmup: context buffers, weight packs, trace ring
+  decode_batch(8);
+  std::uint64_t allocs = 0;
+  {
+    CountAllocs counter;
+    for (int i = 0; i < 16; ++i) decode_batch(8);
+    allocs = CountAllocs::count();
+  }
+  obs::configure(obs::ObsConfig{});
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_GT(obs::TraceCollector::instance().event_count(), 0u);
 }
 
 }  // namespace

@@ -24,7 +24,7 @@
 // later PRs have a perf trajectory to beat.
 //
 //   requests scale with ORCO_BENCH_SCALE (bench_common.h conventions).
-//   ORCO_BACKEND picks the kernel backend (default here: blocked).
+//   ORCO_BACKEND picks the kernel backend (default here: simd).
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
@@ -48,11 +48,11 @@ using namespace orco;
 constexpr std::size_t kTenants = 8;
 constexpr std::size_t kClientThreads = 8;
 
-/// The kernel backend under test: ORCO_BACKEND if set, else the blocked
+/// The kernel backend under test: ORCO_BACKEND if set, else the simd
 /// kernel (the serving fast path).
 std::string bench_backend() {
   const char* env = std::getenv("ORCO_BACKEND");
-  return (env != nullptr && *env != '\0') ? env : "blocked";
+  return (env != nullptr && *env != '\0') ? env : "simd";
 }
 
 struct RunResult {

@@ -49,9 +49,18 @@ struct OrcoConfig {
   std::uint64_t seed = 42;
 
   // Kernel backend (tensor/backend.h) for this system's training rounds and
-  // edge decoding: "reference", "blocked", or empty to inherit the process
-  // default (set_backend() / ORCO_BACKEND).
+  // edge decoding: "reference", "blocked", "simd", or empty to inherit the
+  // process default (set_backend() / ORCO_BACKEND).
   std::string backend;
+
+  // Let the serving path decode int8 (kFixed8) uplink payloads straight
+  // through Backend::gemm_quantized — codes feed the decoder's first Dense
+  // layer without ever materializing the float batch. Accuracy contract:
+  // output error vs decoding the dequantized floats is bounded by the
+  // payload's quantization_error_bound times the batch value range,
+  // propagated through the decoder (one dequantization rounding per code,
+  // same as the explicit-dequantize path). Opt-in per tenant.
+  bool int8_decode = false;
 
   // Cache the decoder's backend-packed weight panels across decodes
   // (Layer::set_weight_prepack): packing the weight dominates small-batch

@@ -123,6 +123,17 @@ void EdgeServer::decode_inference(const Tensor& latents, Tensor& out,
   decoder_->infer_into(latents, out, ctx);
 }
 
+void EdgeServer::decode_inference_quantized(const std::uint8_t* codes,
+                                            const tensor::QuantHeader& qh,
+                                            std::size_t batch, Tensor& out,
+                                            nn::InferContext& ctx) const {
+  ORCO_CHECK(!round_open_, "cannot run inference with an open round");
+  obs::ScopedSpan span("edge.decode", "core", sample_decode_span(), /*id=*/0,
+                       /*tenant=*/0, batch);
+  tensor::BackendScope scope(backend_);
+  decoder_->infer_quantized_into(codes, qh, batch, latent_dim_, out, ctx);
+}
+
 std::size_t EdgeServer::train_flops(std::size_t batch) const {
   return 3 * decoder_->forward_flops(batch);
 }

@@ -44,14 +44,16 @@ std::size_t quantized_payload_bytes(std::size_t numel,
          numel * bytes_per_value(precision);
 }
 
-std::vector<std::uint8_t> quantize_latents(const tensor::Tensor& latents,
-                                           LatentPrecision precision) {
+std::size_t quantize_latents_into(const tensor::Tensor& latents,
+                                  LatentPrecision precision,
+                                  std::uint8_t* out, std::size_t capacity) {
   const auto data = latents.data();
-  std::vector<std::uint8_t> out;
+  const std::size_t total = quantized_payload_bytes(data.size(), precision);
+  ORCO_CHECK(capacity >= total, "quantize_latents_into: capacity "
+                                    << capacity << " < payload " << total);
   if (precision == LatentPrecision::kFloat32) {
-    out.resize(data.size() * 4);
-    std::memcpy(out.data(), data.data(), out.size());
-    return out;
+    std::memcpy(out, data.data(), total);
+    return total;
   }
 
   // Per-batch affine header: lo = min, hi = max. Codes map [lo, hi] onto
@@ -68,10 +70,9 @@ std::vector<std::uint8_t> quantize_latents(const tensor::Tensor& latents,
   }
   const double maxq = code_max(precision);
   const double range = static_cast<double>(hi) - static_cast<double>(lo);
-  out.resize(quantized_payload_bytes(data.size(), precision));
-  write_f32(out.data(), lo);
-  write_f32(out.data() + 4, hi);
-  std::uint8_t* payload = out.data() + 8;
+  write_f32(out, lo);
+  write_f32(out + 4, hi);
+  std::uint8_t* payload = out + 8;
   for (std::size_t i = 0; i < data.size(); ++i) {
     const double unit =
         range > 0.0 ? (static_cast<double>(data[i]) - lo) / range : 0.0;
@@ -84,29 +85,33 @@ std::vector<std::uint8_t> quantize_latents(const tensor::Tensor& latents,
       payload[i] = static_cast<std::uint8_t>(q);
     }
   }
+  return total;
+}
+
+std::vector<std::uint8_t> quantize_latents(const tensor::Tensor& latents,
+                                           LatentPrecision precision) {
+  std::vector<std::uint8_t> out(
+      quantized_payload_bytes(latents.data().size(), precision));
+  quantize_latents_into(latents, precision, out.data(), out.size());
   return out;
 }
 
-tensor::Tensor dequantize_latents(const std::vector<std::uint8_t>& bytes,
-                                  const tensor::Shape& shape,
-                                  LatentPrecision precision) {
-  const std::size_t n = tensor::shape_numel(shape);
-  ORCO_CHECK(bytes.size() == quantized_payload_bytes(n, precision),
+void dequantize_latents_into(const std::uint8_t* bytes, std::size_t size,
+                             LatentPrecision precision, float* out,
+                             std::size_t numel) {
+  ORCO_CHECK(size == quantized_payload_bytes(numel, precision),
              "quantised buffer size mismatch: "
-                 << bytes.size() << " vs "
-                 << quantized_payload_bytes(n, precision));
-  tensor::Tensor out(shape);
-  auto data = out.data();
+                 << size << " vs " << quantized_payload_bytes(numel, precision));
   if (precision == LatentPrecision::kFloat32) {
-    std::memcpy(data.data(), bytes.data(), bytes.size());
-    return out;
+    std::memcpy(out, bytes, size);
+    return;
   }
-  const float lo = read_f32(bytes.data());
-  const float hi = read_f32(bytes.data() + 4);
+  const float lo = read_f32(bytes);
+  const float hi = read_f32(bytes + 4);
   const double maxq = code_max(precision);
   const double range = static_cast<double>(hi) - static_cast<double>(lo);
-  const std::uint8_t* payload = bytes.data() + 8;
-  for (std::size_t i = 0; i < n; ++i) {
+  const std::uint8_t* payload = bytes + 8;
+  for (std::size_t i = 0; i < numel; ++i) {
     std::uint32_t q;
     if (precision == LatentPrecision::kFixed16) {
       q = static_cast<std::uint32_t>(payload[2 * i]) |
@@ -114,10 +119,32 @@ tensor::Tensor dequantize_latents(const std::vector<std::uint8_t>& bytes,
     } else {
       q = payload[i];
     }
-    data[i] = static_cast<float>(
+    out[i] = static_cast<float>(
         static_cast<double>(lo) + static_cast<double>(q) / maxq * range);
   }
+}
+
+tensor::Tensor dequantize_latents(const std::vector<std::uint8_t>& bytes,
+                                  const tensor::Shape& shape,
+                                  LatentPrecision precision) {
+  const std::size_t n = tensor::shape_numel(shape);
+  tensor::Tensor out(shape);
+  dequantize_latents_into(bytes.data(), bytes.size(), precision,
+                          out.data().data(), n);
   return out;
+}
+
+void quantized_dequant_params(const std::uint8_t* payload,
+                              LatentPrecision precision, float* lo,
+                              float* step) {
+  ORCO_CHECK(precision != LatentPrecision::kFloat32,
+             "float32 payloads carry no affine header");
+  const float hdr_lo = read_f32(payload);
+  const float hdr_hi = read_f32(payload + 4);
+  *lo = hdr_lo;
+  *step = static_cast<float>(
+      (static_cast<double>(hdr_hi) - static_cast<double>(hdr_lo)) /
+      code_max(precision));
 }
 
 float quantization_error_bound(LatentPrecision precision) {

@@ -37,10 +37,35 @@ std::size_t quantized_payload_bytes(std::size_t numel,
 std::vector<std::uint8_t> quantize_latents(const tensor::Tensor& latents,
                                            LatentPrecision precision);
 
+/// Allocation-free quantize_latents: writes the payload into `out`
+/// (capacity must be >= quantized_payload_bytes(latents.numel(),
+/// precision)) and returns the bytes written. Identical bytes to the
+/// vector overload, which delegates here.
+std::size_t quantize_latents_into(const tensor::Tensor& latents,
+                                  LatentPrecision precision,
+                                  std::uint8_t* out, std::size_t capacity);
+
 /// Inverse of quantize_latents (shape must be supplied by the caller).
 tensor::Tensor dequantize_latents(const std::vector<std::uint8_t>& bytes,
                                   const tensor::Shape& shape,
                                   LatentPrecision precision);
+
+/// Allocation-free dequantize_latents: decodes `size` payload bytes into
+/// `out[0..numel)` through caller scratch — the serve hot path's row-wise
+/// decode. Identical values to the vector overload, which delegates here.
+void dequantize_latents_into(const std::uint8_t* bytes, std::size_t size,
+                             LatentPrecision precision, float* out,
+                             std::size_t numel);
+
+/// Reads a fixed-point payload's affine header as the float (lo, step)
+/// pair the fused int8 GEMM applies per code: x ≈ lo + q * step with
+/// step = (hi - lo) / code_max. Single-float arithmetic, so it is the
+/// contract for tensor::QuantHeader rows; it differs from the double-math
+/// dequantize_latents rounding by at most 1 ulp of the value range — both
+/// stay within quantization_error_bound.
+void quantized_dequant_params(const std::uint8_t* payload,
+                              LatentPrecision precision, float* lo,
+                              float* step);
 
 /// Max |x - dequant(quant(x))| per unit of the batch's value range: half a
 /// step. The absolute bound for a batch is this value times (max - min) of

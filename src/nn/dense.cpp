@@ -60,6 +60,27 @@ void Dense::infer_fused_into(const Tensor& input, Tensor& out,
                      batch, in_, out_, /*transpose_b=*/true, epi);  // (B, out)
 }
 
+void Dense::infer_quantized_into(const std::uint8_t* codes,
+                                 const tensor::QuantHeader& qh,
+                                 std::size_t batch, Tensor& out,
+                                 tensor::EpilogueAct act, float leaky_alpha,
+                                 InferContext& /*ctx*/) const {
+  ORCO_CHECK(codes != nullptr && qh.row_lo != nullptr &&
+                 qh.row_scale != nullptr,
+             "infer_quantized_into needs codes and per-row headers");
+  out.resize(batch, out_);
+  tensor::Epilogue epi;
+  epi.bias = b_.data().data();
+  epi.bias_per_row = false;
+  epi.act = act;
+  epi.leaky_alpha = leaky_alpha;
+  const tensor::Backend& backend = tensor::current_backend();
+  const auto packed = packed_weights();
+  OBS_SCOPED_SPAN(obs::KernelOp::kGemmQuantized, 2ull * batch * in_ * out_);
+  backend.gemm_quantized(codes, qh, *packed, out.data().data(), batch, in_,
+                         out_, epi);
+}
+
 std::shared_ptr<const tensor::PackedWeights> Dense::packed_weights() const {
   const tensor::Backend& backend = tensor::current_backend();
   const std::uint64_t version =

@@ -34,6 +34,16 @@ class Dense : public Layer {
                         tensor::EpilogueAct act, float leaky_alpha,
                         InferContext& ctx) const override;
 
+  /// act(dequant(codes)·Wᵀ + b) straight from uint8 latent codes with
+  /// per-row affine headers `qh` — the int8 uplink decode head. Routes
+  /// through Backend::gemm_quantized against this layer's packed weights
+  /// (packed on first use even when prepack is off: the quantized kernel
+  /// only takes panel weights).
+  void infer_quantized_into(const std::uint8_t* codes,
+                            const tensor::QuantHeader& qh, std::size_t batch,
+                            Tensor& out, tensor::EpilogueAct act,
+                            float leaky_alpha, InferContext& ctx) const;
+
   /// When enabled, infer()/infer_fused() cache the current backend's
   /// packed weight panels keyed on a weight version and reuse them across
   /// calls (see Layer::set_weight_prepack for the invalidation contract).

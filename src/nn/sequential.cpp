@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "nn/activations.h"
+#include "nn/dense.h"
 #include "obs/profile.h"
 
 namespace orco::nn {
@@ -51,18 +52,23 @@ void Sequential::infer_into(const Tensor& input, Tensor& out,
     return;
   }
 
-  // Peephole fusion, ping-pong buffer plan: a layer followed by an
-  // elementwise activation becomes one infer_fused_into() call —
-  // GEMM-backed layers (Dense, Conv2d) push the activation into the kernel
-  // epilogue, halving the memory traffic of the serving decode path;
-  // everything else falls back to compute-then-apply, which is always
-  // equivalent. Each step reads the previous step's buffer and writes the
-  // context's other buffer (the final step writes `out`), so after warmup
-  // a whole pass touches no allocator. The training-mode forward() stays
-  // unfused because backward needs the pre-activation.
+  run_chain(&input, 0, last_real, out, ctx);
+}
+
+// Peephole fusion, ping-pong buffer plan: a layer followed by an
+// elementwise activation becomes one infer_fused_into() call — GEMM-backed
+// layers (Dense, Conv2d) push the activation into the kernel epilogue,
+// halving the memory traffic of the serving decode path; everything else
+// falls back to compute-then-apply, which is always equivalent. Each step
+// reads the previous step's buffer and writes the context's other buffer
+// (the step containing `last_real` writes `out`), so after warmup a whole
+// pass touches no allocator. The training-mode forward() stays unfused
+// because backward needs the pre-activation.
+void Sequential::run_chain(const Tensor* cur, std::size_t start,
+                           std::size_t last_real, Tensor& out,
+                           InferContext& ctx) const {
   const bool profile = obs::kernel_profiling_enabled();
-  const Tensor* cur = &input;
-  for (std::size_t i = 0; i < layers_.size(); ++i) {
+  for (std::size_t i = start; i < layers_.size(); ++i) {
     if (layers_[i]->infer_is_identity()) continue;
     std::size_t step_end = i;
     float leaky_alpha = 0.01f;
@@ -88,6 +94,79 @@ void Sequential::infer_into(const Tensor& input, Tensor& out,
     cur = &dst;
     i = step_end;
   }
+}
+
+void Sequential::infer_quantized_into(const std::uint8_t* codes,
+                                      const tensor::QuantHeader& qh,
+                                      std::size_t batch, std::size_t features,
+                                      Tensor& out, InferContext& ctx) const {
+  std::size_t first_real = layers_.size();
+  std::size_t last_real = layers_.size();
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (!layers_[i]->infer_is_identity()) {
+      if (first_real == layers_.size()) first_real = i;
+      last_real = i;
+    }
+  }
+  // Dequantizes with the exact expression the fused kernel applies
+  // (x = lo + q*scale, single-float), so every branch below produces the
+  // same head-input values.
+  const auto dequant_to = [&](Tensor& dst) {
+    dst.resize(batch, features);
+    for (std::size_t i = 0; i < batch; ++i) {
+      const std::uint8_t* src = codes + i * features;
+      float* row = dst.data().data() + i * features;
+      const float lo = qh.row_lo[i];
+      const float scale = qh.row_scale[i];
+      for (std::size_t j = 0; j < features; ++j) {
+        row[j] = lo + static_cast<float>(src[j]) * scale;
+      }
+    }
+  };
+  if (last_real == layers_.size()) {
+    // Empty chain or all-identity: the pass is just the dequantization.
+    dequant_to(out);
+    return;
+  }
+  const auto* head = dynamic_cast<const Dense*>(layers_[first_real].get());
+  if (head == nullptr || (ctx.owns(out) && last_real > first_real)) {
+    // No Dense head to feed codes into (or the nested-Sequential buffer
+    // squeeze — see infer_into): dequantize into the context's input
+    // buffer and run the ordinary float chain.
+    dequant_to(ctx.input());
+    infer_into(ctx.input(), out, ctx);
+    return;
+  }
+  ORCO_CHECK(features == head->in_features(),
+             "quantized latents have " << features << " features, head Dense"
+                                       << " expects " << head->in_features());
+  // Dense head fast path: the GEMM reads the uint8 codes directly,
+  // dequantizing inside A-panel packing — the batch is never materialized
+  // as floats. Keep the activation peephole for the head step.
+  std::size_t step_end = first_real;
+  float leaky_alpha = 0.01f;
+  tensor::EpilogueAct act = tensor::EpilogueAct::kNone;
+  if (first_real + 1 < layers_.size()) {
+    if (const auto epi =
+            activation_epilogue(*layers_[first_real + 1], leaky_alpha)) {
+      act = *epi;
+      step_end = first_real + 1;
+    }
+  }
+  const bool last = last_real <= step_end;
+  // The codes live outside the context, so input() is free to hold the
+  // head's output for the rest of the chain to ping-pong from.
+  Tensor& dst = last ? out : ctx.input();
+  const bool profile = obs::kernel_profiling_enabled();
+  const std::uint64_t t0 = profile ? obs::KernelTimer::now_ns() : 0;
+  head->infer_quantized_into(codes, qh, batch, dst, act, leaky_alpha, ctx);
+  if (profile) {
+    LayerTimer& timer = *layer_timers_[first_real];
+    timer.ns.fetch_add(obs::KernelTimer::now_ns() - t0,
+                       std::memory_order_relaxed);
+    timer.calls.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!last) run_chain(&dst, step_end + 1, last_real, out, ctx);
 }
 
 common::Table Sequential::layer_profile_table() const {

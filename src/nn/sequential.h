@@ -39,6 +39,19 @@ class Sequential : public Layer {
   /// same context perform zero heap allocations.
   void infer_into(const Tensor& input, Tensor& out,
                   InferContext& ctx) const override;
+
+  /// Whole-chain inference straight from uint8 latent codes (batch ×
+  /// features, row-major) with per-row affine headers `qh`. When the first
+  /// real layer is Dense the codes feed Backend::gemm_quantized directly —
+  /// the float batch is never materialized; otherwise the codes are
+  /// dequantized into the context input buffer and the chain runs as
+  /// infer_into. Both branches decode each code as x = lo + q*scale in
+  /// single-float math, so the output is identical either way.
+  void infer_quantized_into(const std::uint8_t* codes,
+                            const tensor::QuantHeader& qh, std::size_t batch,
+                            std::size_t features, Tensor& out,
+                            InferContext& ctx) const;
+
   void set_weight_prepack(bool enabled) override;
   void invalidate_weight_cache() override;
   std::vector<ParamView> params() override;
@@ -66,6 +79,12 @@ class Sequential : public Layer {
   void reset_layer_profile() const;
 
  private:
+  /// The fused ping-pong execution loop shared by infer_into and the
+  /// quantized entry: runs layers [start, end] with `cur` as the incoming
+  /// activation, writing the step containing `last_real` to `out`.
+  void run_chain(const Tensor* cur, std::size_t start, std::size_t last_real,
+                 Tensor& out, InferContext& ctx) const;
+
   /// One layer's inference-time accumulator; padded so concurrent shard
   /// workers timing a shared (snapshot) decoder never share a line.
   struct alignas(64) LayerTimer {

@@ -304,4 +304,12 @@ void MetricsRegistry::write_json(std::ostream& os) const {
   os << "}\n";
 }
 
+MetricsRegistry& global_registry() {
+  // Leaked (function-local new) so metric handles cached by other
+  // static-lifetime objects stay valid through process teardown in any
+  // destruction order.
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
 }  // namespace orco::obs

@@ -181,4 +181,10 @@ class MetricsRegistry {
   std::vector<std::unique_ptr<Entry>> entries_;  // registration order
 };
 
+/// The process-wide registry for metrics with no natural owner (kernel
+/// backend selection, library-level counters). Subsystems with their own
+/// lifecycle (serve::Telemetry) keep their own registries; exporters that
+/// want the library-level series include this one explicitly.
+MetricsRegistry& global_registry();
+
 }  // namespace orco::obs

@@ -31,6 +31,7 @@ enum class KernelOp : std::size_t {
   kGemmTN,         // C = A^T * B
   kGemmFused,      // GEMM + bias + activation epilogue
   kGemmPrepacked,  // prepacked-B GEMM + epilogue
+  kGemmQuantized,  // int8-latent GEMM (dequant fused into A packing)
   kIm2col,         // conv2d patch gather
   kCount,
 };

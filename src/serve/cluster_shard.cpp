@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 
 #include "common/check.h"
+#include "core/quantization.h"
 #include "common/logging.h"
 #include "obs/config.h"
 #include "obs/trace.h"
@@ -75,13 +77,15 @@ ClusterShard::ClusterShard(std::size_t index,
                            Telemetry* telemetry,
                            const tensor::Backend* backend,
                            std::shared_ptr<train::ModelRegistry> registry,
-                           const ReconstructionCacheConfig& cache_config)
+                           const ReconstructionCacheConfig& cache_config,
+                           bool int8_decode)
     : index_(index),
       queue_(queue_config),
       telemetry_(telemetry),
       backend_(backend),
       registry_(std::move(registry)),
-      cache_(cache_config) {
+      cache_(cache_config),
+      int8_decode_(int8_decode) {
   ORCO_CHECK(telemetry != nullptr, "ClusterShard needs a telemetry registry");
 }
 
@@ -222,18 +226,26 @@ void ClusterShard::serve_batch(std::vector<PendingRequest> batch) {
   std::vector<std::optional<std::string>> keys;
   if (cache_.enabled()) keys.reserve(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    const Tensor& latent = batch[i].request.latent;
+    const DecodeRequest& request = batch[i].request;
+    const Tensor& latent = request.latent;
     const bool well_formed =
-        (latent.rank() == 1 || (latent.rank() == 2 && latent.dim(0) == 1)) &&
-        latent.numel() == latent_dim;
+        request.quantized
+            ? request.payload.size() ==
+                  core::quantized_payload_bytes(latent_dim, request.precision)
+            : (latent.rank() == 1 ||
+               (latent.rank() == 2 && latent.dim(0) == 1)) &&
+                  latent.numel() == latent_dim;
     if (!well_formed) {
       telemetry_->record_rejected(cluster);
       respond_error(batch[i], ResponseStatus::kBadRequest);
       continue;
     }
     if (cache_.enabled()) {
-      std::optional<std::string> key =
-          cache_.key_for(cluster, version, latent);
+      // Quantized requests bypass the cache: its keys derive from float
+      // latents (key_for re-quantizes onto its own snap grid), which the
+      // wire payload never materializes on this path.
+      std::optional<std::string> key;
+      if (!request.quantized) key = cache_.key_for(cluster, version, latent);
       if (key.has_value()) {
         if (const Tensor* hit = cache_.lookup(*key)) {
           DecodeResponse response;
@@ -277,20 +289,70 @@ void ClusterShard::serve_batch(std::vector<PendingRequest> batch) {
   // input buffer (one sized row copy each — no stack_rows, no per-request
   // Tensor), and the decode lands in the worker-owned output buffer: after
   // warmup this whole block performs zero heap allocations.
-  Tensor& stacked = infer_ctx_.input();
-  stacked.resize(good.size(), latent_dim);
-  for (std::size_t row = 0; row < good.size(); ++row) {
-    const auto src = batch[good[row]].request.latent.data();
-    std::copy(src.begin(), src.end(), stacked.row(row).begin());
+  //
+  // Int8 GEMM fast path: armed per runtime (ServeConfig::int8_decode) and
+  // per tenant (OrcoConfig::int8_decode), taken only when the whole
+  // coalesced batch is kFixed8 payloads — the codes feed the decoder GEMM
+  // directly (dequantization fused into A-panel packing) and the float
+  // batch is never materialized. A mixed or float batch falls back to
+  // row-wise dequantization into the stacked float buffer.
+  const std::size_t rows = good.size();
+  const bool use_int8 =
+      int8_decode_ && tenant->system->config().orco.int8_decode &&
+      std::all_of(good.begin(), good.end(), [&](std::size_t i) {
+        return batch[i].request.quantized &&
+               batch[i].request.precision == core::LatentPrecision::kFixed8;
+      });
+  if (use_int8) {
+    q_codes_.resize(rows * latent_dim);
+    q_lo_.resize(rows);
+    q_scale_.resize(rows);
+    const std::size_t header =
+        core::quantization_header_bytes(core::LatentPrecision::kFixed8);
+    for (std::size_t row = 0; row < rows; ++row) {
+      const auto& payload = batch[good[row]].request.payload;
+      std::memcpy(q_codes_.data() + row * latent_dim,
+                  payload.data() + header, latent_dim);
+      core::quantized_dequant_params(payload.data(),
+                                     core::LatentPrecision::kFixed8,
+                                     &q_lo_[row], &q_scale_[row]);
+    }
+  } else {
+    Tensor& stacked = infer_ctx_.input();
+    stacked.resize(rows, latent_dim);
+    for (std::size_t row = 0; row < rows; ++row) {
+      const DecodeRequest& request = batch[good[row]].request;
+      float* dst = stacked.data().data() + row * latent_dim;
+      if (request.quantized) {
+        core::dequantize_latents_into(request.payload.data(),
+                                      request.payload.size(),
+                                      request.precision, dst, latent_dim);
+      } else {
+        const auto src = request.latent.data();
+        std::copy(src.begin(), src.end(), dst);
+      }
+    }
   }
   const auto decode_start = std::chrono::steady_clock::now();
   record_assembly(decode_start);
   try {
-    if (snapshot != nullptr) {
+    if (use_int8) {
+      const tensor::QuantHeader qh{q_lo_.data(), q_scale_.data()};
+      if (snapshot != nullptr) {
+        tensor::BackendScope tenant_scope(snapshot->backend);
+        snapshot->decoder->infer_quantized_into(q_codes_.data(), qh, rows,
+                                                latent_dim, decode_out_,
+                                                infer_ctx_);
+      } else {
+        tenant->system->edge().decode_inference_quantized(
+            q_codes_.data(), qh, rows, decode_out_, infer_ctx_);
+      }
+    } else if (snapshot != nullptr) {
       tensor::BackendScope tenant_scope(snapshot->backend);
-      snapshot->decoder->infer_into(stacked, decode_out_, infer_ctx_);
+      snapshot->decoder->infer_into(infer_ctx_.input(), decode_out_,
+                                    infer_ctx_);
     } else {
-      tenant->system->edge().decode_inference(stacked, decode_out_,
+      tenant->system->edge().decode_inference(infer_ctx_.input(), decode_out_,
                                               infer_ctx_);
     }
   } catch (const std::exception& e) {

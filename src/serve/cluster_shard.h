@@ -49,12 +49,14 @@ class ClusterShard {
   /// backend (tensor/backend.h); null inherits the process default.
   /// `registry` (nullable) enables the hot-swap path for tenants published
   /// there; `cache_config.capacity > 0` enables the shard's
-  /// ReconstructionCache.
+  /// ReconstructionCache. `int8_decode` arms the int8 GEMM fast path for
+  /// kFixed8 batches of tenants whose OrcoConfig also opts in.
   ClusterShard(std::size_t index, const BatchQueueConfig& queue_config,
                Telemetry* telemetry,
                const tensor::Backend* backend = nullptr,
                std::shared_ptr<train::ModelRegistry> registry = nullptr,
-               const ReconstructionCacheConfig& cache_config = {});
+               const ReconstructionCacheConfig& cache_config = {},
+               bool int8_decode = false);
 
   std::size_t index() const noexcept { return index_; }
   BatchQueue& queue() noexcept { return queue_; }
@@ -118,6 +120,13 @@ class ClusterShard {
   /// zero heap allocations.
   nn::InferContext infer_ctx_;
   Tensor decode_out_;
+  /// Int8 fast-path staging, worker-thread-owned and high-water-mark sized
+  /// like the context: the batch's uint8 codes packed row-major plus the
+  /// per-row affine headers the fused GEMM reads (tensor::QuantHeader).
+  bool int8_decode_;
+  std::vector<std::uint8_t> q_codes_;
+  std::vector<float> q_lo_;
+  std::vector<float> q_scale_;
   mutable std::mutex tenants_mu_;  // guards registration vs. lookup only
   std::map<ClusterId, TenantEntry> tenants_;
 };

@@ -11,7 +11,9 @@
 #include <future>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "core/quantization.h"
 #include "tensor/tensor.h"
 
 namespace orco::serve {
@@ -47,6 +49,14 @@ struct DecodeRequest {
   ClusterId cluster = 0;
   RequestId id = 0;
   Tensor latent;  // (M) or (1, M) for the tenant's latent dimension M
+  /// Quantized uplink alternative to `latent`: when `quantized` is set the
+  /// request carries the wire payload (core/quantization.h framing — affine
+  /// header followed by codes) and `latent` stays empty. The shard decodes
+  /// it row-wise, or — for kFixed8 payloads on an int8_decode tenant —
+  /// feeds the codes straight into the decoder GEMM.
+  std::vector<std::uint8_t> payload;
+  core::LatentPrecision precision = core::LatentPrecision::kFloat32;
+  bool quantized = false;
   std::chrono::steady_clock::time_point enqueued_at;
   /// Sampling decision made once at submit time (obs tracing): a traced
   /// request records its whole span tree (queue wait, assembly, decode,

@@ -18,7 +18,7 @@ ServerRuntime::ServerRuntime(const ServeConfig& config)
   for (std::size_t i = 0; i < config.shard_count; ++i) {
     shards_.push_back(std::make_unique<ClusterShard>(
         i, config.queue, &telemetry_, backend, config.model_registry,
-        config.recon_cache));
+        config.recon_cache, config.int8_decode));
   }
 }
 
@@ -49,6 +49,26 @@ std::future<DecodeResponse> ServerRuntime::immediate_response(
 
 std::future<DecodeResponse> ServerRuntime::submit(ClusterId cluster,
                                                   Tensor latent) {
+  DecodeRequest request;
+  request.cluster = cluster;
+  request.latent = std::move(latent);
+  return submit_request(std::move(request));
+}
+
+std::future<DecodeResponse> ServerRuntime::submit(
+    ClusterId cluster, std::vector<std::uint8_t> payload,
+    core::LatentPrecision precision) {
+  DecodeRequest request;
+  request.cluster = cluster;
+  request.payload = std::move(payload);
+  request.precision = precision;
+  request.quantized = true;
+  return submit_request(std::move(request));
+}
+
+std::future<DecodeResponse> ServerRuntime::submit_request(
+    DecodeRequest request) {
+  const ClusterId cluster = request.cluster;
   const RequestId id = next_request_id_.fetch_add(1);
   if (!accepting_.load()) {
     telemetry_.record_submitted();
@@ -69,9 +89,8 @@ std::future<DecodeResponse> ServerRuntime::submit(ClusterId cluster,
   telemetry_.record_submitted(cluster);
 
   PendingRequest pending;
-  pending.request.cluster = cluster;
+  pending.request = std::move(request);
   pending.request.id = id;
-  pending.request.latent = std::move(latent);
   pending.request.enqueued_at = std::chrono::steady_clock::now();
   // Per-request sampling decision, made once here so the whole span tree
   // (queue wait through respond, recorded on the shard worker) is coherent.

@@ -39,6 +39,12 @@ struct ServeConfig {
   std::shared_ptr<train::ModelRegistry> model_registry;
   // Per-shard latent-keyed reconstruction cache (capacity 0 = off).
   ReconstructionCacheConfig recon_cache;
+  // Let shards decode kFixed8 uplink payloads straight through the int8
+  // GEMM (Backend::gemm_quantized) when the tenant's OrcoConfig also opts
+  // in (both flags must be set). Off: quantized payloads are dequantized
+  // row-wise into the float batch — always correct, just more memory
+  // traffic. See OrcoConfig::int8_decode for the accuracy contract.
+  bool int8_decode = false;
   // Observability export (obs/export.h): non-empty paths are written by a
   // periodic background flush (flush_period_s > 0) and always once more
   // after the workers join at shutdown — the shutdown dump is the complete
@@ -78,6 +84,18 @@ class ServerRuntime {
   /// and are served once workers run (subject to queue capacity).
   std::future<DecodeResponse> submit(ClusterId cluster, Tensor latent);
 
+  /// Enqueues one quantized latent payload (core/quantization.h wire
+  /// framing: affine header + codes) for decoding, without the caller ever
+  /// materializing the float latent. Same answer contract as the float
+  /// overload; a payload whose size does not match the tenant's latent_dim
+  /// at `precision` is answered kBadRequest. kFixed8 payloads ride the int8
+  /// GEMM fast path when both ServeConfig::int8_decode and the tenant's
+  /// OrcoConfig::int8_decode are set; all quantized payloads bypass the
+  /// reconstruction cache (its keys are float-latent-derived).
+  std::future<DecodeResponse> submit(ClusterId cluster,
+                                     std::vector<std::uint8_t> payload,
+                                     core::LatentPrecision precision);
+
   /// Launches one worker per shard. Idempotent until shutdown().
   void start();
 
@@ -111,6 +129,10 @@ class ServerRuntime {
  private:
   std::future<DecodeResponse> immediate_response(RequestId id,
                                                  ResponseStatus status);
+  /// Shared admission tail of both submit overloads: stamps the id and
+  /// enqueue time, routes to the owning shard, answers unknown ids and
+  /// shutdown up front, and handles backpressure (shed/eviction answers).
+  std::future<DecodeResponse> submit_request(DecodeRequest request);
   void start_flusher();
   void stop_flusher();
 

@@ -4,10 +4,14 @@
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <iterator>
 #include <vector>
 
 #include "common/check.h"
+#include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "tensor/gemm_panels.h"
 
 namespace orco::tensor {
 
@@ -19,24 +23,8 @@ thread_local bool t_parallel = true;
 // Minimum row*col product before we bother waking the thread pool.
 constexpr std::size_t kParallelThreshold = 64 * 1024;
 
-common::ThreadPool* gemm_pool(std::size_t m, std::size_t n) {
-  return (g_parallel.load() && t_parallel && m * n >= kParallelThreshold)
-             ? &common::ThreadPool::global()
-             : nullptr;
-}
-
-// Must mirror nn/activations.h exactly: fusing an activation into the GEMM
-// epilogue may not change a single value versus the standalone layer.
-inline float apply_act(float v, EpilogueAct act, float alpha) {
-  switch (act) {
-    case EpilogueAct::kNone:      return v;
-    case EpilogueAct::kReLU:      return v > 0.0f ? v : 0.0f;
-    case EpilogueAct::kLeakyReLU: return v > 0.0f ? v : alpha * v;
-    case EpilogueAct::kSigmoid:   return 1.0f / (1.0f + std::exp(-v));
-    case EpilogueAct::kTanh:      return std::tanh(v);
-  }
-  return v;
-}
+using detail::apply_act;
+using detail::gemm_pool;
 
 // ---------------------------------------------------------------------------
 // Reference backend: the original ikj streaming kernel. The k-loop is
@@ -94,7 +82,8 @@ class ReferenceBackend final : public Backend {
 };
 
 // ---------------------------------------------------------------------------
-// Blocked backend: packed-panel, cache-tiled, register-blocked GEMM.
+// Blocked backend: packed-panel, cache-tiled, register-blocked GEMM,
+// instantiated from the shared machinery in tensor/gemm_panels.h.
 //
 //   - k is split into kKc panels, n into kNc panels; the active B panel is
 //     packed into kNr-wide column strips so the micro-kernel streams it
@@ -109,128 +98,24 @@ class ReferenceBackend final : public Backend {
 // Per-element reduction stays in ascending k order (one accumulator per
 // output element, panels visited in order), so results match the reference
 // kernel bitwise and are independent of batch shape and tile position.
+// (The simd backend in backend_simd.cpp swaps only the tile() arithmetic
+// for explicit FMA intrinsics — everything else here is shared.)
 // ---------------------------------------------------------------------------
 
-constexpr std::size_t kMr = 4;    // micro-tile rows
-constexpr std::size_t kNr = 32;   // micro-tile cols (4 SIMD lanes of 8)
-constexpr std::size_t kKc = 256;  // k panel: kKc*kNr B floats stay in L1
-constexpr std::size_t kMc = 64;   // row block per packed A panel
-constexpr std::size_t kNc = 1024; // col panel: bounds the packed B buffer
+struct BlockedTraits {
+  static constexpr std::size_t kMr = 4;    // micro-tile rows
+  static constexpr std::size_t kNr = 32;   // micro-tile cols (4 lanes of 8)
+  static constexpr std::size_t kKc = 256;  // k panel: kKc*kNr B floats in L1
+  static constexpr std::size_t kMc = 64;   // row block per packed A panel
+  static constexpr std::size_t kNc = 1024; // col panel: packed B bound
 
-constexpr std::size_t round_up(std::size_t v, std::size_t t) {
-  return (v + t - 1) / t * t;
-}
-
-// Packs A[i0:i0+mc, p0:p0+kc] (or the transpose-source equivalent when
-// `trans`, with `a` stored (k×m)) into kMr-interleaved panels: panel ip
-// holds kMr consecutive rows laid out [p][ii], zero-padded past mc.
-void pack_a_panel(const float* a, std::size_t lda, bool trans, std::size_t i0,
-                  std::size_t p0, std::size_t mc, std::size_t kc, float* ap) {
-  for (std::size_t ip = 0; ip < mc; ip += kMr) {
-    float* dst = ap + (ip / kMr) * (kMr * kc);
-    for (std::size_t ii = 0; ii < kMr; ++ii) {
-      const std::size_t i = i0 + ip + ii;
-      if (ip + ii < mc) {
-        if (trans) {
-          for (std::size_t p = 0; p < kc; ++p) {
-            dst[p * kMr + ii] = a[(p0 + p) * lda + i];
-          }
-        } else {
-          const float* src = a + i * lda + p0;
-          for (std::size_t p = 0; p < kc; ++p) dst[p * kMr + ii] = src[p];
-        }
-      } else {
-        for (std::size_t p = 0; p < kc; ++p) dst[p * kMr + ii] = 0.0f;
-      }
-    }
+  static void tile(const float* ap, const float* bp, std::size_t kc, float* c,
+                   std::size_t ldc, std::size_t rows, std::size_t cols,
+                   const Epilogue* epi, std::size_t row0, std::size_t col0) {
+    detail::generic_tile<kMr, kNr>(ap, bp, kc, c, ldc, rows, cols, epi, row0,
+                                   col0);
   }
-}
-
-// Packs B[p0:p0+kc, j0:j0+nc] (or the transpose-source equivalent when
-// `trans`, with `b` stored (n×k)) into kNr-interleaved panels: panel jp
-// holds kNr consecutive columns laid out [p][jj], zero-padded past nc.
-void pack_b_panel(const float* b, std::size_t ldb, bool trans, std::size_t p0,
-                  std::size_t j0, std::size_t kc, std::size_t nc, float* bp) {
-  for (std::size_t jp = 0; jp < nc; jp += kNr) {
-    float* dst = bp + (jp / kNr) * (kNr * kc);
-    if (trans) {
-      for (std::size_t jj = 0; jj < kNr; ++jj) {
-        const std::size_t j = j0 + jp + jj;
-        if (jp + jj < nc) {
-          const float* src = b + j * ldb + p0;
-          for (std::size_t p = 0; p < kc; ++p) dst[p * kNr + jj] = src[p];
-        } else {
-          for (std::size_t p = 0; p < kc; ++p) dst[p * kNr + jj] = 0.0f;
-        }
-      }
-    } else {
-      const std::size_t cols = std::min(kNr, nc - jp);
-      for (std::size_t p = 0; p < kc; ++p) {
-        const float* src = b + (p0 + p) * ldb + j0 + jp;
-        float* row = dst + p * kNr;
-        for (std::size_t jj = 0; jj < cols; ++jj) row[jj] = src[jj];
-        for (std::size_t jj = cols; jj < kNr; ++jj) row[jj] = 0.0f;
-      }
-    }
-  }
-}
-
-// One kMr×kNr output tile accumulated over a whole packed k panel. The
-// accumulator array lives in registers; constant trip counts let the
-// compiler unroll and vectorize the jj dimension.
-void micro_kernel(const float* ap, const float* bp, std::size_t kc,
-                  float acc[kMr][kNr]) {
-  for (std::size_t p = 0; p < kc; ++p) {
-    const float* a = ap + p * kMr;
-    const float* b = bp + p * kNr;
-    for (std::size_t ii = 0; ii < kMr; ++ii) {
-      const float aip = a[ii];
-      for (std::size_t jj = 0; jj < kNr; ++jj) {
-        acc[ii][jj] += aip * b[jj];
-      }
-    }
-  }
-}
-
-// Seeds the accumulator tile from C (zero on the padded fringe) so that
-// across k panels every output element is ONE sequential reduction chain in
-// ascending k order — bitwise identical to the reference ikj kernel, which
-// accumulates straight into C. Summing each panel separately and adding
-// would re-associate the chain and drift at the last ulps.
-void load_tile(const float* c, std::size_t ldc, std::size_t rows,
-               std::size_t cols, float acc[kMr][kNr]) {
-  for (std::size_t ii = 0; ii < kMr; ++ii) {
-    if (ii < rows) {
-      const float* ci = c + ii * ldc;
-      for (std::size_t jj = 0; jj < kNr; ++jj) {
-        acc[ii][jj] = jj < cols ? ci[jj] : 0.0f;
-      }
-    } else {
-      for (std::size_t jj = 0; jj < kNr; ++jj) acc[ii][jj] = 0.0f;
-    }
-  }
-}
-
-// Writes a micro-tile back, clipping the zero-padded fringe; when `epi` is
-// set (last k panel of a fused GEMM) the epilogue is applied while the tile
-// is still hot.
-void store_tile(float* c, std::size_t ldc, const float acc[kMr][kNr],
-                std::size_t rows, std::size_t cols, const Epilogue* epi,
-                std::size_t row0, std::size_t col0) {
-  for (std::size_t ii = 0; ii < rows; ++ii) {
-    float* ci = c + ii * ldc;
-    for (std::size_t jj = 0; jj < cols; ++jj) {
-      float v = acc[ii][jj];
-      if (epi) {
-        if (epi->bias) {
-          v += epi->bias_per_row ? epi->bias[row0 + ii] : epi->bias[col0 + jj];
-        }
-        v = apply_act(v, epi->act, epi->leaky_alpha);
-      }
-      ci[jj] = v;
-    }
-  }
-}
+};
 
 class BlockedBackend final : public Backend {
  public:
@@ -238,81 +123,46 @@ class BlockedBackend final : public Backend {
 
   void gemm(const float* a, const float* b, float* c, std::size_t m,
             std::size_t k, std::size_t n) const override {
-    run(a, k, false, b, n, false, c, m, k, n, nullptr, nullptr, nullptr);
+    detail::panel_run<BlockedTraits>({a, k, false}, b, n, false, c, m, k, n,
+                                     nullptr, nullptr, nullptr);
   }
 
   void gemm_nt(const float* a, const float* b, float* c, std::size_t m,
                std::size_t k, std::size_t n) const override {
-    run(a, k, false, b, k, true, c, m, k, n, nullptr, nullptr, nullptr);
+    detail::panel_run<BlockedTraits>({a, k, false}, b, k, true, c, m, k, n,
+                                     nullptr, nullptr, nullptr);
   }
 
   void gemm_tn(const float* a, const float* b, float* c, std::size_t m,
                std::size_t k, std::size_t n) const override {
-    run(a, m, true, b, n, false, c, m, k, n, nullptr, nullptr, nullptr);
+    detail::panel_run<BlockedTraits>({a, m, true}, b, n, false, c, m, k, n,
+                                     nullptr, nullptr, nullptr);
   }
 
   void gemm_fused(const float* a, const float* b, float* c, std::size_t m,
                   std::size_t k, std::size_t n, bool transpose_b,
                   const Epilogue& epilogue) const override {
     std::fill(c, c + m * n, 0.0f);
-    run(a, k, false, b, transpose_b ? k : n, transpose_b, c, m, k, n,
-        &epilogue, nullptr, nullptr);
+    detail::panel_run<BlockedTraits>({a, k, false}, b, transpose_b ? k : n,
+                                     transpose_b, c, m, k, n, &epilogue,
+                                     nullptr, nullptr);
   }
 
-  // Prepacking walks the exact (pc, jc) / (pc, blk) panel order of run(),
-  // so gemm_prepacked streams the stored panels at the offsets run() would
-  // have packed them to — the micro-kernel sees identical bytes and the
-  // result matches the pack-on-the-fly path bitwise.
+  // Prepacking walks the exact (pc, jc) / (pc, blk) panel order of
+  // panel_run, so gemm_prepacked streams the stored panels at the offsets
+  // the on-the-fly path would have packed them to — the micro-kernel sees
+  // identical bytes and the result matches pack-on-the-fly bitwise.
   PackedWeights pack_b(const float* b, std::size_t k, std::size_t n,
                        bool transpose_b) const override {
     PackedWeights packed;
-    packed.owner = this;
-    packed.side = 'B';
-    packed.rows = k;
-    packed.cols = n;
-    const std::size_t ldb = transpose_b ? k : n;
-    std::size_t total = 0;
-    for (std::size_t pc = 0; pc < k; pc += kKc) {
-      const std::size_t kc = std::min(kKc, k - pc);
-      for (std::size_t jc = 0; jc < n; jc += kNc) {
-        total += round_up(std::min(kNc, n - jc), kNr) * kc;
-      }
-    }
-    packed.data.resize(total);
-    std::size_t off = 0;
-    for (std::size_t pc = 0; pc < k; pc += kKc) {
-      const std::size_t kc = std::min(kKc, k - pc);
-      for (std::size_t jc = 0; jc < n; jc += kNc) {
-        const std::size_t nc = std::min(kNc, n - jc);
-        pack_b_panel(b, ldb, transpose_b, pc, jc, kc, nc,
-                     packed.data.data() + off);
-        off += round_up(nc, kNr) * kc;
-      }
-    }
+    detail::pack_b_full<BlockedTraits>(this, b, k, n, transpose_b, packed);
     return packed;
   }
 
   PackedWeights pack_a(const float* a, std::size_t m,
                        std::size_t k) const override {
     PackedWeights packed;
-    packed.owner = this;
-    packed.side = 'A';
-    packed.rows = m;
-    packed.cols = k;
-    std::size_t total = 0;
-    for (std::size_t pc = 0; pc < k; pc += kKc) {
-      total += round_up(m, kMr) * std::min(kKc, k - pc);
-    }
-    packed.data.resize(total);
-    std::size_t off = 0;
-    for (std::size_t pc = 0; pc < k; pc += kKc) {
-      const std::size_t kc = std::min(kKc, k - pc);
-      for (std::size_t ic = 0; ic < m; ic += kMc) {
-        const std::size_t mc = std::min(kMc, m - ic);
-        pack_a_panel(a, k, false, ic, pc, mc, kc, packed.data.data() + off);
-        off += round_up(mc, kMr) * kc;
-      }
-    }
+    detail::pack_a_full<BlockedTraits>(this, a, m, k, packed);
     return packed;
   }
 
@@ -326,86 +176,40 @@ class BlockedBackend final : public Backend {
       ORCO_CHECK(packed.rows == k && packed.cols == n,
                  "prepacked B is " << packed.rows << "x" << packed.cols
                                    << ", GEMM wants " << k << "x" << n);
-      run(other, k, false, nullptr, 0, false, c, m, k, n, &epilogue, nullptr,
-          packed.data.data());
+      detail::panel_run<BlockedTraits>({other, k, false}, nullptr, 0, false, c,
+                                       m, k, n, &epilogue, nullptr,
+                                       packed.data.data());
     } else {
       ORCO_CHECK(packed.rows == m && packed.cols == k,
                  "prepacked A is " << packed.rows << "x" << packed.cols
                                    << ", GEMM wants " << m << "x" << k);
-      run(nullptr, 0, false, other, n, false, c, m, k, n, &epilogue,
-          packed.data.data(), nullptr);
+      detail::panel_run<BlockedTraits>({}, other, n, false, c, m, k, n,
+                                       &epilogue, packed.data.data(), nullptr);
     }
   }
 
- private:
-  // packed_a / packed_b point at panel data laid out by pack_a/pack_b;
-  // non-null skips the corresponding per-call packing.
-  static void run(const float* a, std::size_t lda, bool ta, const float* b,
-                  std::size_t ldb, bool tb, float* c, std::size_t m,
-                  std::size_t k, std::size_t n, const Epilogue* epi,
-                  const float* packed_a, const float* packed_b) {
-    if (m == 0 || n == 0) return;
-    if (k == 0) {
-      if (epi) apply_epilogue(c, m, n, *epi);
-      return;
-    }
-    thread_local std::vector<float> bp_buf;
-    std::size_t b_off = 0;   // walk of the prepacked B panels (pc-major)
-    std::size_t a_base = 0;  // prepacked A offset of the current k panel
-    for (std::size_t pc = 0; pc < k; pc += kKc) {
-      const std::size_t kc = std::min(kKc, k - pc);
-      const bool last_panel = pc + kc == k;
-      for (std::size_t jc = 0; jc < n; jc += kNc) {
-        const std::size_t nc = std::min(kNc, n - jc);
-        const float* bp;
-        if (packed_b != nullptr) {
-          bp = packed_b + b_off;
-        } else {
-          bp_buf.resize(round_up(nc, kNr) * kc);
-          pack_b_panel(b, ldb, tb, pc, jc, kc, nc, bp_buf.data());
-          bp = bp_buf.data();
-        }
-        b_off += round_up(nc, kNr) * kc;
-
-        const std::size_t row_blocks = (m + kMc - 1) / kMc;
-        common::parallel_for(
-            gemm_pool(m, n), 0, row_blocks, /*grain=*/1,
-            [&](std::size_t blk0, std::size_t blk1) {
-              thread_local std::vector<float> ap_buf;
-              for (std::size_t blk = blk0; blk < blk1; ++blk) {
-                const std::size_t ic = blk * kMc;
-                const std::size_t mc = std::min(kMc, m - ic);
-                const float* apan;
-                if (packed_a != nullptr) {
-                  // Block `blk` starts ic rows into the panel; full blocks
-                  // are kMr-aligned (kMc % kMr == 0), so its offset is
-                  // exactly ic*kc floats past the panel base.
-                  apan = packed_a + a_base + ic * kc;
-                } else {
-                  ap_buf.resize(round_up(mc, kMr) * kc);
-                  pack_a_panel(a, lda, ta, ic, pc, mc, kc, ap_buf.data());
-                  apan = ap_buf.data();
-                }
-                for (std::size_t jr = 0; jr < nc; jr += kNr) {
-                  const float* bpan = bp + (jr / kNr) * (kNr * kc);
-                  const std::size_t cols = std::min(kNr, nc - jr);
-                  for (std::size_t ir = 0; ir < mc; ir += kMr) {
-                    const std::size_t rows = std::min(kMr, mc - ir);
-                    float* ctile = c + (ic + ir) * n + jc + jr;
-                    float acc[kMr][kNr];
-                    load_tile(ctile, n, rows, cols, acc);
-                    micro_kernel(apan + (ir / kMr) * (kMr * kc), bpan, kc,
-                                 acc);
-                    store_tile(ctile, n, acc, rows, cols,
-                               (epi && last_panel) ? epi : nullptr, ic + ir,
-                               jc + jr);
-                  }
-                }
-              }
-            });
-      }
-      a_base += round_up(m, kMr) * kc;
-    }
+  // Dequantizes while packing A panels (x = lo[i] + q*scale[i], the same
+  // float expression as core::dequantize_latents_into), so the int8 decode
+  // path reduces in exactly the order the f32 path would after an explicit
+  // dequantize — batched-vs-single bitwise equality carries over.
+  void gemm_quantized(const std::uint8_t* a_q, const QuantHeader& qh,
+                      const PackedWeights& packed, float* c, std::size_t m,
+                      std::size_t k, std::size_t n,
+                      const Epilogue& epilogue) const override {
+    ORCO_CHECK(packed.owner == this,
+               "PackedWeights were packed by a different backend");
+    ORCO_CHECK(packed.side == 'B', "gemm_quantized needs a packed B operand");
+    ORCO_CHECK(packed.rows == k && packed.cols == n,
+               "prepacked B is " << packed.rows << "x" << packed.cols
+                                 << ", GEMM wants " << k << "x" << n);
+    std::fill(c, c + m * n, 0.0f);
+    detail::AView av;
+    av.lda = k;
+    av.q8 = a_q;
+    av.q_lo = qh.row_lo;
+    av.q_scale = qh.row_scale;
+    detail::panel_run<BlockedTraits>(av, nullptr, 0, false, c, m, k, n,
+                                     &epilogue, nullptr, packed.data.data());
   }
 };
 
@@ -418,10 +222,12 @@ struct RegistryEntry {
 };
 
 // The single source of truth for registered backends; lookups, name
-// listings and error messages all derive from it.
+// listings, error messages and the orco_backend_active gauge value all
+// derive from it.
 constexpr RegistryEntry kRegistry[] = {
     {"reference", reference_backend},
     {"blocked", blocked_backend},
+    {"simd", simd_backend},
 };
 
 std::string registry_names_joined() {
@@ -433,17 +239,36 @@ std::string registry_names_joined() {
   return out;
 }
 
-const Backend* default_from_env() {
-  const char* env = std::getenv("ORCO_BACKEND");
-  if (env == nullptr || *env == '\0') return &reference_backend();
-  const Backend* backend = find_backend(env);
-  ORCO_CHECK(backend != nullptr,
-             "ORCO_BACKEND=" << env << " is not a registered kernel backend"
-                             << " (have: " << registry_names_joined() << ")");
-  return backend;
+// Publishes which backend is the process default as a metric (exported as
+// orco_backend_active), so an operator can see from the metrics endpoint
+// which kernels a deployment actually selected (the registry index:
+// 0=reference, 1=blocked, 2=simd).
+void publish_active_gauge(const Backend* backend) {
+  int index = 0;
+  for (std::size_t i = 0; i < std::size(kRegistry); ++i) {
+    if (&kRegistry[i].get() == backend) {
+      index = static_cast<int>(i);
+      break;
+    }
+  }
+  obs::global_registry().gauge("backend.active")->set(index);
 }
 
 }  // namespace
+
+const Backend& backend_from_env_value(const char* value) {
+  if (value == nullptr || *value == '\0') return reference_backend();
+  if (const Backend* backend = find_backend(value)) return *backend;
+  // An unknown name must not take the process down (a stale deployment env
+  // var would crash every replica at startup) — but it must not be silent
+  // either: log, count, and let orco_backend_active expose the fallback.
+  ORCO_LOG_WARN("ORCO_BACKEND=\"" << value
+                                  << "\" is not a registered kernel backend"
+                                  << " (have: " << registry_names_joined()
+                                  << "); falling back to \"reference\"");
+  obs::global_registry().counter("backend.env_invalid")->inc();
+  return reference_backend();
+}
 
 void Backend::gemm_fused(const float* a, const float* b, float* c,
                          std::size_t m, std::size_t k, std::size_t n,
@@ -514,6 +339,30 @@ void Backend::gemm_prepacked(const float* other, const PackedWeights& packed,
   }
 }
 
+// Base quantized path: dequantize the codes row-wise into thread-local
+// scratch with the same expression the panel-fused overrides use
+// (x = lo + q*scale in float), then run the ordinary prepacked GEMM. Exact
+// same values as the fused paths — only slower, so backends without a
+// fused int8 pack (reference) stay correct for free.
+void Backend::gemm_quantized(const std::uint8_t* a_q, const QuantHeader& qh,
+                             const PackedWeights& packed, float* c,
+                             std::size_t m, std::size_t k, std::size_t n,
+                             const Epilogue& epilogue) const {
+  ORCO_CHECK(packed.side == 'B', "gemm_quantized needs a packed B operand");
+  thread_local std::vector<float> dequant;
+  dequant.resize(m * k);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::uint8_t* src = a_q + i * k;
+    float* dst = dequant.data() + i * k;
+    const float lo = qh.row_lo[i];
+    const float scale = qh.row_scale[i];
+    for (std::size_t p = 0; p < k; ++p) {
+      dst[p] = lo + static_cast<float>(src[p]) * scale;
+    }
+  }
+  gemm_prepacked(dequant.data(), packed, c, m, k, n, epilogue);
+}
+
 const Backend& reference_backend() {
   static const ReferenceBackend backend;
   return backend;
@@ -552,10 +401,12 @@ void set_backend(const std::string& name) {
              "unknown kernel backend \"" << name << "\" (have: "
                                          << registry_names_joined() << ")");
   g_default.store(backend, std::memory_order_release);
+  publish_active_gauge(backend);
 }
 
 void set_backend(const Backend& backend) {
   g_default.store(&backend, std::memory_order_release);
+  publish_active_gauge(&backend);
 }
 
 const Backend& current_backend() {
@@ -564,10 +415,12 @@ const Backend& current_backend() {
   if (backend == nullptr) {
     // First use: publish the env-derived default, but never clobber a
     // concurrent set_backend() — an explicit choice must win the race.
-    const Backend* env_default = default_from_env();
+    const Backend* env_default =
+        &backend_from_env_value(std::getenv("ORCO_BACKEND"));
     if (g_default.compare_exchange_strong(backend, env_default,
                                           std::memory_order_acq_rel)) {
       backend = env_default;
+      publish_active_gauge(backend);
     }
     // On CAS failure `backend` was reloaded with the concurrent store.
   }
@@ -599,5 +452,15 @@ bool gemm_parallelism() { return g_parallel.load(); }
 
 void set_thread_gemm_parallelism(bool enabled) { t_parallel = enabled; }
 bool thread_gemm_parallelism() { return t_parallel; }
+
+namespace detail {
+
+common::ThreadPool* gemm_pool(std::size_t m, std::size_t n) {
+  return (g_parallel.load() && t_parallel && m * n >= kParallelThreshold)
+             ? &common::ThreadPool::global()
+             : nullptr;
+}
+
+}  // namespace detail
 
 }  // namespace orco::tensor

@@ -7,21 +7,31 @@
 // through the free functions in tensor/matmul.h, which route to
 // current_backend().
 //
-// Two backends are registered:
+// Three backends are registered:
 //   "reference" — the original ikj streaming kernel; the trusted baseline.
 //   "blocked"   — cache-tiled, packed-panel, register-blocked GEMM written
 //                 so the compiler auto-vectorizes the micro-kernel.
+//   "simd"      — the same panel machinery with an explicitly-SIMD FMA
+//                 register micro-kernel, ISA-dispatched at compile time
+//                 (AVX-512 → AVX2+FMA → NEON → the blocked scalar kernel;
+//                 see backend_simd.cpp and simd_isa()).
 //
 // Selection, most specific wins:
 //   1. A BackendScope installed on the current thread (the serving runtime
 //      installs one per ServeConfig, EdgeServer/Orchestrator per
 //      OrcoConfig).
 //   2. The process default, settable with set_backend().
-//   3. The ORCO_BACKEND environment variable, read once on first use.
+//   3. The ORCO_BACKEND environment variable, read once on first use. An
+//      unknown name falls back loudly to "reference" (warning log,
+//      backend.env_invalid counter) instead of crashing the process.
 //   4. The reference backend.
+//
+// Whichever way the default is chosen, the obs gauge orco_backend_active
+// publishes the selected registry index (0=reference, 1=blocked, 2=simd).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -56,6 +66,16 @@ struct PackedWeights {
   std::size_t rows = 0;  // logical rows of the packed matrix (k for B, m for A)
   std::size_t cols = 0;  // logical cols of the packed matrix (n for B, k for A)
   std::vector<float> data;
+};
+
+/// Per-row affine dequantization parameters for gemm_quantized: row i of
+/// the uint8 operand decodes as x = row_lo[i] + q * row_scale[i]. Per-row
+/// because a coalesced serving batch stacks requests that each carry their
+/// own [min, max] header from core/quantization — one shared (lo, scale)
+/// pair would change values whenever batching composition changes.
+struct QuantHeader {
+  const float* row_lo = nullptr;     // [m]
+  const float* row_scale = nullptr;  // [m]
 };
 
 /// A kernel backend. All matrices are dense row-major float32; the gemm*
@@ -116,6 +136,19 @@ class Backend {
   virtual void gemm_prepacked(const float* other, const PackedWeights& packed,
                               float* c, std::size_t m, std::size_t k,
                               std::size_t n, const Epilogue& epilogue) const;
+
+  /// c (m×n) = act(dequant(a_q)·B + bias) straight from uint8 codes: a_q is
+  /// (m×k) row-major quantized with per-row affine headers `qh`, `packed` a
+  /// pack_b-produced right operand of THIS backend. The serving decode path
+  /// feeds the uplink payload here without materializing a float copy of
+  /// the batch. Values are bitwise identical to dequantizing a_q with
+  /// x = lo + q*scale (float math) and calling gemm_prepacked — the base
+  /// implementation does exactly that through thread-local scratch; the
+  /// panel backends fuse the dequantization into A-panel packing instead.
+  virtual void gemm_quantized(const std::uint8_t* a_q, const QuantHeader& qh,
+                              const PackedWeights& packed, float* c,
+                              std::size_t m, std::size_t k, std::size_t n,
+                              const Epilogue& epilogue) const;
 };
 
 /// The original ikj streaming kernel (always available).
@@ -123,6 +156,16 @@ const Backend& reference_backend();
 
 /// The blocked/packed cache-tiled kernel (always available).
 const Backend& blocked_backend();
+
+/// The explicitly-SIMD FMA micro-kernel over the same panel machinery
+/// (always available: builds without SIMD support degrade to the blocked
+/// scalar kernel — see simd_isa()).
+const Backend& simd_backend();
+
+/// Which instruction set the simd backend was compiled for: "avx512",
+/// "avx2", "neon", or "scalar-fallback" (no SIMD available or
+/// ORCO_DISABLE_SIMD defined).
+const char* simd_isa();
 
 /// Looks a backend up by name; nullptr when unknown.
 const Backend* find_backend(const std::string& name);
@@ -135,6 +178,13 @@ const Backend* resolve_backend(const std::string& name);
 
 /// Registered backend names, in registration order.
 std::vector<std::string> backend_names();
+
+/// ORCO_BACKEND-style resolution with loud fallback: null/empty -> the
+/// reference backend; a known name -> that backend; an unknown name ->
+/// warning log + backend.env_invalid counter + the reference backend
+/// (never throws — a stale env var must not crash every replica). Exposed
+/// separately from the env read so tests can exercise the policy.
+const Backend& backend_from_env_value(const char* value);
 
 /// Sets the process-default backend. Throws std::invalid_argument for an
 /// unknown name.

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <new>
+#include <vector>
 
 #include "core/system.h"
 #include "nn/activations.h"
@@ -277,6 +278,61 @@ TEST(ZeroAllocTest, WarmedSequentialDecodeMakesNoHeapAllocations) {
   {
     CountAllocs counter;
     for (int i = 0; i < 16; ++i) model.infer_into(small, out, ctx);
+    small_allocs = CountAllocs::count();
+  }
+  EXPECT_EQ(small_allocs, 0u);
+}
+
+TEST(ZeroAllocTest, WarmedQuantizedDecodeMakesNoHeapAllocations) {
+  // The int8 uplink decode path (Sequential::infer_quantized_into feeding
+  // Backend::gemm_quantized) must meet the same zero-allocation bar as the
+  // float path: after warmup, codes in -> reconstruction out touches no
+  // allocator.
+  SerialBlockedScope kernels;
+  common::Pcg32 rng(29);
+  nn::Sequential model;
+  model.emplace<nn::Dense>(16, 64, rng);
+  model.emplace<nn::ReLU>();
+  model.emplace<nn::Dense>(64, 64, rng);
+  model.emplace<nn::Sigmoid>();
+  model.set_weight_prepack(true);
+
+  // Wire-format stand-ins: 8x16 uint8 codes with per-row affine headers.
+  std::vector<std::uint8_t> codes(8 * 16);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    codes[i] = static_cast<std::uint8_t>((i * 37 + 11) & 0xFF);
+  }
+  std::vector<float> lo(8), scale(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    lo[i] = -0.5f + 0.1f * static_cast<float>(i);
+    scale[i] = 1.5f / 255.0f;
+  }
+  const tensor::QuantHeader qh{lo.data(), scale.data()};
+
+  InferContext ctx;
+  Tensor out;
+  model.infer_quantized_into(codes.data(), qh, 8, 16, out, ctx);
+  model.infer_quantized_into(codes.data(), qh, 8, 16, out, ctx);
+
+  std::uint64_t allocs = 0;
+  {
+    CountAllocs counter;
+    for (int i = 0; i < 16; ++i) {
+      model.infer_quantized_into(codes.data(), qh, 8, 16, out, ctx);
+    }
+    allocs = CountAllocs::count();
+  }
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_EQ(out.dim(1), 64u);
+
+  // Smaller batches through the same warmed context stay allocation-free.
+  model.infer_quantized_into(codes.data(), qh, 3, 16, out, ctx);
+  std::uint64_t small_allocs = 0;
+  {
+    CountAllocs counter;
+    for (int i = 0; i < 16; ++i) {
+      model.infer_quantized_into(codes.data(), qh, 3, 16, out, ctx);
+    }
     small_allocs = CountAllocs::count();
   }
   EXPECT_EQ(small_allocs, 0u);

@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "nn/activations.h"
+#include "obs/metrics.h"
 #include "nn/conv2d.h"
 #include "nn/dense.h"
 #include "nn/sequential.h"
@@ -57,17 +58,52 @@ const Shape kShapes[] = {
     {1, 300, 2},  {63, 300, 31}, {96, 96, 96},
 };
 
+// Every registered backend, for within-backend contract tests (fused vs
+// unfused, prepacked vs on-the-fly, batched vs single-row) — those must
+// hold for each backend individually. Cross-backend *bitwise* comparisons
+// stay reference-vs-blocked: the simd kernel contracts multiply-add into
+// FMA, so it agrees with them to a few ULP, not bitwise (SimdParityTest).
+constexpr const char* kAllBackends[] = {"reference", "blocked", "simd"};
+
 TEST(BackendRegistryTest, NamesAndLookup) {
   EXPECT_EQ(tensor::reference_backend().name(), "reference");
   EXPECT_EQ(tensor::blocked_backend().name(), "blocked");
+  EXPECT_EQ(tensor::simd_backend().name(), "simd");
   EXPECT_EQ(tensor::find_backend("reference"), &tensor::reference_backend());
   EXPECT_EQ(tensor::find_backend("blocked"), &tensor::blocked_backend());
+  EXPECT_EQ(tensor::find_backend("simd"), &tensor::simd_backend());
   EXPECT_EQ(tensor::find_backend("no-such-kernel"), nullptr);
   EXPECT_THROW(tensor::set_backend("no-such-kernel"), std::invalid_argument);
   const auto names = tensor::backend_names();
-  ASSERT_EQ(names.size(), 2u);
+  ASSERT_EQ(names.size(), 3u);
   EXPECT_EQ(names[0], "reference");
   EXPECT_EQ(names[1], "blocked");
+  EXPECT_EQ(names[2], "simd");
+  // The simd backend always reports which register kernel it compiled to.
+  EXPECT_NE(tensor::simd_isa(), nullptr);
+  EXPECT_STRNE(tensor::simd_isa(), "");
+}
+
+TEST(BackendRegistryTest, EnvResolutionFallsBackLoudlyOnUnknownName) {
+  // ORCO_BACKEND resolution must never throw (it runs inside the first
+  // gemm of an arbitrary process): unknown names fall back to reference
+  // and bump the backend.env_invalid counter instead.
+  EXPECT_EQ(&tensor::backend_from_env_value("reference"),
+            &tensor::reference_backend());
+  EXPECT_EQ(&tensor::backend_from_env_value("blocked"),
+            &tensor::blocked_backend());
+  EXPECT_EQ(&tensor::backend_from_env_value("simd"),
+            &tensor::simd_backend());
+  EXPECT_EQ(&tensor::backend_from_env_value(nullptr),
+            &tensor::reference_backend());
+  EXPECT_EQ(&tensor::backend_from_env_value(""),
+            &tensor::reference_backend());
+  const auto* counter =
+      orco::obs::global_registry().counter("backend.env_invalid");
+  const auto before = counter->value();
+  EXPECT_EQ(&tensor::backend_from_env_value("no-such-kernel"),
+            &tensor::reference_backend());
+  EXPECT_EQ(counter->value(), before + 1);
 }
 
 TEST(BackendRegistryTest, ScopeOverridesAndRestores) {
@@ -135,13 +171,91 @@ TEST(BackendParityTest, TransposedLayoutsMatchReference) {
   }
 }
 
+// Shapes whose fringes are smaller than every simd register tile (the
+// AVX-512 kernel covers 8x32 outputs, AVX2 6x16, NEON 8x8) plus shapes
+// crossing the kKc k-panel boundary: rows < kMr, cols < kNr, and k tails
+// all go through the tmp-buffer fringe path.
+const Shape kSimdShapes[] = {
+    {1, 1, 1},    {2, 3, 4},     {5, 7, 3},     {4, 32, 32},
+    {17, 31, 13}, {33, 64, 65},  {8, 128, 784}, {100, 1, 9},
+    {1, 300, 2},  {63, 300, 31}, {96, 96, 96},  {7, 64, 31},
+    {9, 257, 33}, {3, 512, 15},  {6, 40, 130},  {8, 96, 32},
+};
+
+TEST(SimdParityTest, MatchesGroundTruthAndBlockedWithinUlp) {
+  // The simd kernels keep the numerical contract (one reduction chain per
+  // output element, ascending k) but contract multiply-add into FMA, so
+  // against the blocked kernel they agree to a few ULP of the accumulated
+  // magnitude — and both sit within 1e-3 of the double ground truth.
+  common::Pcg32 rng(47);
+  for (const auto& s : kSimdShapes) {
+    const Tensor a = Tensor::randn({s.m, s.k}, rng);
+    const Tensor b = Tensor::randn({s.k, s.n}, rng);
+    const Tensor truth = naive_matmul(a, b);
+    Tensor blk, simd;
+    {
+      tensor::BackendScope scope(&tensor::blocked_backend());
+      blk = tensor::matmul(a, b);
+    }
+    {
+      tensor::BackendScope scope(&tensor::simd_backend());
+      simd = tensor::matmul(a, b);
+    }
+    EXPECT_TRUE(simd.allclose(truth, 1e-3f))
+        << "simd vs ground truth at " << s.m << "x" << s.k << "x" << s.n;
+    for (std::size_t i = 0; i < simd.numel(); ++i) {
+      const float scale = std::max(1.0f, std::fabs(blk[i]));
+      ASSERT_NEAR(simd[i], blk[i], 1e-4f * scale)
+          << "simd vs blocked element " << i << " at " << s.m << "x" << s.k
+          << "x" << s.n;
+    }
+  }
+}
+
+TEST(SimdParityTest, TransposedLayoutsMatchPlainGemmBitwise) {
+  // Within the simd backend, layout is a packing concern only: NT and TN
+  // feed the same panels to the same register kernel, so they must equal
+  // the NN product bitwise — including on ragged fringe shapes.
+  common::Pcg32 rng(48);
+  tensor::BackendScope scope(&tensor::simd_backend());
+  for (const auto& s : kSimdShapes) {
+    const Tensor a = Tensor::randn({s.m, s.k}, rng);
+    const Tensor b = Tensor::randn({s.k, s.n}, rng);
+    const Tensor nn = tensor::matmul(a, b);
+    const Tensor nt = tensor::matmul_nt(a, b.transposed());
+    const Tensor tn = tensor::matmul_tn(a.transposed(), b);
+    ExpectBitwiseEqual(nt, nn, "simd gemm_nt", s);
+    ExpectBitwiseEqual(tn, nn, "simd gemm_tn", s);
+  }
+}
+
+TEST(SimdParityTest, BatchedRowsMatchSingleRowDecodeBitwise) {
+  // The serving coalescing contract on the simd backend specifically: a
+  // row's reduction must not depend on whether it ran in a full register
+  // tile or the fringe path, across batch sizes straddling the tile height.
+  common::Pcg32 rng(49);
+  nn::Dense dense(128, 784, rng);
+  tensor::BackendScope scope(&tensor::simd_backend());
+  for (const std::size_t batch : {1u, 3u, 8u, 9u, 17u}) {
+    const Tensor x = Tensor::randn({batch, 128}, rng);
+    const Tensor batched = dense.infer(x);
+    for (std::size_t i = 0; i < batch; ++i) {
+      const Tensor single = dense.infer(x.slice_rows(i, i + 1));
+      for (std::size_t j = 0; j < single.numel(); ++j) {
+        ASSERT_EQ(batched.at(i, j), single[j])
+            << "batch " << batch << " row " << i << " col " << j;
+      }
+    }
+  }
+}
+
 TEST(BackendParityTest, AccumulateAddsIntoExistingOnBothBackends) {
   common::Pcg32 rng(33);
   const Tensor a = Tensor::randn({9, 37}, rng);
   const Tensor b = Tensor::randn({37, 21}, rng);
   const Tensor base = Tensor::randn({9, 21}, rng);
   const Tensor expected = base + naive_matmul(a, b);
-  for (const char* name : {"reference", "blocked"}) {
+  for (const char* name : kAllBackends) {
     tensor::BackendScope scope(tensor::find_backend(name));
     Tensor c = base;
     tensor::matmul_accumulate(a, b, c);
@@ -169,7 +283,7 @@ TEST(FusedEpilogueTest, GemmBiasActMatchesUnfusedPipeline) {
   const Tensor x = Tensor::randn({7, 45}, rng);
   const Tensor w = Tensor::randn({23, 45}, rng);  // (out, in) dense layout
   const Tensor bias = Tensor::randn({23}, rng);
-  for (const char* name : {"reference", "blocked"}) {
+  for (const char* name : kAllBackends) {
     tensor::BackendScope scope(tensor::find_backend(name));
     // Unfused: matmul, then bias sweep, then activation map.
     Tensor unfused = tensor::matmul_nt(x, w);
@@ -192,7 +306,7 @@ TEST(FusedEpilogueTest, GemmRowBiasActMatchesUnfusedPipeline) {
   const Tensor w = Tensor::randn({13, 27}, rng);   // (outC, inC*K*K)
   const Tensor cols = Tensor::randn({27, 50}, rng);  // (inC*K*K, OH*OW)
   const Tensor bias = Tensor::randn({13}, rng);
-  for (const char* name : {"reference", "blocked"}) {
+  for (const char* name : kAllBackends) {
     tensor::BackendScope scope(tensor::find_backend(name));
     Tensor unfused = tensor::matmul(w, cols);
     for (std::size_t i = 0; i < unfused.dim(0); ++i) {
@@ -214,7 +328,7 @@ TEST(FusedEpilogueTest, SequentialInferFusesDenseActivationPairs) {
   auto& d2 = model.emplace<nn::Dense>(33, 11, rng);
   model.emplace<nn::Sigmoid>();
   const Tensor x = Tensor::randn({6, 19}, rng);
-  for (const char* name : {"reference", "blocked"}) {
+  for (const char* name : kAllBackends) {
     tensor::BackendScope scope(tensor::find_backend(name));
     // Layer-by-layer (unfused) pipeline vs the peepholed Sequential::infer.
     Tensor step = d1.infer(x);
@@ -232,7 +346,7 @@ TEST(FusedEpilogueTest, SequentialInferFusesConvActivationPairs) {
   model.emplace<nn::Conv2d>(2, 5, 3, 1, 1, 8, 8, rng);
   model.emplace<nn::ReLU>();
   const Tensor x = Tensor::randn({3, 2 * 8 * 8}, rng);
-  for (const char* name : {"reference", "blocked"}) {
+  for (const char* name : kAllBackends) {
     tensor::BackendScope scope(tensor::find_backend(name));
     const auto& conv = dynamic_cast<const nn::Conv2d&>(model.layer(0));
     Tensor step = nn::ReLU().infer(conv.infer(x));
@@ -264,7 +378,7 @@ TEST(FusedEpilogueTest, BatchedRowsMatchSingleRowDecodeBitwise) {
   common::Pcg32 rng(39);
   nn::Dense dense(128, 784, rng);
   const Tensor batch = Tensor::randn({7, 128}, rng);
-  for (const char* name : {"reference", "blocked"}) {
+  for (const char* name : kAllBackends) {
     tensor::BackendScope scope(tensor::find_backend(name));
     const Tensor batched = dense.infer(batch);
     for (std::size_t i = 0; i < batch.dim(0); ++i) {
@@ -284,7 +398,7 @@ TEST(PrepackedTest, GemmPrepackedMatchesGemmFusedBitwiseOnBothBackends) {
     const Tensor w = Tensor::randn({s.n, s.k}, rng);  // (out, in) dense layout
     const Tensor bias = Tensor::randn({s.n}, rng);
     Tensor ref_fused;
-    for (const char* name : {"reference", "blocked"}) {
+    for (const char* name : kAllBackends) {
       const tensor::Backend* backend = tensor::find_backend(name);
       tensor::BackendScope scope(backend);
       const Tensor fused =
@@ -296,7 +410,10 @@ TEST(PrepackedTest, GemmPrepackedMatchesGemmFusedBitwiseOnBothBackends) {
       // Packing reorders memory, never the reduction: bitwise equal to the
       // pack-on-the-fly fused path...
       ExpectBitwiseEqual(prepacked, fused, "gemm_prepacked", s);
-      // ...and across backends (the serving parity contract).
+      // ...and across the bitwise-contract backends (the serving parity
+      // contract). simd joins the prepacked-vs-fused assert above but not
+      // this one: its FMA reduction matches within ULP, not bitwise.
+      if (std::string(name) == "simd") continue;
       if (ref_fused.numel() == 0) {
         ref_fused = fused;
       } else {
@@ -312,7 +429,7 @@ TEST(PrepackedTest, RowBiasPrepackedMatchesUnpackedBitwise) {
   const Tensor cols = Tensor::randn({27, 50}, rng);  // (inC*K*K, OH*OW)
   const Tensor bias = Tensor::randn({13}, rng);
   const Shape s{13, 27, 50};
-  for (const char* name : {"reference", "blocked"}) {
+  for (const char* name : kAllBackends) {
     const tensor::Backend* backend = tensor::find_backend(name);
     tensor::BackendScope scope(backend);
     const Tensor fused =
@@ -331,7 +448,7 @@ TEST(PrepackedTest, DensePrepackCachesAcrossBackendsAndTracksMutation) {
   const Tensor x = Tensor::randn({4, 32}, rng);
   const Shape s{4, 32, 16};
 
-  for (const char* name : {"reference", "blocked"}) {
+  for (const char* name : kAllBackends) {
     tensor::BackendScope scope(tensor::find_backend(name));
     dense.set_weight_prepack(false);
     const Tensor baseline = dense.infer(x);
@@ -361,7 +478,7 @@ TEST(PrepackedTest, Conv2dPrepackMatchesUnpackedBitwise) {
   nn::Conv2d conv(2, 5, 3, 1, 1, 8, 8, rng);
   const Tensor x = Tensor::randn({3, 2 * 8 * 8}, rng);
   const Shape s{5, 18, 64};
-  for (const char* name : {"reference", "blocked"}) {
+  for (const char* name : kAllBackends) {
     tensor::BackendScope scope(tensor::find_backend(name));
     conv.set_weight_prepack(false);
     const Tensor baseline = conv.infer(x);
@@ -379,7 +496,7 @@ TEST(PrepackedTest, SequentialInferWithPrepackMatchesUnpackedBitwise) {
   model.emplace<nn::Sigmoid>();
   const Tensor x = Tensor::randn({2, 24}, rng);
   const Shape s{2, 24, 36};
-  for (const char* name : {"reference", "blocked"}) {
+  for (const char* name : kAllBackends) {
     tensor::BackendScope scope(tensor::find_backend(name));
     model.set_weight_prepack(false);
     const Tensor baseline = model.infer(x);

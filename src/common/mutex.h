@@ -1,0 +1,109 @@
+// Annotated mutex wrappers for the clang thread-safety analysis.
+//
+// std::mutex cannot carry capability attributes, so annotated classes
+// wrap their locks in these types instead: Mutex / SharedMutex are the
+// capabilities ORCO_GUARDED_BY points at, and MutexLock /
+// ReaderMutexLock / WriterMutexLock are the scoped acquisitions the
+// analysis follows. The wrappers are zero-cost shims over the standard
+// types; condition variables keep working through MutexLock::native()
+// (a std::unique_lock over the underlying std::mutex):
+//
+//   MutexLock lock(mu_);
+//   while (!closed_ && queue_.empty()) cv_.wait(lock.native());
+//
+// Write cv waits as explicit loops like the above — a wait(lock, pred)
+// lambda hides the guarded predicate reads from the analysis.
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace orco::common {
+
+/// Exclusive mutex; the capability type ORCO_GUARDED_BY refers to.
+class ORCO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ORCO_ACQUIRE() { mu_.lock(); }
+  void unlock() ORCO_RELEASE() { mu_.unlock(); }
+  bool try_lock() ORCO_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped mutex, for condition variables (via MutexLock::native()).
+  std::mutex& native() noexcept { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Reader-writer mutex: exclusive for writers, shared for readers.
+class ORCO_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() ORCO_ACQUIRE() { mu_.lock(); }
+  void unlock() ORCO_RELEASE() { mu_.unlock(); }
+  void lock_shared() ORCO_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() ORCO_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  std::shared_mutex& native() noexcept { return mu_; }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive lock over a Mutex (the annotated std::lock_guard /
+/// std::unique_lock replacement). native() exposes the underlying
+/// std::unique_lock so std::condition_variable::wait keeps working; the
+/// analysis treats the capability as held across the wait, which is
+/// correct at every observable point (wait returns with the lock held).
+class ORCO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ORCO_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() ORCO_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  std::unique_lock<std::mutex>& native() noexcept { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Scoped exclusive (writer) lock over a SharedMutex.
+class ORCO_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) ORCO_ACQUIRE(mu)
+      : lock_(mu.native()) {}
+  ~WriterMutexLock() ORCO_RELEASE() {}
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  std::unique_lock<std::shared_mutex> lock_;
+};
+
+/// Scoped shared (reader) lock over a SharedMutex. Permits reads of
+/// ORCO_GUARDED_BY fields; writes still demand a WriterMutexLock.
+class ORCO_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) ORCO_ACQUIRE_SHARED(mu)
+      : lock_(mu.native()) {}
+  ~ReaderMutexLock() ORCO_RELEASE() {}
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  std::shared_lock<std::shared_mutex> lock_;
+};
+
+}  // namespace orco::common

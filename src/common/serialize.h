@@ -45,8 +45,13 @@ class ByteWriter {
 
  private:
   void write_raw(const void* p, std::size_t n) {
-    const auto* b = static_cast<const std::byte*>(p);
-    buf_.insert(buf_.end(), b, b + n);
+    // resize+memcpy instead of insert(range): GCC 12's -Wstringop-overflow
+    // misjudges the inlined range-insert when the source is a small fixed
+    // POD (false "writing 8 bytes into a region of size 4"), and memcpy is
+    // the same single grow-and-copy anyway.
+    const std::size_t off = buf_.size();
+    buf_.resize(off + n);
+    std::memcpy(buf_.data() + off, p, n);
   }
 
   std::vector<std::byte> buf_;

@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -28,8 +28,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && tasks_.empty()) cv_.wait(lock.native());
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -51,12 +51,12 @@ void ThreadPool::parallel_for(
   const std::size_t chunk_size = (n + chunks - 1) / chunks;
 
   std::atomic<std::size_t> remaining{0};
-  std::mutex done_mu;
+  Mutex done_mu;
   std::condition_variable done_cv;
 
   std::size_t launched = 0;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     for (std::size_t c = 0; c < chunks; ++c) {
       const std::size_t lo = begin + c * chunk_size;
       if (lo >= end) break;
@@ -65,7 +65,7 @@ void ThreadPool::parallel_for(
       tasks_.emplace([&, lo, hi] {
         fn(lo, hi);
         if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          std::lock_guard done_lock(done_mu);
+          MutexLock done_lock(done_mu);
           done_cv.notify_one();
         }
       });
@@ -74,10 +74,10 @@ void ThreadPool::parallel_for(
   }
   cv_.notify_all();
 
-  std::unique_lock done_lock(done_mu);
-  done_cv.wait(done_lock, [&] {
-    return remaining.load(std::memory_order_acquire) == 0;
-  });
+  MutexLock done_lock(done_mu);
+  while (remaining.load(std::memory_order_acquire) != 0) {
+    done_cv.wait(done_lock.native());
+  }
 }
 
 ThreadPool& ThreadPool::global() {

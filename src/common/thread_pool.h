@@ -12,13 +12,15 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace orco::common {
 
@@ -49,7 +51,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (stop_) {
         throw std::runtime_error("ThreadPool::submit on a stopped pool");
       }
@@ -70,10 +72,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mu_;
+  Mutex mu_;
+  std::queue<std::function<void()>> tasks_ ORCO_GUARDED_BY(mu_);
   std::condition_variable cv_;
-  bool stop_ = false;
+  bool stop_ ORCO_GUARDED_BY(mu_) = false;
 };
 
 /// Dispatch helper for optional pools: a null pool or a sub-grain range

@@ -86,7 +86,7 @@ std::shared_ptr<const tensor::PackedWeights> Conv2d::packed_weights() const {
   const tensor::Backend& backend = tensor::current_backend();
   const std::uint64_t version =
       weight_version_.load(std::memory_order_acquire);
-  std::lock_guard lock(pack_mu_);
+  common::MutexLock lock(pack_mu_);
   if (packed_ == nullptr || packed_->owner != &backend ||
       packed_version_ != version) {
     packed_ = std::make_shared<tensor::PackedWeights>(backend.pack_a(

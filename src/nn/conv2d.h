@@ -8,7 +8,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 #include "nn/layer.h"
 #include "tensor/backend.h"
@@ -70,9 +72,10 @@ class Conv2d : public Layer {
   Tensor input_;  // cached (B, inC*H*W); im2col recomputed in backward
   bool prepack_ = false;
   std::atomic<std::uint64_t> weight_version_{1};
-  mutable std::mutex pack_mu_;  // guards the two fields below
-  mutable std::shared_ptr<const tensor::PackedWeights> packed_;
-  mutable std::uint64_t packed_version_ = 0;
+  mutable common::Mutex pack_mu_;
+  mutable std::shared_ptr<const tensor::PackedWeights> packed_
+      ORCO_GUARDED_BY(pack_mu_);
+  mutable std::uint64_t packed_version_ ORCO_GUARDED_BY(pack_mu_) = 0;
 };
 
 }  // namespace orco::nn

@@ -8,7 +8,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 #include "nn/layer.h"
 #include "tensor/backend.h"
@@ -89,9 +91,10 @@ class Dense : public Layer {
   Tensor input_;  // cached for backward
   bool prepack_ = false;
   std::atomic<std::uint64_t> weight_version_{1};
-  mutable std::mutex pack_mu_;  // guards the two fields below
-  mutable std::shared_ptr<const tensor::PackedWeights> packed_;
-  mutable std::uint64_t packed_version_ = 0;
+  mutable common::Mutex pack_mu_;
+  mutable std::shared_ptr<const tensor::PackedWeights> packed_
+      ORCO_GUARDED_BY(pack_mu_);
+  mutable std::uint64_t packed_version_ ORCO_GUARDED_BY(pack_mu_) = 0;
 };
 
 }  // namespace orco::nn

@@ -50,6 +50,10 @@ std::size_t this_thread_cell() noexcept {
   return slot;
 }
 
+// ORCO_HOT_PATH BEGIN
+// Record-path helpers: every metric record is relaxed atomics on padded
+// cells — no allocation, no type-erased callables, no lock acquisition
+// (tools/check_invariants.py enforces this textually).
 void atomic_add_double(std::atomic<double>& target, double delta) noexcept {
   double cur = target.load(std::memory_order_relaxed);
   while (!target.compare_exchange_weak(cur, cur + delta,
@@ -69,6 +73,7 @@ void atomic_max_double(std::atomic<double>& target, double v) noexcept {
 void Counter::inc(std::uint64_t n) noexcept {
   cells_[this_thread_cell()].v.fetch_add(n, std::memory_order_relaxed);
 }
+// ORCO_HOT_PATH END
 
 std::uint64_t Counter::value() const noexcept {
   std::uint64_t total = 0;
@@ -78,9 +83,11 @@ std::uint64_t Counter::value() const noexcept {
   return total;
 }
 
+// ORCO_HOT_PATH BEGIN
 void Gauge::add(double delta) noexcept { atomic_add_double(v_, delta); }
 
 void Gauge::max_of(double v) noexcept { atomic_max_double(v_, v); }
+// ORCO_HOT_PATH END
 
 Histogram::Histogram(std::size_t cell_count) {
   ORCO_CHECK(cell_count > 0, "Histogram needs at least one cell");
@@ -90,6 +97,7 @@ Histogram::Histogram(std::size_t cell_count) {
   }
 }
 
+// ORCO_HOT_PATH BEGIN
 void Histogram::record(double us) noexcept {
   us = std::max(0.0, us);
   Cell& cell = *cells_[this_thread_cell() % cells_.size()];
@@ -98,6 +106,7 @@ void Histogram::record(double us) noexcept {
   atomic_add_double(cell.sum_us, us);
   atomic_max_double(cell.max_us, us);
 }
+// ORCO_HOT_PATH END
 
 HistogramSnapshot Histogram::snapshot() const {
   HistogramSnapshot s;
@@ -124,7 +133,7 @@ MetricsRegistry::Entry* MetricsRegistry::find_or_create(Kind kind,
                                                         const std::string& name,
                                                         const Labels& labels,
                                                         std::size_t cells) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   for (auto& entry : entries_) {
     if (entry->name == name && entry->labels == labels) {
       ORCO_CHECK(entry->kind == kind,
@@ -226,7 +235,7 @@ std::string json_num(double v) {
 }  // namespace
 
 void MetricsRegistry::write_prometheus(std::ostream& os) const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   // One # TYPE line per family (first occurrence wins; labeled series of
   // one family share the name and must not repeat the header).
   std::vector<std::string> typed;
@@ -267,7 +276,7 @@ void MetricsRegistry::write_prometheus(std::ostream& os) const {
 }
 
 void MetricsRegistry::write_json(std::ostream& os) const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   const auto emit_section = [&](Kind kind, const char* title, bool last) {
     os << "  \"" << title << "\": {";
     bool first = true;

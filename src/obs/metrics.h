@@ -28,11 +28,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace orco::obs {
 
@@ -175,10 +177,14 @@ class MetricsRegistry {
   };
 
   Entry* find_or_create(Kind kind, const std::string& name,
-                        const Labels& labels, std::size_t cells);
+                        const Labels& labels, std::size_t cells)
+      ORCO_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;  // creation + export iteration only
-  std::vector<std::unique_ptr<Entry>> entries_;  // registration order
+  /// Creation + export iteration only — record paths go through the
+  /// returned handles' lock-free cells and never touch the registry.
+  mutable common::Mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_
+      ORCO_GUARDED_BY(mu_);  // registration order
 };
 
 /// The process-wide registry for metrics with no natural owner (kernel

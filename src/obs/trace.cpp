@@ -45,13 +45,13 @@ struct TraceCollector::RingHolder {
 
   explicit RingHolder(TraceCollector* tc)
       : ring(std::make_unique<Ring>()), collector(tc) {
-    std::lock_guard lock(tc->mu_);
+    common::MutexLock lock(tc->mu_);
     ring->tid = tc->next_tid_++;
     tc->live_.push_back(ring.get());
   }
 
   ~RingHolder() {
-    std::lock_guard lock(collector->mu_);
+    common::MutexLock lock(collector->mu_);
     const auto it = std::find(collector->live_.begin(),
                               collector->live_.end(), ring.get());
     if (it != collector->live_.end()) collector->live_.erase(it);
@@ -64,12 +64,17 @@ TraceCollector::Ring& TraceCollector::local_ring() {
   return *holder.ring;
 }
 
+// ORCO_HOT_PATH BEGIN
+// The per-event path: one thread-local ring lookup plus two relaxed/release
+// atomics. Ring creation (allocation + registry lock) happens once per
+// thread inside RingHolder's constructor, outside this region.
 void TraceCollector::emit(const TraceEvent& event) noexcept {
   Ring& ring = local_ring();
   const std::uint64_t head = ring.head.load(std::memory_order_relaxed);
   ring.events[head % kTraceRingCapacity] = event;
   ring.head.store(head + 1, std::memory_order_release);
 }
+// ORCO_HOT_PATH END
 
 namespace {
 
@@ -81,7 +86,7 @@ std::size_t ring_event_count(std::uint64_t head) {
 }  // namespace
 
 std::size_t TraceCollector::event_count() const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   std::size_t total = 0;
   for (const Ring* ring : live_) {
     total += ring_event_count(ring->head.load(std::memory_order_acquire));
@@ -93,7 +98,7 @@ std::size_t TraceCollector::event_count() const {
 }
 
 void TraceCollector::write_chrome_json(std::ostream& os) const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
   bool first = true;
   const auto dump_ring = [&](const Ring& ring) {
@@ -119,7 +124,7 @@ void TraceCollector::write_chrome_json(std::ostream& os) const {
 }
 
 void TraceCollector::clear() {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   for (Ring* ring : live_) {
     ring->head.store(0, std::memory_order_release);
   }

@@ -36,9 +36,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace orco::obs {
 
@@ -111,10 +113,13 @@ class TraceCollector {
   const std::chrono::steady_clock::time_point epoch_;
   std::atomic<std::uint32_t> sample_every_{0};
 
-  mutable std::mutex mu_;  // ring registry only, never on the emit path
-  std::vector<Ring*> live_;
-  std::vector<std::unique_ptr<Ring>> retired_;
-  std::uint32_t next_tid_ = 1;
+  /// Ring *registry* only, never on the emit path: emit writes the
+  /// calling thread's own ring (single-writer; dumps read the head with
+  /// acquire loads), so only ring birth/retirement and dumps lock.
+  mutable common::Mutex mu_;
+  std::vector<Ring*> live_ ORCO_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Ring>> retired_ ORCO_GUARDED_BY(mu_);
+  std::uint32_t next_tid_ ORCO_GUARDED_BY(mu_) = 1;
 };
 
 /// RAII complete-span helper: stamps the start at construction and emits at

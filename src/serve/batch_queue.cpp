@@ -20,12 +20,12 @@ BatchQueue::Lane& BatchQueue::lane_for(ClusterId cluster) {
 }
 
 void BatchQueue::set_policy(ClusterId cluster, const TenantPolicy& policy) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   lane_for(cluster).policy = policy;
 }
 
 TenantPolicy BatchQueue::policy(ClusterId cluster) const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   const auto it = lanes_.find(cluster);
   return it == lanes_.end() ? config_.default_policy : it->second.policy;
 }
@@ -35,7 +35,7 @@ PushResult BatchQueue::push(PendingRequest&& pending,
   PendingRequest self_answered_eviction;
   bool have_self_answered = false;
   {
-    std::lock_guard lock(mu_);
+    common::MutexLock lock(mu_);
     if (closed_) return PushResult::kClosed;
     Lane& lane = lane_for(pending.request.cluster);
     const std::size_t quota = lane.policy.queue_quota;
@@ -132,8 +132,8 @@ void BatchQueue::extract_cluster(ClusterId cluster, std::size_t limit,
 
 std::vector<PendingRequest> BatchQueue::pop_batch() {
   std::vector<PendingRequest> batch;
-  std::unique_lock lock(mu_);
-  cv_.wait(lock, [this] { return closed_ || total_ > 0; });
+  common::MutexLock lock(mu_);
+  while (!closed_ && total_ == 0) cv_.wait(lock.native());
   if (total_ == 0) return batch;  // closed and drained
 
   const ClusterId target = pick_cluster();
@@ -146,7 +146,7 @@ std::vector<PendingRequest> BatchQueue::pop_batch() {
                         std::chrono::microseconds(config_.max_wait_us);
   while (batch.size() < config_.max_batch && !closed_ &&
          config_.max_wait_us > 0) {
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+    if (cv_.wait_until(lock.native(), deadline) == std::cv_status::timeout) {
       extract_cluster(target, config_.max_batch, batch);
       break;
     }
@@ -157,24 +157,24 @@ std::vector<PendingRequest> BatchQueue::pop_batch() {
 
 void BatchQueue::close() {
   {
-    std::lock_guard lock(mu_);
+    common::MutexLock lock(mu_);
     closed_ = true;
   }
   cv_.notify_all();
 }
 
 bool BatchQueue::closed() const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   return closed_;
 }
 
 std::size_t BatchQueue::size() const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   return total_;
 }
 
 std::size_t BatchQueue::size(ClusterId cluster) const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   const auto it = lanes_.find(cluster);
   return it == lanes_.end() ? 0 : it->second.entries.size();
 }

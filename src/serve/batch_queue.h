@@ -20,9 +20,10 @@
 #include <cstddef>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "serve/request.h"
 #include "serve/tenant_policy.h"
 
@@ -89,23 +90,22 @@ class BatchQueue {
     std::deque<Entry> entries;
   };
 
-  /// Caller holds mu_. Creates the lane with the default policy if new.
-  Lane& lane_for(ClusterId cluster);
-  /// Picks the non-empty lane with the highest aged score. Caller holds
-  /// mu_; at least one lane must be non-empty.
-  ClusterId pick_cluster() const;
+  /// Creates the lane with the default policy if new.
+  Lane& lane_for(ClusterId cluster) ORCO_REQUIRES(mu_);
+  /// Picks the non-empty lane with the highest aged score. At least one
+  /// lane must be non-empty.
+  ClusterId pick_cluster() const ORCO_REQUIRES(mu_);
   /// Moves up to `limit` requests for `cluster` out of its lane into out.
-  /// Caller holds mu_.
   void extract_cluster(ClusterId cluster, std::size_t limit,
-                       std::vector<PendingRequest>& out);
+                       std::vector<PendingRequest>& out) ORCO_REQUIRES(mu_);
 
   BatchQueueConfig config_;
-  mutable std::mutex mu_;
+  mutable common::Mutex mu_;
   std::condition_variable cv_;
-  std::map<ClusterId, Lane> lanes_;
-  std::size_t total_ = 0;
-  std::uint64_t next_seq_ = 0;
-  bool closed_ = false;
+  std::map<ClusterId, Lane> lanes_ ORCO_GUARDED_BY(mu_);
+  std::size_t total_ ORCO_GUARDED_BY(mu_) = 0;
+  std::uint64_t next_seq_ ORCO_GUARDED_BY(mu_) = 0;
+  bool closed_ ORCO_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace orco::serve

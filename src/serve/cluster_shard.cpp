@@ -103,7 +103,7 @@ void ClusterShard::add_cluster(ClusterId cluster,
   // The swap slot is grabbed once here; the serve path then pays exactly
   // one atomic snapshot load per batch, never a registry map lookup.
   if (registry_ != nullptr) entry.model = registry_->entry(cluster);
-  std::lock_guard lock(tenants_mu_);
+  common::MutexLock lock(tenants_mu_);
   ORCO_CHECK(tenants_.emplace(cluster, std::move(entry)).second,
              "cluster " << cluster << " already registered on shard "
                         << index_);
@@ -111,17 +111,17 @@ void ClusterShard::add_cluster(ClusterId cluster,
 }
 
 bool ClusterShard::has_cluster(ClusterId cluster) const {
-  std::lock_guard lock(tenants_mu_);
+  common::MutexLock lock(tenants_mu_);
   return tenants_.count(cluster) > 0;
 }
 
 std::size_t ClusterShard::cluster_count() const {
-  std::lock_guard lock(tenants_mu_);
+  common::MutexLock lock(tenants_mu_);
   return tenants_.size();
 }
 
 ClusterShard::TenantEntry* ClusterShard::find_cluster(ClusterId cluster) {
-  std::lock_guard lock(tenants_mu_);
+  common::MutexLock lock(tenants_mu_);
   const auto it = tenants_.find(cluster);
   // Map nodes are stable: the pointer outlives the lock, and registration
   // never mutates an existing entry.

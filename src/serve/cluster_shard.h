@@ -20,9 +20,10 @@
 #include <cstddef>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/system.h"
 #include "serve/batch_queue.h"
 #include "serve/reconstruction_cache.h"
@@ -103,7 +104,9 @@ class ClusterShard {
     std::uint64_t last_version = 0;
   };
 
-  TenantEntry* find_cluster(ClusterId cluster);
+  /// Map nodes are stable, so the returned pointer outlives the internal
+  /// lock hold; registration never mutates an existing entry.
+  TenantEntry* find_cluster(ClusterId cluster) ORCO_EXCLUDES(tenants_mu_);
 
   std::size_t index_;
   BatchQueue queue_;
@@ -127,8 +130,8 @@ class ClusterShard {
   std::vector<std::uint8_t> q_codes_;
   std::vector<float> q_lo_;
   std::vector<float> q_scale_;
-  mutable std::mutex tenants_mu_;  // guards registration vs. lookup only
-  std::map<ClusterId, TenantEntry> tenants_;
+  mutable common::Mutex tenants_mu_;  // guards registration vs. lookup only
+  std::map<ClusterId, TenantEntry> tenants_ ORCO_GUARDED_BY(tenants_mu_);
 };
 
 }  // namespace orco::serve

@@ -131,11 +131,14 @@ void ServerRuntime::start_flusher() {
   flusher_ = std::thread([this] {
     const auto period = std::chrono::duration<double>(
         config_.obs_export.flush_period_s);
-    std::unique_lock lock(flush_mu_);
+    common::MutexLock lock(flush_mu_);
     while (!flush_stop_) {
-      if (flush_cv_.wait_for(lock, period, [this] { return flush_stop_; })) {
-        return;  // final export happens on the shutdown path
+      // Deadline-based so spurious wakeups don't stretch the period.
+      const auto deadline = std::chrono::steady_clock::now() + period;
+      while (!flush_stop_ && flush_cv_.wait_until(lock.native(), deadline) !=
+                                 std::cv_status::timeout) {
       }
+      if (flush_stop_) return;  // final export happens on the shutdown path
       export_observability();
     }
   });
@@ -143,7 +146,7 @@ void ServerRuntime::start_flusher() {
 
 void ServerRuntime::stop_flusher() {
   {
-    std::lock_guard lock(flush_mu_);
+    common::MutexLock lock(flush_mu_);
     flush_stop_ = true;
   }
   flush_cv_.notify_all();

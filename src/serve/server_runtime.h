@@ -13,10 +13,11 @@
 #include <cstddef>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "obs/export.h"
 #include "serve/cluster_shard.h"
@@ -148,9 +149,9 @@ class ServerRuntime {
 
   // Periodic observability flusher (only when obs_export asks for one).
   std::thread flusher_;
-  std::mutex flush_mu_;
+  common::Mutex flush_mu_;
   std::condition_variable flush_cv_;
-  bool flush_stop_ = false;
+  bool flush_stop_ ORCO_GUARDED_BY(flush_mu_) = false;
 };
 
 }  // namespace orco::serve

@@ -60,11 +60,11 @@ Telemetry::Telemetry()
 
 Telemetry::TenantCells& Telemetry::tenant_cells(ClusterId cluster) {
   {
-    std::shared_lock lock(tenants_mu_);
+    common::ReaderMutexLock lock(tenants_mu_);
     const auto it = tenants_.find(cluster);
     if (it != tenants_.end()) return *it->second;
   }
-  std::unique_lock lock(tenants_mu_);
+  common::WriterMutexLock lock(tenants_mu_);
   auto& slot = tenants_[cluster];
   if (slot == nullptr) {
     const obs::Labels labels = tenant_labels(cluster);
@@ -89,7 +89,7 @@ Telemetry::TenantCells& Telemetry::tenant_cells(ClusterId cluster) {
 }
 
 const Telemetry::TenantCells* Telemetry::find_tenant(ClusterId cluster) const {
-  std::shared_lock lock(tenants_mu_);
+  common::ReaderMutexLock lock(tenants_mu_);
   const auto it = tenants_.find(cluster);
   return it == tenants_.end() ? nullptr : it->second.get();
 }
@@ -208,7 +208,7 @@ TenantSnapshot Telemetry::tenant_snapshot(ClusterId cluster) const {
 }
 
 std::map<ClusterId, TenantSnapshot> Telemetry::tenant_snapshots() const {
-  std::shared_lock lock(tenants_mu_);
+  common::ReaderMutexLock lock(tenants_mu_);
   std::map<ClusterId, TenantSnapshot> out;
   for (const auto& [cluster, cells] : tenants_) {
     out.emplace(cluster, snapshot_of(*cells));
@@ -254,7 +254,7 @@ common::Table Telemetry::stage_report() const {
                    "respond us", "accounted us"});
   std::vector<ClusterId> clusters;
   {
-    std::shared_lock lock(tenants_mu_);
+    common::ReaderMutexLock lock(tenants_mu_);
     clusters.reserve(tenants_.size());
     for (const auto& [cluster, cells] : tenants_) clusters.push_back(cluster);
   }

@@ -34,10 +34,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/table.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "serve/request.h"
 
@@ -234,8 +235,12 @@ class Telemetry {
   obs::Gauge* max_occupancy_;
   obs::Histogram* latency_;
 
-  mutable std::shared_mutex tenants_mu_;  // directory only, not the cells
-  std::map<ClusterId, std::unique_ptr<TenantCells>> tenants_;
+  /// Guards the tenant *directory* only, never the cells: record paths
+  /// take it shared for the lookup and write through lock-free registry
+  /// cells; only first-seen tenant creation upgrades to exclusive.
+  mutable common::SharedMutex tenants_mu_;
+  std::map<ClusterId, std::unique_ptr<TenantCells>> tenants_
+      ORCO_GUARDED_BY(tenants_mu_);
 };
 
 }  // namespace orco::serve

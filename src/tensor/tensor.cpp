@@ -170,8 +170,14 @@ Tensor Tensor::row_copy(std::size_t i) const {
 Tensor Tensor::slice_outer(std::size_t n) const {
   ORCO_CHECK(rank() >= 1, "slice_outer requires rank >= 1");
   ORCO_CHECK(n < shape_[0], "outer index " << n << " out of " << shape_[0]);
-  Shape inner(shape_.begin() + 1, shape_.end());
-  if (inner.empty()) inner = {1};
+  // Branch before constructing (instead of `inner = {1}` after): GCC 12's
+  // -Wfree-nonheap-object misfires on the initializer-list reassignment.
+  Shape inner;
+  if (shape_.size() > 1) {
+    inner.assign(shape_.begin() + 1, shape_.end());
+  } else {
+    inner.assign(1, 1);
+  }
   const std::size_t stride = shape_numel(inner);
   std::vector<float> out(data_.begin() + static_cast<std::ptrdiff_t>(n * stride),
                          data_.begin() + static_cast<std::ptrdiff_t>((n + 1) * stride));
@@ -181,8 +187,14 @@ Tensor Tensor::slice_outer(std::size_t n) const {
 void Tensor::set_outer(std::size_t n, const Tensor& src) {
   ORCO_CHECK(rank() >= 1 && n < shape_[0],
              "outer index " << n << " out of range");
-  Shape inner(shape_.begin() + 1, shape_.end());
-  if (inner.empty()) inner = {1};
+  // Branch before constructing (instead of `inner = {1}` after): GCC 12's
+  // -Wfree-nonheap-object misfires on the initializer-list reassignment.
+  Shape inner;
+  if (shape_.size() > 1) {
+    inner.assign(shape_.begin() + 1, shape_.end());
+  } else {
+    inner.assign(1, 1);
+  }
   ORCO_CHECK(src.numel() == shape_numel(inner),
              "slice size mismatch: " << src.numel() << " vs "
                                      << shape_numel(inner));

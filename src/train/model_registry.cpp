@@ -5,7 +5,7 @@
 namespace orco::train {
 
 std::shared_ptr<ModelRegistry::Entry> ModelRegistry::entry(ClusterId cluster) {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   auto& slot = entries_[cluster];
   if (slot == nullptr) slot = std::make_shared<Entry>();
   return slot;
@@ -13,7 +13,7 @@ std::shared_ptr<ModelRegistry::Entry> ModelRegistry::entry(ClusterId cluster) {
 
 std::shared_ptr<ModelRegistry::Entry> ModelRegistry::find(
     ClusterId cluster) const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   const auto it = entries_.find(cluster);
   return it == entries_.end() ? nullptr : it->second;
 }
@@ -34,7 +34,7 @@ std::uint64_t ModelRegistry::publish(ClusterId cluster,
   // Serialize publishers per registry (publishes are rare — one per
   // fine-tune job) so the version check and the swap are one step; readers
   // never take this lock.
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   auto& slot = entries_[cluster];
   if (slot == nullptr) slot = std::make_shared<Entry>();
   const auto previous = slot->load();
@@ -52,7 +52,7 @@ std::uint64_t ModelRegistry::publish(ClusterId cluster,
 }
 
 std::size_t ModelRegistry::size() const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   return entries_.size();
 }
 

@@ -20,8 +20,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "nn/sequential.h"
 #include "tensor/backend.h"
 
@@ -96,8 +97,10 @@ class ModelRegistry {
   }
 
  private:
-  mutable std::mutex mu_;  // guards the map only; swaps are per-entry atomics
-  std::map<ClusterId, std::shared_ptr<Entry>> entries_;
+  /// Guards the map only; swaps are per-entry atomics a shard reads with
+  /// one acquire load per batch, never under this lock.
+  mutable common::Mutex mu_;
+  std::map<ClusterId, std::shared_ptr<Entry>> entries_ ORCO_GUARDED_BY(mu_);
   std::atomic<std::uint64_t> total_published_{0};
 };
 

@@ -92,18 +92,18 @@ void TrainerRuntime::register_tenant(
   auto tenant = std::make_unique<Tenant>(std::move(system), policy, budget);
   Tenant* inserted = tenant.get();
   {
-    std::lock_guard lock(tenants_mu_);
+    common::MutexLock lock(tenants_mu_);
     ORCO_CHECK(tenants_.emplace(cluster, std::move(tenant)).second,
                "tenant " << cluster << " already registered with the trainer");
   }
   if (config_.publish_on_register) {
-    std::lock_guard train_lock(inserted->train_mu);
+    common::MutexLock train_lock(inserted->train_mu);
     (void)export_and_publish(cluster, *inserted);
   }
 }
 
 TrainerRuntime::Tenant* TrainerRuntime::find_tenant(ClusterId cluster) const {
-  std::lock_guard lock(tenants_mu_);
+  common::MutexLock lock(tenants_mu_);
   const auto it = tenants_.find(cluster);
   return it == tenants_.end() ? nullptr : it->second.get();
 }
@@ -128,7 +128,7 @@ std::future<TrainResult> TrainerRuntime::enqueue(TrainJob&& job) {
   pending.queued_at = std::chrono::steady_clock::now();
   std::future<TrainResult> future = pending.promise.get_future();
   {
-    std::lock_guard lock(mu_);
+    common::MutexLock lock(mu_);
     if (closed_) {
       TrainResult result;
       result.cluster = pending.job.cluster;
@@ -177,14 +177,14 @@ void TrainerRuntime::update_stream(ClusterId cluster, data::Dataset dataset) {
              "stream for tenant " << cluster
                                   << " does not match its input_dim");
   auto shared = std::make_shared<const data::Dataset>(std::move(dataset));
-  std::lock_guard lock(tenant->monitor_mu);
+  common::MutexLock lock(tenant->monitor_mu);
   tenant->stream = std::move(shared);
 }
 
 void TrainerRuntime::set_baseline(ClusterId cluster, float loss) {
   Tenant* tenant = find_tenant(cluster);
   ORCO_CHECK(tenant != nullptr, "unknown tenant " << cluster);
-  std::lock_guard lock(tenant->monitor_mu);
+  common::MutexLock lock(tenant->monitor_mu);
   tenant->monitor.set_baseline(loss);
   tenant->monitor.reset_observations();
 }
@@ -195,7 +195,7 @@ bool TrainerRuntime::observe_loss(ClusterId cluster, float loss) {
   bool triggered = false;
   std::optional<TrainJob> auto_job;
   {
-    std::lock_guard lock(tenant->monitor_mu);
+    common::MutexLock lock(tenant->monitor_mu);
     if (!tenant->monitor.has_baseline()) return false;
     triggered = tenant->monitor.observe(loss);
     if (triggered) {
@@ -232,7 +232,7 @@ bool TrainerRuntime::observe_loss(ClusterId cluster, float loss) {
 std::uint64_t TrainerRuntime::publish_now(ClusterId cluster) {
   Tenant* tenant = find_tenant(cluster);
   ORCO_CHECK(tenant != nullptr, "unknown tenant " << cluster);
-  std::lock_guard train_lock(tenant->train_mu);
+  common::MutexLock train_lock(tenant->train_mu);
   return export_and_publish(cluster, *tenant);
 }
 
@@ -310,8 +310,8 @@ void TrainerRuntime::worker_loop() {
   for (;;) {
     PendingJob pending;
     {
-      std::unique_lock lock(mu_);
-      cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+      common::MutexLock lock(mu_);
+      while (!closed_ && queue_.empty()) cv_.wait(lock.native());
       if (closed_) return;  // still-queued jobs are resolved by shutdown()
       const std::size_t i = pick_job();
       pending = std::move(queue_[i]);
@@ -330,7 +330,7 @@ TrainResult TrainerRuntime::run_job(const TrainJob& job) {
     result.outcome = JobOutcome::kRejected;
     return result;
   }
-  std::lock_guard train_lock(tenant->train_mu);
+  common::MutexLock train_lock(tenant->train_mu);
   const bool traced = obs::trace_enabled();
   obs::ScopedSpan job_span("train.job", "train", traced, /*id=*/0,
                            /*tenant=*/job.cluster);
@@ -399,7 +399,7 @@ TrainResult TrainerRuntime::run_job(const TrainJob& job) {
         result.eval_loss = system.evaluate_loss(dataset, tenant->infer_ctx);
       }
       {
-        std::lock_guard lock(tenant->monitor_mu);
+        common::MutexLock lock(tenant->monitor_mu);
         tenant->monitor.set_baseline(result.eval_loss);
         tenant->monitor.reset_observations();
       }
@@ -427,7 +427,7 @@ void TrainerRuntime::start() {
 void TrainerRuntime::shutdown() {
   if (stopped_.exchange(true)) return;
   {
-    std::lock_guard lock(mu_);
+    common::MutexLock lock(mu_);
     closed_ = true;
   }
   cv_.notify_all();
@@ -439,7 +439,7 @@ void TrainerRuntime::shutdown() {
   // Resolve whatever never ran; callers' futures must not dangle.
   std::deque<PendingJob> leftover;
   {
-    std::lock_guard lock(mu_);
+    common::MutexLock lock(mu_);
     leftover.swap(queue_);
   }
   for (auto& pending : leftover) {
@@ -451,12 +451,12 @@ void TrainerRuntime::shutdown() {
 }
 
 std::size_t TrainerRuntime::tenant_count() const {
-  std::lock_guard lock(tenants_mu_);
+  common::MutexLock lock(tenants_mu_);
   return tenants_.size();
 }
 
 std::size_t TrainerRuntime::queued_jobs() const {
-  std::lock_guard lock(mu_);
+  common::MutexLock lock(mu_);
   return queue_.size();
 }
 

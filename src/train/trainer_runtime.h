@@ -33,11 +33,12 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/monitor.h"
 #include "core/system.h"
 #include "serve/tenant_policy.h"
@@ -159,25 +160,28 @@ class TrainerRuntime {
 
  private:
   struct Tenant {
+    /// The pointer is set once at registration; the pointed-to system is
+    /// mutated only with train_mu held (trainer threads). Lock-free reads
+    /// of its immutable config() from caller threads are intentional.
     std::shared_ptr<core::OrcoDcsSystem> system;
     serve::TenantPolicy policy;
     TrainBudget budget;
-    core::FineTuningMonitor monitor;
-    std::shared_ptr<const data::Dataset> stream;  // latest sensed window
     /// Guards monitor + stream (fed from caller threads, consumed and
     /// re-baselined from trainer threads).
-    std::mutex monitor_mu;
+    common::Mutex monitor_mu;
     /// Serializes jobs per tenant: the tenant's OrcoDcsSystem is
     /// single-writer.
-    std::mutex train_mu;
+    common::Mutex train_mu;
+    core::FineTuningMonitor monitor ORCO_GUARDED_BY(monitor_mu);
+    std::shared_ptr<const data::Dataset> stream
+        ORCO_GUARDED_BY(monitor_mu);  // latest sensed window
     /// A drift-triggered job is queued or running; suppresses duplicate
     /// auto-enqueues while the relaunch is still in flight.
     std::atomic<bool> drift_job_inflight{false};
     /// Inference memory for the validation/export path (evaluate_loss
     /// sweeps, snapshot warm-up decodes), reused across this tenant's jobs
-    /// so repeat fine-tunes stop hammering the allocator. Guarded by
-    /// train_mu like the system itself.
-    nn::InferContext infer_ctx;
+    /// so repeat fine-tunes stop hammering the allocator.
+    nn::InferContext infer_ctx ORCO_GUARDED_BY(train_mu);
 
     Tenant(std::shared_ptr<core::OrcoDcsSystem> sys,
            const serve::TenantPolicy& pol, const TrainBudget& bud);
@@ -190,28 +194,30 @@ class TrainerRuntime {
     std::chrono::steady_clock::time_point queued_at;
   };
 
-  Tenant* find_tenant(ClusterId cluster) const;
+  Tenant* find_tenant(ClusterId cluster) const ORCO_EXCLUDES(tenants_mu_);
   std::future<TrainResult> reject(ClusterId cluster, JobOutcome outcome);
   std::future<TrainResult> enqueue(TrainJob&& job);
-  /// Highest aged-score pending job; caller holds mu_, queue non-empty.
-  std::size_t pick_job() const;
+  /// Highest aged-score pending job; queue non-empty.
+  std::size_t pick_job() const ORCO_REQUIRES(mu_);
   void worker_loop();
   TrainResult run_job(const TrainJob& job);
-  /// Clones + warms + publishes the tenant's current weights. Caller must
-  /// hold the tenant's train_mu (or otherwise be the only system writer).
-  std::uint64_t export_and_publish(ClusterId cluster, Tenant& tenant);
+  /// Clones + warms + publishes the tenant's current weights (the
+  /// train_mu hold makes this call the only system writer).
+  std::uint64_t export_and_publish(ClusterId cluster, Tenant& tenant)
+      ORCO_REQUIRES(tenant.train_mu);
 
   TrainerConfig config_;
   std::shared_ptr<ModelRegistry> registry_;
 
-  mutable std::mutex tenants_mu_;  // registration vs. lookup only
-  std::map<ClusterId, std::unique_ptr<Tenant>> tenants_;
+  mutable common::Mutex tenants_mu_;  // registration vs. lookup only
+  std::map<ClusterId, std::unique_ptr<Tenant>> tenants_
+      ORCO_GUARDED_BY(tenants_mu_);
 
-  mutable std::mutex mu_;  // guards queue_
+  mutable common::Mutex mu_;  // guards the job queue
   std::condition_variable cv_;
-  std::deque<PendingJob> queue_;
-  std::uint64_t next_seq_ = 0;
-  bool closed_ = false;
+  std::deque<PendingJob> queue_ ORCO_GUARDED_BY(mu_);
+  std::uint64_t next_seq_ ORCO_GUARDED_BY(mu_) = 0;
+  bool closed_ ORCO_GUARDED_BY(mu_) = false;
 
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};

@@ -1,0 +1,103 @@
+// Negative compile tests for the thread-safety contracts.
+//
+// This file is NOT part of the normal test build (it lives outside the
+// tests/*.cpp glob). CMake registers one ctest per ORCO_TSA_CASE value that
+// runs `clang++ -fsyntax-only -Wthread-safety -Werror=thread-safety-analysis`
+// over it and — for cases 1..4 — expects the compile to FAIL (WILL_FAIL).
+// Case 0 is the positive control: the same class with correct locking must
+// compile clean, proving the harness would notice if the analysis were
+// silently disabled (e.g. the macros expanding to nothing under clang).
+//
+// Each case is a distinct violation of a contract the src/ tree relies on:
+//   1: read of an ORCO_GUARDED_BY field without holding its mutex
+//   2: write of an ORCO_GUARDED_BY field without holding its mutex
+//   3: call of an ORCO_REQUIRES(mu_) helper without holding mu_
+//   4: call of an ORCO_EXCLUDES(mu_) method while holding mu_ (self-deadlock)
+#ifndef ORCO_TSA_CASE
+#define ORCO_TSA_CASE 0
+#endif
+
+#include <cstdint>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace orco {
+
+// Mirrors the shape of the annotated classes in src/ (BatchQueue,
+// TrainerRuntime, ...): guarded fields, a REQUIRES helper, an EXCLUDES
+// public method.
+class Guarded {
+ public:
+  void push(std::uint64_t v) {
+    common::MutexLock lock(mu_);
+    items_.push_back(v);
+    ++total_;
+  }
+
+  std::uint64_t total() const {
+    common::MutexLock lock(mu_);
+    return total_;
+  }
+
+  // The slow path get-or-create: must be entered without the lock held.
+  std::uint64_t find_or_create(std::uint64_t v) ORCO_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    items_.push_back(v);
+    return pick_locked();
+  }
+
+#if ORCO_TSA_CASE == 1
+  // VIOLATION: reads total_ without mu_.
+  std::uint64_t racy_read() const { return total_; }
+#endif
+
+#if ORCO_TSA_CASE == 2
+  // VIOLATION: writes total_ without mu_.
+  void racy_write() { total_ = 0; }
+#endif
+
+#if ORCO_TSA_CASE == 3
+  // VIOLATION: calls the ORCO_REQUIRES(mu_) helper without holding mu_.
+  std::uint64_t unguarded_pick() { return pick_locked(); }
+#endif
+
+#if ORCO_TSA_CASE == 4
+  // VIOLATION: re-enters find_or_create (ORCO_EXCLUDES(mu_)) with mu_
+  // held — a self-deadlock on the non-reentrant Mutex.
+  std::uint64_t deadlock() {
+    common::MutexLock lock(mu_);
+    return find_or_create(1);
+  }
+#endif
+
+ private:
+  std::uint64_t pick_locked() const ORCO_REQUIRES(mu_) {
+    return items_.empty() ? 0 : items_.back();
+  }
+
+  mutable common::Mutex mu_;
+  std::vector<std::uint64_t> items_ ORCO_GUARDED_BY(mu_);
+  std::uint64_t total_ ORCO_GUARDED_BY(mu_) = 0;
+};
+
+// Keep every member instantiated so -fsyntax-only analyzes all of them.
+inline std::uint64_t touch() {
+  Guarded g;
+  g.push(7);
+#if ORCO_TSA_CASE == 1
+  return g.racy_read();
+#elif ORCO_TSA_CASE == 2
+  g.racy_write();
+  return g.total();
+#elif ORCO_TSA_CASE == 3
+  return g.unguarded_pick();
+#elif ORCO_TSA_CASE == 4
+  return g.deadlock();
+#else
+  return g.total() + g.find_or_create(3);
+#endif
+}
+
+}  // namespace orco

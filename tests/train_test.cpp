@@ -14,12 +14,28 @@
 #include "serve/serve.h"
 #include "train/train.h"
 
+// Instrumented builds run the background fine-tune an order of magnitude
+// slower; wall-clock deadlines that wait on it must stretch accordingly.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define ORCO_SANITIZED_BUILD 1
+#endif
+#elif defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define ORCO_SANITIZED_BUILD 1
+#endif
+
 namespace orco::train {
 namespace {
 
 using serve::DecodeResponse;
 using serve::ResponseStatus;
 using tensor::Tensor;
+
+#ifdef ORCO_SANITIZED_BUILD
+constexpr int kDeadlineStretch = 10;
+#else
+constexpr int kDeadlineStretch = 1;
+#endif
 
 constexpr std::size_t kInputDim = 64;
 constexpr std::size_t kLatentDim = 16;
@@ -256,8 +272,8 @@ TEST(TrainerTest, DriftTriggerEnqueuesOneJobAndRecoversBaseline) {
   EXPECT_EQ(trainer.stats().drift_triggers, 1u);
 
   // The auto-enqueued job runs in the background and publishes.
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(30 * kDeadlineStretch);
   while (trainer.registry()->current(1)->version == version_before &&
          std::chrono::steady_clock::now() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));

@@ -1,5 +1,6 @@
 #include "common/serialize.h"
 
+#include <cstdio>
 #include <fstream>
 #include <stdexcept>
 
@@ -11,6 +12,29 @@ void write_file(const std::string& path, std::span<const std::byte> bytes) {
   out.write(reinterpret_cast<const char*>(bytes.data()),
             static_cast<std::streamsize>(bytes.size()));
   if (!out) throw std::runtime_error("short write: " + path);
+}
+
+void write_file_atomic(const std::string& path,
+                       std::span<const std::byte> bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open for write: " + tmp);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw std::runtime_error("short write: " + tmp);
+    }
+  }
+  // POSIX rename atomically replaces `path`; a crash before this line
+  // leaves only the temp file behind and the previous `path` intact.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot rename " + tmp + " over " + path);
+  }
 }
 
 std::vector<std::byte> read_file(const std::string& path) {

@@ -73,6 +73,15 @@ class EdgeServer {
     return model_version_.load(std::memory_order_acquire);
   }
 
+  /// Restores the decoder generation counter — the cold-tier reactivation
+  /// path: the fleet rebuilds a demoted tenant from its checkpoint and
+  /// continues the version sequence where it left off, so registry
+  /// publishes stay strictly monotonic across demote/wake cycles. Callers
+  /// must not race this with train_step.
+  void set_model_version(std::uint64_t version) noexcept {
+    model_version_.store(version, std::memory_order_release);
+  }
+
  private:
   const tensor::Backend* backend_ = nullptr;
   std::unique_ptr<nn::Sequential> decoder_;

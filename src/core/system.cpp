@@ -145,7 +145,10 @@ void OrcoDcsSystem::save_checkpoint(const std::string& path) {
   writer.write_u64(config_.orco.latent_dim);
   writer.write_bytes(nn::save_params(aggregator_->encoder()));
   writer.write_bytes(nn::save_params(edge_->decoder()));
-  common::write_file(path, writer.bytes());
+  // Atomic temp-file-then-rename: a crash mid-write (e.g. during a fleet
+  // cold-tier demotion) must never leave a torn checkpoint where the old
+  // one was.
+  common::write_file_atomic(path, writer.bytes());
 }
 
 void OrcoDcsSystem::load_checkpoint(const std::string& path) {

@@ -72,7 +72,9 @@ class OrcoDcsSystem {
   bool monitor_observe(float loss) { return monitor_.should(*this, loss); }
 
   /// Persists the trained encoder + decoder weights to one checkpoint file.
-  /// Restoring requires an identically-configured system.
+  /// Crash-safe: written to a temp file and atomically renamed into place,
+  /// so a reader never observes a torn checkpoint. Restoring requires an
+  /// identically-configured system.
   void save_checkpoint(const std::string& path);
   void load_checkpoint(const std::string& path);
 

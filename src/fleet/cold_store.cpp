@@ -1,0 +1,77 @@
+#include "fleet/cold_store.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "common/check.h"
+#include "common/serialize.h"
+
+namespace orco::fleet {
+
+namespace {
+
+// "OFLT" — distinct from the system checkpoint magic so a fleet record can
+// never be mistaken for an OrcoDcsSystem checkpoint (or vice versa).
+constexpr std::uint32_t kColdMagic = 0x4f464c54;
+constexpr std::uint32_t kColdFormat = 1;
+
+}  // namespace
+
+ColdStore::ColdStore(std::string dir) : dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+}
+
+std::string ColdStore::path_for(ClusterId id) const {
+  return dir_ + "/tenant-" + std::to_string(id) + ".ckpt";
+}
+
+void ColdStore::save(ClusterId id, const ColdRecord& record) {
+  common::ByteWriter writer;
+  writer.write_u32(kColdMagic);
+  writer.write_u32(kColdFormat);
+  writer.write_u64(id);
+  writer.write_u64(record.model_version);
+  writer.write_u32(static_cast<std::uint32_t>(record.policy.priority));
+  writer.write_u64(record.policy.queue_quota);
+  writer.write_f64(record.policy.weight);
+  writer.write_bytes(record.encoder_params);
+  writer.write_bytes(record.decoder_params);
+  common::write_file_atomic(path_for(id), writer.bytes());
+  saves_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ColdRecord ColdStore::load(ClusterId id) const {
+  const std::vector<std::byte> bytes = common::read_file(path_for(id));
+  common::ByteReader reader(bytes);
+  const std::uint32_t magic = reader.read_u32();
+  ORCO_CHECK(magic == kColdMagic,
+             "cold record magic mismatch: got 0x" << std::hex << magic);
+  const std::uint32_t format = reader.read_u32();
+  ORCO_CHECK(format == kColdFormat,
+             "unsupported cold record format " << format);
+  const std::uint64_t stored_id = reader.read_u64();
+  ORCO_CHECK(stored_id == id, "cold record for tenant " << stored_id
+                                                        << " read as " << id);
+  ColdRecord record;
+  record.model_version = reader.read_u64();
+  record.policy.priority = static_cast<serve::Priority>(reader.read_u32());
+  record.policy.queue_quota = reader.read_u64();
+  record.policy.weight = reader.read_f64();
+  record.encoder_params = reader.read_bytes();
+  record.decoder_params = reader.read_bytes();
+  ORCO_CHECK(reader.exhausted(),
+             "cold record for tenant " << id << " has trailing bytes");
+  loads_.fetch_add(1, std::memory_order_relaxed);
+  return record;
+}
+
+bool ColdStore::contains(ClusterId id) const {
+  return std::filesystem::exists(path_for(id));
+}
+
+bool ColdStore::remove(ClusterId id) {
+  std::error_code ec;
+  return std::filesystem::remove(path_for(id), ec) && !ec;
+}
+
+}  // namespace orco::fleet

@@ -1,0 +1,68 @@
+// ColdStore — the fleet's on-disk cold tier for demoted tenants.
+//
+// A demoted tenant's serving state collapses to one record: the encoder +
+// decoder weights (model_io framing), the decoder generation counter, and
+// the tenant's QoS policy. Everything else — registry slot, queue lane,
+// prepacked weight panels, reconstruction-cache entries — is derived state
+// that reactivation rebuilds. Records are written crash-safely (temp file
+// + atomic rename, same discipline as OrcoDcsSystem::save_checkpoint), so
+// a crash mid-demotion leaves either the previous record or the complete
+// new one, never a torn file; a torn/truncated read throws instead of
+// yielding garbage weights.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/tenant_policy.h"
+
+namespace orco::fleet {
+
+using ClusterId = std::uint64_t;
+
+/// Everything needed to rebuild a tenant's serving state from disk.
+struct ColdRecord {
+  std::uint64_t model_version = 1;
+  serve::TenantPolicy policy;
+  std::vector<std::byte> encoder_params;  // nn::save_params framing
+  std::vector<std::byte> decoder_params;
+};
+
+class ColdStore {
+ public:
+  /// Creates `dir` (and parents) if missing.
+  explicit ColdStore(std::string dir);
+
+  /// Atomically writes the tenant's record (temp + rename). Concurrent
+  /// saves of the *same* tenant must be externally serialized — the fleet
+  /// holds the tenant's mutex across demotion.
+  void save(ClusterId id, const ColdRecord& record);
+
+  /// Reads and validates a record; throws on missing/torn/mismatched files.
+  ColdRecord load(ClusterId id) const;
+
+  bool contains(ClusterId id) const;
+  /// Deletes the record; false when none existed.
+  bool remove(ClusterId id);
+
+  std::string path_for(ClusterId id) const;
+  const std::string& dir() const noexcept { return dir_; }
+
+  /// Lifetime counters (the thundering-herd regression test asserts
+  /// loads() == 1 under 8 concurrent wakers).
+  std::uint64_t saves() const noexcept {
+    return saves_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t loads() const noexcept {
+    return loads_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::string dir_;
+  std::atomic<std::uint64_t> saves_{0};
+  mutable std::atomic<std::uint64_t> loads_{0};
+};
+
+}  // namespace orco::fleet

@@ -1,0 +1,77 @@
+#include "fleet/hash_ring.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace orco::fleet {
+
+HashRing::HashRing(std::size_t vnodes) : vnodes_(vnodes) {
+  ORCO_CHECK(vnodes > 0, "HashRing needs at least one vnode per replica");
+}
+
+HashRing::HashRing(std::size_t replica_count, std::size_t vnodes)
+    : HashRing(vnodes) {
+  for (std::size_t r = 0; r < replica_count; ++r) {
+    add_replica(static_cast<std::uint32_t>(r));
+  }
+}
+
+void HashRing::add_replica(std::uint32_t replica) {
+  ORCO_CHECK(std::find(replicas_.begin(), replicas_.end(), replica) ==
+                 replicas_.end(),
+             "replica " << replica << " already on the ring");
+  replicas_.push_back(replica);
+  rebuild();
+}
+
+bool HashRing::remove_replica(std::uint32_t replica) {
+  const auto it = std::find(replicas_.begin(), replicas_.end(), replica);
+  if (it == replicas_.end()) return false;
+  replicas_.erase(it);
+  rebuild();
+  return true;
+}
+
+void HashRing::rebuild() {
+  points_.clear();
+  points_.reserve(replicas_.size() * vnodes_);
+  for (const std::uint32_t replica : replicas_) {
+    for (std::size_t v = 0; v < vnodes_; ++v) {
+      // Double-mix decorrelates the per-replica point sets: a single mix of
+      // (replica << 32 | v) would give adjacent replicas near-identical
+      // point patterns shifted by one mix step.
+      const std::uint64_t h =
+          mix(mix(static_cast<std::uint64_t>(replica) << 32 | v) ^
+              0x66c6ef3720b1a51dULL);
+      points_.push_back({h, replica});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              return a.hash != b.hash ? a.hash < b.hash
+                                      : a.replica < b.replica;
+            });
+}
+
+std::uint32_t HashRing::route(std::uint64_t key) const noexcept {
+  // ORCO_HOT_PATH BEGIN (fleet route: mix + binary search over the
+  // immutable point vector — no allocation, no lock; this runs once per
+  // submitted request)
+  const std::uint64_t h = mix(key);
+  std::size_t lo = 0;
+  std::size_t hi = points_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (points_[mid].hash < h) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  // First point at or clockwise of h; wrap to the first point of the ring.
+  return points_[lo == points_.size() ? 0 : lo].replica;
+  // ORCO_HOT_PATH END
+}
+
+}  // namespace orco::fleet

@@ -1,0 +1,100 @@
+// Delta-encoded snapshot replication between fleet cells.
+//
+// When the owning cell publishes a fine-tuned decoder, follower cells need
+// the new generation without re-serializing (or deep-copying) the whole
+// model on every publish: a fine-tune step typically touches every layer,
+// but a partial publish (bias-only adaptation, frozen feature layers)
+// should ship only what changed. The scheme:
+//
+//   SnapshotImage  — one model generation as an ordered list of per-param
+//                    blobs. Blobs are immutable and shared_ptr-owned, so
+//                    images of consecutive generations share the bytes of
+//                    every unchanged parameter.
+//   SnapshotDelta  — the changed blobs between a base image and the next
+//                    one, keyed by (base_version -> version). A full image
+//                    ships when the follower has no usable base.
+//   apply_delta    — base + delta -> next image. Unchanged params alias
+//                    the base's blobs; changed params alias the delta's.
+//                    No byte buffer is ever copied on apply — the test
+//                    suite pins that with blob_copy_count().
+//
+// blob_copy_count() counts every blob *serialization* (the one deep copy,
+// paid on the publishing cell when the image is built). Shipping and
+// applying deltas must not move it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/sequential.h"
+
+namespace orco::fleet {
+
+using ClusterId = std::uint64_t;
+
+/// One serialized parameter: name + content hash + shared immutable bytes
+/// (model_io framing for a single param: rank, dims, f32 data).
+struct ParamBlob {
+  std::string name;
+  std::uint64_t hash = 0;  // FNV-1a over `bytes`
+  std::shared_ptr<const std::vector<std::byte>> bytes;
+};
+
+/// One model generation, decomposed per parameter, in params() order.
+struct SnapshotImage {
+  std::uint64_t version = 0;
+  std::vector<ParamBlob> params;
+
+  bool empty() const noexcept { return params.empty(); }
+  /// Payload bytes (sum of blob sizes), ignoring sharing.
+  std::size_t byte_size() const;
+};
+
+/// The wire unit: blobs that changed between base_version and version,
+/// with their positions in the param list. base_version 0 = full image
+/// (every param present, applicable without a base).
+struct SnapshotDelta {
+  ClusterId tenant = 0;
+  std::uint64_t base_version = 0;
+  std::uint64_t version = 0;
+  std::size_t param_count = 0;  // total params in the target image
+  std::vector<std::uint32_t> changed_index;
+  std::vector<ParamBlob> changed;
+
+  bool full() const noexcept { return base_version == 0; }
+  /// Bytes this delta actually ships (changed blobs only).
+  std::size_t byte_size() const;
+};
+
+/// Total per-param blob serializations this process has performed — the
+/// deep copies. Built images bump it once per param; make_delta /
+/// apply_delta never do (they only alias shared blobs).
+std::uint64_t blob_copy_count() noexcept;
+
+/// Serializes `model`'s parameters into an image stamped `version`. The
+/// one deep copy of the pipeline (bumps blob_copy_count once per param).
+SnapshotImage image_of(const nn::Sequential& model, std::uint64_t version);
+
+/// The delta from `base` to `next` (same param list; throws on mismatch).
+/// Changed params alias `next`'s blobs. next.version must exceed
+/// base.version.
+SnapshotDelta make_delta(const SnapshotImage& base, const SnapshotImage& next);
+
+/// A base-less delta carrying every param of `next` (aliased, not copied).
+SnapshotDelta full_delta(const SnapshotImage& next);
+
+/// base + delta -> the delta's target image. Unchanged params alias
+/// `base`'s blobs, changed ones the delta's; nothing is copied. Throws
+/// when delta.base_version does not match base.version (a follower that
+/// skipped a generation must request a full ship instead).
+SnapshotImage apply_delta(const SnapshotImage& base, const SnapshotDelta& delta);
+
+/// Materializes an image into a live model (names/shapes must match — the
+/// reactivation path when a follower is promoted). This is a weight copy
+/// into the model, not a blob copy; blob_copy_count is untouched.
+void load_image(nn::Sequential& model, const SnapshotImage& image);
+
+}  // namespace orco::fleet

@@ -1,0 +1,123 @@
+// ResidencyManager — the fleet's warm-set bookkeeping and LRU victim picker.
+//
+// The fleet keeps at most `capacity` tenants warm (fully materialized:
+// system, registry slot, prepacked decoder). Every submit stamps its tenant
+// with a Lamport tick — a process-wide atomic counter, so the hot path pays
+// one relaxed fetch_add instead of a clock syscall — and when the warm set
+// overflows, victims() returns the least-recently-stamped warm tenants.
+// The manager only tracks membership and picks victims; actually demoting
+// a tenant (draining, serializing, tearing down) is the EdgeFleet's job,
+// which is why victims() is advisory: a candidate that turns out busy is
+// skipped and the next-oldest is tried.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace orco::fleet {
+
+using ClusterId = std::uint64_t;
+
+class ResidencyManager {
+ public:
+  explicit ResidencyManager(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Next Lamport stamp. Hot-path safe: one relaxed atomic increment.
+  std::uint64_t tick() noexcept {
+    return clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Reserve a residency slot ahead of materialization. The warm bound is
+  /// enforced at admission: the reservation succeeds only while
+  /// warm + reserved fits under capacity, so concurrent wakers cannot
+  /// overshoot the warm set even transiently. add_warm() consumes the
+  /// caller's reservation; release() returns an unused one (failed wake).
+  bool try_reserve() {
+    common::MutexLock lock(mu_);
+    if (warm_.size() + reserved_ >= capacity_) return false;
+    ++reserved_;
+    return true;
+  }
+
+  /// Unconditional reservation — the liveness escape hatch when every warm
+  /// tenant is unevictable (e.g. pinned by a long training job). The warm
+  /// set may exceed capacity until the next demotion.
+  void force_reserve() {
+    common::MutexLock lock(mu_);
+    ++reserved_;
+  }
+
+  void release() {
+    common::MutexLock lock(mu_);
+    if (reserved_ > 0) --reserved_;
+  }
+
+  void add_warm(ClusterId id) {
+    common::MutexLock lock(mu_);
+    if (reserved_ > 0) --reserved_;
+    if (std::find(warm_.begin(), warm_.end(), id) == warm_.end()) {
+      warm_.push_back(id);
+    }
+  }
+
+  void remove_warm(ClusterId id) {
+    common::MutexLock lock(mu_);
+    const auto it = std::find(warm_.begin(), warm_.end(), id);
+    if (it != warm_.end()) warm_.erase(it);
+  }
+
+  std::size_t warm_count() const {
+    common::MutexLock lock(mu_);
+    return warm_.size();
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  bool over_capacity() const {
+    common::MutexLock lock(mu_);
+    return warm_.size() > capacity_;
+  }
+
+  /// Up to `limit` warm tenants, least-recently-stamped first. `stamp_of`
+  /// maps id -> last-touch stamp (called under the manager's lock — keep it
+  /// a plain load). Advisory: the caller revalidates each candidate before
+  /// demoting it.
+  template <typename StampFn>
+  std::vector<ClusterId> victims(std::size_t limit, StampFn&& stamp_of) const {
+    struct Candidate {
+      std::uint64_t stamp;
+      ClusterId id;
+    };
+    std::vector<Candidate> candidates;
+    {
+      common::MutexLock lock(mu_);
+      candidates.reserve(warm_.size());
+      for (const ClusterId id : warm_) {
+        candidates.push_back({stamp_of(id), id});
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.stamp != b.stamp ? a.stamp < b.stamp : a.id < b.id;
+              });
+    if (candidates.size() > limit) candidates.resize(limit);
+    std::vector<ClusterId> out;
+    out.reserve(candidates.size());
+    for (const Candidate& c : candidates) out.push_back(c.id);
+    return out;
+  }
+
+ private:
+  const std::size_t capacity_;
+  std::atomic<std::uint64_t> clock_{0};
+  mutable common::Mutex mu_;
+  std::vector<ClusterId> warm_ ORCO_GUARDED_BY(mu_);
+  std::size_t reserved_ ORCO_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace orco::fleet

@@ -30,6 +30,14 @@ TenantPolicy BatchQueue::policy(ClusterId cluster) const {
   return it == lanes_.end() ? config_.default_policy : it->second.policy;
 }
 
+bool BatchQueue::erase_lane(ClusterId cluster) {
+  common::MutexLock lock(mu_);
+  const auto it = lanes_.find(cluster);
+  if (it == lanes_.end() || !it->second.entries.empty()) return false;
+  lanes_.erase(it);
+  return true;
+}
+
 PushResult BatchQueue::push(PendingRequest&& pending,
                             std::vector<PendingRequest>* evicted) {
   PendingRequest self_answered_eviction;

@@ -71,6 +71,12 @@ class BatchQueue {
   void set_policy(ClusterId cluster, const TenantPolicy& policy);
   TenantPolicy policy(ClusterId cluster) const;
 
+  /// Drops an *empty* tenant lane (policy + deque), reclaiming its slot —
+  /// without this, 100k cold-tier demote/wake cycles would leave 100k dead
+  /// lanes that every pop_batch scan walks. Returns false (and changes
+  /// nothing) when the lane still holds queued requests or never existed.
+  bool erase_lane(ClusterId cluster);
+
   bool closed() const;
   std::size_t size() const;
   std::size_t size(ClusterId cluster) const;
@@ -84,7 +90,8 @@ class BatchQueue {
     std::chrono::steady_clock::time_point queued_at;
   };
   /// One tenant's FIFO lane plus its policy. Lanes are created on first
-  /// push or set_policy and persist (tenant counts are small and stable).
+  /// push or set_policy and live until erase_lane (the fleet's demotion
+  /// path) reclaims them once drained.
   struct Lane {
     TenantPolicy policy;
     std::deque<Entry> entries;

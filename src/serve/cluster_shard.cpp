@@ -98,16 +98,24 @@ void ClusterShard::add_cluster(ClusterId cluster,
                                std::shared_ptr<core::OrcoDcsSystem> system,
                                const TenantPolicy& policy) {
   ORCO_CHECK(system != nullptr, "cannot register a null tenant system");
-  TenantEntry entry;
-  entry.system = std::move(system);
+  auto entry = std::make_shared<TenantEntry>();
+  entry->system = std::move(system);
   // The swap slot is grabbed once here; the serve path then pays exactly
   // one atomic snapshot load per batch, never a registry map lookup.
-  if (registry_ != nullptr) entry.model = registry_->entry(cluster);
+  if (registry_ != nullptr) entry->model = registry_->entry(cluster);
   common::MutexLock lock(tenants_mu_);
   ORCO_CHECK(tenants_.emplace(cluster, std::move(entry)).second,
              "cluster " << cluster << " already registered on shard "
                         << index_);
   queue_.set_policy(cluster, policy);
+}
+
+bool ClusterShard::remove_cluster(ClusterId cluster) {
+  common::MutexLock lock(tenants_mu_);
+  // A worker mid-batch still holds its shared_ptr; erasing here only stops
+  // future lookups. The entry (and the tenant system it pins) is destroyed
+  // when the last holder lets go.
+  return tenants_.erase(cluster) > 0;
 }
 
 bool ClusterShard::has_cluster(ClusterId cluster) const {
@@ -120,12 +128,11 @@ std::size_t ClusterShard::cluster_count() const {
   return tenants_.size();
 }
 
-ClusterShard::TenantEntry* ClusterShard::find_cluster(ClusterId cluster) {
+std::shared_ptr<ClusterShard::TenantEntry> ClusterShard::find_cluster(
+    ClusterId cluster) {
   common::MutexLock lock(tenants_mu_);
   const auto it = tenants_.find(cluster);
-  // Map nodes are stable: the pointer outlives the lock, and registration
-  // never mutates an existing entry.
-  return it == tenants_.end() ? nullptr : &it->second;
+  return it == tenants_.end() ? nullptr : it->second;
 }
 
 void ClusterShard::run() {
@@ -179,7 +186,7 @@ void ClusterShard::serve_batch(std::vector<PendingRequest> batch) {
                            queue_wait_total_us, batch.size());
   const auto assembly_start = std::chrono::steady_clock::now();
 
-  TenantEntry* tenant = find_cluster(cluster);
+  const std::shared_ptr<TenantEntry> tenant = find_cluster(cluster);
   if (tenant == nullptr) {
     for (auto& pending : batch) {
       // Telemetry strictly before the promise resolves: a caller who sees

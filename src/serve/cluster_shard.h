@@ -76,6 +76,13 @@ class ClusterShard {
                    std::shared_ptr<core::OrcoDcsSystem> system,
                    const TenantPolicy& policy);
 
+  /// Removes a tenant (the fleet's cold-tier demotion path). Returns false
+  /// when the id was never registered. The caller must have drained the
+  /// tenant's queued work first: a request still queued when its batch pops
+  /// is answered kUnknownCluster. A batch already holding the entry
+  /// finishes on it safely (entries are shared_ptr-owned).
+  bool remove_cluster(ClusterId cluster);
+
   bool has_cluster(ClusterId cluster) const;
   std::size_t cluster_count() const;
 
@@ -104,9 +111,12 @@ class ClusterShard {
     std::uint64_t last_version = 0;
   };
 
-  /// Map nodes are stable, so the returned pointer outlives the internal
-  /// lock hold; registration never mutates an existing entry.
-  TenantEntry* find_cluster(ClusterId cluster) ORCO_EXCLUDES(tenants_mu_);
+  /// Entries are shared_ptr-owned so a lookup outlives both the internal
+  /// lock hold and a concurrent remove_cluster: the worker's batch keeps
+  /// the entry (and its system/model slot) alive through its fan-out even
+  /// if the tenant is demoted mid-batch.
+  std::shared_ptr<TenantEntry> find_cluster(ClusterId cluster)
+      ORCO_EXCLUDES(tenants_mu_);
 
   std::size_t index_;
   BatchQueue queue_;
@@ -131,7 +141,8 @@ class ClusterShard {
   std::vector<float> q_lo_;
   std::vector<float> q_scale_;
   mutable common::Mutex tenants_mu_;  // guards registration vs. lookup only
-  std::map<ClusterId, TenantEntry> tenants_ ORCO_GUARDED_BY(tenants_mu_);
+  std::map<ClusterId, std::shared_ptr<TenantEntry>> tenants_
+      ORCO_GUARDED_BY(tenants_mu_);
 };
 
 }  // namespace orco::serve

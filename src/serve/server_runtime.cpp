@@ -11,7 +11,9 @@
 namespace orco::serve {
 
 ServerRuntime::ServerRuntime(const ServeConfig& config)
-    : config_(config), pool_(std::max<std::size_t>(1, config.shard_count)) {
+    : config_(config),
+      telemetry_(config.per_tenant_telemetry),
+      pool_(std::max<std::size_t>(1, config.shard_count)) {
   ORCO_CHECK(config.shard_count > 0, "ServerRuntime needs at least one shard");
   const tensor::Backend* backend = tensor::resolve_backend(config.backend);
   shards_.reserve(config.shard_count);
@@ -34,6 +36,16 @@ void ServerRuntime::register_cluster(
     ClusterId cluster, std::shared_ptr<core::OrcoDcsSystem> system,
     const TenantPolicy& policy) {
   shards_[shard_of(cluster)]->add_cluster(cluster, std::move(system), policy);
+}
+
+bool ServerRuntime::unregister_cluster(ClusterId cluster) {
+  ClusterShard& shard = *shards_[shard_of(cluster)];
+  const bool removed = shard.remove_cluster(cluster);
+  // Reclaim the tenant's queue lane; a non-empty lane (caller didn't drain)
+  // stays — its requests are answered kUnknownCluster at pop, after which
+  // the lane is a candidate for the next unregister's erase.
+  if (removed) shard.queue().erase_lane(cluster);
+  return removed;
 }
 
 std::future<DecodeResponse> ServerRuntime::immediate_response(

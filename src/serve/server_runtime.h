@@ -46,6 +46,12 @@ struct ServeConfig {
   // row-wise into the float batch — always correct, just more memory
   // traffic. See OrcoConfig::int8_decode for the accuracy contract.
   bool int8_decode = false;
+  // Per-tenant telemetry rows (counters + latency histogram per ClusterId,
+  // ~8KB each, living for the runtime's lifetime). On by default; a fleet
+  // cell fronting ~100k registered tenants turns this off so telemetry
+  // memory stays O(1) — per-tenant record_* calls then land in the
+  // runtime-wide series only.
+  bool per_tenant_telemetry = true;
   // Observability export (obs/export.h): non-empty paths are written by a
   // periodic background flush (flush_period_s > 0) and always once more
   // after the workers join at shutdown — the shutdown dump is the complete
@@ -74,6 +80,14 @@ class ServerRuntime {
   void register_cluster(ClusterId cluster,
                         std::shared_ptr<core::OrcoDcsSystem> system,
                         const TenantPolicy& policy);
+
+  /// Removes a tenant: subsequent submits answer kUnknownCluster and the
+  /// tenant's (drained) queue lane is reclaimed. The fleet's cold-tier
+  /// demotion path; callers must drain the tenant's queued work first —
+  /// anything still queued is answered kUnknownCluster when its batch
+  /// pops. A batch already in flight finishes safely (the shard's entry is
+  /// shared-pointer-owned). Returns false when the id was not registered.
+  bool unregister_cluster(ClusterId cluster);
 
   /// Enqueues one latent for decoding. Always returns a future that will be
   /// fulfilled: kOk with the reconstruction, kShed under backpressure,

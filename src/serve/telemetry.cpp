@@ -47,8 +47,9 @@ obs::Labels tenant_labels(ClusterId cluster) {
 
 }  // namespace
 
-Telemetry::Telemetry()
-    : submitted_(registry_.counter("serve.submitted")),
+Telemetry::Telemetry(bool per_tenant)
+    : per_tenant_(per_tenant),
+      submitted_(registry_.counter("serve.submitted")),
       shed_(registry_.counter("serve.shed")),
       rejected_(registry_.counter("serve.rejected")),
       cache_hits_(registry_.counter("serve.cache_hits")),
@@ -124,42 +125,42 @@ void Telemetry::record_completed(double latency_us) {
 void Telemetry::record_submitted(ClusterId cluster) {
   if (!obs::metrics_enabled()) return;
   submitted_->inc();
-  tenant_cells(cluster).submitted->inc();
+  if (per_tenant_) tenant_cells(cluster).submitted->inc();
 }
 
 void Telemetry::record_shed(ClusterId cluster) {
   if (!obs::metrics_enabled()) return;
   shed_->inc();
-  tenant_cells(cluster).shed->inc();
+  if (per_tenant_) tenant_cells(cluster).shed->inc();
 }
 
 void Telemetry::record_rejected(ClusterId cluster) {
   if (!obs::metrics_enabled()) return;
   rejected_->inc();
-  tenant_cells(cluster).rejected->inc();
+  if (per_tenant_) tenant_cells(cluster).rejected->inc();
 }
 
 void Telemetry::record_completed(ClusterId cluster, double latency_us) {
   if (!obs::metrics_enabled()) return;
   latency_->record(latency_us);
-  tenant_cells(cluster).latency->record(latency_us);
+  if (per_tenant_) tenant_cells(cluster).latency->record(latency_us);
 }
 
 void Telemetry::record_cache_hit(ClusterId cluster) {
   if (!obs::metrics_enabled()) return;
   cache_hits_->inc();
-  tenant_cells(cluster).cache_hits->inc();
+  if (per_tenant_) tenant_cells(cluster).cache_hits->inc();
 }
 
 void Telemetry::record_cache_miss(ClusterId cluster) {
   if (!obs::metrics_enabled()) return;
   cache_misses_->inc();
-  tenant_cells(cluster).cache_misses->inc();
+  if (per_tenant_) tenant_cells(cluster).cache_misses->inc();
 }
 
 void Telemetry::record_model_version(ClusterId cluster, std::uint64_t version,
                                      double staleness_us) {
-  if (!obs::metrics_enabled()) return;
+  if (!obs::metrics_enabled() || !per_tenant_) return;
   TenantCells& cells = tenant_cells(cluster);
   // Single writer per tenant (its shard worker): the load-compare-store is
   // not a race, only the snapshot readers are concurrent.
@@ -174,7 +175,7 @@ void Telemetry::record_model_version(ClusterId cluster, std::uint64_t version,
 
 void Telemetry::record_stage(ClusterId cluster, Stage stage, double stage_us,
                              std::uint64_t requests) {
-  if (!obs::metrics_enabled()) return;
+  if (!obs::metrics_enabled() || !per_tenant_) return;
   TenantCells& cells = tenant_cells(cluster);
   const std::size_t s = static_cast<std::size_t>(stage);
   cells.stage_us[s]->inc(

@@ -145,7 +145,11 @@ class Telemetry {
     }
   };
 
-  Telemetry();
+  /// `per_tenant` false drops the per-tenant grain entirely: record_*
+  /// overloads taking a ClusterId update only the runtime-wide series and
+  /// never allocate a tenant row. A fleet cell fronting ~100k registered
+  /// tenants would otherwise pin ~8KB of cells per tenant forever.
+  explicit Telemetry(bool per_tenant = true);
 
   // Runtime-wide counters (kept for callers that have no tenant in hand).
   void record_submitted();
@@ -223,6 +227,7 @@ class Telemetry {
   const TenantCells* find_tenant(ClusterId cluster) const;
 
   obs::MetricsRegistry registry_;
+  const bool per_tenant_;
 
   // Runtime-wide handles, resolved once at construction.
   obs::Counter* submitted_;

@@ -31,24 +31,41 @@ std::uint64_t ModelRegistry::publish(ClusterId cluster,
              "snapshot for cluster " << cluster << " has no decoder");
   ORCO_CHECK(snapshot->latent_dim > 0 && snapshot->output_dim > 0,
              "snapshot dims must be positive");
-  // Serialize publishers per registry (publishes are rare — one per
-  // fine-tune job) so the version check and the swap are one step; readers
-  // never take this lock.
-  common::MutexLock lock(mu_);
-  auto& slot = entries_[cluster];
-  if (slot == nullptr) slot = std::make_shared<Entry>();
-  const auto previous = slot->load();
-  ORCO_CHECK(previous == nullptr || snapshot->version > previous->version,
-             "non-monotonic publish for cluster "
-                 << cluster << ": version " << snapshot->version
-                 << " after " << previous->version);
-  snapshot->published_at = std::chrono::steady_clock::now();
-  const std::uint64_t version = snapshot->version;
-  slot->snapshot_.store(std::shared_ptr<const ModelSnapshot>(std::move(snapshot)),
-                        std::memory_order_release);
-  slot->swaps_.fetch_add(1, std::memory_order_relaxed);
-  total_published_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<const ModelSnapshot> installed;
+  PublishHook hook;
+  std::uint64_t version = 0;
+  {
+    // Serialize publishers per registry (publishes are rare — one per
+    // fine-tune job) so the version check and the swap are one step;
+    // readers never take this lock.
+    common::MutexLock lock(mu_);
+    auto& slot = entries_[cluster];
+    if (slot == nullptr) slot = std::make_shared<Entry>();
+    const auto previous = slot->load();
+    ORCO_CHECK(previous == nullptr || snapshot->version > previous->version,
+               "non-monotonic publish for cluster "
+                   << cluster << ": version " << snapshot->version
+                   << " after " << previous->version);
+    snapshot->published_at = std::chrono::steady_clock::now();
+    version = snapshot->version;
+    installed = std::shared_ptr<const ModelSnapshot>(std::move(snapshot));
+    slot->snapshot_.store(installed, std::memory_order_release);
+    slot->swaps_.fetch_add(1, std::memory_order_relaxed);
+    total_published_.fetch_add(1, std::memory_order_relaxed);
+    hook = publish_hook_;  // copy: the hook runs outside the lock
+  }
+  if (hook) hook(cluster, installed);
   return version;
+}
+
+bool ModelRegistry::remove(ClusterId cluster) {
+  common::MutexLock lock(mu_);
+  return entries_.erase(cluster) > 0;
+}
+
+void ModelRegistry::set_publish_hook(PublishHook hook) {
+  common::MutexLock lock(mu_);
+  publish_hook_ = std::move(hook);
 }
 
 std::size_t ModelRegistry::size() const {

@@ -18,6 +18,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 
@@ -55,9 +56,10 @@ struct ModelSnapshot {
 
 class ModelRegistry {
  public:
-  /// One tenant's swap slot. Entries are created once and never destroyed
-  /// while the registry lives, so a shard can cache the Entry pointer at
-  /// tenant registration and pay exactly one atomic load per batch.
+  /// One tenant's swap slot. A shard grabs the shared Entry at tenant
+  /// registration and pays exactly one atomic load per batch; remove()
+  /// (the fleet's demotion path) only drops the registry's reference —
+  /// holders keep the slot alive until their batch completes.
   class Entry {
    public:
     std::shared_ptr<const ModelSnapshot> load() const {
@@ -90,6 +92,23 @@ class ModelRegistry {
   std::uint64_t publish(ClusterId cluster,
                         std::shared_ptr<ModelSnapshot> snapshot);
 
+  /// Drops the tenant's swap slot (the fleet's cold-tier demotion).
+  /// Outstanding Entry shared_ptrs stay valid — a shard's in-flight batch
+  /// finishes on its pinned snapshot — but a re-registered tenant starts
+  /// from a fresh slot, so its first publish after reactivation only has
+  /// to beat the version persisted in its checkpoint, not whatever the
+  /// dead slot last held. Returns false when the tenant was never seen.
+  bool remove(ClusterId cluster);
+
+  /// Called after every successful publish — outside the registry lock, on
+  /// the publishing thread — with the tenant and the installed snapshot.
+  /// The fleet hangs its delta-replication fan-out here. One hook per
+  /// registry; replace with nullptr to clear. Hooks must not publish back
+  /// into this registry for the same tenant (infinite recursion).
+  using PublishHook =
+      std::function<void(ClusterId, const std::shared_ptr<const ModelSnapshot>&)>;
+  void set_publish_hook(PublishHook hook);
+
   std::size_t size() const;
   /// Total snapshots published across all tenants.
   std::uint64_t total_published() const noexcept {
@@ -101,6 +120,7 @@ class ModelRegistry {
   /// one acquire load per batch, never under this lock.
   mutable common::Mutex mu_;
   std::map<ClusterId, std::shared_ptr<Entry>> entries_ ORCO_GUARDED_BY(mu_);
+  PublishHook publish_hook_ ORCO_GUARDED_BY(mu_);
   std::atomic<std::uint64_t> total_published_{0};
 };
 

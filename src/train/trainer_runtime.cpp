@@ -102,6 +102,25 @@ void TrainerRuntime::register_tenant(
   }
 }
 
+bool TrainerRuntime::unregister_tenant(ClusterId cluster) {
+  // Lock order mu_ -> tenants_mu_ matches pick_job's (held-mu_) find_tenant
+  // calls. Holding mu_ across the erase pins the invariant: no worker can
+  // pop a job for the tenant between our scan and the erase.
+  common::MutexLock lock(mu_);
+  if (active_jobs_.count(cluster) > 0) return false;
+  for (const auto& pending : queue_) {
+    if (pending.job.cluster == cluster) return false;
+  }
+  common::MutexLock tenants_lock(tenants_mu_);
+  const auto it = tenants_.find(cluster);
+  if (it == tenants_.end()) return false;
+  // A drift trigger may have armed the flag but not enqueued yet (the
+  // window between monitor_mu release and enqueue); refuse until it lands.
+  if (it->second->drift_job_inflight.load()) return false;
+  tenants_.erase(it);
+  return true;
+}
+
 TrainerRuntime::Tenant* TrainerRuntime::find_tenant(ClusterId cluster) const {
   common::MutexLock lock(tenants_mu_);
   const auto it = tenants_.find(cluster);
@@ -316,9 +335,20 @@ void TrainerRuntime::worker_loop() {
       const std::size_t i = pick_job();
       pending = std::move(queue_[i]);
       queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+      // Marked active under the same lock hold that popped it, so
+      // unregister_tenant can never observe the job in neither the queue
+      // nor the active set.
+      ++active_jobs_[pending.job.cluster];
     }
     TrainResult result = run_job(pending.job);
     pending.promise.set_value(std::move(result));
+    {
+      common::MutexLock lock(mu_);
+      const auto it = active_jobs_.find(pending.job.cluster);
+      if (it != active_jobs_.end() && --it->second == 0) {
+        active_jobs_.erase(it);
+      }
+    }
   }
 }
 

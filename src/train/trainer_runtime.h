@@ -104,6 +104,14 @@ class TrainerRuntime {
                        const serve::TenantPolicy& policy,
                        const TrainBudget& budget);
 
+  /// Removes a tenant when it is quiescent: no queued job targets it, no
+  /// worker is running one, and no drift job is in flight. Returns false
+  /// (and changes nothing) otherwise — the caller retries after traffic
+  /// drains. The fleet's cold-tier demotion path; callers must not race
+  /// submit_job / observe_loss / update_stream for the same tenant with
+  /// this call (those assert the tenant exists).
+  bool unregister_tenant(ClusterId cluster);
+
   /// The registry serving shards should read snapshots from (wire it into
   /// ServeConfig::model_registry).
   const std::shared_ptr<ModelRegistry>& registry() const noexcept {
@@ -216,6 +224,11 @@ class TrainerRuntime {
   mutable common::Mutex mu_;  // guards the job queue
   std::condition_variable cv_;
   std::deque<PendingJob> queue_ ORCO_GUARDED_BY(mu_);
+  /// Jobs popped by a worker and not yet finished, per tenant — the guard
+  /// that makes unregister_tenant safe: a tenant with a running job cannot
+  /// be erased under the worker. Incremented at pop (same mu_ hold),
+  /// decremented when the job's promise resolves.
+  std::map<ClusterId, std::size_t> active_jobs_ ORCO_GUARDED_BY(mu_);
   std::uint64_t next_seq_ ORCO_GUARDED_BY(mu_) = 0;
   bool closed_ ORCO_GUARDED_BY(mu_) = false;
 

@@ -187,8 +187,12 @@ int main() {
   common::print_section(std::cout, "Kernel profile (per backend op)");
   obs::kernel_report().print(std::cout);
 
-  common::print_section(std::cout, "Decoder per-layer inference profile");
-  system->edge().decoder().layer_profile_table().print(std::cout);
+  // The snapshot's plan is the one the shards actually executed (the edge's
+  // own lazily-compiled plan only covers registry-free decodes and gets
+  // recompiled whenever training bumps the weight version).
+  common::print_section(std::cout, "Decoder inference-plan op profile");
+  trainer.registry()->current(kCluster)->plan->op_profile_table().print(
+      std::cout);
 
   std::cout << "\ntrace events recorded: "
             << obs::TraceCollector::instance().event_count()

@@ -106,12 +106,31 @@ bool sample_decode_span() {
 
 }  // namespace
 
+std::shared_ptr<const nn::InferPlan> EdgeServer::current_plan() const {
+  auto plan = plan_.load(std::memory_order_acquire);
+  if (plan != nullptr && !plan->weights_stale()) return plan;
+  // Compile (or recompile after a weight-version bump) under the rebuild
+  // lock; concurrent decoders that lose the race reuse the winner's plan.
+  common::MutexLock lock(plan_mu_);
+  plan = plan_.load(std::memory_order_acquire);
+  if (plan == nullptr || plan->weights_stale()) {
+    tensor::BackendScope scope(backend_);
+    plan = nn::InferPlan::compile(*decoder_);
+    plan_.store(plan, std::memory_order_release);
+  }
+  return plan;
+}
+
 Tensor EdgeServer::decode_inference(const Tensor& latents) const {
   ORCO_CHECK(!round_open_, "cannot run inference with an open round");
   obs::ScopedSpan span("edge.decode", "core", sample_decode_span(), /*id=*/0,
                        /*tenant=*/0, latents.rank() > 0 ? latents.dim(0) : 0);
+  const auto plan = current_plan();
   tensor::BackendScope scope(backend_);
-  return decoder_->infer(latents);
+  nn::InferContext ctx;
+  Tensor out;
+  plan->run(latents, out, ctx);
+  return out;
 }
 
 void EdgeServer::decode_inference(const Tensor& latents, Tensor& out,
@@ -119,8 +138,9 @@ void EdgeServer::decode_inference(const Tensor& latents, Tensor& out,
   ORCO_CHECK(!round_open_, "cannot run inference with an open round");
   obs::ScopedSpan span("edge.decode", "core", sample_decode_span(), /*id=*/0,
                        /*tenant=*/0, latents.rank() > 0 ? latents.dim(0) : 0);
+  const auto plan = current_plan();
   tensor::BackendScope scope(backend_);
-  decoder_->infer_into(latents, out, ctx);
+  plan->run(latents, out, ctx);
 }
 
 void EdgeServer::decode_inference_quantized(const std::uint8_t* codes,
@@ -130,8 +150,9 @@ void EdgeServer::decode_inference_quantized(const std::uint8_t* codes,
   ORCO_CHECK(!round_open_, "cannot run inference with an open round");
   obs::ScopedSpan span("edge.decode", "core", sample_decode_span(), /*id=*/0,
                        /*tenant=*/0, batch);
+  const auto plan = current_plan();
   tensor::BackendScope scope(backend_);
-  decoder_->infer_quantized_into(codes, qh, batch, latent_dim_, out, ctx);
+  plan->run_quantized(codes, qh, batch, latent_dim_, out, ctx);
 }
 
 std::size_t EdgeServer::train_flops(std::size_t batch) const {

@@ -10,8 +10,10 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/mutex.h"
 #include "core/config.h"
 #include "core/messages.h"
+#include "nn/infer_plan.h"
 #include "nn/optimizer.h"
 #include "nn/sequential.h"
 #include "tensor/backend.h"
@@ -57,6 +59,15 @@ class EdgeServer {
   nn::Sequential& decoder() noexcept { return *decoder_; }
   const nn::Sequential& decoder() const noexcept { return *decoder_; }
 
+  /// The compiled inference plan the decode paths execute — the registry-
+  /// free equivalent of a snapshot's plan. Compiled lazily on first decode
+  /// and recompiled (weights repacked) whenever the decoder's weight
+  /// versions moved since compile: train_step, checkpoint loads and
+  /// mutable-accessor edits all bump versions, so a stale plan can never
+  /// serve old panels. Callers may hold the returned plan across batches;
+  /// it stays valid (merely superseded) after a rebuild.
+  std::shared_ptr<const nn::InferPlan> current_plan() const;
+
   /// FLOPs charged to the edge for one training round on `batch` samples.
   std::size_t train_flops(std::size_t batch) const;
 
@@ -90,6 +101,10 @@ class EdgeServer {
   float huber_delta_;
   std::uint64_t pending_round_ = 0;
   std::atomic<std::uint64_t> model_version_{1};
+  /// Registry-free decode plan: one acquire load on the hot path, rebuilt
+  /// under plan_mu_ when stale (see current_plan).
+  mutable common::Mutex plan_mu_;
+  mutable std::atomic<std::shared_ptr<const nn::InferPlan>> plan_;
   bool round_open_ = false;
   std::size_t batch_in_flight_ = 0;
   std::size_t latent_dim_, output_dim_;

@@ -274,19 +274,18 @@ void EdgeFleet::publish_snapshot(Cell& cell, ClusterId id,
   auto snapshot = std::make_shared<train::ModelSnapshot>();
   snapshot->version = system.edge().model_version();
   std::unique_ptr<nn::Sequential> decoder = system.export_decoder_clone();
-  if (orco.prepack_decoder) {
-    decoder->set_weight_prepack(true);
+  if (orco.prepack_decoder) decoder->set_weight_prepack(true);
+  snapshot->decoder = std::shared_ptr<const nn::Sequential>(std::move(decoder));
+  {
+    // Compile the snapshot's plan (packing the weights) under the backend
+    // shards will decode on, so the first post-publish decode pays no
+    // packing cost — same policy as TrainerRuntime::export_and_publish.
     const tensor::Backend* warm_backend = system.edge().backend();
     if (warm_backend == nullptr) {
       warm_backend = tensor::resolve_backend(config_.serve.backend);
     }
-    tensor::BackendScope scope(warm_backend);
-    const Tensor warm_latent({1, orco.latent_dim});
-    Tensor warm_out;
-    nn::InferContext ctx;
-    decoder->infer_into(warm_latent, warm_out, ctx);
+    snapshot->plan = nn::InferPlan::compile(*snapshot->decoder, warm_backend);
   }
-  snapshot->decoder = std::shared_ptr<const nn::Sequential>(std::move(decoder));
   snapshot->encoder =
       std::shared_ptr<const nn::Sequential>(system.export_encoder_clone());
   snapshot->latent_dim = orco.latent_dim;

@@ -37,6 +37,24 @@ void Conv2d::infer_into(const Tensor& input, Tensor& out,
 void Conv2d::infer_fused_into(const Tensor& input, Tensor& out,
                               tensor::EpilogueAct act, float leaky_alpha,
                               InferContext& ctx) const {
+  std::shared_ptr<const tensor::PackedWeights> packed;
+  if (prepack_) packed = packed_weights();
+  fused_into_impl(input, out, packed.get(), tensor::current_backend(), act,
+                  leaky_alpha, ctx);
+}
+
+void Conv2d::infer_packed_into(const Tensor& input, Tensor& out,
+                               const tensor::PackedWeights& packed,
+                               tensor::EpilogueAct act, float leaky_alpha,
+                               InferContext& ctx) const {
+  fused_into_impl(input, out, &packed, *packed.owner, act, leaky_alpha, ctx);
+}
+
+void Conv2d::fused_into_impl(const Tensor& input, Tensor& out,
+                             const tensor::PackedWeights* packed,
+                             const tensor::Backend& backend,
+                             tensor::EpilogueAct act, float leaky_alpha,
+                             InferContext& ctx) const {
   const std::size_t in_feats = geom_.in_channels * geom_.in_h * geom_.in_w;
   ORCO_CHECK(input.rank() == 2 && input.dim(1) == in_feats,
              "Conv2d expects (batch, " << in_feats << "), got "
@@ -47,15 +65,12 @@ void Conv2d::infer_fused_into(const Tensor& input, Tensor& out,
   const std::size_t col_rows =
       geom_.in_channels * geom_.kernel_h * geom_.kernel_w;
   const std::size_t spatial = oh * ow;
-  std::shared_ptr<const tensor::PackedWeights> packed;
-  if (prepack_) packed = packed_weights();
   out.resize(batch, out_channels_ * spatial);
   tensor::Epilogue epi;
   epi.bias = b_.data().data();
   epi.bias_per_row = true;  // one bias per output channel row
   epi.act = act;
   epi.leaky_alpha = leaky_alpha;
-  const tensor::Backend& backend = tensor::current_backend();
   // One arena slab of column scratch, reused for every sample in the batch
   // and released on scope exit; the (outC, OH*OW) GEMM result lands
   // directly in the sample's output row — no per-sample Tensor, no
@@ -83,9 +98,15 @@ void Conv2d::infer_fused_into(const Tensor& input, Tensor& out,
 }
 
 std::shared_ptr<const tensor::PackedWeights> Conv2d::packed_weights() const {
-  const tensor::Backend& backend = tensor::current_backend();
+  std::uint64_t version = 0;
+  return plan_pack(tensor::current_backend(), version);
+}
+
+std::shared_ptr<const tensor::PackedWeights> Conv2d::plan_pack(
+    const tensor::Backend& backend, std::uint64_t& version_out) const {
   const std::uint64_t version =
       weight_version_.load(std::memory_order_acquire);
+  version_out = version;
   common::MutexLock lock(pack_mu_);
   if (packed_ == nullptr || packed_->owner != &backend ||
       packed_version_ != version) {

@@ -38,6 +38,25 @@ class Conv2d : public Layer {
                         tensor::EpilogueAct act, float leaky_alpha,
                         InferContext& ctx) const override;
 
+  /// infer_fused_into() against caller-supplied packed filter panels — the
+  /// InferPlan executor entry: no prepack-cache probe, no version check, no
+  /// lock. `packed` must come from plan_pack() (or pack_a) for this layer's
+  /// current filter; the GEMM runs on `packed.owner`.
+  void infer_packed_into(const Tensor& input, Tensor& out,
+                         const tensor::PackedWeights& packed,
+                         tensor::EpilogueAct act, float leaky_alpha,
+                         InferContext& ctx) const;
+
+  /// Packs this layer's filter for `backend` and reports the captured
+  /// weight version (see Dense::plan_pack; same cache-sharing contract).
+  std::shared_ptr<const tensor::PackedWeights> plan_pack(
+      const tensor::Backend& backend, std::uint64_t& version_out) const;
+
+  /// Monotonic weight generation (see Dense::weight_version).
+  std::uint64_t weight_version() const noexcept {
+    return weight_version_.load(std::memory_order_acquire);
+  }
+
   /// When enabled, infer()/infer_fused() cache the current backend's
   /// packed filter-matrix panels keyed on a weight version (see
   /// Layer::set_weight_prepack for the invalidation contract). The filter
@@ -59,10 +78,24 @@ class Conv2d : public Layer {
   std::size_t out_w() const { return geom_.out_w(); }
   std::size_t out_channels() const noexcept { return out_channels_; }
 
+  /// One im2col column slab, reused across the batch.
+  std::size_t infer_scratch_floats() const override {
+    return geom_.in_channels * geom_.kernel_h * geom_.kernel_w *
+           geom_.out_h() * geom_.out_w();
+  }
+
  private:
   /// Current backend's packed filter panels, repacked lazily whenever the
   /// weight version or the selected backend changed since the last call.
   std::shared_ptr<const tensor::PackedWeights> packed_weights() const;
+
+  /// Shared body of the fused/packed entries: im2col per sample into the
+  /// context arena, GEMM on `backend` into the sample's output row, with
+  /// `packed` panels when non-null.
+  void fused_into_impl(const Tensor& input, Tensor& out,
+                       const tensor::PackedWeights* packed,
+                       const tensor::Backend& backend, tensor::EpilogueAct act,
+                       float leaky_alpha, InferContext& ctx) const;
 
   tensor::Conv2dGeometry geom_;
   std::size_t out_channels_;

@@ -33,6 +33,12 @@ class ConvTranspose2d : public Layer {
   std::size_t out_h() const noexcept { return out_h_; }
   std::size_t out_w() const noexcept { return out_w_; }
 
+  /// One Wᵀ·x column slab (outC*K*K rows × input spatial), reused across
+  /// the batch.
+  std::size_t infer_scratch_floats() const override {
+    return w_.dim(1) * in_h_ * in_w_;
+  }
+
  private:
   std::size_t in_channels_, out_channels_;
   std::size_t in_h_, in_w_, out_h_, out_w_;

@@ -65,6 +65,37 @@ void Dense::infer_quantized_into(const std::uint8_t* codes,
                                  std::size_t batch, Tensor& out,
                                  tensor::EpilogueAct act, float leaky_alpha,
                                  InferContext& /*ctx*/) const {
+  const auto packed = packed_weights();
+  infer_quantized_packed_into(codes, qh, batch, out, *packed, act,
+                              leaky_alpha);
+}
+
+void Dense::infer_packed_into(const Tensor& input, Tensor& out,
+                              const tensor::PackedWeights& packed,
+                              tensor::EpilogueAct act,
+                              float leaky_alpha) const {
+  ORCO_CHECK(input.rank() == 2 && input.dim(1) == in_,
+             "Dense expects (batch, " << in_ << "), got "
+                                      << tensor::shape_to_string(input.shape()));
+  ORCO_CHECK(&out != &input, "Dense cannot infer in place");
+  const std::size_t batch = input.dim(0);
+  out.resize(batch, out_);
+  tensor::Epilogue epi;
+  epi.bias = b_.data().data();
+  epi.bias_per_row = false;
+  epi.act = act;
+  epi.leaky_alpha = leaky_alpha;
+  OBS_SCOPED_SPAN(obs::KernelOp::kGemmPrepacked, 2ull * batch * in_ * out_);
+  packed.owner->gemm_prepacked(input.data().data(), packed, out.data().data(),
+                               batch, in_, out_, epi);
+}
+
+void Dense::infer_quantized_packed_into(const std::uint8_t* codes,
+                                        const tensor::QuantHeader& qh,
+                                        std::size_t batch, Tensor& out,
+                                        const tensor::PackedWeights& packed,
+                                        tensor::EpilogueAct act,
+                                        float leaky_alpha) const {
   ORCO_CHECK(codes != nullptr && qh.row_lo != nullptr &&
                  qh.row_scale != nullptr,
              "infer_quantized_into needs codes and per-row headers");
@@ -74,17 +105,16 @@ void Dense::infer_quantized_into(const std::uint8_t* codes,
   epi.bias_per_row = false;
   epi.act = act;
   epi.leaky_alpha = leaky_alpha;
-  const tensor::Backend& backend = tensor::current_backend();
-  const auto packed = packed_weights();
   OBS_SCOPED_SPAN(obs::KernelOp::kGemmQuantized, 2ull * batch * in_ * out_);
-  backend.gemm_quantized(codes, qh, *packed, out.data().data(), batch, in_,
-                         out_, epi);
+  packed.owner->gemm_quantized(codes, qh, packed, out.data().data(), batch,
+                               in_, out_, epi);
 }
 
-std::shared_ptr<const tensor::PackedWeights> Dense::packed_weights() const {
-  const tensor::Backend& backend = tensor::current_backend();
+std::shared_ptr<const tensor::PackedWeights> Dense::plan_pack(
+    const tensor::Backend& backend, std::uint64_t& version_out) const {
   const std::uint64_t version =
       weight_version_.load(std::memory_order_acquire);
+  version_out = version;
   common::MutexLock lock(pack_mu_);
   if (packed_ == nullptr || packed_->owner != &backend ||
       packed_version_ != version) {
@@ -94,6 +124,11 @@ std::shared_ptr<const tensor::PackedWeights> Dense::packed_weights() const {
     packed_version_ = version;
   }
   return packed_;
+}
+
+std::shared_ptr<const tensor::PackedWeights> Dense::packed_weights() const {
+  std::uint64_t version = 0;
+  return plan_pack(tensor::current_backend(), version);
 }
 
 Tensor Dense::backward(const Tensor& grad_output) {

@@ -46,6 +46,39 @@ class Dense : public Layer {
                             Tensor& out, tensor::EpilogueAct act,
                             float leaky_alpha, InferContext& ctx) const;
 
+  /// act(x·Wᵀ + b) against caller-supplied packed panels — the InferPlan
+  /// executor entry: no prepack-cache probe, no version check, no lock.
+  /// `packed` must have been produced by plan_pack() (or pack_b) for this
+  /// layer's current weights; the GEMM runs on `packed.owner`, which is
+  /// bitwise-identical to the gemm_fused path on the same backend.
+  void infer_packed_into(const Tensor& input, Tensor& out,
+                         const tensor::PackedWeights& packed,
+                         tensor::EpilogueAct act, float leaky_alpha) const;
+
+  /// infer_quantized_into() against caller-supplied packed panels (the
+  /// plan-compiled int8 head): same kernel, no per-call cache probe.
+  void infer_quantized_packed_into(const std::uint8_t* codes,
+                                   const tensor::QuantHeader& qh,
+                                   std::size_t batch, Tensor& out,
+                                   const tensor::PackedWeights& packed,
+                                   tensor::EpilogueAct act,
+                                   float leaky_alpha) const;
+
+  /// Packs this layer's weight for `backend` and reports the weight version
+  /// the panels captured — the compile-time half of InferPlan's pre-attached
+  /// kernels. Shares the layer's own prepack cache when it already holds
+  /// this (backend, version) generation, so plan compilation and serving
+  /// never pack the same weights twice.
+  std::shared_ptr<const tensor::PackedWeights> plan_pack(
+      const tensor::Backend& backend, std::uint64_t& version_out) const;
+
+  /// Monotonic weight generation; bumped by invalidate_weight_cache() and
+  /// every mutable accessor. InferPlan::weights_stale compares this against
+  /// the version its panels captured.
+  std::uint64_t weight_version() const noexcept {
+    return weight_version_.load(std::memory_order_acquire);
+  }
+
   /// When enabled, infer()/infer_fused() cache the current backend's
   /// packed weight panels keyed on a weight version and reuse them across
   /// calls (see Layer::set_weight_prepack for the invalidation contract).

@@ -1,0 +1,155 @@
+// InferPlan — a compile-once, execute-many inference plan for a frozen
+// layer chain.
+//
+// Sequential::infer_into re-discovers the chain's structure on every call:
+// it walks nested containers, skips identity layers, peepholes the
+// layer+activation fusion, and probes each layer's prepack cache (a mutex
+// acquisition plus a version compare) per batch. For a serving decoder that
+// structure is frozen the moment a snapshot is published — so InferPlan
+// does all of it exactly once:
+//
+//   * nested Sequential chains are flattened and identity layers dropped;
+//   * a following elementwise activation is fused into its producer op's
+//     kernel epilogue at compile time;
+//   * Dense/Conv2d weights are packed for the compile backend up front and
+//     pinned to the op — the executor never probes a cache, takes a lock,
+//     or checks a version;
+//   * the exact context-arena high-water across the chain is precomputed,
+//     so the first run() reserves once and the arena never grows.
+//
+// run() is then a branch-light loop over the flat op list, bitwise
+// identical to Sequential::infer_into on every backend: fusion uses the
+// same peephole rule, prepacked GEMMs are bitwise-identical to their
+// unpacked equivalents (see tensor/backend.h), and buffer ping-pong only
+// changes where bytes live, never their values.
+//
+// Compile triggers and sharing: ModelRegistry::publish compiles a plan per
+// snapshot version (under the snapshot's pinned backend) and stores it on
+// the immutable ModelSnapshot — every shard pinning that snapshot shares
+// one plan with no synchronization beyond the snapshot's shared_ptr.
+// EdgeServer compiles lazily for the registry-free decode path and
+// recompiles when weights_stale() reports a weight-version bump (training
+// steps, checkpoint loads). A compiled plan is immutable: it holds const
+// pointers into the model, so the model must outlive it and structural
+// mutation (Sequential::add) after compile is not supported.
+//
+// Registering a new op kind: implement Layer::infer_into (and
+// infer_fused_into if the kernel can take an epilogue), report any arena
+// scratch via Layer::infer_scratch_floats, and the plan executes it
+// through the generic entries; layers with a pack-once weight additionally
+// follow the Dense/Conv2d plan_pack pattern to get compile-time packing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/table.h"
+#include "nn/infer_context.h"
+#include "nn/layer.h"
+#include "obs/profile.h"
+#include "tensor/backend.h"
+
+namespace orco::nn {
+
+class Dense;
+class Conv2d;
+class Sequential;
+
+/// One compiled execution step: the resolved kernel entry (packed-Dense,
+/// packed-Conv2d, fused-generic or plain infer_into), the epilogue folded
+/// in at compile time, and the pre-packed weight panels it runs against.
+struct PlanOp {
+  const Layer* layer = nullptr;  // executing leaf layer
+  const Dense* dense = nullptr;  // set when layer is a Dense
+  const Conv2d* conv = nullptr;  // set when layer is a Conv2d
+  /// Panels packed at compile for the plan backend; null for layers
+  /// without a pack-once weight.
+  std::shared_ptr<const tensor::PackedWeights> packed;
+  /// Weight version `packed` captured — weights_stale() compares it
+  /// against the layer's live version.
+  std::uint64_t packed_version = 0;
+  tensor::EpilogueAct act = tensor::EpilogueAct::kNone;
+  float leaky_alpha = 0.01f;
+  /// True when a following activation layer was folded into this op (the
+  /// Sequential peephole); false ops run plain infer_into.
+  bool fused = false;
+  /// Index into the flattened source chain, for diagnostics.
+  std::size_t source_index = 0;
+};
+
+class InferPlan {
+ public:
+  /// Compiles `model`'s flattened inference chain for `backend` (null =
+  /// the calling thread's current backend). Packs Dense/Conv2d weights up
+  /// front; the model must outlive the returned plan and must not be
+  /// structurally mutated afterwards. Weight-value mutation is allowed —
+  /// run() then still executes (reading the stale panels), and
+  /// weights_stale() tells owners of mutable models when to recompile.
+  static std::shared_ptr<const InferPlan> compile(
+      const Sequential& model, const tensor::Backend* backend = nullptr);
+
+  InferPlan(const InferPlan&) = delete;
+  InferPlan& operator=(const InferPlan&) = delete;
+
+  /// Executes the plan: `input` ping-pongs through the context buffers and
+  /// the final op writes `out`. Bitwise identical to
+  /// Sequential::infer_into on the compile backend. `out` must not alias
+  /// `input`, and may alias a context buffer only for single-op (or empty)
+  /// plans — multi-op plans need both buffers for intermediates. The
+  /// first call reserves the precomputed arena high-water; after one
+  /// warmup pass at the workload's largest batch, repeat runs perform
+  /// zero heap allocations.
+  void run(const Tensor& input, Tensor& out, InferContext& ctx) const;
+
+  /// Executes the plan straight from uint8 latent codes (the int8 uplink
+  /// head): a Dense head op feeds Backend::gemm_quantized via its
+  /// pre-attached panels; otherwise the codes are dequantized
+  /// (x = lo + q*scale) into the context input buffer and the float plan
+  /// runs. Bitwise identical to Sequential::infer_quantized_into.
+  void run_quantized(const std::uint8_t* codes, const tensor::QuantHeader& qh,
+                     std::size_t batch, std::size_t features, Tensor& out,
+                     InferContext& ctx) const;
+
+  /// True when any op's pre-packed panels no longer match its layer's live
+  /// weight version (a training step or checkpoint load happened since
+  /// compile). Owners of mutable models (EdgeServer) check this to decide
+  /// when to recompile; snapshot plans are immutable and never stale.
+  bool weights_stale() const noexcept;
+
+  /// Compiled op count (identity layers dropped, fused pairs are one op).
+  std::size_t size() const noexcept { return ops_.size(); }
+  const std::vector<PlanOp>& ops() const noexcept { return ops_; }
+
+  /// The backend the plan was compiled (and weights packed) for.
+  const tensor::Backend& backend() const noexcept { return *backend_; }
+
+  /// Exact context-arena high-water of one run(), in floats (already
+  /// rounded to the Workspace allocation grain).
+  std::size_t scratch_floats() const noexcept { return scratch_floats_; }
+
+  /// Per-op execution profile accumulated while obs::kernel_profiling is
+  /// enabled: op | kernel | calls | total ms | mean us. Replaces
+  /// Sequential's per-layer table on the serving path. Rows with zero
+  /// calls are omitted.
+  common::Table op_profile_table() const;
+  /// Zeroes the per-op profile accumulators.
+  void reset_op_profile() const;
+
+ private:
+  InferPlan() = default;
+
+  /// The executor loop over ops [start, ...): shared by run() and the
+  /// quantized entry's tail.
+  void run_ops(const Tensor* cur, std::size_t start, Tensor& out,
+               InferContext& ctx) const;
+
+  std::vector<PlanOp> ops_;
+  const tensor::Backend* backend_ = nullptr;
+  std::size_t scratch_floats_ = 0;
+  // One cache-line-padded timer per op; mutable because profiling a const
+  // execution is still logically const.
+  std::unique_ptr<obs::OpTimer[]> timers_;
+};
+
+}  // namespace orco::nn

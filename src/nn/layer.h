@@ -85,6 +85,13 @@ class Layer {
   /// a buffer copy per batch.
   virtual bool infer_is_identity() const { return false; }
 
+  /// Upper bound on the context-arena floats one infer_into() call bump-
+  /// allocates (im2col column slabs and the like). Batch-independent by
+  /// construction: spatial layers allocate per-sample scratch once and
+  /// reuse it across the batch. InferPlan::compile takes the max over a
+  /// chain to reserve the arena's exact high-water up front.
+  virtual std::size_t infer_scratch_floats() const { return 0; }
+
   /// Compatibility wrapper over infer_into(): allocates a context (and the
   /// result) on the fly. Correct everywhere; hot paths that care about
   /// steady-state allocations hold a long-lived InferContext and call

@@ -6,15 +6,40 @@
 #include "common/check.h"
 #include "nn/activations.h"
 #include "nn/dense.h"
-#include "obs/profile.h"
 
 namespace orco::nn {
 
 Layer& Sequential::add(LayerPtr layer) {
   ORCO_CHECK(layer != nullptr, "cannot add null layer");
   layers_.push_back(std::move(layer));
-  layer_timers_.push_back(std::make_unique<LayerTimer>());
+  rebuild_inference_chain();
   return *layers_.back();
+}
+
+void Sequential::rebuild_inference_chain() {
+  flat_.clear();
+  for (const auto& l : layers_) {
+    if (const auto* seq = dynamic_cast<const Sequential*>(l.get())) {
+      // The nested chain is already flat (it was rebuilt on its own adds);
+      // splice its leaves so inference never calls into a nested container.
+      flat_.insert(flat_.end(), seq->flat_.begin(), seq->flat_.end());
+    } else {
+      flat_.push_back(l.get());
+    }
+  }
+  first_real_ = kNoReal;
+  last_real_ = kNoReal;
+  for (std::size_t i = 0; i < flat_.size(); ++i) {
+    if (!flat_[i]->infer_is_identity()) {
+      if (first_real_ == kNoReal) first_real_ = i;
+      last_real_ = i;
+    }
+  }
+  layer_timers_.clear();
+  layer_timers_.reserve(flat_.size());
+  for (std::size_t i = 0; i < flat_.size(); ++i) {
+    layer_timers_.push_back(std::make_unique<obs::OpTimer>());
+  }
 }
 
 Tensor Sequential::forward(const Tensor& input, bool training) {
@@ -27,32 +52,31 @@ void Sequential::infer_into(const Tensor& input, Tensor& out,
                             InferContext& ctx) const {
   ORCO_CHECK(&out != &input,
              "Sequential::infer_into output may not alias its input");
-  // Index of the last layer that actually computes at inference; identity
-  // layers (noise, Identity) after it are skipped, so the step containing
-  // it is the one that writes `out` directly.
-  std::size_t last_real = layers_.size();
-  for (std::size_t i = 0; i < layers_.size(); ++i) {
-    if (!layers_[i]->infer_is_identity()) last_real = i;
-  }
-  if (last_real == layers_.size()) {
+  if (last_real_ == kNoReal) {
     // Empty chain or all-identity: the pass is a copy.
     out.resize_like(input);
     std::copy(input.data().begin(), input.data().end(), out.data().begin());
     return;
   }
-  // Nested-Sequential escape hatch: when `out` is one of the context's
-  // ping-pong buffers (an outer Sequential handed us its intermediate), a
-  // multi-step chain has at most one buffer left to alternate through —
-  // not enough. Fall back to the allocating compat path; a flat model
-  // (every model this repository builds) never takes this branch.
-  if (ctx.owns(out) && last_real > 0) {
-    Tensor result = infer(input);
-    out.resize_like(result);
-    std::copy(result.data().begin(), result.data().end(), out.data().begin());
-    return;
-  }
+  run_chain(&input, 0, last_real_, out, ctx);
+}
 
-  run_chain(&input, 0, last_real, out, ctx);
+std::size_t Sequential::count_steps(std::size_t start,
+                                    std::size_t last_real) const {
+  std::size_t steps = 0;
+  for (std::size_t i = start; i < flat_.size(); ++i) {
+    if (flat_[i]->infer_is_identity()) continue;
+    std::size_t step_end = i;
+    float leaky_alpha = 0.01f;
+    if (i + 1 < flat_.size() &&
+        activation_epilogue(*flat_[i + 1], leaky_alpha)) {
+      step_end = i + 1;
+    }
+    ++steps;
+    if (last_real <= step_end) break;
+    i = step_end;
+  }
+  return steps;
 }
 
 // Peephole fusion, ping-pong buffer plan: a layer followed by an
@@ -60,7 +84,7 @@ void Sequential::infer_into(const Tensor& input, Tensor& out,
 // layers (Dense, Conv2d) push the activation into the kernel epilogue,
 // halving the memory traffic of the serving decode path; everything else
 // falls back to compute-then-apply, which is always equivalent. Each step
-// reads the previous step's buffer and writes the context's other buffer
+// reads the previous step's buffer and writes the other context buffer
 // (the step containing `last_real` writes `out`), so after warmup a whole
 // pass touches no allocator. The training-mode forward() stays unfused
 // because backward needs the pre-activation.
@@ -68,30 +92,52 @@ void Sequential::run_chain(const Tensor* cur, std::size_t start,
                            std::size_t last_real, Tensor& out,
                            InferContext& ctx) const {
   const bool profile = obs::kernel_profiling_enabled();
-  for (std::size_t i = start; i < layers_.size(); ++i) {
-    if (layers_[i]->infer_is_identity()) continue;
+  // Intermediate destinations alternate between the two context buffers;
+  // by default the first one is the partner of whatever the input aliases
+  // (buffer 0 for external inputs). When `out` itself aliases a context
+  // buffer the final step must read the OTHER buffer, which pins the
+  // intermediate sequence's parity: pick the first destination by walking
+  // the step count backwards, and reject the one layout two buffers cannot
+  // express (input pinned to one buffer, output to the other, wrong
+  // parity) loudly instead of silently falling back to an allocating path.
+  Tensor* next_dst = &ctx.other_than(*cur);
+  if (ctx.owns(out)) {
+    const std::size_t steps = count_steps(start, last_real);
+    if (steps > 1) {
+      Tensor& notout = ctx.other_than(out);
+      Tensor* first = ((steps - 1) % 2 == 1) ? &notout : &out;
+      ORCO_CHECK(first != cur,
+                 "Sequential::infer_into: output aliases a context buffer "
+                 "with a step parity two ping-pong buffers cannot express; "
+                 "pass an external output tensor");
+      next_dst = first;
+    }
+  }
+  for (std::size_t i = start; i < flat_.size(); ++i) {
+    if (flat_[i]->infer_is_identity()) continue;
     std::size_t step_end = i;
     float leaky_alpha = 0.01f;
     std::optional<tensor::EpilogueAct> epi;
-    if (i + 1 < layers_.size()) {
-      epi = activation_epilogue(*layers_[i + 1], leaky_alpha);
+    if (i + 1 < flat_.size()) {
+      epi = activation_epilogue(*flat_[i + 1], leaky_alpha);
       if (epi) step_end = i + 1;
     }
     const bool last = last_real <= step_end;
-    Tensor& dst = last ? out : ctx.other_than(*cur);
+    Tensor& dst = last ? out : *next_dst;
     const std::uint64_t t0 = profile ? obs::KernelTimer::now_ns() : 0;
     if (epi) {
-      layers_[i]->infer_fused_into(*cur, dst, *epi, leaky_alpha, ctx);
+      flat_[i]->infer_fused_into(*cur, dst, *epi, leaky_alpha, ctx);
     } else {
-      layers_[i]->infer_into(*cur, dst, ctx);
+      flat_[i]->infer_into(*cur, dst, ctx);
     }
     if (profile) {
-      LayerTimer& timer = *layer_timers_[i];
+      obs::OpTimer& timer = *layer_timers_[i];
       timer.ns.fetch_add(obs::KernelTimer::now_ns() - t0,
                          std::memory_order_relaxed);
       timer.calls.fetch_add(1, std::memory_order_relaxed);
     }
     cur = &dst;
+    next_dst = &ctx.other_than(dst);
     i = step_end;
   }
 }
@@ -100,14 +146,6 @@ void Sequential::infer_quantized_into(const std::uint8_t* codes,
                                       const tensor::QuantHeader& qh,
                                       std::size_t batch, std::size_t features,
                                       Tensor& out, InferContext& ctx) const {
-  std::size_t first_real = layers_.size();
-  std::size_t last_real = layers_.size();
-  for (std::size_t i = 0; i < layers_.size(); ++i) {
-    if (!layers_[i]->infer_is_identity()) {
-      if (first_real == layers_.size()) first_real = i;
-      last_real = i;
-    }
-  }
   // Dequantizes with the exact expression the fused kernel applies
   // (x = lo + q*scale, single-float), so every branch below produces the
   // same head-input values.
@@ -123,16 +161,15 @@ void Sequential::infer_quantized_into(const std::uint8_t* codes,
       }
     }
   };
-  if (last_real == layers_.size()) {
+  if (last_real_ == kNoReal) {
     // Empty chain or all-identity: the pass is just the dequantization.
     dequant_to(out);
     return;
   }
-  const auto* head = dynamic_cast<const Dense*>(layers_[first_real].get());
-  if (head == nullptr || (ctx.owns(out) && last_real > first_real)) {
-    // No Dense head to feed codes into (or the nested-Sequential buffer
-    // squeeze — see infer_into): dequantize into the context's input
-    // buffer and run the ordinary float chain.
+  const auto* head = dynamic_cast<const Dense*>(flat_[first_real_]);
+  if (head == nullptr) {
+    // No Dense head to feed codes into: dequantize into the context's
+    // input buffer and run the ordinary float chain.
     dequant_to(ctx.input());
     infer_into(ctx.input(), out, ctx);
     return;
@@ -143,17 +180,17 @@ void Sequential::infer_quantized_into(const std::uint8_t* codes,
   // Dense head fast path: the GEMM reads the uint8 codes directly,
   // dequantizing inside A-panel packing — the batch is never materialized
   // as floats. Keep the activation peephole for the head step.
-  std::size_t step_end = first_real;
+  std::size_t step_end = first_real_;
   float leaky_alpha = 0.01f;
   tensor::EpilogueAct act = tensor::EpilogueAct::kNone;
-  if (first_real + 1 < layers_.size()) {
+  if (first_real_ + 1 < flat_.size()) {
     if (const auto epi =
-            activation_epilogue(*layers_[first_real + 1], leaky_alpha)) {
+            activation_epilogue(*flat_[first_real_ + 1], leaky_alpha)) {
       act = *epi;
-      step_end = first_real + 1;
+      step_end = first_real_ + 1;
     }
   }
-  const bool last = last_real <= step_end;
+  const bool last = last_real_ <= step_end;
   // The codes live outside the context, so input() is free to hold the
   // head's output for the rest of the chain to ping-pong from.
   Tensor& dst = last ? out : ctx.input();
@@ -161,23 +198,23 @@ void Sequential::infer_quantized_into(const std::uint8_t* codes,
   const std::uint64_t t0 = profile ? obs::KernelTimer::now_ns() : 0;
   head->infer_quantized_into(codes, qh, batch, dst, act, leaky_alpha, ctx);
   if (profile) {
-    LayerTimer& timer = *layer_timers_[first_real];
+    obs::OpTimer& timer = *layer_timers_[first_real_];
     timer.ns.fetch_add(obs::KernelTimer::now_ns() - t0,
                        std::memory_order_relaxed);
     timer.calls.fetch_add(1, std::memory_order_relaxed);
   }
-  if (!last) run_chain(&dst, step_end + 1, last_real, out, ctx);
+  if (!last) run_chain(&dst, step_end + 1, last_real_, out, ctx);
 }
 
 common::Table Sequential::layer_profile_table() const {
   common::Table table({"layer", "name", "calls", "total ms", "mean us"});
-  for (std::size_t i = 0; i < layers_.size(); ++i) {
+  for (std::size_t i = 0; i < flat_.size(); ++i) {
     const std::uint64_t calls =
         layer_timers_[i]->calls.load(std::memory_order_relaxed);
     if (calls == 0) continue;
     const std::uint64_t ns =
         layer_timers_[i]->ns.load(std::memory_order_relaxed);
-    table.add_row({std::to_string(i), layers_[i]->name(),
+    table.add_row({std::to_string(i), flat_[i]->name(),
                    std::to_string(calls),
                    common::Table::num(static_cast<double>(ns) / 1e6, 3),
                    common::Table::num(static_cast<double>(ns) / 1e3 /

@@ -2,13 +2,13 @@
 // DCSNet and the classifier.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <utility>
 
 #include "common/table.h"
 #include "nn/layer.h"
+#include "obs/profile.h"
 
 namespace orco::nn {
 
@@ -16,7 +16,10 @@ class Sequential : public Layer {
  public:
   Sequential() = default;
 
-  /// Appends a layer; returns a reference for further wiring.
+  /// Appends a layer; returns a reference for further wiring. Rebuilds the
+  /// flattened inference chain: a nested Sequential contributes its leaf
+  /// layers in order, so nested chains must be fully built before being
+  /// added to an outer chain.
   Layer& add(LayerPtr layer);
 
   /// Constructs a layer in place and appends it.
@@ -31,12 +34,16 @@ class Sequential : public Layer {
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& grad_output) override;
 
-  /// Whole-chain inference into `out`: plans the buffer ping-pong once
-  /// (layer i reads one context buffer, writes the other; the final layer
-  /// writes `out` directly), keeps the fused layer+activation peephole, and
-  /// skips inference-identity layers (noise) outright. After warmup —
-  /// one pass at the workload's largest batch — repeat passes through the
-  /// same context perform zero heap allocations.
+  /// Whole-chain inference into `out`: runs the flattened leaf chain with
+  /// the fused layer+activation peephole, ping-ponging between the
+  /// context's two buffers (the final step writes `out` directly) and
+  /// skipping inference-identity layers (noise) outright. Nested
+  /// Sequential containers are flattened at add() time, so a nested chain
+  /// executes exactly like its flat equivalent — no inner infer_into call,
+  /// no allocation. After warmup — one pass at the workload's largest
+  /// batch — repeat passes through the same context perform zero heap
+  /// allocations. Snapshot serving paths use the ahead-of-time compiled
+  /// equivalent, InferPlan (see nn/infer_plan.h), instead.
   void infer_into(const Tensor& input, Tensor& out,
                   InferContext& ctx) const override;
 
@@ -65,6 +72,13 @@ class Sequential : public Layer {
   Layer& layer(std::size_t i);
   const Layer& layer(std::size_t i) const;
 
+  /// The inference-time view of the chain: nested Sequential containers
+  /// flattened to their leaf layers in order (identity layers included).
+  /// This is what infer_into executes and what InferPlan::compile walks.
+  const std::vector<const Layer*>& inference_chain() const noexcept {
+    return flat_;
+  }
+
   /// Total trainable scalar count (for overhead accounting).
   std::size_t parameter_count();
 
@@ -73,30 +87,41 @@ class Sequential : public Layer {
   /// Per-layer inference time profile, accumulated by infer_into while
   /// obs::kernel_profiling is enabled (zero cost otherwise): layer | name |
   /// calls | total ms | mean us. A fused layer+activation step is
-  /// attributed to the compute layer. Rows with zero calls are omitted.
+  /// attributed to the compute layer; rows index the flattened chain.
+  /// Rows with zero calls are omitted.
   common::Table layer_profile_table() const;
   /// Zeroes the per-layer profile accumulators.
   void reset_layer_profile() const;
 
  private:
+  /// "No real layer" sentinel for the cached chain scans.
+  static constexpr std::size_t kNoReal = static_cast<std::size_t>(-1);
+
+  /// Rebuilds flat_, the cached first/last-real-layer scan and the per-step
+  /// timers. Called from add() — the only structural mutation point.
+  void rebuild_inference_chain();
+
   /// The fused ping-pong execution loop shared by infer_into and the
-  /// quantized entry: runs layers [start, end] with `cur` as the incoming
-  /// activation, writing the step containing `last_real` to `out`.
+  /// quantized entry: runs flattened layers [start, ...] with `cur` as the
+  /// incoming activation, writing the step containing `last_real` to `out`.
   void run_chain(const Tensor* cur, std::size_t start, std::size_t last_real,
                  Tensor& out, InferContext& ctx) const;
 
-  /// One layer's inference-time accumulator; padded so concurrent shard
-  /// workers timing a shared (snapshot) decoder never share a line.
-  struct alignas(64) LayerTimer {
-    std::atomic<std::uint64_t> ns{0};
-    std::atomic<std::uint64_t> calls{0};
-  };
+  /// Number of fused execution steps run_chain would take from `start`
+  /// through `last_real` — structural only, used to pick ping-pong parity
+  /// when `out` aliases a context buffer.
+  std::size_t count_steps(std::size_t start, std::size_t last_real) const;
 
   std::vector<LayerPtr> layers_;
-  // One timer per layer, created in add() (atomics are immovable, hence the
+  // Flattened leaf view of layers_ (nested Sequentials expanded), plus the
+  // cached identity scan over it — recomputed in add() instead of per call.
+  std::vector<const Layer*> flat_;
+  std::size_t first_real_ = kNoReal;  // first non-identity index into flat_
+  std::size_t last_real_ = kNoReal;   // last non-identity index into flat_
+  // One timer per flattened step (atomics are immovable, hence the
   // unique_ptr); mutable because timing a const inference pass is still
   // logically const.
-  mutable std::vector<std::unique_ptr<LayerTimer>> layer_timers_;
+  mutable std::vector<std::unique_ptr<obs::OpTimer>> layer_timers_;
 };
 
 }  // namespace orco::nn

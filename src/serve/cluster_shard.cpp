@@ -343,21 +343,23 @@ void ClusterShard::serve_batch(std::vector<PendingRequest> batch) {
   const auto decode_start = std::chrono::steady_clock::now();
   record_assembly(decode_start);
   try {
+    // Snapshot batches execute the snapshot's compiled InferPlan (every
+    // published snapshot carries one — fused ops, pre-packed panels, zero
+    // per-batch planning); the registry-free path goes through EdgeServer,
+    // which maintains its own plan.
     if (use_int8) {
       const tensor::QuantHeader qh{q_lo_.data(), q_scale_.data()};
       if (snapshot != nullptr) {
         tensor::BackendScope tenant_scope(snapshot->backend);
-        snapshot->decoder->infer_quantized_into(q_codes_.data(), qh, rows,
-                                                latent_dim, decode_out_,
-                                                infer_ctx_);
+        snapshot->plan->run_quantized(q_codes_.data(), qh, rows, latent_dim,
+                                      decode_out_, infer_ctx_);
       } else {
         tenant->system->edge().decode_inference_quantized(
             q_codes_.data(), qh, rows, decode_out_, infer_ctx_);
       }
     } else if (snapshot != nullptr) {
       tensor::BackendScope tenant_scope(snapshot->backend);
-      snapshot->decoder->infer_into(infer_ctx_.input(), decode_out_,
-                                    infer_ctx_);
+      snapshot->plan->run(infer_ctx_.input(), decode_out_, infer_ctx_);
     } else {
       tenant->system->edge().decode_inference(infer_ctx_.input(), decode_out_,
                                               infer_ctx_);

@@ -79,6 +79,11 @@ class Workspace {
   /// overflow and the next reset().
   std::size_t block_count() const noexcept { return blocks_.size(); }
 
+  /// Rounds `n` up to the arena's allocation grain (64-byte lines), i.e.
+  /// the capacity one alloc(n) actually consumes. Lets plan compilers
+  /// precompute an exact high-water from per-layer scratch requirements.
+  static std::size_t aligned_floats(std::size_t n) { return aligned(n); }
+
  private:
   struct Block {
     std::vector<float> storage;  // size + alignment slack

@@ -31,6 +31,14 @@ std::uint64_t ModelRegistry::publish(ClusterId cluster,
              "snapshot for cluster " << cluster << " has no decoder");
   ORCO_CHECK(snapshot->latent_dim > 0 && snapshot->output_dim > 0,
              "snapshot dims must be positive");
+  if (snapshot->plan == nullptr) {
+    // Compile once per published version, outside the lock — the plan is
+    // what shards execute, so every snapshot must carry one. Pack under
+    // the snapshot's pinned backend (the one shards will decode with);
+    // null falls through to the publisher's current backend.
+    snapshot->plan = nn::InferPlan::compile(*snapshot->decoder,
+                                            snapshot->backend);
+  }
   std::shared_ptr<const ModelSnapshot> installed;
   PublishHook hook;
   std::uint64_t version = 0;

@@ -24,6 +24,7 @@
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "nn/infer_plan.h"
 #include "nn/sequential.h"
 #include "tensor/backend.h"
 
@@ -45,6 +46,12 @@ struct ModelSnapshot {
   /// Kernel backend the exporting tenant pinned (OrcoConfig::backend);
   /// nullptr inherits the serving shard's selection.
   const tensor::Backend* backend = nullptr;
+  /// Compiled-once inference plan over `decoder` — the executor every
+  /// shard pinning this snapshot runs (see nn/infer_plan.h). Publishers
+  /// may pre-compile it (TrainerRuntime does, under the serving backend);
+  /// ModelRegistry::publish compiles it when absent, so a published
+  /// snapshot always carries one. Immutable and shared like the snapshot.
+  std::shared_ptr<const nn::InferPlan> plan;
   std::chrono::steady_clock::time_point published_at;
 
   /// Age of this snapshot (how stale the served model is) in microseconds.

@@ -272,23 +272,27 @@ std::uint64_t TrainerRuntime::export_and_publish(ClusterId cluster,
     return 0;
   }
   std::unique_ptr<nn::Sequential> decoder = system.export_decoder_clone();
-  if (orco.prepack_decoder) {
-    decoder->set_weight_prepack(true);
-    // Warm the packed-panel cache before the swap, under the backend the
-    // serving shards will decode on, so the first post-swap decode pays no
-    // packing cost — repacking inline on the serve path is a tail-latency
-    // spike exactly at the swap edge. Precedence mirrors serve_batch's
+  if (orco.prepack_decoder) decoder->set_weight_prepack(true);
+  snapshot->decoder =
+      std::shared_ptr<const nn::Sequential>(std::move(decoder));
+  {
+    // Compile the snapshot's inference plan before the swap, under the
+    // backend the serving shards will decode on — packing the decoder
+    // weights at publish time, so the first post-swap decode pays no
+    // packing cost (repacking inline on the serve path is a tail-latency
+    // spike exactly at the swap edge). Precedence mirrors serve_batch's
     // scope nesting (most specific wins): the tenant's own backend
     // overrides the shard-level one, which overrides the process default.
     const tensor::Backend* warm = system.edge().backend();
     if (warm == nullptr) warm = tensor::resolve_backend(config_.serve_backend);
+    snapshot->plan = nn::InferPlan::compile(*snapshot->decoder, warm);
+    // One 1-row pass warms the plan's arena reservation and the context
+    // buffers that post-swap decodes will reuse.
     tensor::BackendScope scope(warm);
     const tensor::Tensor warm_latent({1, orco.latent_dim});
     tensor::Tensor warm_out;
-    decoder->infer_into(warm_latent, warm_out, tenant.infer_ctx);
+    snapshot->plan->run(warm_latent, warm_out, tenant.infer_ctx);
   }
-  snapshot->decoder =
-      std::shared_ptr<const nn::Sequential>(std::move(decoder));
   snapshot->encoder =
       std::shared_ptr<const nn::Sequential>(system.export_encoder_clone());
   snapshot->latent_dim = orco.latent_dim;

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <memory>
 #include <new>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "nn/conv_transpose2d.h"
 #include "nn/dense.h"
 #include "nn/infer_context.h"
+#include "nn/infer_plan.h"
 #include "nn/pooling.h"
 #include "nn/sequential.h"
 #include "obs/config.h"
@@ -336,6 +338,150 @@ TEST(ZeroAllocTest, WarmedQuantizedDecodeMakesNoHeapAllocations) {
     small_allocs = CountAllocs::count();
   }
   EXPECT_EQ(small_allocs, 0u);
+}
+
+TEST(ZeroAllocTest, WarmedPlanExecutorMakesNoHeapAllocations) {
+  // The compiled-plan executor must meet the same bar as (and eventually
+  // replaces) Sequential::infer_into on serving paths: after one warmup
+  // run at the high-water batch, run() touches no allocator — kernels come
+  // pre-resolved, panels pre-packed, the arena pre-reserved.
+  SerialBlockedScope kernels;
+  common::Pcg32 rng(37);
+  nn::Sequential model;
+  model.emplace<nn::Dense>(16, 64, rng);
+  model.emplace<nn::ReLU>();
+  model.emplace<nn::Dense>(64, 64, rng);
+  model.emplace<nn::Sigmoid>();
+
+  const auto plan = nn::InferPlan::compile(model);
+  InferContext ctx;
+  Tensor out;
+  const Tensor x = Tensor::randn({8, 16}, rng);
+  plan->run(x, out, ctx);
+  plan->run(x, out, ctx);
+
+  std::uint64_t allocs = 0;
+  {
+    CountAllocs counter;
+    for (int i = 0; i < 16; ++i) plan->run(x, out, ctx);
+    allocs = CountAllocs::count();
+  }
+  EXPECT_EQ(allocs, 0u);
+
+  // Quantized head entry through the same warmed plan and context.
+  std::vector<std::uint8_t> codes(8 * 16);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    codes[i] = static_cast<std::uint8_t>((i * 53 + 5) & 0xFF);
+  }
+  std::vector<float> lo(8, -0.5f), scale(8, 1.5f / 255.0f);
+  const tensor::QuantHeader qh{lo.data(), scale.data()};
+  plan->run_quantized(codes.data(), qh, 8, 16, out, ctx);
+  std::uint64_t q_allocs = 0;
+  {
+    CountAllocs counter;
+    for (int i = 0; i < 16; ++i) {
+      plan->run_quantized(codes.data(), qh, 8, 16, out, ctx);
+    }
+    q_allocs = CountAllocs::count();
+  }
+  EXPECT_EQ(q_allocs, 0u);
+}
+
+TEST(ZeroAllocTest, WarmedConvPlanExecutorMakesNoHeapAllocations) {
+  // Conv plans carry arena scratch (im2col): the compile-time high-water
+  // makes the first run() reserve once, so warmed runs stay off the
+  // allocator with zero arena growth.
+  SerialBlockedScope kernels;
+  common::Pcg32 rng(43);
+  nn::Sequential model;
+  model.emplace<nn::Conv2d>(1, 4, 3, 1, 1, 8, 8, rng);
+  model.emplace<nn::ReLU>();
+  model.emplace<nn::ConvTranspose2d>(4, 1, 2, 2, 0, 8, 8, rng);
+  model.emplace<nn::Sigmoid>();
+
+  const auto plan = nn::InferPlan::compile(model);
+  InferContext ctx;
+  Tensor out;
+  const Tensor x = Tensor::randn({4, 64}, rng);
+  plan->run(x, out, ctx);
+  plan->run(x, out, ctx);
+
+  std::uint64_t allocs = 0;
+  {
+    CountAllocs counter;
+    for (int i = 0; i < 8; ++i) plan->run(x, out, ctx);
+    allocs = CountAllocs::count();
+  }
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(ZeroAllocTest, NestedChainDecodesZeroAllocAndBitwiseEqualToFlat) {
+  // Regression for the retired nested-Sequential escape hatch, which
+  // round-tripped every inner layer through freshly allocated tensors:
+  // nested containers now flatten at add() time, so a nested chain decodes
+  // exactly like its flat equivalent — same bits, zero allocations.
+  SerialBlockedScope kernels;
+
+  nn::Sequential flat;
+  {
+    common::Pcg32 rng(47);
+    flat.emplace<nn::Dense>(16, 48, rng);
+    flat.emplace<nn::ReLU>();
+    flat.emplace<nn::Dense>(48, 48, rng);
+    flat.emplace<nn::LeakyReLU>(0.05f);
+    flat.emplace<nn::Dense>(48, 64, rng);
+    flat.emplace<nn::Sigmoid>();
+  }
+  nn::Sequential nested;
+  {
+    // Same seed stream -> identical weights, nested one level deep.
+    common::Pcg32 rng(47);
+    nested.emplace<nn::Dense>(16, 48, rng);
+    nested.emplace<nn::ReLU>();
+    auto inner = std::make_unique<nn::Sequential>();
+    inner->emplace<nn::Dense>(48, 48, rng);
+    inner->emplace<nn::LeakyReLU>(0.05f);
+    inner->emplace<nn::Dense>(48, 64, rng);
+    nested.add(std::move(inner));
+    nested.emplace<nn::Sigmoid>();
+  }
+  flat.set_weight_prepack(true);
+  nested.set_weight_prepack(true);
+
+  common::Pcg32 data_rng(51);
+  const Tensor x = Tensor::randn({8, 16}, data_rng);
+  InferContext flat_ctx, nested_ctx;
+  Tensor flat_out, nested_out;
+  flat.infer_into(x, flat_out, flat_ctx);
+  nested.infer_into(x, nested_out, nested_ctx);
+  ASSERT_EQ(nested_out.shape(), flat_out.shape());
+  for (std::size_t i = 0; i < nested_out.numel(); ++i) {
+    ASSERT_EQ(nested_out[i], flat_out[i]) << "elem " << i;
+  }
+
+  nested.infer_into(x, nested_out, nested_ctx);  // warmup
+  std::uint64_t allocs = 0;
+  {
+    CountAllocs counter;
+    for (int i = 0; i < 16; ++i) nested.infer_into(x, nested_out, nested_ctx);
+    allocs = CountAllocs::count();
+  }
+  EXPECT_EQ(allocs, 0u);
+
+  // The plan compiled from the nested chain meets the same bar.
+  const auto plan = nn::InferPlan::compile(nested);
+  Tensor plan_out;
+  plan->run(x, plan_out, nested_ctx);
+  for (std::size_t i = 0; i < plan_out.numel(); ++i) {
+    ASSERT_EQ(plan_out[i], flat_out[i]) << "plan elem " << i;
+  }
+  std::uint64_t plan_allocs = 0;
+  {
+    CountAllocs counter;
+    for (int i = 0; i < 16; ++i) plan->run(x, plan_out, nested_ctx);
+    plan_allocs = CountAllocs::count();
+  }
+  EXPECT_EQ(plan_allocs, 0u);
 }
 
 TEST(ZeroAllocTest, WarmedConvDecodeMakesNoHeapAllocations) {

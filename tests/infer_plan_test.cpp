@@ -1,0 +1,347 @@
+// Tests for InferPlan, the compile-once inference plan (nn/infer_plan.h):
+// compile-time structure (identity layers dropped, activations fused,
+// packed panels pre-attached), bitwise parity with Sequential::infer_into
+// across all three backends and odd shapes, the int8 quantized head,
+// all-identity chains, nested-chain flattening, weight-staleness
+// detection, and the precomputed arena high-water.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/conv_transpose2d.h"
+#include "nn/dense.h"
+#include "nn/infer_context.h"
+#include "nn/infer_plan.h"
+#include "nn/noise.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "tensor/backend.h"
+
+namespace orco {
+namespace {
+
+using nn::InferContext;
+using nn::InferPlan;
+using tensor::Tensor;
+
+/// The three real backends every parity claim must hold on.
+std::vector<const tensor::Backend*> all_backends() {
+  return {&tensor::reference_backend(), &tensor::blocked_backend(),
+          &tensor::simd_backend()};
+}
+
+/// Odd-shaped Dense chain (no power-of-two dims, every epilogue kind) —
+/// identical weights for every call with the same seed.
+std::unique_ptr<nn::Sequential> make_odd_dense_model(std::uint64_t seed) {
+  common::Pcg32 rng(seed);
+  auto model = std::make_unique<nn::Sequential>();
+  model->emplace<nn::Dense>(13, 37, rng);
+  model->emplace<nn::ReLU>();
+  model->emplace<nn::Dense>(37, 29, rng);
+  model->emplace<nn::LeakyReLU>(0.07f);
+  model->emplace<nn::Dense>(29, 23, rng);
+  model->emplace<nn::Tanh>();
+  model->emplace<nn::Dense>(23, 31, rng);
+  model->emplace<nn::Sigmoid>();
+  return model;
+}
+
+void expect_bitwise_equal(const Tensor& got, const Tensor& want,
+                          const char* what) {
+  ASSERT_EQ(got.shape(), want.shape()) << what;
+  for (std::size_t i = 0; i < got.numel(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << what << " elem " << i;
+  }
+}
+
+TEST(InferPlanTest, CompileDropsIdentityAndFusesActivations) {
+  common::Pcg32 rng(41);
+  nn::Sequential model;
+  model.emplace<nn::GaussianNoise>(0.1f, common::Pcg32(1));
+  model.emplace<nn::Dense>(16, 32, rng);
+  model.emplace<nn::ReLU>();
+  model.emplace<nn::Dense>(32, 24, rng);
+  model.emplace<nn::LeakyReLU>(0.05f);
+  model.emplace<nn::Dense>(24, 8, rng);
+  model.emplace<nn::Sigmoid>();
+
+  const auto plan = InferPlan::compile(model, &tensor::blocked_backend());
+  // Noise dropped, each Dense+activation pair fused: 7 layers -> 3 ops.
+  ASSERT_EQ(plan->size(), 3u);
+  EXPECT_EQ(&plan->backend(), &tensor::blocked_backend());
+  const tensor::EpilogueAct acts[] = {tensor::EpilogueAct::kReLU,
+                                      tensor::EpilogueAct::kLeakyReLU,
+                                      tensor::EpilogueAct::kSigmoid};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const nn::PlanOp& op = plan->ops()[i];
+    EXPECT_TRUE(op.fused) << "op " << i;
+    EXPECT_EQ(op.act, acts[i]) << "op " << i;
+    ASSERT_NE(op.dense, nullptr) << "op " << i;
+    EXPECT_EQ(op.conv, nullptr) << "op " << i;
+    // Panels packed at compile, pinned to the compile backend.
+    ASSERT_NE(op.packed, nullptr) << "op " << i;
+    EXPECT_EQ(op.packed->owner, &tensor::blocked_backend()) << "op " << i;
+    EXPECT_EQ(op.packed_version, op.dense->weight_version()) << "op " << i;
+  }
+  EXPECT_EQ(plan->ops()[1].leaky_alpha, 0.05f);
+  EXPECT_FALSE(plan->weights_stale());
+}
+
+TEST(InferPlanTest, MatchesSequentialBitwiseOnAllBackendsAndOddShapes) {
+  for (const tensor::Backend* backend : all_backends()) {
+    tensor::BackendScope scope(backend);
+    const auto model = make_odd_dense_model(97);
+    const auto plan = InferPlan::compile(*model, backend);
+
+    InferContext seq_ctx, plan_ctx;
+    Tensor expected, got;
+    common::Pcg32 rng(5);
+    for (const std::size_t batch : {1u, 3u, 7u, 11u, 7u}) {
+      const Tensor x = Tensor::randn({batch, 13}, rng);
+      model->infer_into(x, expected, seq_ctx);
+      plan->run(x, got, plan_ctx);
+      expect_bitwise_equal(got, expected, "dense plan");
+    }
+  }
+}
+
+TEST(InferPlanTest, ConvChainMatchesSequentialBitwiseOnAllBackends) {
+  for (const tensor::Backend* backend : all_backends()) {
+    tensor::BackendScope scope(backend);
+    common::Pcg32 rng(57);
+    nn::Sequential model;
+    model.emplace<nn::Conv2d>(1, 4, 3, 1, 1, 8, 8, rng);
+    model.emplace<nn::ReLU>();
+    model.emplace<nn::MaxPool2d>(4, 8, 8, 2, 2);
+    model.emplace<nn::ConvTranspose2d>(4, 1, 2, 2, 0, 4, 4, rng);
+    model.emplace<nn::Sigmoid>();
+    const auto plan = InferPlan::compile(model, backend);
+    // Conv2d op carries panels; pool / transpose run the generic entries.
+    ASSERT_EQ(plan->size(), 3u);
+    EXPECT_NE(plan->ops()[0].conv, nullptr);
+    EXPECT_NE(plan->ops()[0].packed, nullptr);
+
+    InferContext seq_ctx, plan_ctx;
+    Tensor expected, got;
+    for (const std::size_t batch : {1u, 3u, 5u}) {
+      const Tensor x = Tensor::randn({batch, 64}, rng);
+      model.infer_into(x, expected, seq_ctx);
+      plan->run(x, got, plan_ctx);
+      expect_bitwise_equal(got, expected, "conv plan");
+    }
+  }
+}
+
+TEST(InferPlanTest, RunUnderForeignBackendScopeStaysBitwiseCorrect) {
+  // Panels are pinned to the compile backend; a BackendScope override at
+  // run time must fall back to the unpacked kernels and still match the
+  // Sequential result under that same scope bitwise.
+  const auto model = make_odd_dense_model(131);
+  const auto plan = InferPlan::compile(*model, &tensor::blocked_backend());
+
+  tensor::BackendScope scope(&tensor::reference_backend());
+  InferContext seq_ctx, plan_ctx;
+  Tensor expected, got;
+  common::Pcg32 rng(9);
+  const Tensor x = Tensor::randn({5, 13}, rng);
+  model->infer_into(x, expected, seq_ctx);
+  plan->run(x, got, plan_ctx);
+  expect_bitwise_equal(got, expected, "foreign-scope plan");
+}
+
+TEST(InferPlanTest, QuantizedHeadMatchesSequentialBitwiseOnAllBackends) {
+  constexpr std::size_t kBatch = 6, kFeatures = 13;
+  std::vector<std::uint8_t> codes(kBatch * kFeatures);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    codes[i] = static_cast<std::uint8_t>((i * 73 + 19) & 0xFF);
+  }
+  std::vector<float> lo(kBatch), scale(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    lo[i] = -0.75f + 0.2f * static_cast<float>(i);
+    scale[i] = (1.0f + 0.1f * static_cast<float>(i)) / 255.0f;
+  }
+  const tensor::QuantHeader qh{lo.data(), scale.data()};
+
+  for (const tensor::Backend* backend : all_backends()) {
+    tensor::BackendScope scope(backend);
+    const auto model = make_odd_dense_model(211);
+    const auto plan = InferPlan::compile(*model, backend);
+
+    InferContext seq_ctx, plan_ctx;
+    Tensor expected, got;
+    model->infer_quantized_into(codes.data(), qh, kBatch, kFeatures, expected,
+                                seq_ctx);
+    plan->run_quantized(codes.data(), qh, kBatch, kFeatures, got, plan_ctx);
+    expect_bitwise_equal(got, expected, "quantized head");
+
+    // Partial batch through the same contexts.
+    model->infer_quantized_into(codes.data(), qh, 2, kFeatures, expected,
+                                seq_ctx);
+    plan->run_quantized(codes.data(), qh, 2, kFeatures, got, plan_ctx);
+    expect_bitwise_equal(got, expected, "quantized head partial batch");
+  }
+}
+
+TEST(InferPlanTest, QuantizedNonDenseHeadDequantizesAndMatchesSequential) {
+  // A conv-headed chain has no Dense to feed codes into: both executors
+  // dequantize into their context input buffer and run the float chain.
+  tensor::BackendScope scope(&tensor::blocked_backend());
+  common::Pcg32 rng(77);
+  nn::Sequential model;
+  model.emplace<nn::Conv2d>(1, 2, 3, 1, 1, 4, 4, rng);
+  model.emplace<nn::ReLU>();
+  const auto plan = InferPlan::compile(model);
+
+  constexpr std::size_t kBatch = 3, kFeatures = 16;
+  std::vector<std::uint8_t> codes(kBatch * kFeatures);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    codes[i] = static_cast<std::uint8_t>((i * 41 + 7) & 0xFF);
+  }
+  std::vector<float> lo(kBatch, -0.5f), scale(kBatch, 1.0f / 255.0f);
+  const tensor::QuantHeader qh{lo.data(), scale.data()};
+
+  InferContext seq_ctx, plan_ctx;
+  Tensor expected, got;
+  model.infer_quantized_into(codes.data(), qh, kBatch, kFeatures, expected,
+                             seq_ctx);
+  plan->run_quantized(codes.data(), qh, kBatch, kFeatures, got, plan_ctx);
+  expect_bitwise_equal(got, expected, "conv-head quantized");
+}
+
+TEST(InferPlanTest, AllIdentityChainCompilesToEmptyPlanAndCopies) {
+  nn::Sequential model;
+  model.emplace<nn::GaussianNoise>(0.2f, common::Pcg32(3));
+  model.emplace<nn::GaussianNoise>(0.3f, common::Pcg32(4));
+  const auto plan = InferPlan::compile(model);
+  EXPECT_EQ(plan->size(), 0u);
+  EXPECT_EQ(plan->scratch_floats(), 0u);
+  EXPECT_FALSE(plan->weights_stale());
+
+  common::Pcg32 rng(15);
+  const Tensor x = Tensor::randn({4, 9}, rng);
+  InferContext seq_ctx, plan_ctx;
+  Tensor expected, got;
+  model.infer_into(x, expected, seq_ctx);
+  plan->run(x, got, plan_ctx);
+  expect_bitwise_equal(got, expected, "identity chain");
+
+  // Quantized entry through an empty plan is pure dequantization.
+  std::vector<std::uint8_t> codes(2 * 9, 128);
+  std::vector<float> lo(2, -1.0f), scale(2, 2.0f / 255.0f);
+  const tensor::QuantHeader qh{lo.data(), scale.data()};
+  model.infer_quantized_into(codes.data(), qh, 2, 9, expected, seq_ctx);
+  plan->run_quantized(codes.data(), qh, 2, 9, got, plan_ctx);
+  expect_bitwise_equal(got, expected, "identity chain quantized");
+}
+
+TEST(InferPlanTest, NestedChainCompilesAndRunsBitwiseEqualToFlat) {
+  // Same seed -> identical weights; the nested container must flatten into
+  // the same plan (op count included) and the same bits as the flat chain.
+  const auto flat = make_odd_dense_model(303);
+
+  common::Pcg32 rng(303);
+  auto outer = std::make_unique<nn::Sequential>();
+  auto inner = std::make_unique<nn::Sequential>();
+  outer->emplace<nn::Dense>(13, 37, rng);
+  outer->emplace<nn::ReLU>();
+  inner->emplace<nn::Dense>(37, 29, rng);
+  inner->emplace<nn::LeakyReLU>(0.07f);
+  inner->emplace<nn::Dense>(29, 23, rng);
+  inner->emplace<nn::Tanh>();
+  outer->add(std::move(inner));
+  outer->emplace<nn::Dense>(23, 31, rng);
+  outer->emplace<nn::Sigmoid>();
+
+  const auto flat_plan = InferPlan::compile(*flat);
+  const auto nested_plan = InferPlan::compile(*outer);
+  ASSERT_EQ(nested_plan->size(), flat_plan->size());
+
+  InferContext flat_ctx, nested_ctx;
+  Tensor flat_out, nested_out;
+  common::Pcg32 data_rng(31);
+  for (const std::size_t batch : {1u, 6u}) {
+    const Tensor x = Tensor::randn({batch, 13}, data_rng);
+    flat_plan->run(x, flat_out, flat_ctx);
+    nested_plan->run(x, nested_out, nested_ctx);
+    expect_bitwise_equal(nested_out, flat_out, "nested plan vs flat plan");
+
+    // And the container's own infer_into agrees with both.
+    Tensor seq_out;
+    outer->infer_into(x, seq_out, nested_ctx);
+    expect_bitwise_equal(seq_out, flat_out, "nested infer_into vs flat plan");
+  }
+}
+
+TEST(InferPlanTest, WeightsStaleFlipsAfterMutationAndRecompileClears) {
+  common::Pcg32 rng(59);
+  nn::Sequential model;
+  auto& dense = model.emplace<nn::Dense>(8, 12, rng);
+  model.emplace<nn::ReLU>();
+
+  const auto plan = InferPlan::compile(model);
+  EXPECT_FALSE(plan->weights_stale());
+  // A training step / checkpoint load bumps the weight version this way.
+  model.invalidate_weight_cache();
+  EXPECT_TRUE(plan->weights_stale());
+  (void)dense;
+
+  const auto fresh = InferPlan::compile(model);
+  EXPECT_FALSE(fresh->weights_stale());
+  // The stale plan still executes (reading its captured panels) — it must
+  // not crash, and the fresh plan reflects the live weights.
+  InferContext ctx;
+  Tensor out;
+  const Tensor x = Tensor::randn({2, 8}, rng);
+  plan->run(x, out, ctx);
+  fresh->run(x, out, ctx);
+}
+
+TEST(InferPlanTest, ScratchFloatsCoversArenaHighWaterExactly) {
+  // The conv chain is the scratch-hungry case: the im2col column matrix is
+  // the arena high-water, precomputed at compile so the first run() reserves
+  // once and the arena never opens a second block.
+  tensor::BackendScope scope(&tensor::blocked_backend());
+  common::Pcg32 rng(67);
+  nn::Sequential model;
+  model.emplace<nn::Conv2d>(1, 4, 3, 1, 1, 8, 8, rng);
+  model.emplace<nn::ReLU>();
+  model.emplace<nn::ConvTranspose2d>(4, 1, 2, 2, 0, 8, 8, rng);
+  const auto plan = InferPlan::compile(model);
+  EXPECT_GT(plan->scratch_floats(), 0u);
+
+  InferContext ctx;
+  Tensor out;
+  const Tensor x = Tensor::randn({4, 64}, rng);
+  plan->run(x, out, ctx);
+  EXPECT_LE(ctx.scratch().high_water(), plan->scratch_floats());
+  EXPECT_EQ(ctx.scratch().block_count(), 1u);  // one reserve, no growth
+  const std::size_t cap = ctx.scratch().capacity();
+  for (int i = 0; i < 4; ++i) plan->run(x, out, ctx);
+  EXPECT_EQ(ctx.scratch().capacity(), cap);
+  EXPECT_EQ(ctx.scratch().block_count(), 1u);
+}
+
+TEST(InferPlanTest, MultiOpPlanRejectsContextBufferOutput) {
+  // Two ping-pong buffers cannot hold the input chain AND an aliased output
+  // of a multi-op plan; the executor refuses loudly instead of silently
+  // allocating (the retired Sequential escape hatch).
+  common::Pcg32 rng(83);
+  nn::Sequential model;
+  model.emplace<nn::Dense>(8, 16, rng);
+  model.emplace<nn::ReLU>();
+  model.emplace<nn::Dense>(16, 8, rng);
+  const auto plan = InferPlan::compile(model);
+  ASSERT_GE(plan->size(), 2u);
+
+  InferContext ctx;
+  const Tensor x = Tensor::randn({2, 8}, rng);
+  EXPECT_THROW(plan->run(x, ctx.buffer(1), ctx), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace orco
